@@ -1,0 +1,401 @@
+//! Corpus metadata (paper Table 1) and the expected vulnerability matrix
+//! (paper Table 5), used as the oracle the reproduction is checked
+//! against.
+
+use crate::framework::{Language, ShopApp};
+use crate::java::{Broadleaf, Shopizer};
+use crate::php::{Magento, OpenCart, PrestaShop, WooCommerce};
+use crate::python::{LightningFastShop, Oscar, Saleor};
+use crate::ruby::{RorEcommerce, Shoppe, Spree};
+
+/// Descriptive statistics the paper reports per application (Table 1).
+/// These are carried through verbatim — they describe the real-world
+/// corpus, not anything this reproduction measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusEntry {
+    pub name: &'static str,
+    pub language: Language,
+    /// Web deployments per builtwith.com (None where the paper found no
+    /// number).
+    pub deployments: Option<u64>,
+    pub github_stars: u32,
+    pub lines_of_code: u32,
+    /// SQL trace size (lines) the paper's pen-test sessions produced.
+    pub paper_trace_lines: u32,
+}
+
+/// Table 1 verbatim.
+pub const TABLE1: [CorpusEntry; 12] = [
+    CorpusEntry {
+        name: "OpenCart",
+        language: Language::Php,
+        deployments: Some(298_399),
+        github_stars: 3247,
+        lines_of_code: 136_544,
+        paper_trace_lines: 1699,
+    },
+    CorpusEntry {
+        name: "PrestaShop",
+        language: Language::Php,
+        deployments: Some(230_501),
+        github_stars: 2287,
+        lines_of_code: 189_812,
+        paper_trace_lines: 1422,
+    },
+    CorpusEntry {
+        name: "Magento",
+        language: Language::Php,
+        deployments: Some(245_680),
+        github_stars: 4198,
+        lines_of_code: 1_161_281,
+        paper_trace_lines: 801,
+    },
+    CorpusEntry {
+        name: "WooCommerce",
+        language: Language::Php,
+        deployments: Some(1_979_504),
+        github_stars: 3227,
+        lines_of_code: 100_098,
+        paper_trace_lines: 1006,
+    },
+    CorpusEntry {
+        name: "Spree",
+        language: Language::Ruby,
+        deployments: Some(45_000),
+        github_stars: 8268,
+        lines_of_code: 56_069,
+        paper_trace_lines: 768,
+    },
+    CorpusEntry {
+        name: "Ror_ecommerce",
+        language: Language::Ruby,
+        deployments: None,
+        github_stars: 1106,
+        lines_of_code: 17_224,
+        paper_trace_lines: 218,
+    },
+    CorpusEntry {
+        name: "Shoppe",
+        language: Language::Ruby,
+        deployments: None,
+        github_stars: 835,
+        lines_of_code: 4062,
+        paper_trace_lines: 152,
+    },
+    CorpusEntry {
+        name: "Oscar",
+        language: Language::Python,
+        deployments: None,
+        github_stars: 2427,
+        lines_of_code: 31_727,
+        paper_trace_lines: 769,
+    },
+    CorpusEntry {
+        name: "Saleor",
+        language: Language::Python,
+        deployments: None,
+        github_stars: 828,
+        lines_of_code: 8614,
+        paper_trace_lines: 401,
+    },
+    CorpusEntry {
+        name: "Lightning Fast Shop",
+        language: Language::Python,
+        deployments: None,
+        github_stars: 423,
+        lines_of_code: 25_163,
+        paper_trace_lines: 563,
+    },
+    CorpusEntry {
+        name: "Broadleaf",
+        language: Language::Java,
+        deployments: None,
+        github_stars: 889,
+        lines_of_code: 163_012,
+        paper_trace_lines: 374,
+    },
+    CorpusEntry {
+        name: "Shopizer",
+        language: Language::Java,
+        deployments: None,
+        github_stars: 507,
+        lines_of_code: 59_014,
+        paper_trace_lines: 845,
+    },
+];
+
+/// One cell of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// Vulnerable, with access pattern and anomaly type.
+    Vuln {
+        lost_update: bool,
+        level_based: bool,
+    },
+    /// Triggerable bug the paper still counts but attributes to
+    /// request-header values rather than pure database state (the two
+    /// `yes*` cells).
+    VulnStarred {
+        lost_update: bool,
+        level_based: bool,
+    },
+    /// Not vulnerable.
+    Safe,
+    /// No such functionality ("NF").
+    NoFeature,
+    /// Functionality ships broken ("BF").
+    Broken,
+    /// Not database-backed ("NDB").
+    NotDbBacked,
+}
+
+impl Cell {
+    pub fn is_vulnerable(self) -> bool {
+        matches!(self, Cell::Vuln { .. } | Cell::VulnStarred { .. })
+    }
+
+    /// Whether the vulnerability is level-based (vs scope-based).
+    pub fn level_based(self) -> Option<bool> {
+        match self {
+            Cell::Vuln { level_based, .. } | Cell::VulnStarred { level_based, .. } => {
+                Some(level_based)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the access pattern is Lost Update (vs phantom).
+    pub fn lost_update(self) -> Option<bool> {
+        match self {
+            Cell::Vuln { lost_update, .. } | Cell::VulnStarred { lost_update, .. } => {
+                Some(lost_update)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Expected results for one application (one row of Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpectedRow {
+    pub name: &'static str,
+    pub voucher: Cell,
+    pub inventory: Cell,
+    pub cart: Cell,
+}
+
+const LU_SCOPE: Cell = Cell::Vuln {
+    lost_update: true,
+    level_based: false,
+};
+const LU_LEVEL: Cell = Cell::Vuln {
+    lost_update: true,
+    level_based: true,
+};
+const PH_SCOPE: Cell = Cell::Vuln {
+    lost_update: false,
+    level_based: false,
+};
+const PH_LEVEL: Cell = Cell::Vuln {
+    lost_update: false,
+    level_based: true,
+};
+const PH_SCOPE_STAR: Cell = Cell::VulnStarred {
+    lost_update: false,
+    level_based: false,
+};
+
+/// Table 5 verbatim.
+pub const TABLE5: [ExpectedRow; 12] = [
+    ExpectedRow {
+        name: "OpenCart",
+        voucher: PH_SCOPE,
+        inventory: LU_SCOPE,
+        cart: Cell::Safe,
+    },
+    ExpectedRow {
+        name: "PrestaShop",
+        voucher: LU_SCOPE,
+        inventory: LU_SCOPE,
+        cart: Cell::Safe,
+    },
+    ExpectedRow {
+        name: "Magento",
+        voucher: LU_SCOPE,
+        inventory: LU_SCOPE,
+        cart: Cell::Safe,
+    },
+    ExpectedRow {
+        name: "WooCommerce",
+        voucher: LU_SCOPE,
+        inventory: LU_SCOPE,
+        cart: Cell::Safe,
+    },
+    ExpectedRow {
+        name: "Spree",
+        voucher: Cell::Safe,
+        inventory: Cell::Safe,
+        cart: Cell::Safe,
+    },
+    ExpectedRow {
+        name: "Ror_ecommerce",
+        voucher: Cell::NoFeature,
+        inventory: LU_LEVEL,
+        cart: PH_SCOPE,
+    },
+    ExpectedRow {
+        name: "Shoppe",
+        voucher: Cell::NoFeature,
+        inventory: PH_SCOPE,
+        cart: PH_SCOPE,
+    },
+    ExpectedRow {
+        name: "Oscar",
+        voucher: PH_LEVEL,
+        inventory: LU_LEVEL,
+        cart: Cell::Safe,
+    },
+    ExpectedRow {
+        name: "Saleor",
+        voucher: LU_LEVEL,
+        inventory: LU_LEVEL,
+        cart: Cell::NotDbBacked,
+    },
+    ExpectedRow {
+        name: "Lightning Fast Shop",
+        voucher: LU_SCOPE,
+        inventory: LU_SCOPE,
+        cart: PH_SCOPE,
+    },
+    ExpectedRow {
+        name: "Broadleaf",
+        voucher: PH_SCOPE,
+        inventory: Cell::Broken,
+        cart: PH_SCOPE_STAR,
+    },
+    ExpectedRow {
+        name: "Shopizer",
+        voucher: Cell::NoFeature,
+        inventory: Cell::Broken,
+        cart: PH_SCOPE_STAR,
+    },
+];
+
+/// Build the full application corpus, in Table 1 order.
+pub fn all_apps() -> Vec<Box<dyn ShopApp + Send + Sync>> {
+    vec![
+        Box::new(OpenCart),
+        Box::new(PrestaShop),
+        Box::new(Magento),
+        Box::new(WooCommerce),
+        Box::new(Spree),
+        Box::new(RorEcommerce),
+        Box::new(Shoppe),
+        Box::new(Oscar),
+        Box::new(Saleor::new()),
+        Box::new(LightningFastShop),
+        Box::new(Broadleaf),
+        Box::new(Shopizer),
+    ]
+}
+
+/// Expected Table 5 row for an application name.
+pub fn expected_row(name: &str) -> Option<&'static ExpectedRow> {
+    TABLE5.iter().find(|r| r.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::FeatureStatus;
+
+    #[test]
+    fn paper_totals_hold() {
+        // 22 vulnerabilities: 9 inventory, 8 voucher, 5 cart (§4.2.5).
+        let voucher = TABLE5.iter().filter(|r| r.voucher.is_vulnerable()).count();
+        let inventory = TABLE5
+            .iter()
+            .filter(|r| r.inventory.is_vulnerable())
+            .count();
+        let cart = TABLE5.iter().filter(|r| r.cart.is_vulnerable()).count();
+        assert_eq!(voucher, 8);
+        assert_eq!(inventory, 9);
+        assert_eq!(cart, 5);
+        assert_eq!(voucher + inventory + cart, 22);
+    }
+
+    #[test]
+    fn level_vs_scope_split_matches_paper() {
+        // 5 level-based, 17 scope-based (§4.2.5).
+        let cells = TABLE5.iter().flat_map(|r| [r.voucher, r.inventory, r.cart]);
+        let level = cells
+            .clone()
+            .filter(|c| c.level_based() == Some(true))
+            .count();
+        let scope = cells.filter(|c| c.level_based() == Some(false)).count();
+        assert_eq!(level, 5);
+        assert_eq!(scope, 17);
+    }
+
+    #[test]
+    fn level_based_access_patterns_match_paper() {
+        // Of the 5 level-based: 4 Lost Update, 1 phantom (§4.2.5).
+        let cells: Vec<Cell> = TABLE5
+            .iter()
+            .flat_map(|r| [r.voucher, r.inventory, r.cart])
+            .filter(|c| c.level_based() == Some(true))
+            .collect();
+        let lu = cells
+            .iter()
+            .filter(|c| c.lost_update() == Some(true))
+            .count();
+        let ph = cells
+            .iter()
+            .filter(|c| c.lost_update() == Some(false))
+            .count();
+        assert_eq!((lu, ph), (4, 1));
+    }
+
+    #[test]
+    fn registry_matches_tables() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 12);
+        for (app, entry) in apps.iter().zip(TABLE1.iter()) {
+            assert_eq!(app.name(), entry.name);
+            assert_eq!(app.language(), entry.language);
+            assert!(expected_row(app.name()).is_some());
+        }
+    }
+
+    #[test]
+    fn feature_statuses_agree_with_expected_cells() {
+        for app in all_apps() {
+            let row = expected_row(app.name()).unwrap();
+            assert_eq!(
+                app.voucher_support() == FeatureStatus::NoFeature,
+                row.voucher == Cell::NoFeature,
+                "{}",
+                app.name()
+            );
+            assert_eq!(
+                app.inventory_support() == FeatureStatus::Broken,
+                row.inventory == Cell::Broken,
+                "{}",
+                app.name()
+            );
+            assert_eq!(
+                app.cart_support() == FeatureStatus::NotDbBacked,
+                row.cart == Cell::NotDbBacked,
+                "{}",
+                app.name()
+            );
+        }
+    }
+
+    #[test]
+    fn deployment_coverage_exceeds_2m_sites() {
+        // The paper: "spanning approximately 2M websites".
+        let total: u64 = TABLE1.iter().filter_map(|e| e.deployments).sum();
+        assert!(total > 2_000_000, "{total}");
+    }
+}

@@ -1,0 +1,184 @@
+//! The Flexcoin exchange (paper §1): the real-world ACIDRain attack that
+//! bankrupted a Bitcoin exchange on March 2nd, 2014.
+//!
+//! > "The attacker... successfully exploited a flaw in the code which
+//! > allows transfers between Flexcoin users. By sending thousands of
+//! > simultaneous requests, the attacker was able to 'move' coins from
+//! > one user account to another until the sending account was
+//! > overdrawn, before balances were updated. This was then repeated
+//! > through multiple accounts, snowballing the amount, until the
+//! > attacker withdrew the coins."
+//!
+//! The `transfer` endpoint reproduces the flaw: balance check and
+//! balance updates in separate autocommitted statements (scope-based),
+//! with the credited amount computed before the debit lands.
+
+use std::sync::Arc;
+
+use acidrain_db::{Database, IsolationLevel, Value};
+use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
+
+use crate::framework::{AppError, AppResult, SqlConn};
+
+pub fn exchange_schema() -> Schema {
+    Schema::new().with_table(TableSchema::new(
+        "wallets",
+        vec![
+            ColumnDef::new("id", ColumnType::Int).auto_increment(),
+            ColumnDef::new("owner", ColumnType::Str),
+            ColumnDef::new("coins", ColumnType::Int),
+        ],
+    ))
+}
+
+/// The simulated exchange.
+pub struct Flexcoin;
+
+impl Flexcoin {
+    /// A fresh exchange holding `reserve` coins in the house wallet
+    /// (id 1) plus two attacker-controlled wallets (ids 2 and 3).
+    pub fn make_exchange(
+        &self,
+        isolation: IsolationLevel,
+        reserve: i64,
+        attacker_funds: i64,
+    ) -> Arc<Database> {
+        let db = Database::new(exchange_schema(), isolation);
+        db.seed(
+            "wallets",
+            vec![
+                vec![Value::Null, "house".into(), Value::Int(reserve)],
+                vec![Value::Null, "mallory-a".into(), Value::Int(attacker_funds)],
+                vec![Value::Null, "mallory-b".into(), Value::Int(0)],
+            ],
+        )
+        .expect("seed wallets");
+        db
+    }
+
+    /// `POST /api/transfer` — the vulnerable endpoint: check, then two
+    /// blind balance writes, no transaction.
+    pub fn transfer(
+        &self,
+        conn: &mut dyn SqlConn,
+        from: i64,
+        to: i64,
+        amount: i64,
+    ) -> AppResult<()> {
+        if amount <= 0 || from == to {
+            return Err(AppError::Rejected("invalid transfer".into()));
+        }
+        let from_balance = conn
+            .exec(&format!("SELECT coins FROM wallets WHERE id = {from}"))?
+            .scalar_i64()
+            .unwrap_or(0);
+        if from_balance < amount {
+            return Err(AppError::Rejected("insufficient coins".into()));
+        }
+        // The fatal combination: the debit writes an application-computed
+        // value from the stale read (concurrent debits collapse into one),
+        // while the credit is a relative increment (every concurrent
+        // credit lands). Racing W transfers moves the coins W times.
+        conn.exec(&format!(
+            "UPDATE wallets SET coins = {} WHERE id = {from}",
+            from_balance - amount
+        ))?;
+        conn.exec(&format!(
+            "UPDATE wallets SET coins = coins + {amount} WHERE id = {to}"
+        ))?;
+        Ok(())
+    }
+
+    /// `POST /api/withdraw` — cash out to an external address (burns
+    /// coins from the wallet); correctly guarded, like the real one: the
+    /// theft happened in `transfer`.
+    pub fn withdraw(&self, conn: &mut dyn SqlConn, wallet: i64, amount: i64) -> AppResult<()> {
+        let balance = conn
+            .exec(&format!(
+                "SELECT coins FROM wallets WHERE id = {wallet} FOR UPDATE"
+            ))?
+            .scalar_i64()
+            .unwrap_or(0);
+        if balance < amount {
+            return Err(AppError::Rejected("insufficient coins".into()));
+        }
+        conn.exec(&format!(
+            "UPDATE wallets SET coins = coins - {amount} WHERE id = {wallet}"
+        ))?;
+        Ok(())
+    }
+}
+
+/// The exchange's solvency invariant: no wallet is negative, and total
+/// coins on the books never exceed what was ever deposited.
+pub fn check_solvency(db: &Database, total_deposited: i64) -> Result<(), String> {
+    let wallets = db.table_rows("wallets").map_err(|e| e.to_string())?;
+    let mut total = 0;
+    for w in &wallets {
+        let coins = w[2].as_i64().unwrap_or(0);
+        if coins < 0 {
+            return Err(format!("wallet {} is overdrawn: {coins}", w[1]));
+        }
+        total += coins;
+    }
+    if total > total_deposited {
+        return Err(format!(
+            "{total} coins on the books but only {total_deposited} were ever deposited: \
+             {} coins were conjured",
+            total - total_deposited
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_transfers_preserve_solvency() {
+        let ex = Flexcoin;
+        let db = ex.make_exchange(IsolationLevel::ReadCommitted, 1000, 50);
+        let mut conn = db.connect();
+        ex.transfer(&mut conn, 2, 3, 30).unwrap();
+        ex.transfer(&mut conn, 3, 2, 10).unwrap();
+        let err = ex.transfer(&mut conn, 2, 3, 1000).unwrap_err();
+        assert!(matches!(err, AppError::Rejected(_)));
+        check_solvency(&db, 1050).unwrap();
+    }
+
+    #[test]
+    fn invalid_transfers_rejected() {
+        let ex = Flexcoin;
+        let db = ex.make_exchange(IsolationLevel::ReadCommitted, 1000, 50);
+        let mut conn = db.connect();
+        assert!(ex.transfer(&mut conn, 2, 2, 10).is_err());
+        assert!(ex.transfer(&mut conn, 2, 3, 0).is_err());
+        assert!(ex.transfer(&mut conn, 2, 3, -5).is_err());
+    }
+
+    #[test]
+    fn withdraw_is_guarded() {
+        let ex = Flexcoin;
+        let db = ex.make_exchange(IsolationLevel::ReadCommitted, 1000, 50);
+        let mut conn = db.connect();
+        ex.withdraw(&mut conn, 2, 50).unwrap();
+        assert!(ex.withdraw(&mut conn, 2, 1).is_err());
+        check_solvency(&db, 1050).unwrap();
+    }
+
+    #[test]
+    fn solvency_detects_conjured_coins() {
+        let ex = Flexcoin;
+        let db = ex.make_exchange(IsolationLevel::ReadCommitted, 100, 0);
+        let mut conn = db.connect();
+        conn.execute("UPDATE wallets SET coins = 500 WHERE id = 2")
+            .unwrap();
+        assert!(check_solvency(&db, 100).is_err());
+        let db = ex.make_exchange(IsolationLevel::ReadCommitted, 100, 0);
+        let mut conn = db.connect();
+        conn.execute("UPDATE wallets SET coins = -5 WHERE id = 2")
+            .unwrap();
+        assert!(check_solvency(&db, 100).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! The three target invariants (paper §4.2.2 and Table 3), checked over
+//! the committed state of a store.
+//!
+//! * **Inventory**: each product's stock is non-negative, and the final
+//!   stock reflects the orders placed (`initial - Σ order_items.qty ==
+//!   stock`).
+//! * **Voucher**: each voucher's uses (counter or application rows) stay
+//!   within its limit (`Σ vᵢ ≤ v_limit`).
+//! * **Cart**: each order's total equals the value of its items
+//!   (`Σ cᵢqᵢ = T`).
+
+use acidrain_db::{Database, Value};
+
+use crate::framework::{StockModel, LAPTOP, LAPTOP_STOCK, PEN, PEN_STOCK};
+
+/// A violated invariant, with a human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub invariant: &'static str,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} invariant violated: {}", self.invariant, self.detail)
+    }
+}
+
+fn as_i64(v: &Value) -> i64 {
+    v.as_i64().unwrap_or(0)
+}
+
+/// Ids of orders that completed checkout. Pending orders (failed or
+/// abandoned checkouts) are not fulfilled and do not count against the
+/// invariants.
+fn placed_orders(db: &Database) -> Vec<i64> {
+    db.table_rows("orders")
+        .unwrap_or_default()
+        .iter()
+        .filter(|r| r[3] == Value::Str("placed".into()))
+        .map(|r| as_i64(&r[0]))
+        .collect()
+}
+
+/// Check the inventory invariant for the standard store fixtures.
+pub fn check_inventory(db: &Database, model: StockModel) -> Result<(), Violation> {
+    let initial = [(PEN, PEN_STOCK), (LAPTOP, LAPTOP_STOCK)];
+    let order_items = db.table_rows("order_items").unwrap_or_default();
+    let placed = placed_orders(db);
+    for (product, initial_stock) in initial {
+        let ordered: i64 = order_items
+            .iter()
+            .filter(|r| as_i64(&r[2]) == product && placed.contains(&as_i64(&r[1])))
+            .map(|r| as_i64(&r[3]))
+            .sum();
+        let stock_now = match model {
+            StockModel::Column => db
+                .table_rows("products")
+                .unwrap_or_default()
+                .iter()
+                .find(|r| as_i64(&r[0]) == product)
+                .map(|r| as_i64(&r[3]))
+                .unwrap_or(0),
+            StockModel::Adjustments => db
+                .table_rows("stock_adjustments")
+                .unwrap_or_default()
+                .iter()
+                .filter(|r| as_i64(&r[1]) == product)
+                .map(|r| as_i64(&r[2]))
+                .sum(),
+        };
+        if stock_now < 0 {
+            return Err(Violation {
+                invariant: "inventory",
+                detail: format!("product {product} has negative stock {stock_now}"),
+            });
+        }
+        if initial_stock - ordered != stock_now {
+            return Err(Violation {
+                invariant: "inventory",
+                detail: format!(
+                    "product {product}: initial {initial_stock} - ordered {ordered} != \
+                     stock {stock_now} (items unaccounted for)"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check the voucher invariant: both the usage counter and the
+/// applications table stay within each voucher's limit.
+pub fn check_voucher(db: &Database) -> Result<(), Violation> {
+    let vouchers = db.table_rows("vouchers").unwrap_or_default();
+    let applications = db.table_rows("voucher_applications").unwrap_or_default();
+    let placed = placed_orders(db);
+    for v in &vouchers {
+        let id = as_i64(&v[0]);
+        let limit = as_i64(&v[3]);
+        let used = as_i64(&v[4]);
+        if used > limit {
+            return Err(Violation {
+                invariant: "voucher",
+                detail: format!("voucher {id} counter shows {used} uses > limit {limit}"),
+            });
+        }
+        let applied = applications
+            .iter()
+            .filter(|a| as_i64(&a[1]) == id && placed.contains(&as_i64(&a[2])))
+            .count() as i64;
+        if applied > limit {
+            return Err(Violation {
+                invariant: "voucher",
+                detail: format!("voucher {id} applied {applied} times > limit {limit}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check the cart invariant: every order's recorded total equals the value
+/// of its recorded items.
+pub fn check_cart(db: &Database) -> Result<(), Violation> {
+    let orders = db.table_rows("orders").unwrap_or_default();
+    let items = db.table_rows("order_items").unwrap_or_default();
+    for o in orders
+        .iter()
+        .filter(|o| o[3] == Value::Str("placed".into()))
+    {
+        let id = as_i64(&o[0]);
+        let total = as_i64(&o[2]);
+        let items_value: i64 = items
+            .iter()
+            .filter(|i| as_i64(&i[1]) == id)
+            .map(|i| as_i64(&i[3]) * as_i64(&i[4]))
+            .sum();
+        if total != items_value {
+            return Err(Violation {
+                invariant: "cart",
+                detail: format!(
+                    "order {id} charged {total} but contains items worth {items_value}"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{seed_store, shop_schema};
+    use acidrain_db::IsolationLevel;
+
+    fn store() -> std::sync::Arc<Database> {
+        let db = Database::new(shop_schema(), IsolationLevel::ReadCommitted);
+        seed_store(&db);
+        db
+    }
+
+    #[test]
+    fn fresh_store_satisfies_all_invariants() {
+        let db = store();
+        check_inventory(&db, StockModel::Column).unwrap();
+        check_inventory(&db, StockModel::Adjustments).unwrap();
+        check_voucher(&db).unwrap();
+        check_cart(&db).unwrap();
+    }
+
+    #[test]
+    fn detects_negative_stock() {
+        let db = store();
+        let mut c = db.connect();
+        c.execute("UPDATE products SET stock = -1 WHERE id = 1")
+            .unwrap();
+        let v = check_inventory(&db, StockModel::Column).unwrap_err();
+        assert!(v.detail.contains("negative"));
+    }
+
+    #[test]
+    fn detects_lost_stock_update() {
+        let db = store();
+        let mut c = db.connect();
+        // An order for 2 pens recorded, but stock only decremented by 1.
+        c.execute("INSERT INTO orders (cart_id, total, status) VALUES (1, 4, 'placed')")
+            .unwrap();
+        c.execute("INSERT INTO order_items (order_id, product_id, qty, price) VALUES (1, 1, 2, 2)")
+            .unwrap();
+        c.execute("UPDATE products SET stock = 9 WHERE id = 1")
+            .unwrap();
+        let v = check_inventory(&db, StockModel::Column).unwrap_err();
+        assert!(v.detail.contains("unaccounted"));
+    }
+
+    #[test]
+    fn detects_voucher_overspend_both_models() {
+        let db = store();
+        let mut c = db.connect();
+        c.execute("UPDATE vouchers SET used = 2 WHERE id = 1")
+            .unwrap();
+        assert!(check_voucher(&db).is_err());
+
+        let db = store();
+        let mut c = db.connect();
+        // Applications only count against placed orders.
+        c.execute("INSERT INTO orders (cart_id, total, status) VALUES (1, 0, 'placed')")
+            .unwrap();
+        c.execute("INSERT INTO orders (cart_id, total, status) VALUES (2, 0, 'placed')")
+            .unwrap();
+        c.execute("INSERT INTO voucher_applications (voucher_id, order_id) VALUES (1, 1)")
+            .unwrap();
+        check_voucher(&db).unwrap();
+        c.execute("INSERT INTO voucher_applications (voucher_id, order_id) VALUES (1, 2)")
+            .unwrap();
+        assert!(check_voucher(&db).is_err());
+        // A redemption against a pending (failed) order does not count.
+        let db = store();
+        let mut c = db.connect();
+        c.execute("INSERT INTO orders (cart_id, total, status) VALUES (1, 0, 'pending')")
+            .unwrap();
+        c.execute("INSERT INTO voucher_applications (voucher_id, order_id) VALUES (1, 1)")
+            .unwrap();
+        c.execute("INSERT INTO voucher_applications (voucher_id, order_id) VALUES (1, 1)")
+            .unwrap();
+        check_voucher(&db).unwrap();
+    }
+
+    #[test]
+    fn detects_order_total_mismatch() {
+        let db = store();
+        let mut c = db.connect();
+        c.execute("INSERT INTO orders (cart_id, total, status) VALUES (1, 2, 'placed')")
+            .unwrap();
+        c.execute(
+            "INSERT INTO order_items (order_id, product_id, qty, price) VALUES (1, 2, 1, 900)",
+        )
+        .unwrap();
+        let v = check_cart(&db).unwrap_err();
+        assert!(v.detail.contains("charged 2"));
+    }
+}

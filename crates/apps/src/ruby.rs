@@ -1,0 +1,405 @@
+//! The Ruby on Rails applications: Spree, Ror_ecommerce, Shoppe.
+//!
+//! Idioms reproduced from the paper: Spree is the corpus's only fully safe
+//! application — correct `SELECT ... FOR UPDATE` on stock and multiple
+//! validations around voucher use and cart totals (§4.2.6). Ror_ecommerce
+//! wraps its stock check in a transaction but only takes the lock when
+//! inventory is below a threshold, leaving the common path as a
+//! level-based Lost Update; its cart uses the two-read shape. Shoppe has
+//! no vouchers, tracks stock as a ledger of adjustments (predicate read +
+//! insert: phantom shapes), and uses the two-read cart.
+
+use crate::framework::*;
+
+fn cart_insert(conn: &mut dyn SqlConn, cart: i64, product: i64, qty: i64) -> AppResult<()> {
+    conn.exec(&format!(
+        "INSERT INTO cart_items (cart_id, product_id, qty) VALUES ({cart}, {product}, {qty})"
+    ))?;
+    Ok(())
+}
+
+/// Spree Commerce — the one application with no vulnerabilities.
+pub struct Spree;
+
+impl Spree {
+    /// Correct pessimistic locking: lock, check, relative decrement, all
+    /// inside one transaction.
+    fn decrement_stock(&self, conn: &mut dyn SqlConn, product: i64, qty: i64) -> AppResult<()> {
+        conn.exec("BEGIN")?;
+        let stock = query_i64(
+            conn,
+            &format!("SELECT stock FROM products WHERE id = {product} FOR UPDATE"),
+        )?;
+        if stock < qty {
+            conn.exec("ROLLBACK")?;
+            return Err(AppError::Rejected(format!(
+                "product {product} out of stock"
+            )));
+        }
+        conn.exec(&format!(
+            "UPDATE products SET stock = stock - {qty} WHERE id = {product}"
+        ))?;
+        conn.exec("COMMIT")?;
+        Ok(())
+    }
+
+    /// Multiple validations: check before, increment relatively, re-check
+    /// after; roll back on over-use (§4.2.6 — anomalies between the checks
+    /// stay triggerable but every over-use ends in a failed checkout).
+    fn redeem_voucher(&self, conn: &mut dyn SqlConn, order: i64) -> AppResult<()> {
+        conn.exec("BEGIN")?;
+        let used = query_i64(
+            conn,
+            &format!("SELECT used FROM vouchers WHERE id = {VOUCHER_ID}"),
+        )?;
+        let limit = query_i64(
+            conn,
+            &format!("SELECT usage_limit FROM vouchers WHERE id = {VOUCHER_ID}"),
+        )?;
+        if used >= limit {
+            conn.exec("ROLLBACK")?;
+            return Err(AppError::Rejected("voucher exhausted".into()));
+        }
+        conn.exec(&format!(
+            "UPDATE vouchers SET used = used + 1 WHERE id = {VOUCHER_ID}"
+        ))?;
+        // Validate again after marking.
+        let after = query_i64(
+            conn,
+            &format!("SELECT used FROM vouchers WHERE id = {VOUCHER_ID}"),
+        )?;
+        if after > limit {
+            conn.exec("ROLLBACK")?;
+            return Err(AppError::Rejected("voucher exhausted (post-check)".into()));
+        }
+        conn.exec(&format!(
+            "INSERT INTO voucher_applications (voucher_id, order_id) VALUES \
+             ({VOUCHER_ID}, {order})"
+        ))?;
+        conn.exec("COMMIT")?;
+        Ok(())
+    }
+}
+
+impl ShopApp for Spree {
+    fn name(&self) -> &'static str {
+        "Spree"
+    }
+
+    fn language(&self) -> Language {
+        Language::Ruby
+    }
+
+    fn add_to_cart(
+        &self,
+        conn: &mut dyn SqlConn,
+        cart: i64,
+        product: i64,
+        qty: i64,
+    ) -> AppResult<()> {
+        cart_insert(conn, cart, product, qty)
+    }
+
+    fn checkout(&self, conn: &mut dyn SqlConn, cart: i64, req: &CheckoutRequest) -> AppResult<i64> {
+        let total = read_cart_total(conn, cart)?;
+        if total == 0 {
+            return Err(AppError::Rejected("empty cart".into()));
+        }
+        let order = insert_order(conn, cart, total)?;
+        // Second read, then recompute the total from it (multiple
+        // validations keep the order internally consistent).
+        let lines = read_cart(conn, cart)?;
+        insert_order_items(conn, order, &lines)?;
+        let recomputed: i64 = lines.iter().map(|(_, q, p)| q * p).sum();
+        if recomputed != total {
+            conn.exec(&format!(
+                "UPDATE orders SET total = {recomputed} WHERE id = {order}"
+            ))?;
+        }
+        for (product, qty, _) in &lines {
+            self.decrement_stock(conn, *product, *qty)?;
+        }
+        if req.voucher_code.is_some() {
+            self.redeem_voucher(conn, order)?;
+        }
+        clear_cart(conn, cart)?;
+        mark_order_placed(conn, order)?;
+        Ok(order)
+    }
+}
+
+/// Ror_ecommerce: `SELECT FOR UPDATE` only below a low-stock threshold —
+/// the guarded path the paper found ("does not guard the stock management
+/// when the inventory is above a user-specified threshold").
+pub struct RorEcommerce;
+
+/// Below this remaining stock, Ror_ecommerce takes the row lock.
+pub const ROR_LOW_STOCK_THRESHOLD: i64 = 3;
+
+impl RorEcommerce {
+    fn decrement_stock(&self, conn: &mut dyn SqlConn, product: i64, qty: i64) -> AppResult<()> {
+        conn.exec("BEGIN")?;
+        let mut stock = query_i64(
+            conn,
+            &format!("SELECT stock FROM products WHERE id = {product}"),
+        )?;
+        if stock < ROR_LOW_STOCK_THRESHOLD {
+            // Low stock: lock and re-read.
+            stock = query_i64(
+                conn,
+                &format!("SELECT stock FROM products WHERE id = {product} FOR UPDATE"),
+            )?;
+        }
+        if stock < qty {
+            conn.exec("ROLLBACK")?;
+            return Err(AppError::Rejected(format!(
+                "product {product} out of stock"
+            )));
+        }
+        // Blind write of the application-computed value: a level-based
+        // Lost Update whenever the threshold path was not taken.
+        conn.exec(&format!(
+            "UPDATE products SET stock = {} WHERE id = {product}",
+            stock - qty
+        ))?;
+        conn.exec("COMMIT")?;
+        Ok(())
+    }
+}
+
+impl ShopApp for RorEcommerce {
+    fn name(&self) -> &'static str {
+        "Ror_ecommerce"
+    }
+
+    fn language(&self) -> Language {
+        Language::Ruby
+    }
+
+    fn voucher_support(&self) -> FeatureStatus {
+        FeatureStatus::NoFeature
+    }
+
+    fn add_to_cart(
+        &self,
+        conn: &mut dyn SqlConn,
+        cart: i64,
+        product: i64,
+        qty: i64,
+    ) -> AppResult<()> {
+        cart_insert(conn, cart, product, qty)
+    }
+
+    fn checkout(&self, conn: &mut dyn SqlConn, cart: i64, req: &CheckoutRequest) -> AppResult<i64> {
+        if req.voucher_code.is_some() {
+            return Err(AppError::Unsupported("Ror_ecommerce has no gift vouchers"));
+        }
+        // Two-read cart (vulnerable).
+        let total = read_cart_total(conn, cart)?;
+        if total == 0 {
+            return Err(AppError::Rejected("empty cart".into()));
+        }
+        let order = insert_order(conn, cart, total)?;
+        let lines = read_cart(conn, cart)?;
+        insert_order_items(conn, order, &lines)?;
+        for (product, qty, _) in &lines {
+            self.decrement_stock(conn, *product, *qty)?;
+        }
+        clear_cart(conn, cart)?;
+        mark_order_placed(conn, order)?;
+        Ok(order)
+    }
+}
+
+/// Shoppe: stock as a ledger of adjustments; `SUM` the ledger (predicate
+/// read), then insert a negative adjustment — both phantoms, no
+/// transactions. No voucher concept.
+pub struct Shoppe;
+
+impl Shoppe {
+    fn decrement_stock(&self, conn: &mut dyn SqlConn, product: i64, qty: i64) -> AppResult<()> {
+        let on_hand = query_i64(
+            conn,
+            &format!("SELECT SUM(amount) FROM stock_adjustments WHERE product_id = {product}"),
+        )?;
+        if on_hand < qty {
+            return Err(AppError::Rejected(format!(
+                "product {product} out of stock"
+            )));
+        }
+        conn.exec(&format!(
+            "INSERT INTO stock_adjustments (product_id, amount) VALUES ({product}, {})",
+            -qty
+        ))?;
+        Ok(())
+    }
+}
+
+impl ShopApp for Shoppe {
+    fn name(&self) -> &'static str {
+        "Shoppe"
+    }
+
+    fn language(&self) -> Language {
+        Language::Ruby
+    }
+
+    fn voucher_support(&self) -> FeatureStatus {
+        FeatureStatus::NoFeature
+    }
+
+    fn stock_model(&self) -> StockModel {
+        StockModel::Adjustments
+    }
+
+    fn add_to_cart(
+        &self,
+        conn: &mut dyn SqlConn,
+        cart: i64,
+        product: i64,
+        qty: i64,
+    ) -> AppResult<()> {
+        cart_insert(conn, cart, product, qty)
+    }
+
+    fn checkout(&self, conn: &mut dyn SqlConn, cart: i64, req: &CheckoutRequest) -> AppResult<i64> {
+        if req.voucher_code.is_some() {
+            return Err(AppError::Unsupported("Shoppe has no gift vouchers"));
+        }
+        let total = read_cart_total(conn, cart)?;
+        if total == 0 {
+            return Err(AppError::Rejected("empty cart".into()));
+        }
+        let order = insert_order(conn, cart, total)?;
+        let lines = read_cart(conn, cart)?;
+        insert_order_items(conn, order, &lines)?;
+        for (product, qty, _) in &lines {
+            self.decrement_stock(conn, *product, *qty)?;
+        }
+        clear_cart(conn, cart)?;
+        mark_order_placed(conn, order)?;
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acidrain_db::IsolationLevel;
+
+    #[test]
+    fn spree_serial_flow_and_voucher_limit() {
+        let db = Spree.make_store(IsolationLevel::ReadCommitted);
+        let mut conn = db.connect();
+        Spree.add_to_cart(&mut conn, 1, PEN, 1).unwrap();
+        Spree
+            .checkout(&mut conn, 1, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+            .unwrap();
+        Spree.add_to_cart(&mut conn, 1, PEN, 1).unwrap();
+        let err = Spree
+            .checkout(&mut conn, 1, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+            .unwrap_err();
+        assert!(matches!(err, AppError::Rejected(_)));
+        assert_eq!(
+            query_i64(&mut conn, "SELECT used FROM vouchers WHERE id = 1").unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn spree_stock_locking_rejects_oversell() {
+        let db = Spree.make_store(IsolationLevel::ReadCommitted);
+        let mut conn = db.connect();
+        Spree
+            .add_to_cart(&mut conn, 1, LAPTOP, LAPTOP_STOCK + 1)
+            .unwrap();
+        let err = Spree
+            .checkout(&mut conn, 1, &CheckoutRequest::plain())
+            .unwrap_err();
+        assert!(matches!(err, AppError::Rejected(_)));
+        assert_eq!(
+            query_i64(
+                &mut conn,
+                &format!("SELECT stock FROM products WHERE id = {LAPTOP}")
+            )
+            .unwrap(),
+            LAPTOP_STOCK
+        );
+    }
+
+    #[test]
+    fn ror_takes_lock_only_below_threshold() {
+        let db = RorEcommerce.make_store(IsolationLevel::ReadCommitted);
+        let mut conn = db.connect();
+        // Stock 10: no FOR UPDATE in the log.
+        RorEcommerce.add_to_cart(&mut conn, 1, PEN, 1).unwrap();
+        RorEcommerce
+            .checkout(&mut conn, 1, &CheckoutRequest::plain())
+            .unwrap();
+        assert!(!db
+            .log_entries()
+            .iter()
+            .any(|e| e.sql.contains("FOR UPDATE")));
+        // Drain stock to below the threshold; the lock appears.
+        conn.execute(&format!(
+            "UPDATE products SET stock = {} WHERE id = {PEN}",
+            ROR_LOW_STOCK_THRESHOLD - 1
+        ))
+        .unwrap();
+        RorEcommerce.add_to_cart(&mut conn, 1, PEN, 1).unwrap();
+        RorEcommerce
+            .checkout(&mut conn, 1, &CheckoutRequest::plain())
+            .unwrap();
+        assert!(db
+            .log_entries()
+            .iter()
+            .any(|e| e.sql.contains("FOR UPDATE")));
+    }
+
+    #[test]
+    fn ror_and_shoppe_refuse_vouchers() {
+        for app in [&RorEcommerce as &dyn ShopApp, &Shoppe] {
+            assert_eq!(app.voucher_support(), FeatureStatus::NoFeature);
+            let db = app.make_store(IsolationLevel::ReadCommitted);
+            let mut conn = db.connect();
+            app.add_to_cart(&mut conn, 1, PEN, 1).unwrap();
+            let err = app
+                .checkout(&mut conn, 1, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+                .unwrap_err();
+            assert!(matches!(err, AppError::Unsupported(_)), "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn shoppe_tracks_stock_via_adjustments() {
+        let db = Shoppe.make_store(IsolationLevel::ReadCommitted);
+        let mut conn = db.connect();
+        Shoppe.add_to_cart(&mut conn, 1, PEN, 4).unwrap();
+        Shoppe
+            .checkout(&mut conn, 1, &CheckoutRequest::plain())
+            .unwrap();
+        assert_eq!(
+            query_i64(
+                &mut conn,
+                &format!("SELECT SUM(amount) FROM stock_adjustments WHERE product_id = {PEN}")
+            )
+            .unwrap(),
+            PEN_STOCK - 4
+        );
+        // The stock column is untouched — Shoppe doesn't use it.
+        assert_eq!(
+            query_i64(
+                &mut conn,
+                &format!("SELECT stock FROM products WHERE id = {PEN}")
+            )
+            .unwrap(),
+            PEN_STOCK
+        );
+        // Oversell refused serially.
+        Shoppe.add_to_cart(&mut conn, 1, PEN, PEN_STOCK).unwrap();
+        let err = Shoppe
+            .checkout(&mut conn, 1, &CheckoutRequest::plain())
+            .unwrap_err();
+        assert!(matches!(err, AppError::Rejected(_)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Table 4 benchmarks: 2AD pipeline stages per application — log lifting
+//! (the paper's "Parse" column), cycle search (the "Analyze" column), and
+//! the §4.2.3 targeted-filtering ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use acidrain_apps::all_apps;
+use acidrain_bench::BENCH_APPS;
+use acidrain_core::lift::lift_trace;
+use acidrain_core::{AbstractHistory, Analyzer, ColumnTarget, Detector, RefinementConfig};
+use acidrain_harness::attack::Invariant;
+use acidrain_harness::experiments::{pentest_trace, PAPER_DEFAULT_ISOLATION};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_parse");
+    for app in all_apps() {
+        if !BENCH_APPS.contains(&app.name()) {
+            continue;
+        }
+        let log = pentest_trace(app.as_ref(), PAPER_DEFAULT_ISOLATION);
+        let schema = app.schema();
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &log, |b, log| {
+            b.iter(|| {
+                let trace = lift_trace(black_box(log), &schema).unwrap();
+                AbstractHistory::build(trace)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_analyze");
+    for app in all_apps() {
+        if !BENCH_APPS.contains(&app.name()) {
+            continue;
+        }
+        let log = pentest_trace(app.as_ref(), PAPER_DEFAULT_ISOLATION);
+        let trace = lift_trace(&log, &app.schema()).unwrap();
+        let history = AbstractHistory::build(trace);
+        let config = RefinementConfig::at_isolation(PAPER_DEFAULT_ISOLATION);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(app.name()),
+            &history,
+            |b, history| {
+                b.iter(|| Detector::new(black_box(history), &config).find_all());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// §4.2.3: targeted (schema-filtered) search vs the full pair sweep.
+fn bench_targeted_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("targeted_vs_full");
+    let apps = all_apps();
+    let app = apps.iter().find(|a| a.name() == "OpenCart").unwrap();
+    let log = pentest_trace(app.as_ref(), PAPER_DEFAULT_ISOLATION);
+    let analyzer = Analyzer::from_log(&log, &app.schema()).unwrap();
+    let config = RefinementConfig::at_isolation(PAPER_DEFAULT_ISOLATION);
+    let mut targets: Vec<ColumnTarget> = Vec::new();
+    for invariant in Invariant::ALL {
+        targets.extend(invariant.targets());
+    }
+    group.bench_function("full", |b| b.iter(|| analyzer.analyze(black_box(&config))));
+    group.bench_function("targeted", |b| {
+        b.iter(|| analyzer.analyze_targeted(black_box(&config), &targets))
+    });
+    group.finish();
+}
+
+/// Refinement ablation: cycle search with no refinement, isolation-based
+/// refinement, and isolation + session locking.
+fn bench_refinement_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement_ablation");
+    let apps = all_apps();
+    let app = apps.iter().find(|a| a.name() == "OpenCart").unwrap();
+    let log = pentest_trace(app.as_ref(), PAPER_DEFAULT_ISOLATION);
+    let analyzer = Analyzer::from_log(&log, &app.schema()).unwrap();
+    let configs = [
+        ("none", RefinementConfig::none()),
+        (
+            "isolation",
+            RefinementConfig::at_isolation(PAPER_DEFAULT_ISOLATION),
+        ),
+        (
+            "isolation+session",
+            RefinementConfig::at_isolation(PAPER_DEFAULT_ISOLATION).with_session_locking(
+                ["add_to_cart".to_string(), "checkout".to_string()],
+                ["cart_items".to_string()],
+            ),
+        ),
+    ];
+    for (label, config) in configs {
+        group.bench_function(label, |b| b.iter(|| analyzer.analyze(black_box(&config))));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_analyze,
+    bench_targeted_vs_full,
+    bench_refinement_ablation
+);
+criterion_main!(benches);

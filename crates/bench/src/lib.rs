@@ -1,0 +1,18 @@
+//! # acidrain-bench
+//!
+//! Criterion benchmarks regenerating the measured dimensions of every
+//! table and figure in the paper's evaluation:
+//!
+//! * `benches/analysis.rs` — Table 4: per-application trace lifting,
+//!   abstract-history construction, and cycle-search runtimes; the §4.2.3
+//!   targeted-vs-full ablation.
+//! * `benches/audit.rs` — Table 5: the end-to-end audit pipeline per
+//!   application; Table 2: the audit across isolation levels.
+//! * `benches/database.rs` — the substrate database (statement execution
+//!   per isolation level, lock manager, parser round-trips).
+//! * `benches/attacks.rs` — Figure 1 and the three §4.2.2 attacks under
+//!   the deterministic scheduler and the threaded stress executor.
+
+/// The apps exercised by the heavier benchmarks (a spread across
+/// languages and idioms, keeping bench wall-time reasonable).
+pub const BENCH_APPS: [&str; 4] = ["OpenCart", "Spree", "Oscar", "Lightning Fast Shop"];

@@ -1,0 +1,667 @@
+//! Non-trivial abstract cycle detection (paper §3.1.3, Theorem 1).
+//!
+//! For every ordered seed pair `(o₁, o₂)` of distinct operations within one
+//! API node, we search for a walk
+//!
+//! ```text
+//! o₁ ─conflict→ v₁ (fresh instance) ─hop→ x₁ ─conflict→ v₂ ... xₖ ─conflict→ o₂
+//! ```
+//!
+//! where a *hop* moves freely between operations of the same API node
+//! (each visit materialises a fresh instance — expansions may repeat API
+//! calls). Such a walk exists iff the abstract history contains a
+//! non-trivial abstract cycle through `(o₁, o₂)`, iff some expansion of
+//! the trace is non-serializable in those operations (Theorem 1).
+//!
+//! Refinements (paper §3.1.4) are applied inside the search: excluded
+//! operations and edges are simply removed from the walk space, and the
+//! "at least one read-write edge" requirement is tracked as BFS state, so
+//! refinement never causes false negatives over the refined space.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::history::{AbstractHistory, EdgeKind};
+use crate::refine::{AnomalyPattern, AnomalyScope, LockedSet, RefinementConfig};
+use crate::trace::OpKind;
+
+/// One intermediate instance on a cycle walk: which operation the instance
+/// was entered at (via the conflict edge `edge_in`) and which operation it
+/// was exited from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopStep {
+    pub edge_in: usize,
+    pub entered_at: usize,
+    pub exited_at: usize,
+}
+
+/// A witness cycle for a seed pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleWitness {
+    pub o1: usize,
+    pub o2: usize,
+    /// Intermediate instances, in walk order (possibly empty for a direct
+    /// conflict between o₁ and o₂).
+    pub hops: Vec<HopStep>,
+    /// The conflict edge entering `o2` (closing the cycle).
+    pub final_edge: usize,
+    /// Number of concurrent API instances the witness requires.
+    pub instances: usize,
+}
+
+/// A detected potential anomaly: a seed pair plus its witness cycle and
+/// classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub api: String,
+    pub scope: AnomalyScope,
+    pub pattern: AnomalyPattern,
+    /// Table the seed conflict is on (o₁'s table).
+    pub table: String,
+    pub witness: CycleWitness,
+}
+
+/// Restrict analysis to operations touching a table (and optionally a
+/// column) — the paper's targeted, schema-driven exploration (§4.2.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnTarget {
+    pub table: String,
+    pub column: Option<String>,
+}
+
+impl ColumnTarget {
+    pub fn table(table: impl Into<String>) -> Self {
+        ColumnTarget {
+            table: table.into(),
+            column: None,
+        }
+    }
+
+    pub fn column(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnTarget {
+            table: table.into(),
+            column: Some(column.into()),
+        }
+    }
+
+    /// Whether `op` touches this target.
+    pub fn matches(&self, op: &crate::trace::Op) -> bool {
+        op.table == self.table
+            && match &self.column {
+                None => true,
+                Some(c) => op.read_columns.contains(c) || op.write_columns.contains(c),
+            }
+    }
+}
+
+/// The 2AD cycle detector.
+pub struct Detector<'a> {
+    history: &'a AbstractHistory,
+    config: &'a RefinementConfig,
+}
+
+impl<'a> Detector<'a> {
+    pub fn new(history: &'a AbstractHistory, config: &'a RefinementConfig) -> Self {
+        Detector { history, config }
+    }
+
+    /// Enumerate all seed pairs and report every finding.
+    pub fn find_all(&self) -> Vec<Finding> {
+        self.find(None)
+    }
+
+    /// Report findings whose seed pair touches one of `targets`.
+    pub fn find_targeted(&self, targets: &[ColumnTarget]) -> Vec<Finding> {
+        self.find(Some(targets))
+    }
+
+    fn find(&self, targets: Option<&[ColumnTarget]>) -> Vec<Finding> {
+        let h = self.history;
+        let mut findings = Vec::new();
+        for (api_idx, call) in h.trace.api_calls.iter().enumerate() {
+            let ops = h.api_ops(api_idx);
+            for (i, &o1) in ops.iter().enumerate() {
+                for &o2 in &ops[i + 1..] {
+                    // Two operations carved from one statement (a joined
+                    // read touching several tables) execute atomically and
+                    // cannot straddle an interleaving — not a seed pair.
+                    if let (Some(s1), Some(s2)) = (h.op(o1).log_seq, h.op(o2).log_seq) {
+                        if s1 == s2 {
+                            continue;
+                        }
+                    }
+                    if let Some(ts) = targets {
+                        let touches = |node: usize| {
+                            let op = h.op(node);
+                            ts.iter().any(|t| t.matches(op))
+                        };
+                        if !touches(o1) && !touches(o2) {
+                            continue;
+                        }
+                    }
+                    if let Some(witness) = self.check_pair(o1, o2) {
+                        findings.push(Finding {
+                            api: call.name.clone(),
+                            scope: seed_scope(h, o1, o2),
+                            pattern: classify(h, o1, o2),
+                            table: h.op(o1).table.clone(),
+                            witness,
+                        });
+                    }
+                }
+            }
+        }
+        findings
+    }
+
+    /// Search for a witness cycle for the ordered seed pair `(o1, o2)`
+    /// (both in the same API node, o1 positioned before o2), applying the
+    /// configured refinements. Returns `None` when no refined expansion is
+    /// anomalous in this pair.
+    pub fn check_pair(&self, o1: usize, o2: usize) -> Option<CycleWitness> {
+        let h = self.history;
+        let scope = seed_scope(h, o1, o2);
+
+        // Isolation-based refinement removes level-based seed patterns the
+        // configured level forbids; scope-based anomalies are isolation-
+        // independent (the paper's 17-of-22). Per-endpoint annotations
+        // override the session level (mixed isolation modes, §3.2).
+        if scope == AnomalyScope::LevelBased {
+            let api_name = &h.trace.api_calls[h.locs[o1].api].name;
+            if !self
+                .config
+                .level_allows_at(classify(h, o1, o2), Some(api_name))
+            {
+                return None;
+            }
+        }
+
+        // SELECT FOR UPDATE refinement: operations conflicting with the
+        // seed transaction's held locks cannot appear in the witness.
+        let locked = if self.config.skip_for_update_refinement {
+            LockedSet::default()
+        } else {
+            LockedSet::for_seed(h, o1, o2)
+        };
+        let op_allowed = |node: usize| !locked.blocks(h.op(node));
+
+        let edge_allowed = |edge_idx: usize| {
+            let e = &h.edges[edge_idx];
+            if self.config.session_locked_endpoints.is_empty() {
+                return true;
+            }
+            let (na, nb) = (h.locs[e.a].api, h.locs[e.b].api);
+            let name_a = &h.trace.api_calls[na].name;
+            let name_b = &h.trace.api_calls[nb].name;
+            let table = &h.op(e.a).table;
+            // A conflict on session-scoped data between two session-locked
+            // endpoints implies a shared session, which serializes them.
+            !(self.config.session_scoped_tables.contains(table)
+                && self.config.session_locked_endpoints.contains(name_a)
+                && self.config.session_locked_endpoints.contains(name_b))
+        };
+
+        let require_rw = self.config.require_rw_edge();
+        let max_instances = self.config.max_concurrency.unwrap_or(usize::MAX);
+
+        // BFS over (exit-op, has_rw) states.
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+        struct State {
+            node: usize,
+            has_rw: bool,
+        }
+        // parent[state] = (previous state, edge used, op entered at).
+        let mut parents: HashMap<State, (State, usize, usize)> = HashMap::new();
+        let mut visited: HashSet<State> = HashSet::new();
+        let mut queue: VecDeque<(State, usize)> = VecDeque::new();
+        let start = State {
+            node: o1,
+            has_rw: false,
+        };
+        visited.insert(start);
+        queue.push_back((start, 0));
+
+        let try_close = |state: State, depth: usize| -> Option<usize> {
+            // Can we close the cycle from this exit op into o2?
+            for &(n, ei) in h.neighbors(state.node) {
+                if n != o2 {
+                    continue;
+                }
+                if !edge_allowed(ei) {
+                    continue;
+                }
+                let total_rw = state.has_rw || h.edges[ei].kind == EdgeKind::ReadWrite;
+                if require_rw && !total_rw {
+                    continue;
+                }
+                if depth + 1 > max_instances {
+                    continue;
+                }
+                return Some(ei);
+            }
+            None
+        };
+
+        while let Some((state, depth)) = queue.pop_front() {
+            // The final edge must enter o2 from an *intermediate* instance;
+            // closing straight from the seed instance (depth 0) would not
+            // be a cycle over instances. The direct-conflict case is
+            // reached as a depth-1 walk that reuses the same structural
+            // edge from a fresh instance.
+            if depth >= 1 {
+                if let Some(final_edge) = try_close(state, depth) {
+                    // Reconstruct hops.
+                    let mut hops = Vec::new();
+                    let mut cur = state;
+                    while cur != start {
+                        let (prev, edge_in, entered_at) = parents[&cur];
+                        hops.push(HopStep {
+                            edge_in,
+                            entered_at,
+                            exited_at: cur.node,
+                        });
+                        cur = prev;
+                    }
+                    hops.reverse();
+                    let instances = depth + 1;
+                    return Some(CycleWitness {
+                        o1,
+                        o2,
+                        hops,
+                        final_edge,
+                        instances,
+                    });
+                }
+            }
+            // Expand.
+            if depth + 2 > max_instances {
+                // Entering a further instance would exceed the bound even
+                // before closing.
+                continue;
+            }
+            for &(v, ei) in h.neighbors(state.node) {
+                if !edge_allowed(ei) || !op_allowed(v) {
+                    continue;
+                }
+                let has_rw = state.has_rw || h.edges[ei].kind == EdgeKind::ReadWrite;
+                for &w in h.api_siblings(v) {
+                    if !op_allowed(w) {
+                        continue;
+                    }
+                    let next = State { node: w, has_rw };
+                    if visited.insert(next) {
+                        parents.insert(next, (state, ei, v));
+                        queue.push_back((next, depth + 1));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Level-based (same transaction) vs scope-based (same API call, different
+/// transactions).
+pub fn seed_scope(h: &AbstractHistory, o1: usize, o2: usize) -> AnomalyScope {
+    let (l1, l2) = (h.locs[o1], h.locs[o2]);
+    debug_assert_eq!(l1.api, l2.api);
+    if l1.txn == l2.txn {
+        AnomalyScope::LevelBased
+    } else {
+        AnomalyScope::ScopeBased
+    }
+}
+
+/// Classify the access pattern of a seed pair (Table 5's "AP" column):
+/// a key-equality read paired against the cycle is a Lost Update shape; a
+/// predicate read is a Phantom shape; no read at all is pure write-write.
+pub fn classify(h: &AbstractHistory, o1: usize, o2: usize) -> AnomalyPattern {
+    let (a, b) = (h.op(o1), h.op(o2));
+    let read = if a.kind == OpKind::Read {
+        Some(a)
+    } else if b.kind == OpKind::Read {
+        Some(b)
+    } else {
+        None
+    };
+    match read {
+        None => AnomalyPattern::WriteWrite,
+        Some(r) => match r.access {
+            acidrain_sql::AccessKind::KeyEq => AnomalyPattern::LostUpdate,
+            acidrain_sql::AccessKind::Predicate => AnomalyPattern::Phantom,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::AbstractHistory;
+    use crate::trace::ops::*;
+    use crate::trace::{Trace, TraceBuilder};
+    use acidrain_db::IsolationLevel;
+
+    fn detect_all(trace: Trace, config: &RefinementConfig) -> Vec<Finding> {
+        let h = AbstractHistory::build(trace);
+        Detector::new(&h, config).find_all()
+    }
+
+    /// The Figure-1 withdraw pattern: read balance, write balance, no
+    /// transaction scoping.
+    fn withdraw_unscoped() -> Trace {
+        TraceBuilder::new()
+            .api(
+                "withdraw",
+                vec![
+                    auto(read_key("accounts", &["balance"])),
+                    auto(write("accounts", &["balance"])),
+                ],
+            )
+            .build()
+    }
+
+    #[test]
+    fn detects_scope_based_lost_update() {
+        let findings = detect_all(withdraw_unscoped(), &RefinementConfig::none());
+        assert!(!findings.is_empty());
+        let f = &findings[0];
+        assert_eq!(f.scope, AnomalyScope::ScopeBased);
+        assert_eq!(f.pattern, AnomalyPattern::LostUpdate);
+        assert_eq!(f.table, "accounts");
+        assert!(f.witness.instances >= 2);
+    }
+
+    /// Figure 1b: wrapping in a transaction turns it level-based; still
+    /// vulnerable at Read Committed, fixed at Snapshot Isolation and above.
+    #[test]
+    fn level_based_lost_update_depends_on_isolation() {
+        let trace = || {
+            TraceBuilder::new()
+                .api(
+                    "withdraw",
+                    vec![txn(vec![
+                        read_key("accounts", &["balance"]),
+                        write("accounts", &["balance"]),
+                    ])],
+                )
+                .build()
+        };
+        for (level, expected) in [
+            (IsolationLevel::ReadCommitted, true),
+            (IsolationLevel::MySqlRepeatableRead, true),
+            (IsolationLevel::RepeatableRead, false),
+            (IsolationLevel::SnapshotIsolation, false),
+            (IsolationLevel::Serializable, false),
+        ] {
+            let findings = detect_all(trace(), &RefinementConfig::at_isolation(level));
+            assert_eq!(!findings.is_empty(), expected, "at {level}");
+        }
+    }
+
+    /// A phantom (predicate read + insert) survives every level below
+    /// Serializable — the paper's Oscar voucher shape (Figure 6).
+    #[test]
+    fn level_based_phantom_survives_snapshot_isolation() {
+        let trace = || {
+            let mut ins = write("voucher_apps", &["voucher_id", "::exists"]);
+            ins.sql = "INSERT".into();
+            TraceBuilder::new()
+                .api(
+                    "checkout",
+                    vec![txn(vec![
+                        read("voucher_apps", &["voucher_id", "::exists"]),
+                        ins,
+                    ])],
+                )
+                .build()
+        };
+        for (level, expected) in [
+            (IsolationLevel::ReadCommitted, true),
+            (IsolationLevel::RepeatableRead, true),
+            (IsolationLevel::SnapshotIsolation, true),
+            (IsolationLevel::Serializable, false),
+        ] {
+            let findings = detect_all(trace(), &RefinementConfig::at_isolation(level));
+            assert_eq!(!findings.is_empty(), expected, "at {level}");
+        }
+    }
+
+    /// A single-transaction API call whose only self-conflict is its write
+    /// has no *pair* to seed with, matching the paper's trivial-cycle
+    /// example (T1: w(x)).
+    #[test]
+    fn single_write_api_is_trivially_safe() {
+        let trace = TraceBuilder::new()
+            .api("w", vec![auto(write("t", &["x"]))])
+            .build();
+        let findings = detect_all(trace, &RefinementConfig::none());
+        assert!(findings.is_empty());
+    }
+
+    /// Two reads in one API call plus an external writer: the cart-shape
+    /// cycle (Figure 9's 5-3-7 path).
+    #[test]
+    fn read_read_seed_with_external_writer() {
+        let trace = TraceBuilder::new()
+            .api(
+                "checkout",
+                vec![
+                    auto(read("cart_items", &["qty", "::exists"])),
+                    auto(read("cart_items", &["qty", "::exists"])),
+                ],
+            )
+            .api(
+                "add_to_cart",
+                vec![auto(write("cart_items", &["qty", "::exists"]))],
+            )
+            .build();
+        let findings = detect_all(trace, &RefinementConfig::none());
+        let f = findings
+            .iter()
+            .find(|f| f.api == "checkout" && f.scope == AnomalyScope::ScopeBased)
+            .expect("cart anomaly");
+        assert_eq!(f.pattern, AnomalyPattern::Phantom);
+        // The witness routes through add_to_cart.
+        assert_eq!(f.witness.hops.len(), 1);
+    }
+
+    /// Spree's correct FOR UPDATE: the refined search reports nothing.
+    #[test]
+    fn for_update_refinement_removes_protected_seed() {
+        let trace = TraceBuilder::new()
+            .api(
+                "checkout",
+                vec![txn(vec![
+                    read_for_update("stock_items", &["count_on_hand"]),
+                    update("stock_items", &["count_on_hand"]),
+                ])],
+            )
+            .build();
+        // Unrefined: a cycle exists (concurrent checkouts conflict).
+        assert!(!detect_all(trace.clone(), &RefinementConfig::none()).is_empty());
+        // Refined at any isolation (FOR UPDATE honored): nothing.
+        let findings = detect_all(
+            trace,
+            &RefinementConfig::at_isolation(IsolationLevel::ReadCommitted),
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    /// Magento's broken FOR UPDATE (guard read outside the locked txn)
+    /// stays vulnerable.
+    #[test]
+    fn for_update_refinement_keeps_magento_shape() {
+        let trace = TraceBuilder::new()
+            .api(
+                "checkout",
+                vec![
+                    auto(read_key("stock_items", &["qty"])),
+                    txn(vec![
+                        read_for_update("stock_items", &["qty"]),
+                        update("stock_items", &["qty"]),
+                    ]),
+                ],
+            )
+            .build();
+        let findings = detect_all(
+            trace,
+            &RefinementConfig::at_isolation(IsolationLevel::ReadCommitted),
+        );
+        let f = findings
+            .iter()
+            .find(|f| f.scope == AnomalyScope::ScopeBased);
+        assert!(
+            f.is_some(),
+            "guard-read window must be reported: {findings:?}"
+        );
+    }
+
+    /// PHP session locking: conflicts on session-scoped tables between
+    /// session-locked endpoints are unachievable (OpenCart's cart).
+    #[test]
+    fn session_lock_refinement_removes_cart_cycle() {
+        let trace = || {
+            TraceBuilder::new()
+                .api(
+                    "checkout",
+                    vec![
+                        auto(read("cart", &["qty", "::exists"])),
+                        auto(read("cart", &["qty", "::exists"])),
+                    ],
+                )
+                .api(
+                    "add_to_cart",
+                    vec![auto(write("cart", &["qty", "::exists"]))],
+                )
+                .build()
+        };
+        let unrefined = detect_all(trace(), &RefinementConfig::none());
+        assert!(!unrefined.is_empty());
+        let config = RefinementConfig::none().with_session_locking(
+            ["checkout".to_string(), "add_to_cart".to_string()],
+            ["cart".to_string()],
+        );
+        assert!(detect_all(trace(), &config).is_empty());
+    }
+
+    /// Session locking does not protect shared (non-session) tables.
+    #[test]
+    fn session_lock_refinement_keeps_shared_table_cycles() {
+        let trace = TraceBuilder::new()
+            .api(
+                "checkout",
+                vec![
+                    auto(read_key("stock", &["qty"])),
+                    auto(write("stock", &["qty"])),
+                ],
+            )
+            .build();
+        let config = RefinementConfig::none()
+            .with_session_locking(["checkout".to_string()], ["cart".to_string()]);
+        assert!(!detect_all(trace, &config).is_empty());
+    }
+
+    /// Max-concurrency refinement: a 2-instance cycle is allowed at N=2
+    /// but not N=1.
+    #[test]
+    fn max_concurrency_bounds_cycle_width() {
+        let mk = || withdraw_unscoped();
+        let mut config = RefinementConfig::none();
+        config.max_concurrency = Some(2);
+        assert!(!detect_all(mk(), &config).is_empty());
+        config.max_concurrency = Some(1);
+        assert!(detect_all(mk(), &config).is_empty());
+    }
+
+    #[test]
+    fn targeted_search_filters_by_column() {
+        let trace = TraceBuilder::new()
+            .api(
+                "checkout",
+                vec![
+                    auto(read_key("stock", &["qty"])),
+                    auto(write("stock", &["qty"])),
+                    auto(read("orders", &["total", "::exists"])),
+                    auto(write("orders", &["total", "::exists"])),
+                ],
+            )
+            .build();
+        let h = AbstractHistory::build(trace);
+        let config = RefinementConfig::none();
+        let d = Detector::new(&h, &config);
+        let all = d.find_all();
+        let stock_only = d.find_targeted(&[ColumnTarget::column("stock", "qty")]);
+        assert!(stock_only.len() < all.len());
+        assert!(stock_only.iter().all(|f| {
+            h.op(f.witness.o1).table == "stock" || h.op(f.witness.o2).table == "stock"
+        }));
+        let none = d.find_targeted(&[ColumnTarget::table("vouchers")]);
+        assert!(none.is_empty());
+    }
+
+    /// Mixed isolation modes (§3.2): a per-endpoint annotation overrides
+    /// the session level for that endpoint's level-based seeds.
+    #[test]
+    fn mixed_isolation_annotations_refine_per_endpoint() {
+        let trace = || {
+            TraceBuilder::new()
+                .api(
+                    "withdraw",
+                    vec![txn(vec![
+                        read_key("accounts", &["balance"]),
+                        write("accounts", &["balance"]),
+                    ])],
+                )
+                .api(
+                    "deposit",
+                    vec![txn(vec![
+                        read_key("accounts", &["balance"]),
+                        write("accounts", &["balance"]),
+                    ])],
+                )
+                .build()
+        };
+        // Session default RC: both endpoints' Lost Updates reported.
+        let rc = RefinementConfig::at_isolation(IsolationLevel::ReadCommitted);
+        let both = detect_all(trace(), &rc);
+        assert!(both.iter().any(|f| f.api == "withdraw"));
+        assert!(both.iter().any(|f| f.api == "deposit"));
+        // Pin `withdraw` at Snapshot Isolation: only deposit remains.
+        let mixed = RefinementConfig::at_isolation(IsolationLevel::ReadCommitted)
+            .with_api_isolation("withdraw", IsolationLevel::SnapshotIsolation);
+        let remaining = detect_all(trace(), &mixed);
+        assert!(
+            remaining.iter().all(|f| f.api != "withdraw"),
+            "{remaining:?}"
+        );
+        assert!(remaining.iter().any(|f| f.api == "deposit"));
+    }
+
+    #[test]
+    fn direct_conflict_seed_uses_two_instances() {
+        // add_employee shape: predicate read + insert in one txn; the
+        // cycle closes through a second instance of the same API node.
+        let mut ins = write("employees", &["first_name", "::exists"]);
+        ins.sql = "INSERT".into();
+        let trace = TraceBuilder::new()
+            .api(
+                "add_employee",
+                vec![txn(vec![
+                    read("employees", &["first_name", "::exists"]),
+                    ins,
+                ])],
+            )
+            .build();
+        let findings = detect_all(trace, &RefinementConfig::none());
+        let f = findings
+            .iter()
+            .find(|f| f.scope == AnomalyScope::LevelBased)
+            .unwrap();
+        assert_eq!(f.pattern, AnomalyPattern::Phantom);
+        assert_eq!(f.witness.instances, 2);
+        assert_eq!(
+            f.witness.hops.len(),
+            1,
+            "direct conflict routes through one fresh instance of the same API node"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Graphviz export of abstract histories — renders the paper's Figure 4 /
+//! Figure 9 style drawings: operation nodes inside transaction clusters
+//! inside API-call clusters, with `r`/`w` labeled conflict edges.
+
+use std::fmt::Write;
+
+use crate::history::{AbstractHistory, EdgeKind};
+
+/// Render the abstract history as a Graphviz `graph` (undirected).
+///
+/// Operation nodes are ellipses labeled with a short form of their
+/// statement; transactions are dashed clusters; API calls are dotted
+/// clusters — matching the paper's legend.
+pub fn to_dot(history: &AbstractHistory) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph abstract_history {{");
+    let _ = writeln!(out, "  graph [compound=true, rankdir=LR];");
+    let _ = writeln!(out, "  node [shape=ellipse, fontsize=10];");
+
+    for (api_idx, call) in history.trace.api_calls.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_api{api_idx} {{");
+        let _ = writeln!(out, "    label=\"{}\";", escape(&call.name));
+        let _ = writeln!(out, "    style=dotted;");
+        let mut node = first_node_of_api(history, api_idx);
+        for (txn_idx, txn) in call.txns.iter().enumerate() {
+            let _ = writeln!(out, "    subgraph cluster_api{api_idx}_txn{txn_idx} {{");
+            let _ = writeln!(
+                out,
+                "      label=\"{}\";",
+                if txn.explicit { "txn" } else { "" }
+            );
+            let _ = writeln!(out, "      style=dashed;");
+            for op in &txn.ops {
+                let kind = if op.kind == crate::trace::OpKind::Read {
+                    "r"
+                } else {
+                    "w"
+                };
+                let _ = writeln!(
+                    out,
+                    "      n{node} [label=\"{kind} {table}({node})\"];",
+                    table = escape(&op.table),
+                );
+                node += 1;
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    for edge in &history.edges {
+        let label = match edge.kind {
+            EdgeKind::ReadWrite => "r",
+            EdgeKind::WriteWrite => "w",
+        };
+        let _ = writeln!(out, "  n{} -- n{} [label=\"{label}\"];", edge.a, edge.b);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn first_node_of_api(history: &AbstractHistory, api: usize) -> usize {
+    history.api_ops(api).first().copied().unwrap_or(0)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ops::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn renders_clusters_and_edges() {
+        let trace = TraceBuilder::new()
+            .api(
+                "add",
+                vec![txn(vec![read("t", &["a"]), write("t", &["a"])])],
+            )
+            .api("raise", vec![auto(update("t", &["a"]))])
+            .build();
+        let h = AbstractHistory::build(trace);
+        let dot = to_dot(&h);
+        assert!(dot.starts_with("graph abstract_history {"));
+        assert!(dot.contains("cluster_api0"));
+        assert!(dot.contains("cluster_api1"));
+        assert!(dot.contains("label=\"add\""));
+        assert!(dot.contains("label=\"raise\""));
+        // Node declarations and at least one labeled edge of each kind.
+        assert!(dot.contains("n0 [label=\"r t(0)\"]"));
+        assert!(dot.contains("-- n"));
+        assert!(dot.contains("[label=\"r\"]"));
+        assert!(dot.contains("[label=\"w\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_quotes_in_names() {
+        let trace = TraceBuilder::new()
+            .api("we\"ird", vec![auto(read("t", &["a"]))])
+            .build();
+        let dot = to_dot(&AbstractHistory::build(trace));
+        assert!(dot.contains("we\\\"ird"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The abstract history: a finite multigraph representing every expansion
+//! of a trace (paper §3.1.2 and Appendix A).
+//!
+//! Nodes are operations, grouped under transaction supernodes, grouped
+//! under API supernodes. Undirected conflict edges connect operations that
+//! access a common logical data item with at least one write; read edges
+//! (`rw`) and write edges (`ww`) are recorded separately, and a pair of
+//! operations may carry both (the structure is a multigraph).
+
+use crate::trace::{Op, Trace};
+
+/// Kind of conflict edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// A read on one side conflicts with a write on the other.
+    ReadWrite,
+    /// Both sides write a common column.
+    WriteWrite,
+}
+
+/// An undirected conflict edge between two operation nodes (`a <= b`;
+/// `a == b` encodes a self-loop — the op conflicts with its own
+/// re-execution in another API instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    pub a: usize,
+    pub b: usize,
+    pub kind: EdgeKind,
+}
+
+/// Location of a flattened operation node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpLoc {
+    pub api: usize,
+    pub txn: usize,
+    /// Index within the transaction.
+    pub op_in_txn: usize,
+    /// Position within the API call's flattened op sequence.
+    pub position: usize,
+}
+
+/// The abstract history built from a trace.
+#[derive(Debug, Clone)]
+pub struct AbstractHistory {
+    pub trace: Trace,
+    /// Flattened operation locations; indices are the node ids used by
+    /// edges and the detector.
+    pub locs: Vec<OpLoc>,
+    pub edges: Vec<Edge>,
+    /// adjacency[node] = (neighbor, edge index).
+    adjacency: Vec<Vec<(usize, usize)>>,
+    /// ops_of_api[api] = node ids belonging to that API call, in order.
+    ops_of_api: Vec<Vec<usize>>,
+}
+
+impl AbstractHistory {
+    /// Build the abstract history for `trace`.
+    pub fn build(trace: Trace) -> Self {
+        let mut locs = Vec::new();
+        let mut ops_of_api = Vec::new();
+        for (api, call) in trace.api_calls.iter().enumerate() {
+            let mut ids = Vec::new();
+            let mut position = 0;
+            for (txn, t) in call.txns.iter().enumerate() {
+                for (op_in_txn, _) in t.ops.iter().enumerate() {
+                    ids.push(locs.len());
+                    locs.push(OpLoc {
+                        api,
+                        txn,
+                        op_in_txn,
+                        position,
+                    });
+                    position += 1;
+                }
+            }
+            ops_of_api.push(ids);
+        }
+
+        let mut edges = Vec::new();
+        let n = locs.len();
+        for i in 0..n {
+            for j in i..n {
+                let (oi, oj) = (op_at(&trace, locs[i]), op_at(&trace, locs[j]));
+                if oi.table != oj.table {
+                    continue;
+                }
+                if oi.write_write_conflict(oj) {
+                    edges.push(Edge {
+                        a: i,
+                        b: j,
+                        kind: EdgeKind::WriteWrite,
+                    });
+                }
+                if oi.read_write_conflict(oj) {
+                    edges.push(Edge {
+                        a: i,
+                        b: j,
+                        kind: EdgeKind::ReadWrite,
+                    });
+                }
+            }
+        }
+
+        let mut adjacency = vec![Vec::new(); n];
+        for (ei, e) in edges.iter().enumerate() {
+            adjacency[e.a].push((e.b, ei));
+            if e.a != e.b {
+                adjacency[e.b].push((e.a, ei));
+            }
+        }
+
+        AbstractHistory {
+            trace,
+            locs,
+            edges,
+            adjacency,
+            ops_of_api,
+        }
+    }
+
+    /// The operation behind node id `node`.
+    pub fn op(&self, node: usize) -> &Op {
+        op_at(&self.trace, self.locs[node])
+    }
+
+    /// Conflict neighbours of `node` with the connecting edge index.
+    pub fn neighbors(&self, node: usize) -> &[(usize, usize)] {
+        &self.adjacency[node]
+    }
+
+    /// All node ids belonging to the API call of `node`.
+    pub fn api_siblings(&self, node: usize) -> &[usize] {
+        &self.ops_of_api[self.locs[node].api]
+    }
+
+    /// Node ids of API call `api`, in execution order.
+    pub fn api_ops(&self, api: usize) -> &[usize] {
+        &self.ops_of_api[api]
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.locs.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether two nodes conflict (have at least one edge), regardless of
+    /// kind.
+    pub fn conflicts(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].iter().any(|(n, _)| *n == b) || (a == b && self.has_self_loop(a))
+    }
+
+    fn has_self_loop(&self, a: usize) -> bool {
+        self.adjacency[a].iter().any(|(n, _)| *n == a)
+    }
+
+    /// Graph statistics for the Table 4 report.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            operation_nodes: self.node_count(),
+            txn_nodes: self.trace.txn_count(),
+            explicit_txns: self.trace.explicit_txn_count(),
+            api_nodes: self.trace.api_calls.len(),
+            edges: self.edge_count(),
+        }
+    }
+}
+
+fn op_at(trace: &Trace, loc: OpLoc) -> &Op {
+    &trace.api_calls[loc.api].txns[loc.txn].ops[loc.op_in_txn]
+}
+
+/// Size statistics of an abstract history (the paper's Table 4 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    pub operation_nodes: usize,
+    pub txn_nodes: usize,
+    pub explicit_txns: usize,
+    pub api_nodes: usize,
+    pub edges: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ops::*;
+    use crate::trace::TraceBuilder;
+
+    /// Build the paper's Figure 4 abstract history from a synthetic payroll
+    /// trace and assert the exact edge structure the figure shows.
+    #[test]
+    fn figure4_structure() {
+        // add_employee: one txn [r(employees names), w(employees all)].
+        // raise_salary: auto-txn [u(employees salary)], txn [r(employees
+        // count), w(salary total)].
+        let mut insert = write(
+            "employees",
+            &["first_name", "last_name", "salary", "::exists"],
+        );
+        insert.sql = "INSERT".into();
+        let trace = TraceBuilder::new()
+            .api(
+                "add_employee",
+                vec![txn(vec![
+                    read("employees", &["first_name", "last_name", "::exists"]),
+                    insert,
+                ])],
+            )
+            .api(
+                "raise_salary",
+                vec![
+                    auto(update("employees", &["salary"])),
+                    txn(vec![
+                        read("employees", &["::exists"]),
+                        update("salary", &["total"]),
+                    ]),
+                ],
+            )
+            .build();
+        let h = AbstractHistory::build(trace);
+        // Node ids: 0 = op2 (count names), 1 = op3 (insert), 2 = op5
+        // (update salaries), 3 = op7 (bare count), 4 = op8 (update total).
+        assert_eq!(h.node_count(), 5);
+
+        // Figure 4's edges:
+        assert!(h.conflicts(0, 1), "count(names) r-w insert");
+        assert!(h.conflicts(1, 1), "insert self w loop");
+        assert!(h.conflicts(1, 2), "insert w-w salary update");
+        assert!(h.conflicts(1, 3), "insert r-w bare count");
+        assert!(h.conflicts(2, 2), "salary update self w loop");
+        assert!(h.conflicts(4, 4), "total update self w loop");
+        // And the figure's crucial non-edges:
+        assert!(
+            !h.conflicts(0, 2),
+            "COUNT(names) does not conflict with salary update"
+        );
+        assert!(
+            !h.conflicts(2, 3),
+            "bare COUNT does not conflict with salary update"
+        );
+        assert!(!h.conflicts(2, 4), "different tables");
+        assert!(!h.conflicts(0, 3), "two reads");
+    }
+
+    #[test]
+    fn edge_kinds_are_recorded() {
+        let trace = TraceBuilder::new()
+            .api("a", vec![txn(vec![read("t", &["x"]), write("t", &["x"])])])
+            .build();
+        let h = AbstractHistory::build(trace);
+        let kinds: Vec<EdgeKind> = h.edges.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EdgeKind::ReadWrite));
+        assert!(kinds.contains(&EdgeKind::WriteWrite), "write self-loop");
+    }
+
+    #[test]
+    fn update_pair_has_both_edge_kinds() {
+        let trace = TraceBuilder::new()
+            .api("a", vec![auto(update("t", &["x"]))])
+            .api("b", vec![auto(write("t", &["x"]))])
+            .build();
+        let h = AbstractHistory::build(trace);
+        // Between the update (reads+writes x) and the blind write: both WW
+        // and RW edges exist (multigraph).
+        let cross: Vec<EdgeKind> = h
+            .edges
+            .iter()
+            .filter(|e| e.a == 0 && e.b == 1)
+            .map(|e| e.kind)
+            .collect();
+        assert!(cross.contains(&EdgeKind::WriteWrite));
+        assert!(cross.contains(&EdgeKind::ReadWrite));
+    }
+
+    #[test]
+    fn api_siblings_and_positions() {
+        let trace = TraceBuilder::new()
+            .api(
+                "a",
+                vec![
+                    txn(vec![read("t", &["x"]), write("t", &["x"])]),
+                    auto(read("u", &["y"])),
+                ],
+            )
+            .build();
+        let h = AbstractHistory::build(trace);
+        assert_eq!(h.api_siblings(0), &[0, 1, 2]);
+        assert_eq!(h.locs[2].position, 2);
+        assert_eq!(h.locs[2].txn, 1);
+    }
+
+    #[test]
+    fn stats_match_shape() {
+        let trace = TraceBuilder::new()
+            .api("a", vec![txn(vec![read("t", &["x"]), write("t", &["x"])])])
+            .build();
+        let h = AbstractHistory::build(trace);
+        let s = h.stats();
+        assert_eq!(s.operation_nodes, 2);
+        assert_eq!(s.txn_nodes, 1);
+        assert_eq!(s.explicit_txns, 1);
+        assert_eq!(s.api_nodes, 1);
+        assert!(s.edges >= 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! Witness refinement (paper §3.1.4): encoding knowledge about the
+//! database's isolation level and the application's execution environment
+//! as restrictions on admissible witnesses, to cut false positives.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use acidrain_db::IsolationLevel;
+
+use crate::history::AbstractHistory;
+use crate::trace::Op;
+
+/// Whether the seed pair lies within one transaction (level-based anomaly)
+/// or across transactions of one API call (scope-based anomaly) — the
+/// paper's two anomaly families (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyScope {
+    LevelBased,
+    ScopeBased,
+}
+
+impl std::fmt::Display for AnomalyScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AnomalyScope::LevelBased => "level",
+            AnomalyScope::ScopeBased => "scope",
+        })
+    }
+}
+
+/// The access pattern behind an anomaly (the paper's Table 5 "AP" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyPattern {
+    /// Read-modify-write on a key-identified item.
+    LostUpdate,
+    /// Predicate read invalidated by concurrent row creation/deletion or
+    /// matching-set change.
+    Phantom,
+    /// Pure write-write interleaving.
+    WriteWrite,
+}
+
+impl std::fmt::Display for AnomalyPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AnomalyPattern::LostUpdate => "LU",
+            AnomalyPattern::Phantom => "phantom",
+            AnomalyPattern::WriteWrite => "WW",
+        })
+    }
+}
+
+/// Refinement configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RefinementConfig {
+    /// Isolation level the application's database runs at. `None` performs
+    /// no isolation-based refinement (the raw Theorem-1 search).
+    pub isolation: Option<IsolationLevel>,
+    /// Mixed isolation modes (paper §3.2 "Extensions"): endpoints whose
+    /// transactions run at a different level than the session default
+    /// (e.g. one request handler pinned to Snapshot Isolation). The
+    /// override applies to level-based seeds within that endpoint.
+    pub per_api_isolation: BTreeMap<String, IsolationLevel>,
+    /// Maximum number of concurrent API instances the environment permits
+    /// (web-server pool size); cycles needing more are rejected.
+    pub max_concurrency: Option<usize>,
+    /// Honor `SELECT ... FOR UPDATE` locks held by the seed transaction
+    /// (on by default — matching real engines).
+    pub skip_for_update_refinement: bool,
+    /// Endpoints serialized per session by user-level concurrency control
+    /// (e.g. PHP session locking).
+    pub session_locked_endpoints: BTreeSet<String>,
+    /// Tables whose rows are only ever shared within one session (e.g. a
+    /// session's cart): conflicts on them between session-locked endpoints
+    /// cannot happen concurrently.
+    pub session_scoped_tables: BTreeSet<String>,
+}
+
+impl RefinementConfig {
+    /// The unrefined Theorem-1 search: no isolation knowledge, no lock
+    /// modeling — reports every potential anomaly.
+    pub fn none() -> Self {
+        RefinementConfig {
+            skip_for_update_refinement: true,
+            ..RefinementConfig::default()
+        }
+    }
+
+    /// Refinement for a database running at `level`.
+    pub fn at_isolation(level: IsolationLevel) -> Self {
+        RefinementConfig {
+            isolation: Some(level),
+            ..RefinementConfig::default()
+        }
+    }
+
+    /// Annotate one endpoint's transactions with their own isolation
+    /// level (mixed-mode refinement, §3.2).
+    pub fn with_api_isolation(mut self, api: impl Into<String>, level: IsolationLevel) -> Self {
+        self.per_api_isolation.insert(api.into(), level);
+        self
+    }
+
+    pub fn with_session_locking(
+        mut self,
+        endpoints: impl IntoIterator<Item = String>,
+        tables: impl IntoIterator<Item = String>,
+    ) -> Self {
+        self.session_locked_endpoints.extend(endpoints);
+        self.session_scoped_tables.extend(tables);
+        self
+    }
+
+    /// Whether a level-based anomaly of `pattern` is achievable at the
+    /// configured isolation level (paper §3.1.4, isolation-based
+    /// refinement). Scope-based anomalies are never removed by isolation.
+    pub fn level_allows(&self, pattern: AnomalyPattern) -> bool {
+        self.level_allows_at(pattern, None)
+    }
+
+    /// Like [`Self::level_allows`], honoring a per-endpoint isolation
+    /// override when `api` is annotated (mixed-mode refinement, §3.2).
+    pub fn level_allows_at(&self, pattern: AnomalyPattern, api: Option<&str>) -> bool {
+        let level = api
+            .and_then(|a| self.per_api_isolation.get(a).copied())
+            .or(self.isolation);
+        let Some(level) = level else { return true };
+        match pattern {
+            // Write locks held to commit (all real engines, all levels)
+            // serialize pure write-write interleavings within the lock
+            // window.
+            AnomalyPattern::WriteWrite => false,
+            AnomalyPattern::LostUpdate => level.allows_lost_update(),
+            AnomalyPattern::Phantom => level.allows_phantom(),
+        }
+    }
+
+    /// Whether cycles must contain at least one read-write edge. True
+    /// whenever an isolation level is configured: every modeled engine
+    /// takes write locks, so witnesses consisting only of write-write
+    /// conflicts are unachievable (the paper's Read Uncommitted example).
+    pub fn require_rw_edge(&self) -> bool {
+        self.isolation.is_some()
+    }
+}
+
+/// The set of column footprints locked by `SELECT ... FOR UPDATE` in the
+/// seed transaction at or before `o1` (paper §4.2.6: "with U representing
+/// the set of rows locked by SELECT FOR UPDATE after o1 is executed").
+#[derive(Debug, Clone, Default)]
+pub struct LockedSet {
+    /// (table, columns) footprints held exclusively.
+    entries: Vec<(String, BTreeSet<String>)>,
+}
+
+impl LockedSet {
+    /// Compute U for the seed pair `(o1, o2)`. Only meaningful for
+    /// level-based seeds: a committed transaction's locks are released, so
+    /// cross-transaction pairs get no FOR-UPDATE protection.
+    pub fn for_seed(history: &AbstractHistory, o1: usize, o2: usize) -> LockedSet {
+        let l1 = history.locs[o1];
+        let l2 = history.locs[o2];
+        if l1.api != l2.api || l1.txn != l2.txn {
+            return LockedSet::default();
+        }
+        let txn = &history.trace.api_calls[l1.api].txns[l1.txn];
+        let mut entries = Vec::new();
+        for (idx, op) in txn.ops.iter().enumerate() {
+            if idx <= l1.op_in_txn && op.for_update {
+                entries.push((op.table.clone(), op.read_columns.clone()));
+            }
+        }
+        LockedSet { entries }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `op` (from another API instance) would block on these locks:
+    /// it writes a locked column, or is itself a locking read of one.
+    pub fn blocks(&self, op: &Op) -> bool {
+        self.entries.iter().any(|(table, cols)| {
+            op.table == *table
+                && (op.write_columns.iter().any(|c| cols.contains(c))
+                    || (op.for_update && op.read_columns.iter().any(|c| cols.contains(c))))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::AbstractHistory;
+    use crate::trace::ops::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn isolation_refinement_matches_paper_envelope() {
+        use AnomalyPattern::*;
+        let rc = RefinementConfig::at_isolation(IsolationLevel::ReadCommitted);
+        assert!(rc.level_allows(LostUpdate));
+        assert!(rc.level_allows(Phantom));
+        assert!(!rc.level_allows(WriteWrite));
+
+        let si = RefinementConfig::at_isolation(IsolationLevel::SnapshotIsolation);
+        assert!(!si.level_allows(LostUpdate));
+        assert!(si.level_allows(Phantom));
+
+        let ser = RefinementConfig::at_isolation(IsolationLevel::Serializable);
+        assert!(!ser.level_allows(LostUpdate));
+        assert!(!ser.level_allows(Phantom));
+
+        let raw = RefinementConfig::none();
+        assert!(raw.level_allows(WriteWrite));
+        assert!(!raw.require_rw_edge());
+    }
+
+    #[test]
+    fn locked_set_covers_for_update_at_or_before_o1() {
+        // Spree-style: [r_fu(stock), w(stock)] in one txn.
+        let trace = TraceBuilder::new()
+            .api(
+                "checkout",
+                vec![txn(vec![
+                    read_for_update("stock_items", &["count_on_hand"]),
+                    update("stock_items", &["count_on_hand"]),
+                ])],
+            )
+            .build();
+        let h = AbstractHistory::build(trace);
+        let u = LockedSet::for_seed(&h, 0, 1);
+        assert!(!u.is_empty());
+        // A concurrent writer to the locked column is blocked...
+        assert!(u.blocks(&update("stock_items", &["count_on_hand"])));
+        // ...as is another locking read; a plain MVCC read is not.
+        assert!(u.blocks(&read_for_update("stock_items", &["count_on_hand"])));
+        assert!(!u.blocks(&read("stock_items", &["count_on_hand"])));
+        // Unrelated tables/columns are unaffected.
+        assert!(!u.blocks(&update("orders", &["total"])));
+    }
+
+    #[test]
+    fn locked_set_empty_for_cross_txn_seed_pairs() {
+        // Magento-style: guard read in its own txn, FOR UPDATE later.
+        let trace = TraceBuilder::new()
+            .api(
+                "checkout",
+                vec![
+                    auto(read("stock_items", &["qty"])),
+                    txn(vec![
+                        read_for_update("stock_items", &["qty"]),
+                        update("stock_items", &["qty"]),
+                    ]),
+                ],
+            )
+            .build();
+        let h = AbstractHistory::build(trace);
+        // Seed (guard read, update) spans transactions: no protection.
+        let u = LockedSet::for_seed(&h, 0, 2);
+        assert!(u.is_empty());
+        // Seed inside the locked txn is protected.
+        let u = LockedSet::for_seed(&h, 1, 2);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn locked_set_ignores_for_update_after_o1() {
+        let trace = TraceBuilder::new()
+            .api(
+                "checkout",
+                vec![txn(vec![
+                    read("stock_items", &["qty"]),
+                    read_for_update("stock_items", &["qty"]),
+                    update("stock_items", &["qty"]),
+                ])],
+            )
+            .build();
+        let h = AbstractHistory::build(trace);
+        // Seed (plain read, update): the FOR UPDATE comes after o1, so the
+        // window between o1 and the lock acquisition stays attackable.
+        let u = LockedSet::for_seed(&h, 0, 2);
+        assert!(u.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! End-to-end analysis entry points and reporting (paper §4.2.3's tool
+//! surface: graph statistics, witness lists, targeted filtering, and
+//! parse/analyze timings for Table 4).
+
+use std::time::{Duration, Instant};
+
+use acidrain_db::LogEntry;
+use acidrain_sql::schema::Schema;
+
+use crate::detect::{ColumnTarget, Detector, Finding};
+use crate::history::{AbstractHistory, GraphStats};
+use crate::lift::{lift_trace, LiftError};
+use crate::refine::RefinementConfig;
+use crate::witness::WitnessTrace;
+
+/// The output of one 2AD run.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    pub stats: GraphStats,
+    pub findings: Vec<Finding>,
+    /// Time spent lifting the log and building the abstract history.
+    pub parse_time: Duration,
+    /// Time spent searching for cycles.
+    pub analyze_time: Duration,
+}
+
+impl AnalysisReport {
+    pub fn finding_count(&self) -> usize {
+        self.findings.len()
+    }
+}
+
+/// A reusable analyzer: lift once, search many times (full or targeted).
+pub struct Analyzer {
+    history: AbstractHistory,
+    parse_time: Duration,
+}
+
+impl Analyzer {
+    /// Lift `log` against `schema` and build the abstract history.
+    pub fn from_log(log: &[LogEntry], schema: &Schema) -> Result<Self, LiftError> {
+        let start = Instant::now();
+        let trace = lift_trace(log, schema)?;
+        let history = AbstractHistory::build(trace);
+        Ok(Analyzer {
+            history,
+            parse_time: start.elapsed(),
+        })
+    }
+
+    /// Build directly from a trace (synthetic workloads, tests).
+    pub fn from_trace(trace: crate::trace::Trace) -> Self {
+        let start = Instant::now();
+        let history = AbstractHistory::build(trace);
+        Analyzer {
+            history,
+            parse_time: start.elapsed(),
+        }
+    }
+
+    pub fn history(&self) -> &AbstractHistory {
+        &self.history
+    }
+
+    /// Run the full (untargeted) analysis.
+    pub fn analyze(&self, config: &RefinementConfig) -> AnalysisReport {
+        let start = Instant::now();
+        let findings = Detector::new(&self.history, config).find_all();
+        AnalysisReport {
+            stats: self.history.stats(),
+            findings,
+            parse_time: self.parse_time,
+            analyze_time: start.elapsed(),
+        }
+    }
+
+    /// Run a targeted analysis restricted to the given tables/columns.
+    pub fn analyze_targeted(
+        &self,
+        config: &RefinementConfig,
+        targets: &[ColumnTarget],
+    ) -> AnalysisReport {
+        let start = Instant::now();
+        let findings = Detector::new(&self.history, config).find_targeted(targets);
+        AnalysisReport {
+            stats: self.history.stats(),
+            findings,
+            parse_time: self.parse_time,
+            analyze_time: start.elapsed(),
+        }
+    }
+
+    /// Render a finding's witness as a Figure-5-style schedule.
+    pub fn witness_trace(&self, finding: &Finding) -> WitnessTrace {
+        WitnessTrace::build(&self.history, &finding.witness)
+    }
+
+    /// Human-readable one-line description of a finding.
+    pub fn describe(&self, finding: &Finding) -> String {
+        let o1 = self.history.op(finding.witness.o1);
+        let o2 = self.history.op(finding.witness.o2);
+        format!(
+            "[{} {}] API {} on table {}: ({}) ~ ({}) via {} instance(s)",
+            finding.scope,
+            finding.pattern,
+            finding.api,
+            finding.table,
+            o1.sql,
+            o2.sql,
+            finding.witness.instances,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ops::*;
+    use crate::trace::TraceBuilder;
+
+    fn analyzer() -> Analyzer {
+        Analyzer::from_trace(
+            TraceBuilder::new()
+                .api(
+                    "checkout",
+                    vec![
+                        auto(read_key("stock", &["qty"])),
+                        auto(write("stock", &["qty"])),
+                        auto(read("vouchers", &["usage", "::exists"])),
+                        auto(write("vouchers", &["usage", "::exists"])),
+                    ],
+                )
+                .build(),
+        )
+    }
+
+    #[test]
+    fn full_vs_targeted_counts() {
+        let a = analyzer();
+        let config = RefinementConfig::none();
+        let full = a.analyze(&config);
+        let targeted = a.analyze_targeted(&config, &[ColumnTarget::column("vouchers", "usage")]);
+        assert!(full.finding_count() > 0);
+        assert!(targeted.finding_count() > 0);
+        assert!(targeted.finding_count() < full.finding_count());
+        assert_eq!(full.stats.api_nodes, 1);
+        assert_eq!(full.stats.operation_nodes, 4);
+    }
+
+    #[test]
+    fn describe_and_witness_render() {
+        let a = analyzer();
+        let config = RefinementConfig::none();
+        let report = a.analyze(&config);
+        let f = &report.findings[0];
+        let desc = a.describe(f);
+        assert!(desc.contains("checkout"), "{desc}");
+        let w = a.witness_trace(f);
+        assert!(!w.steps.is_empty());
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let a = analyzer();
+        let report = a.analyze(&RefinementConfig::none());
+        // Durations exist (may be arbitrarily small, but non-negative by
+        // type); just ensure the fields are plumbed.
+        let _ = report.parse_time.as_nanos() + report.analyze_time.as_nanos();
+    }
+}

@@ -1,0 +1,394 @@
+//! The trace model: API calls containing transactions containing read/write
+//! operations over logical data items (paper §3.1.1).
+//!
+//! A trace is value-agnostic: operations carry the tables and columns they
+//! touch, not the data, which is what lets one API node stand for the
+//! infinite family of re-invocations with different inputs (§3.1.2).
+
+use std::collections::BTreeSet;
+
+use acidrain_sql::rwset::AccessKind;
+
+/// Read or write, at statement-on-table granularity. An UPDATE is a single
+/// write operation whose read footprint (WHERE and right-hand sides) is
+/// folded into [`Op::read_columns`], matching the paper's one-node-per-
+/// statement graphs (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    Read,
+    Write,
+}
+
+/// One operation: a statement's footprint on one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    pub kind: OpKind,
+    pub table: String,
+    pub read_columns: BTreeSet<String>,
+    pub write_columns: BTreeSet<String>,
+    /// How rows were selected (unique-key equality vs predicate).
+    pub access: AccessKind,
+    /// Whether this is a `SELECT ... FOR UPDATE` locking read.
+    pub for_update: bool,
+    /// The originating SQL text (for witness rendering).
+    pub sql: String,
+    /// Sequence number of the originating log line, when lifted from a log.
+    pub log_seq: Option<u64>,
+}
+
+impl Op {
+    /// Columns this op conflicts on when paired with a write of `other`:
+    /// true if the two operations access a common column with at least one
+    /// side writing (paper §3.1.2).
+    pub fn conflicts_with(&self, other: &Op) -> bool {
+        self.table == other.table
+            && (intersects(&self.write_columns, &other.write_columns)
+                || intersects(&self.read_columns, &other.write_columns)
+                || intersects(&self.write_columns, &other.read_columns))
+    }
+
+    /// Whether the conflict with `other` involves two writes.
+    pub fn write_write_conflict(&self, other: &Op) -> bool {
+        self.table == other.table && intersects(&self.write_columns, &other.write_columns)
+    }
+
+    /// Whether the conflict with `other` involves a read on one side.
+    pub fn read_write_conflict(&self, other: &Op) -> bool {
+        self.table == other.table
+            && (intersects(&self.read_columns, &other.write_columns)
+                || intersects(&self.write_columns, &other.read_columns))
+    }
+
+    /// Structural identity used when collapsing API calls with the same
+    /// access pattern into one API node: everything except the concrete SQL
+    /// values and log position.
+    fn pattern_key(
+        &self,
+    ) -> (
+        OpKind,
+        &str,
+        &BTreeSet<String>,
+        &BTreeSet<String>,
+        AccessKind,
+        bool,
+    ) {
+        (
+            self.kind,
+            &self.table,
+            &self.read_columns,
+            &self.write_columns,
+            self.access,
+            self.for_update,
+        )
+    }
+}
+
+/// Structural key of one op for API-node collapsing.
+type OpPatternKey = (OpKind, String, Vec<String>, Vec<String>, AccessKind, bool);
+/// Structural key of one API call for collapsing.
+type ApiPatternKey = (String, Vec<Vec<OpPatternKey>>, Vec<bool>);
+
+fn intersects(a: &BTreeSet<String>, b: &BTreeSet<String>) -> bool {
+    // Iterate the smaller set.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().any(|x| large.contains(x))
+}
+
+/// A transaction: an ordered sequence of operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Txn {
+    /// Whether the transaction was delimited by explicit BEGIN/COMMIT (or
+    /// `SET autocommit=0`), as opposed to a single autocommitted statement.
+    pub explicit: bool,
+    pub ops: Vec<Op>,
+}
+
+impl Txn {
+    fn pattern_key(&self) -> Vec<OpPatternKey> {
+        self.ops
+            .iter()
+            .map(|o| {
+                let k = o.pattern_key();
+                (
+                    k.0,
+                    k.1.to_string(),
+                    k.2.iter().cloned().collect(),
+                    k.3.iter().cloned().collect(),
+                    k.4,
+                    k.5,
+                )
+            })
+            .collect()
+    }
+}
+
+/// One API node: a named endpoint invocation pattern with its transactions.
+/// `invocations` counts how many concrete calls were collapsed into this
+/// node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiCall {
+    pub name: String,
+    pub invocations: u64,
+    pub txns: Vec<Txn>,
+}
+
+impl ApiCall {
+    /// Flattened view of all operations with their transaction index.
+    pub fn flat_ops(&self) -> impl Iterator<Item = (usize, &Op)> {
+        self.txns
+            .iter()
+            .enumerate()
+            .flat_map(|(ti, t)| t.ops.iter().map(move |o| (ti, o)))
+    }
+
+    pub fn op_count(&self) -> usize {
+        self.txns.iter().map(|t| t.ops.len()).sum()
+    }
+
+    fn pattern_key(&self) -> ApiPatternKey {
+        (
+            self.name.clone(),
+            self.txns.iter().map(Txn::pattern_key).collect(),
+            self.txns.iter().map(|t| t.explicit).collect(),
+        )
+    }
+}
+
+/// A trace: the set of API calls observed (after collapsing identical
+/// access patterns).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    pub api_calls: Vec<ApiCall>,
+}
+
+impl Trace {
+    /// Collapse API calls with identical names and access patterns into
+    /// single nodes, summing invocation counts (paper §3.1.2: "collapse
+    /// multiple instances of the same API call with the same access pattern
+    /// into one API node").
+    pub fn collapse(calls: Vec<ApiCall>) -> Trace {
+        let mut out: Vec<ApiCall> = Vec::new();
+        for call in calls {
+            let key = call.pattern_key();
+            match out.iter_mut().find(|c| c.pattern_key() == key) {
+                Some(existing) => existing.invocations += call.invocations,
+                None => out.push(call),
+            }
+        }
+        Trace { api_calls: out }
+    }
+
+    pub fn op_count(&self) -> usize {
+        self.api_calls.iter().map(ApiCall::op_count).sum()
+    }
+
+    pub fn txn_count(&self) -> usize {
+        self.api_calls.iter().map(|c| c.txns.len()).sum()
+    }
+
+    /// Transactions with explicit boundaries and more than one operation
+    /// (the Table 4 "Explicit Txns" column).
+    pub fn explicit_txn_count(&self) -> usize {
+        self.api_calls
+            .iter()
+            .flat_map(|c| &c.txns)
+            .filter(|t| t.explicit && t.ops.len() > 1)
+            .count()
+    }
+}
+
+/// Convenience builder for tests and synthetic traces.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    calls: Vec<ApiCall>,
+}
+
+impl TraceBuilder {
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    pub fn api(mut self, name: &str, txns: Vec<Txn>) -> Self {
+        self.calls.push(ApiCall {
+            name: name.to_string(),
+            invocations: 1,
+            txns,
+        });
+        self
+    }
+
+    pub fn build(self) -> Trace {
+        Trace::collapse(self.calls)
+    }
+}
+
+/// Shorthand op constructors for tests and synthetic traces.
+pub mod ops {
+    use super::*;
+
+    fn cols(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// A predicate read of `table` over `columns`.
+    pub fn read(table: &str, columns: &[&str]) -> Op {
+        Op {
+            kind: OpKind::Read,
+            table: table.to_string(),
+            read_columns: cols(columns),
+            write_columns: BTreeSet::new(),
+            access: AccessKind::Predicate,
+            for_update: false,
+            sql: format!("r({table})"),
+            log_seq: None,
+        }
+    }
+
+    /// A unique-key read of `table` over `columns`.
+    pub fn read_key(table: &str, columns: &[&str]) -> Op {
+        Op {
+            access: AccessKind::KeyEq,
+            ..read(table, columns)
+        }
+    }
+
+    /// A write of `table` over `columns` (no read footprint).
+    pub fn write(table: &str, columns: &[&str]) -> Op {
+        Op {
+            kind: OpKind::Write,
+            table: table.to_string(),
+            read_columns: BTreeSet::new(),
+            write_columns: cols(columns),
+            access: AccessKind::KeyEq,
+            for_update: false,
+            sql: format!("w({table})"),
+            log_seq: None,
+        }
+    }
+
+    /// A read-modify-write of `table` (reads and writes `columns`), like
+    /// `UPDATE t SET c = c + 1`.
+    pub fn update(table: &str, columns: &[&str]) -> Op {
+        Op {
+            kind: OpKind::Write,
+            table: table.to_string(),
+            read_columns: cols(columns),
+            write_columns: cols(columns),
+            access: AccessKind::KeyEq,
+            for_update: false,
+            sql: format!("u({table})"),
+            log_seq: None,
+        }
+    }
+
+    /// A `SELECT ... FOR UPDATE` locking read.
+    pub fn read_for_update(table: &str, columns: &[&str]) -> Op {
+        Op {
+            for_update: true,
+            access: AccessKind::KeyEq,
+            ..read(table, columns)
+        }
+    }
+
+    /// A single-op autocommitted transaction.
+    pub fn auto(op: Op) -> Txn {
+        Txn {
+            explicit: false,
+            ops: vec![op],
+        }
+    }
+
+    /// An explicit transaction.
+    pub fn txn(ops_list: Vec<Op>) -> Txn {
+        Txn {
+            explicit: true,
+            ops: ops_list,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops::*;
+    use super::*;
+
+    #[test]
+    fn conflicts_require_shared_column_and_a_write() {
+        let r = read("t", &["a"]);
+        let w = write("t", &["a"]);
+        let w_other = write("t", &["b"]);
+        let r2 = read("t", &["a"]);
+        assert!(r.conflicts_with(&w));
+        assert!(w.conflicts_with(&r));
+        assert!(!r.conflicts_with(&r2), "two reads never conflict");
+        assert!(!r.conflicts_with(&w_other), "disjoint columns");
+        assert!(w.write_write_conflict(&w));
+        assert!(!r.write_write_conflict(&w));
+    }
+
+    #[test]
+    fn conflicts_require_same_table() {
+        let a = write("t1", &["x"]);
+        let b = write("t2", &["x"]);
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn update_op_has_both_footprints() {
+        let u = update("t", &["qty"]);
+        let r = read("t", &["qty"]);
+        assert!(u.conflicts_with(&r));
+        assert!(u.read_write_conflict(&r));
+        assert!(
+            u.write_write_conflict(&u),
+            "self WW conflict on re-execution"
+        );
+    }
+
+    #[test]
+    fn collapse_merges_identical_patterns() {
+        let call = |name: &str| ApiCall {
+            name: name.into(),
+            invocations: 1,
+            txns: vec![auto(read("t", &["a"]))],
+        };
+        let trace = Trace::collapse(vec![call("add"), call("add"), call("checkout")]);
+        assert_eq!(trace.api_calls.len(), 2);
+        assert_eq!(trace.api_calls[0].invocations, 2);
+        assert_eq!(trace.api_calls[1].invocations, 1);
+    }
+
+    #[test]
+    fn collapse_keeps_distinct_patterns_apart() {
+        // Same name, different access pattern (e.g. an invalid-input path).
+        let a = ApiCall {
+            name: "add".into(),
+            invocations: 1,
+            txns: vec![auto(read("t", &["a"]))],
+        };
+        let b = ApiCall {
+            name: "add".into(),
+            invocations: 1,
+            txns: vec![auto(read("t", &["b"]))],
+        };
+        let trace = Trace::collapse(vec![a, b]);
+        assert_eq!(trace.api_calls.len(), 2);
+    }
+
+    #[test]
+    fn explicit_txn_count_matches_table4_definition() {
+        let trace = TraceBuilder::new()
+            .api(
+                "x",
+                vec![
+                    txn(vec![read("t", &["a"]), write("t", &["a"])]), // counts
+                    txn(vec![read("t", &["a"])]),                     // single-op: no
+                    auto(write("t", &["a"])),                         // implicit: no
+                ],
+            )
+            .build();
+        assert_eq!(trace.explicit_txn_count(), 1);
+        assert_eq!(trace.txn_count(), 3);
+        assert_eq!(trace.op_count(), 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! Empirical validation of Theorem 1: for randomly generated small traces,
+//! 2AD reports a non-trivial abstract cycle **iff** brute-force enumeration
+//! of concrete interleavings finds a conflict-non-serializable execution.
+//!
+//! The brute-force side materialises every multiset of two API instances
+//! (with repetition, matching expansions), enumerates every interleaving of
+//! their operations, and checks the conflict digraph over instances for a
+//! cycle — the concrete notion of "could not have arisen in a serial
+//! execution of API calls" (paper §2, C1). 2AD runs with the
+//! `max_concurrency = 2` application refinement so both sides quantify over
+//! the same expansion space.
+
+use proptest::prelude::*;
+
+use acidrain_core::prelude::*;
+use acidrain_core::trace::{Op, OpKind, Txn};
+use acidrain_sql::AccessKind;
+
+// ---------------------------------------------------------------------------
+// Random trace generation
+
+fn gen_op() -> impl Strategy<Value = Op> {
+    let table = prop_oneof![Just("t"), Just("u")];
+    let colset = prop_oneof![Just(vec!["a"]), Just(vec!["b"]), Just(vec!["a", "b"]),];
+    (table, colset, 0u8..3, any::<bool>()).prop_map(|(table, cols, kind, key)| {
+        let cols: std::collections::BTreeSet<String> =
+            cols.into_iter().map(str::to_string).collect();
+        let access = if key {
+            AccessKind::KeyEq
+        } else {
+            AccessKind::Predicate
+        };
+        match kind {
+            0 => Op {
+                kind: OpKind::Read,
+                table: table.to_string(),
+                read_columns: cols,
+                write_columns: Default::default(),
+                access,
+                for_update: false,
+                sql: String::new(),
+                log_seq: None,
+            },
+            1 => Op {
+                kind: OpKind::Write,
+                table: table.to_string(),
+                read_columns: Default::default(),
+                write_columns: cols,
+                access,
+                for_update: false,
+                sql: String::new(),
+                log_seq: None,
+            },
+            _ => Op {
+                kind: OpKind::Write,
+                table: table.to_string(),
+                read_columns: cols.clone(),
+                write_columns: cols,
+                access,
+                for_update: false,
+                sql: String::new(),
+                log_seq: None,
+            },
+        }
+    })
+}
+
+fn gen_txn() -> impl Strategy<Value = Txn> {
+    (proptest::collection::vec(gen_op(), 1..3), any::<bool>())
+        .prop_map(|(ops, explicit)| Txn { explicit, ops })
+}
+
+fn gen_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(proptest::collection::vec(gen_txn(), 1..3), 1..3).prop_map(|apis| {
+        let mut b = TraceBuilder::new();
+        for (i, txns) in apis.into_iter().enumerate() {
+            b = b.api(&format!("api{i}"), txns);
+        }
+        b.build()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force concrete checker
+
+/// Flattened ops of one API instance, tagged with a per-op sql label used
+/// only for debugging.
+fn flat_ops(call: &acidrain_core::ApiCall) -> Vec<&Op> {
+    call.txns.iter().flat_map(|t| t.ops.iter()).collect()
+}
+
+/// Enumerate every interleaving of two op sequences (as boolean choice
+/// vectors: true = take from the first sequence).
+fn interleavings(n1: usize, n2: usize) -> Vec<Vec<bool>> {
+    fn rec(r1: usize, r2: usize, cur: &mut Vec<bool>, out: &mut Vec<Vec<bool>>) {
+        if r1 == 0 && r2 == 0 {
+            out.push(cur.clone());
+            return;
+        }
+        if r1 > 0 {
+            cur.push(true);
+            rec(r1 - 1, r2, cur, out);
+            cur.pop();
+        }
+        if r2 > 0 {
+            cur.push(false);
+            rec(r1, r2 - 1, cur, out);
+            cur.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(n1, n2, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Whether some interleaving of instances of `a` and `b` (two concrete API
+/// instances, possibly of the same API node) is conflict-non-serializable
+/// at the API-instance level.
+fn pair_has_anomaly(a: &acidrain_core::ApiCall, b: &acidrain_core::ApiCall) -> bool {
+    let ops_a = flat_ops(a);
+    let ops_b = flat_ops(b);
+    for choice in interleavings(ops_a.len(), ops_b.len()) {
+        // Build the global order: (instance, op index).
+        let mut order: Vec<(usize, usize)> = Vec::new();
+        let (mut ia, mut ib) = (0usize, 0usize);
+        for take_a in choice {
+            if take_a {
+                order.push((0, ia));
+                ia += 1;
+            } else {
+                order.push((1, ib));
+                ib += 1;
+            }
+        }
+        // Instance-level dependency edges: earlier conflicting op's
+        // instance must precede the later one's.
+        let mut edge_ab = false;
+        let mut edge_ba = false;
+        for i in 0..order.len() {
+            for j in i + 1..order.len() {
+                let (inst_i, oi) = order[i];
+                let (inst_j, oj) = order[j];
+                if inst_i == inst_j {
+                    continue;
+                }
+                let op_i = if inst_i == 0 { ops_a[oi] } else { ops_b[oi] };
+                let op_j = if inst_j == 0 { ops_a[oj] } else { ops_b[oj] };
+                if op_i.conflicts_with(op_j) {
+                    if inst_i == 0 {
+                        edge_ab = true;
+                    } else {
+                        edge_ba = true;
+                    }
+                }
+            }
+        }
+        if edge_ab && edge_ba {
+            return true;
+        }
+    }
+    false
+}
+
+/// Brute-force: does ANY two-instance expansion of `trace` admit a
+/// non-serializable interleaving?
+fn brute_force_anomaly(trace: &Trace) -> bool {
+    let calls = &trace.api_calls;
+    for i in 0..calls.len() {
+        for j in i..calls.len() {
+            if pair_has_anomaly(&calls[i], &calls[j]) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Theorem 1 at width 2: 2AD finds a cycle iff brute force finds a
+    /// non-serializable two-instance interleaving.
+    #[test]
+    fn theorem1_matches_brute_force(trace in gen_trace()) {
+        let brute = brute_force_anomaly(&trace);
+        let analyzer = Analyzer::from_trace(trace.clone());
+        let mut config = RefinementConfig::none();
+        config.max_concurrency = Some(2);
+        let report = analyzer.analyze(&config);
+        let abstract_found = report.finding_count() > 0;
+        prop_assert_eq!(
+            abstract_found,
+            brute,
+            "2AD and brute force disagree on {:#?}",
+            trace
+        );
+    }
+
+    /// Completeness direction alone, with unbounded width: whenever brute
+    /// force finds a two-instance anomaly, unrefined 2AD must report it.
+    #[test]
+    fn twoad_is_complete_wrt_two_instances(trace in gen_trace()) {
+        if brute_force_anomaly(&trace) {
+            let analyzer = Analyzer::from_trace(trace.clone());
+            let report = analyzer.analyze(&RefinementConfig::none());
+            prop_assert!(report.finding_count() > 0, "missed anomaly in {:#?}", trace);
+        }
+    }
+}

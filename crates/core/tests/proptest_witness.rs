@@ -1,0 +1,122 @@
+//! Property tests on witness generation: every finding produced by the
+//! detector over random traces yields a well-formed Lemma-4 schedule.
+
+use proptest::prelude::*;
+
+use acidrain_core::prelude::*;
+use acidrain_core::trace::{Op, OpKind, Txn};
+use acidrain_core::WitnessTrace;
+use acidrain_sql::AccessKind;
+
+fn gen_op(label: u32) -> impl Strategy<Value = Op> {
+    let table = prop_oneof![Just("t"), Just("u")];
+    let colset = prop_oneof![Just(vec!["a"]), Just(vec!["b"]), Just(vec!["a", "b"])];
+    (table, colset, 0u8..3, any::<bool>()).prop_map(move |(table, cols, kind, key)| {
+        let cols: std::collections::BTreeSet<String> =
+            cols.into_iter().map(str::to_string).collect();
+        let (k, r, w) = match kind {
+            0 => (OpKind::Read, cols.clone(), Default::default()),
+            1 => (OpKind::Write, Default::default(), cols.clone()),
+            _ => (OpKind::Write, cols.clone(), cols.clone()),
+        };
+        Op {
+            kind: k,
+            table: table.to_string(),
+            read_columns: r,
+            write_columns: w,
+            access: if key {
+                AccessKind::KeyEq
+            } else {
+                AccessKind::Predicate
+            },
+            for_update: false,
+            sql: format!("op-{label}-{kind}-{table}"),
+            log_seq: None,
+        }
+    })
+}
+
+fn gen_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (proptest::collection::vec(gen_op(7), 1..3), any::<bool>())
+                .prop_map(|(ops, explicit)| Txn { explicit, ops }),
+            1..3,
+        ),
+        1..3,
+    )
+    .prop_map(|apis| {
+        let mut b = TraceBuilder::new();
+        for (i, txns) in apis.into_iter().enumerate() {
+            b = b.api(&format!("api{i}"), txns);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every finding's witness schedule is well-formed.
+    #[test]
+    fn witnesses_are_well_formed(trace in gen_trace()) {
+        let analyzer = Analyzer::from_trace(trace);
+        let report = analyzer.analyze(&RefinementConfig::none());
+        for finding in &report.findings {
+            let w = &finding.witness;
+            // Instance accounting.
+            prop_assert_eq!(w.instances, w.hops.len() + 1);
+            prop_assert!(w.instances >= 2, "a cycle needs at least two instances");
+            // Every hop's entry op conflicts with its predecessor's exit.
+            let h = analyzer.history();
+            let mut prev_exit = w.o1;
+            for hop in &w.hops {
+                prop_assert!(
+                    h.op(prev_exit).conflicts_with(h.op(hop.entered_at)),
+                    "walk edge must be a conflict"
+                );
+                // entered_at and exited_at share an API node.
+                prop_assert!(h.api_siblings(hop.entered_at).contains(&hop.exited_at));
+                prev_exit = hop.exited_at;
+            }
+            // The final edge closes into o2.
+            prop_assert!(h.op(prev_exit).conflicts_with(h.op(w.o2)));
+
+            // The rendered schedule.
+            let trace = WitnessTrace::build(h, w);
+            prop_assert!(!trace.steps.is_empty());
+            // Exactly two starred seed steps, both in the seed instance.
+            let starred: Vec<_> =
+                trace.steps.iter().filter(|s| s.seed_marker).collect();
+            prop_assert_eq!(starred.len(), 2, "schedule: {}", trace.to_string());
+            prop_assert!(starred.iter().all(|s| s.instance == "a1"));
+            // The seed instance opens the schedule.
+            prop_assert_eq!(trace.steps.first().map(|s| s.instance.as_str()), Some("a1"));
+            // Intermediate instances appear contiguously between the two
+            // halves of a1, and transaction boundaries balance within them.
+            for i in 0..w.hops.len() {
+                let label = format!("a{}", i + 2);
+                let steps: Vec<_> =
+                    trace.steps.iter().filter(|s| s.instance == label).collect();
+                prop_assert!(!steps.is_empty(), "instance {label} missing");
+                let begins = steps.iter().filter(|s| s.sql == "BEGIN TRANSACTION").count();
+                let commits = steps.iter().filter(|s| s.sql == "COMMIT").count();
+                prop_assert_eq!(begins, commits, "unbalanced txn in {}", label);
+            }
+        }
+    }
+
+    /// Findings are stable: analyzing the same trace twice yields the same
+    /// findings in the same order (determinism of the whole pipeline).
+    #[test]
+    fn analysis_is_deterministic(trace in gen_trace()) {
+        let analyzer = Analyzer::from_trace(trace.clone());
+        let config = RefinementConfig::none();
+        let a = analyzer.analyze(&config);
+        let b = analyzer.analyze(&config);
+        prop_assert_eq!(&a.findings, &b.findings);
+        let again = Analyzer::from_trace(trace);
+        let c = again.analyze(&config);
+        prop_assert_eq!(&b.findings, &c.findings);
+    }
+}

@@ -1,0 +1,484 @@
+//! The database object, connections, and transaction lifecycle.
+//!
+//! A [`Database`] holds all state behind one mutex: statements execute
+//! atomically, so every concurrency phenomenon in this substrate arises
+//! from the *interleaving of statements across transactions* — exactly the
+//! granularity at which the paper's anomalies live.
+//!
+//! Lock waits surface as [`DbError::WouldBlock`] from
+//! [`Connection::try_execute`], letting the deterministic scheduler in
+//! `acidrain-harness` decide what runs next; [`Connection::execute`] is the
+//! blocking flavour used by threaded stress tests.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use acidrain_sql::schema::Schema;
+use acidrain_sql::{parse_statement, Statement};
+
+use crate::error::DbError;
+use crate::exec;
+use crate::isolation::IsolationLevel;
+use crate::lock::LockManager;
+use crate::log::{ApiTag, LogEntry, QueryLog};
+use crate::result::ResultSet;
+use crate::storage::{ReadView, RowVersion, TableData};
+use crate::txn::{TxnId, TxnState, UndoRecord};
+use crate::value::Value;
+
+/// How long a blocking [`Connection::execute`] waits on a lock before
+/// giving up (InnoDB's `innodb_lock_wait_timeout` analogue).
+const LOCK_WAIT_TIMEOUT: Duration = Duration::from_secs(10);
+
+pub(crate) struct DbInner {
+    pub(crate) schema: Schema,
+    pub(crate) tables: Vec<TableData>,
+    pub(crate) locks: LockManager,
+    pub(crate) txns: std::collections::HashMap<TxnId, TxnState>,
+    next_txn: u64,
+    /// Latest committed timestamp.
+    pub(crate) commit_ts: u64,
+    pub(crate) log: QueryLog,
+}
+
+impl DbInner {
+    pub(crate) fn table_index(&self, name: &str) -> Result<usize, DbError> {
+        self.tables
+            .iter()
+            .position(|t| t.name == name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    pub(crate) fn begin(&mut self, isolation: IsolationLevel, implicit: bool) -> TxnId {
+        self.next_txn += 1;
+        let id = TxnId(self.next_txn);
+        self.txns.insert(id, TxnState::new(id, isolation, implicit));
+        id
+    }
+
+    /// The snapshot timestamp a transaction's plain reads use, pinning the
+    /// transaction-long snapshot on first use for MySQL-RR and SI.
+    pub(crate) fn read_snapshot_ts(&mut self, txn: TxnId) -> u64 {
+        let commit_ts = self.commit_ts;
+        let state = self.txns.get_mut(&txn).expect("active txn");
+        if state.isolation.uses_txn_snapshot() {
+            *state.snapshot_ts.get_or_insert(commit_ts)
+        } else {
+            state.snapshot_ts = Some(commit_ts);
+            commit_ts
+        }
+    }
+
+    /// A current-read view: latest committed state plus own writes.
+    pub(crate) fn current_read(&self, txn: TxnId) -> ReadView {
+        ReadView::Snapshot {
+            as_of: self.commit_ts,
+            txn,
+        }
+    }
+
+    pub(crate) fn commit(&mut self, txn: TxnId) {
+        let Some(state) = self.txns.remove(&txn) else {
+            return;
+        };
+        if !state.undo.is_empty() {
+            let ts = self.commit_ts + 1;
+            self.commit_ts = ts;
+            for record in &state.undo {
+                match *record {
+                    UndoRecord::Created { table, row } => {
+                        for v in &mut self.tables[table].rows[row].versions {
+                            if v.begin_txn == txn && v.begin_ts.is_none() {
+                                v.begin_ts = Some(ts);
+                            }
+                        }
+                    }
+                    UndoRecord::Ended { table, row } => {
+                        for v in &mut self.tables[table].rows[row].versions {
+                            if v.end_txn == Some(txn) && v.end_ts.is_none() {
+                                v.end_ts = Some(ts);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.locks.release_all(txn);
+    }
+
+    pub(crate) fn rollback(&mut self, txn: TxnId) {
+        let Some(state) = self.txns.remove(&txn) else {
+            return;
+        };
+        for record in state.undo.iter().rev() {
+            match *record {
+                UndoRecord::Created { table, row } => {
+                    self.tables[table].rows[row]
+                        .versions
+                        .retain(|v| !(v.begin_txn == txn && v.begin_ts.is_none()));
+                }
+                UndoRecord::Ended { table, row } => {
+                    for v in &mut self.tables[table].rows[row].versions {
+                        if v.end_txn == Some(txn) && v.end_ts.is_none() {
+                            v.end_txn = None;
+                        }
+                    }
+                }
+            }
+        }
+        self.locks.release_all(txn);
+    }
+}
+
+/// A multi-version transactional database with configurable isolation.
+pub struct Database {
+    inner: Mutex<DbInner>,
+    released: Condvar,
+    default_isolation: Mutex<IsolationLevel>,
+    next_session: Mutex<u64>,
+}
+
+impl Database {
+    /// Create a database for `schema` with the given default isolation
+    /// level for new connections.
+    pub fn new(schema: Schema, default_isolation: IsolationLevel) -> Arc<Self> {
+        let tables = schema
+            .tables()
+            .map(|t| TableData::new(t.name.clone()))
+            .collect();
+        Arc::new(Database {
+            inner: Mutex::new(DbInner {
+                schema,
+                tables,
+                locks: LockManager::new(),
+                txns: std::collections::HashMap::new(),
+                next_txn: 0,
+                commit_ts: 0,
+                log: QueryLog::default(),
+            }),
+            released: Condvar::new(),
+            default_isolation: Mutex::new(default_isolation),
+            next_session: Mutex::new(0),
+        })
+    }
+
+    /// Change the default isolation level handed to future connections.
+    pub fn set_default_isolation(&self, level: IsolationLevel) {
+        *self.default_isolation.lock() = level;
+    }
+
+    pub fn default_isolation(&self) -> IsolationLevel {
+        *self.default_isolation.lock()
+    }
+
+    /// Open a new session.
+    pub fn connect(self: &Arc<Self>) -> Connection {
+        let mut next = self.next_session.lock();
+        *next += 1;
+        Connection {
+            db: Arc::clone(self),
+            session: *next,
+            isolation: self.default_isolation(),
+            txn: None,
+            txn_implicit: false,
+            autocommit: true,
+            api: None,
+        }
+    }
+
+    /// Directly install committed rows, bypassing transactions and the
+    /// query log — for fixtures. `Value::Null` in an auto-increment column
+    /// is replaced by the counter; explicit values advance the counter.
+    pub fn seed(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), DbError> {
+        let mut inner = self.inner.lock();
+        let idx = inner.table_index(table)?;
+        let table_schema = inner
+            .schema
+            .table(table)
+            .ok_or_else(|| DbError::UnknownTable(table.into()))?;
+        let auto_cols: Vec<usize> = table_schema
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.auto_increment)
+            .map(|(i, _)| i)
+            .collect();
+        let ncols = table_schema.columns.len();
+        let ts = inner.commit_ts;
+        for mut row in rows {
+            if row.len() != ncols {
+                return Err(DbError::Internal(format!(
+                    "seed row for {table} has {} values, schema has {ncols} columns",
+                    row.len()
+                )));
+            }
+            for &i in &auto_cols {
+                match &row[i] {
+                    Value::Null => {
+                        let v = inner.tables[idx].next_auto();
+                        row[i] = Value::Int(v);
+                    }
+                    Value::Int(v) => {
+                        let v = *v;
+                        if v >= inner.tables[idx].auto_counter {
+                            inner.tables[idx].auto_counter = v + 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            inner.tables[idx].rows.push(crate::storage::RowSlot {
+                versions: vec![RowVersion::committed(row, ts)],
+            });
+        }
+        Ok(())
+    }
+
+    /// Latest-committed contents of a table (for invariant checking).
+    pub fn table_rows(&self, table: &str) -> Result<Vec<Vec<Value>>, DbError> {
+        let inner = self.inner.lock();
+        let idx = inner.table_index(table)?;
+        let view = ReadView::Snapshot {
+            as_of: inner.commit_ts,
+            txn: TxnId(u64::MAX),
+        };
+        Ok(inner.tables[idx]
+            .rows
+            .iter()
+            .filter_map(|slot| view.visible_version(slot))
+            .map(|v| v.values.clone())
+            .collect())
+    }
+
+    /// The schema this database was created with.
+    pub fn schema(&self) -> Schema {
+        self.inner.lock().schema.clone()
+    }
+
+    /// Snapshot of the general query log.
+    pub fn log_entries(&self) -> Vec<LogEntry> {
+        self.inner.lock().log.entries().to_vec()
+    }
+
+    /// Drain the general query log.
+    pub fn take_log(&self) -> Vec<LogEntry> {
+        self.inner.lock().log.take()
+    }
+
+    /// Number of transactions currently active (diagnostics).
+    pub fn active_transactions(&self) -> usize {
+        self.inner.lock().txns.len()
+    }
+}
+
+/// A session against a [`Database`]. Connections are single-threaded and
+/// carry MySQL-style session state: autocommit flag, the open transaction
+/// (if any), the session isolation level, and the API-call tag applied to
+/// logged statements.
+pub struct Connection {
+    db: Arc<Database>,
+    session: u64,
+    isolation: IsolationLevel,
+    txn: Option<TxnId>,
+    /// Whether the open transaction was started implicitly for autocommit
+    /// statements (vs `BEGIN` / `SET autocommit=0`).
+    txn_implicit: bool,
+    autocommit: bool,
+    api: Option<ApiTag>,
+}
+
+impl Connection {
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    pub fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    /// Set the isolation level used by subsequently started transactions.
+    pub fn set_isolation(&mut self, level: IsolationLevel) {
+        self.isolation = level;
+    }
+
+    /// Tag subsequent statements as belonging to the given API call.
+    pub fn set_api(&mut self, name: impl Into<String>, invocation: u64) {
+        self.api = Some(ApiTag {
+            name: name.into(),
+            invocation,
+        });
+    }
+
+    pub fn clear_api(&mut self) {
+        self.api = None;
+    }
+
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// The id of the currently open transaction, if any.
+    pub fn current_txn(&self) -> Option<TxnId> {
+        self.txn
+    }
+
+    /// Execute a statement, waiting (with timeout) for locks.
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        let stmt = parse_statement(sql)?;
+        let db = Arc::clone(&self.db);
+        let mut guard = db.inner.lock();
+        loop {
+            match self.apply(&mut guard, &stmt, sql) {
+                Err(DbError::WouldBlock { holders }) => {
+                    let timed_out = self
+                        .db
+                        .released
+                        .wait_for(&mut guard, LOCK_WAIT_TIMEOUT)
+                        .timed_out();
+                    if timed_out {
+                        return Err(DbError::WouldBlock { holders });
+                    }
+                }
+                other => {
+                    drop(guard);
+                    self.db.released.notify_all();
+                    return other;
+                }
+            }
+        }
+    }
+
+    /// Execute a statement without waiting: lock conflicts surface as
+    /// [`DbError::WouldBlock`] and the statement can be retried verbatim.
+    pub fn try_execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        let stmt = parse_statement(sql)?;
+        let db = Arc::clone(&self.db);
+        let mut guard = db.inner.lock();
+        let result = self.apply(&mut guard, &stmt, sql);
+        drop(guard);
+        if !matches!(result, Err(DbError::WouldBlock { .. })) {
+            self.db.released.notify_all();
+        }
+        result
+    }
+
+    /// Convenience: execute and return the first value of the first row.
+    pub fn query_scalar(&mut self, sql: &str) -> Result<Option<Value>, DbError> {
+        Ok(self.execute(sql)?.scalar().cloned())
+    }
+
+    /// Convenience: execute and return the first value as i64 (0 when the
+    /// result is empty or non-numeric).
+    pub fn query_i64(&mut self, sql: &str) -> Result<i64, DbError> {
+        Ok(self.execute(sql)?.scalar_i64().unwrap_or(0))
+    }
+
+    /// Roll back any open transaction (e.g. on application error paths).
+    pub fn rollback_open(&mut self) {
+        let _ = self.execute("ROLLBACK");
+    }
+
+    /// One attempt at executing `stmt` under the held database lock.
+    fn apply(
+        &mut self,
+        inner: &mut DbInner,
+        stmt: &Statement,
+        raw: &str,
+    ) -> Result<ResultSet, DbError> {
+        match stmt {
+            Statement::Begin => {
+                if let Some(t) = self.txn.take() {
+                    // MySQL implicitly commits an open transaction on BEGIN.
+                    inner.commit(t);
+                }
+                let t = inner.begin(self.isolation, false);
+                self.txn = Some(t);
+                self.txn_implicit = false;
+                self.log(inner, raw);
+                Ok(ResultSet::empty())
+            }
+            Statement::Commit => {
+                if let Some(t) = self.txn.take() {
+                    inner.commit(t);
+                }
+                self.log(inner, raw);
+                Ok(ResultSet::empty())
+            }
+            Statement::Rollback => {
+                if let Some(t) = self.txn.take() {
+                    inner.rollback(t);
+                }
+                self.log(inner, raw);
+                Ok(ResultSet::empty())
+            }
+            Statement::SetAutocommit(on) => {
+                if *on {
+                    if let Some(t) = self.txn.take() {
+                        inner.commit(t);
+                    }
+                }
+                self.autocommit = *on;
+                self.log(inner, raw);
+                Ok(ResultSet::empty())
+            }
+            data_stmt => {
+                let txn = match self.txn {
+                    Some(t) => t,
+                    None => {
+                        let t = inner.begin(self.isolation, self.autocommit);
+                        self.txn = Some(t);
+                        self.txn_implicit = self.autocommit;
+                        t
+                    }
+                };
+                match exec::execute(inner, txn, data_stmt) {
+                    Ok(rs) => {
+                        self.log(inner, raw);
+                        if self.txn_implicit {
+                            inner.commit(txn);
+                            self.txn = None;
+                            self.txn_implicit = false;
+                        }
+                        Ok(rs)
+                    }
+                    Err(e) if e.aborts_transaction() => {
+                        // exec already rolled the transaction back.
+                        self.txn = None;
+                        self.txn_implicit = false;
+                        Err(e)
+                    }
+                    Err(DbError::WouldBlock { holders }) => {
+                        // Keep the transaction (and its locks); retryable.
+                        Err(DbError::WouldBlock { holders })
+                    }
+                    Err(e) => {
+                        // Statement-level failure: an explicit transaction
+                        // stays open (MySQL semantics); an implicit one is
+                        // rolled back.
+                        if self.txn_implicit {
+                            inner.rollback(txn);
+                            self.txn = None;
+                            self.txn_implicit = false;
+                        }
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn log(&self, inner: &mut DbInner, sql: &str) {
+        inner.log.append(self.session, self.api.clone(), sql);
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        if let Some(t) = self.txn.take() {
+            self.db.inner.lock().rollback(t);
+            self.db.released.notify_all();
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the database substrate.
+
+use std::fmt;
+
+use crate::txn::TxnId;
+
+/// Errors produced while executing statements against the database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// The SQL text failed to parse.
+    Parse(acidrain_sql::ParseError),
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced column does not exist in the referenced table(s).
+    UnknownColumn(String),
+    /// Type error during expression evaluation.
+    Type(String),
+    /// A unique-column constraint was violated.
+    ConstraintViolation(String),
+    /// The statement needs a lock held by another transaction. Carries the
+    /// holders so cooperative schedulers can decide what to run next. The
+    /// statement had no data effects and can be retried verbatim.
+    WouldBlock { holders: Vec<TxnId> },
+    /// The lock manager detected a waits-for cycle; this transaction was
+    /// chosen as the victim and has been rolled back.
+    Deadlock,
+    /// Snapshot Isolation first-committer-wins validation failed ("could
+    /// not serialize access due to concurrent update"). The transaction has
+    /// been rolled back.
+    WriteConflict(String),
+    /// The statement is outside the supported dialect subset.
+    Unsupported(String),
+    /// Internal invariant violation — indicates a bug in the substrate.
+    Internal(String),
+}
+
+impl DbError {
+    /// Whether this error aborted the transaction (vs. a statement-level,
+    /// retryable condition).
+    pub fn aborts_transaction(&self) -> bool {
+        matches!(self, DbError::Deadlock | DbError::WriteConflict(_))
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "{e}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            DbError::Type(msg) => write!(f, "type error: {msg}"),
+            DbError::ConstraintViolation(msg) => write!(f, "constraint violation: {msg}"),
+            DbError::WouldBlock { holders } => {
+                write!(f, "lock wait: blocked on transactions {holders:?}")
+            }
+            DbError::Deadlock => f.write_str("deadlock detected; transaction rolled back"),
+            DbError::WriteConflict(msg) => {
+                write!(f, "serialization failure (concurrent update): {msg}")
+            }
+            DbError::Unsupported(msg) => write!(f, "unsupported statement: {msg}"),
+            DbError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<acidrain_sql::ParseError> for DbError {
+    fn from(e: acidrain_sql::ParseError) -> Self {
+        DbError::Parse(e)
+    }
+}

@@ -1,0 +1,1368 @@
+//! Statement execution against the multi-version storage.
+//!
+//! Execution is two-phase: identify target rows and acquire every needed
+//! lock first (retryable — a lock conflict returns
+//! [`DbError::WouldBlock`] with no data effects), then apply mutations
+//! atomically. Lock plans depend on the transaction's isolation level; see
+//! [`crate::isolation::IsolationLevel`].
+
+use acidrain_sql::ast::{Delete, Expr, Insert, Select, SelectItem, Statement, Update};
+use acidrain_sql::rwset::{statement_accesses, AccessKind};
+
+use crate::db::DbInner;
+use crate::error::DbError;
+use crate::expr::{eval, EvalScope, EvalTable};
+use crate::lock::{LockMode, LockOutcome, ResourceId};
+use crate::result::ResultSet;
+use crate::storage::{ReadView, RowVersion};
+use crate::txn::{TxnId, UndoRecord};
+use crate::value::Value;
+
+/// Execute a data statement within `txn`. Transaction-control statements
+/// are handled by [`crate::Connection`], not here.
+pub(crate) fn execute(
+    inner: &mut DbInner,
+    txn: TxnId,
+    stmt: &Statement,
+) -> Result<ResultSet, DbError> {
+    let result = match stmt {
+        Statement::Select(s) => exec_select(inner, txn, s),
+        Statement::Insert(i) => exec_insert(inner, txn, i),
+        Statement::Update(u) => exec_update(inner, txn, u),
+        Statement::Delete(d) => exec_delete(inner, txn, d),
+        _ => Err(DbError::Internal(
+            "control statement reached executor".into(),
+        )),
+    };
+    if let Err(e) = &result {
+        if e.aborts_transaction() {
+            inner.rollback(txn);
+        }
+    }
+    result
+}
+
+fn acquire(
+    inner: &mut DbInner,
+    txn: TxnId,
+    resource: ResourceId,
+    mode: LockMode,
+) -> Result<(), DbError> {
+    match inner.locks.acquire(txn, resource, mode) {
+        LockOutcome::Granted => Ok(()),
+        LockOutcome::Blocked(holders) => Err(DbError::WouldBlock { holders }),
+        LockOutcome::Deadlock => Err(DbError::Deadlock),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+
+/// Per-table metadata resolved for a SELECT.
+struct ScopeTable {
+    effective: String,
+    table_idx: usize,
+    columns: Vec<String>,
+    access: AccessKind,
+}
+
+/// One joined match: per-table row slot indices and cloned values.
+struct Matched {
+    slots: Vec<usize>,
+    values: Vec<Vec<Value>>,
+}
+
+fn exec_select(inner: &mut DbInner, txn: TxnId, s: &Select) -> Result<ResultSet, DbError> {
+    // Table-less SELECT: evaluate the projection over an empty scope.
+    let Some(from) = &s.from else {
+        let scope = EvalScope::default();
+        let mut columns = Vec::new();
+        let mut row = Vec::new();
+        for item in &s.projection {
+            let SelectItem::Expr { expr, alias } = item else {
+                return Err(DbError::Unsupported("wildcard without FROM".into()));
+            };
+            columns.push(projection_name(expr, alias));
+            row.push(eval(expr, &scope)?);
+        }
+        return Ok(ResultSet {
+            columns,
+            rows: vec![row],
+        });
+    };
+
+    // Resolve tables and their access kinds.
+    let accesses = statement_accesses(&Statement::Select(s.clone()), &inner.schema);
+    let mut tables = Vec::new();
+    let mut refs = vec![(from.effective_name().to_string(), from.name.clone())];
+    for j in &s.joins {
+        refs.push((j.table.effective_name().to_string(), j.table.name.clone()));
+    }
+    for (effective, real) in &refs {
+        let table_idx = inner.table_index(real)?;
+        let columns: Vec<String> = inner
+            .schema
+            .table(real)
+            .map(|t| t.column_names().map(str::to_string).collect())
+            .unwrap_or_default();
+        let access = accesses
+            .iter()
+            .find(|a| &a.table == real)
+            .map(|a| a.access)
+            .unwrap_or(AccessKind::Predicate);
+        tables.push(ScopeTable {
+            effective: effective.clone(),
+            table_idx,
+            columns,
+            access,
+        });
+    }
+
+    let isolation = inner.txns.get(&txn).expect("active txn").isolation;
+
+    // Table-level locks.
+    for t in &tables {
+        if s.for_update {
+            acquire(
+                inner,
+                txn,
+                ResourceId::Table(t.table_idx),
+                LockMode::IntentionExclusive,
+            )?;
+        } else if isolation.read_locks_predicates() && t.access == AccessKind::Predicate {
+            acquire(inner, txn, ResourceId::Table(t.table_idx), LockMode::Shared)?;
+        } else if isolation.read_locks_items() {
+            acquire(
+                inner,
+                txn,
+                ResourceId::Table(t.table_idx),
+                LockMode::IntentionShared,
+            )?;
+        }
+    }
+
+    // Read view: locking reads and lock-based levels use a current read;
+    // MVCC levels use their snapshot.
+    let view = if s.for_update || isolation.read_locks_items() {
+        inner.current_read(txn)
+    } else if isolation.reads_uncommitted() {
+        ReadView::Latest { txn }
+    } else {
+        let as_of = inner.read_snapshot_ts(txn);
+        ReadView::Snapshot { as_of, txn }
+    };
+
+    let matches = scan(inner, &tables, s, view)?;
+
+    // Row-level locks on everything read.
+    for m in &matches {
+        for (ti, slot) in m.slots.iter().enumerate() {
+            let row = ResourceId::Row(tables[ti].table_idx, *slot);
+            if s.for_update {
+                acquire(inner, txn, row, LockMode::Exclusive)?;
+            } else if isolation.read_locks_items()
+                && !(isolation.read_locks_predicates()
+                    && tables[ti].access == AccessKind::Predicate)
+            {
+                acquire(inner, txn, row, LockMode::Shared)?;
+            }
+        }
+    }
+
+    project(&tables, s, matches)
+}
+
+/// Scan the (joined) tables, returning rows matching the ON and WHERE
+/// clauses under `view`.
+fn scan(
+    inner: &DbInner,
+    tables: &[ScopeTable],
+    s: &Select,
+    view: ReadView,
+) -> Result<Vec<Matched>, DbError> {
+    let mut matches = Vec::new();
+    let mut current: Vec<(usize, Vec<Value>)> = Vec::new();
+    scan_rec(inner, tables, s, view, 0, &mut current, &mut matches)?;
+    Ok(matches)
+}
+
+fn scan_rec(
+    inner: &DbInner,
+    tables: &[ScopeTable],
+    s: &Select,
+    view: ReadView,
+    depth: usize,
+    current: &mut Vec<(usize, Vec<Value>)>,
+    matches: &mut Vec<Matched>,
+) -> Result<(), DbError> {
+    if depth == tables.len() {
+        let scope = build_scope(tables, current);
+        if let Some(sel) = &s.selection {
+            if !eval(sel, &scope)?.is_truthy() {
+                return Ok(());
+            }
+        }
+        matches.push(Matched {
+            slots: current.iter().map(|(slot, _)| *slot).collect(),
+            values: current.iter().map(|(_, v)| v.clone()).collect(),
+        });
+        return Ok(());
+    }
+    let table = &tables[depth];
+    for (slot_idx, slot) in inner.tables[table.table_idx].rows.iter().enumerate() {
+        let Some(version) = view.visible_version(slot) else {
+            continue;
+        };
+        current.push((slot_idx, version.values.clone()));
+        // Apply the join condition as soon as both sides are bound.
+        let join_ok = if depth == 0 {
+            true
+        } else {
+            let scope = build_scope(&tables[..=depth], current);
+            eval(&s.joins[depth - 1].on, &scope)?.is_truthy()
+        };
+        if join_ok {
+            scan_rec(inner, tables, s, view, depth + 1, current, matches)?;
+        }
+        current.pop();
+    }
+    Ok(())
+}
+
+fn build_scope<'a>(tables: &'a [ScopeTable], current: &'a [(usize, Vec<Value>)]) -> EvalScope<'a> {
+    EvalScope {
+        tables: tables
+            .iter()
+            .zip(current)
+            .map(|(t, (_, values))| EvalTable {
+                effective_name: &t.effective,
+                columns: &t.columns,
+                values,
+            })
+            .collect(),
+    }
+}
+
+fn projection_name(expr: &Expr, alias: &Option<String>) -> String {
+    if let Some(a) = alias {
+        return a.clone();
+    }
+    match expr {
+        Expr::Column(c) => c.column.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// Apply projection, ORDER BY, and LIMIT to the matched rows.
+fn project(
+    tables: &[ScopeTable],
+    s: &Select,
+    mut matches: Vec<Matched>,
+) -> Result<ResultSet, DbError> {
+    let aggregate_mode = s
+        .projection
+        .iter()
+        .any(|item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()));
+
+    if aggregate_mode {
+        let mut columns = Vec::new();
+        let mut row = Vec::new();
+        for item in &s.projection {
+            let SelectItem::Expr { expr, alias } = item else {
+                return Err(DbError::Unsupported(
+                    "wildcard projection mixed with aggregates".into(),
+                ));
+            };
+            columns.push(projection_name(expr, alias));
+            row.push(eval_aggregate(expr, tables, &matches)?);
+        }
+        return Ok(ResultSet {
+            columns,
+            rows: vec![row],
+        });
+    }
+
+    // ORDER BY before projection (sort keys may not be projected).
+    if !s.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, Matched)> = Vec::with_capacity(matches.len());
+        for m in matches {
+            let current: Vec<(usize, Vec<Value>)> = m
+                .slots
+                .iter()
+                .copied()
+                .zip(m.values.iter().cloned())
+                .collect();
+            let scope = build_scope(tables, &current);
+            let mut keys = Vec::with_capacity(s.order_by.len());
+            for ob in &s.order_by {
+                keys.push(eval(&ob.expr, &scope)?);
+            }
+            keyed.push((keys, m));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, ob) in s.order_by.iter().enumerate() {
+                let ord = ka[i].compare(&kb[i]).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if ob.asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        matches = keyed.into_iter().map(|(_, m)| m).collect();
+    }
+
+    if let Some(limit) = s.limit {
+        matches.truncate(limit as usize);
+    }
+
+    // Column headers.
+    let mut columns = Vec::new();
+    for item in &s.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for t in tables {
+                    columns.extend(t.columns.iter().cloned());
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let t = tables
+                    .iter()
+                    .find(|t| &t.effective == q)
+                    .ok_or_else(|| DbError::UnknownTable(q.clone()))?;
+                columns.extend(t.columns.iter().cloned());
+            }
+            SelectItem::Expr { expr, alias } => columns.push(projection_name(expr, alias)),
+        }
+    }
+
+    let mut rows = Vec::with_capacity(matches.len());
+    for m in &matches {
+        let current: Vec<(usize, Vec<Value>)> = m
+            .slots
+            .iter()
+            .copied()
+            .zip(m.values.iter().cloned())
+            .collect();
+        let scope = build_scope(tables, &current);
+        let mut row = Vec::with_capacity(columns.len());
+        for item in &s.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    for values in &m.values {
+                        row.extend(values.iter().cloned());
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let ti = tables.iter().position(|t| &t.effective == q).unwrap();
+                    row.extend(m.values[ti].iter().cloned());
+                }
+                SelectItem::Expr { expr, .. } => row.push(eval(expr, &scope)?),
+            }
+        }
+        rows.push(row);
+    }
+    Ok(ResultSet { columns, rows })
+}
+
+/// Evaluate an aggregate expression over the matched row set.
+fn eval_aggregate(
+    expr: &Expr,
+    tables: &[ScopeTable],
+    matches: &[Matched],
+) -> Result<Value, DbError> {
+    match expr {
+        Expr::Function {
+            name,
+            args,
+            wildcard,
+        } => {
+            let upper = name.to_ascii_uppercase();
+            let per_row = |arg: &Expr| -> Result<Vec<Value>, DbError> {
+                matches
+                    .iter()
+                    .map(|m| {
+                        let current: Vec<(usize, Vec<Value>)> = m
+                            .slots
+                            .iter()
+                            .copied()
+                            .zip(m.values.iter().cloned())
+                            .collect();
+                        eval(arg, &build_scope(tables, &current))
+                    })
+                    .collect()
+            };
+            match upper.as_str() {
+                "COUNT" if *wildcard => Ok(Value::Int(matches.len() as i64)),
+                "COUNT" => {
+                    let arg = args.first().ok_or_else(|| {
+                        DbError::Unsupported("COUNT requires an argument or *".into())
+                    })?;
+                    let vals = per_row(arg)?;
+                    Ok(Value::Int(
+                        vals.iter().filter(|v| !v.is_null()).count() as i64
+                    ))
+                }
+                "SUM" | "AVG" | "MIN" | "MAX" => {
+                    let arg = args.first().ok_or_else(|| {
+                        DbError::Unsupported(format!("{upper} requires an argument"))
+                    })?;
+                    let vals: Vec<Value> =
+                        per_row(arg)?.into_iter().filter(|v| !v.is_null()).collect();
+                    if vals.is_empty() {
+                        return Ok(Value::Null);
+                    }
+                    match upper.as_str() {
+                        "SUM" => {
+                            let mut acc = vals[0].clone();
+                            for v in &vals[1..] {
+                                acc = acc.add(v)?;
+                            }
+                            Ok(acc)
+                        }
+                        "AVG" => {
+                            let mut acc = vals[0].clone();
+                            for v in &vals[1..] {
+                                acc = acc.add(v)?;
+                            }
+                            acc.div(&Value::Int(vals.len() as i64))
+                        }
+                        "MIN" => Ok(fold_extreme(vals, std::cmp::Ordering::Less)),
+                        "MAX" => Ok(fold_extreme(vals, std::cmp::Ordering::Greater)),
+                        _ => unreachable!(),
+                    }
+                }
+                other => Err(DbError::Unsupported(format!("function {other}"))),
+            }
+        }
+        Expr::Literal(lit) => Ok(Value::from_literal(lit)),
+        Expr::Binary { left, op, right } => {
+            let l = eval_aggregate(left, tables, matches)?;
+            let r = eval_aggregate(right, tables, matches)?;
+            use acidrain_sql::ast::BinOp;
+            match op {
+                BinOp::Add => l.add(&r),
+                BinOp::Sub => l.sub(&r),
+                BinOp::Mul => l.mul(&r),
+                BinOp::Div => l.div(&r),
+                _ => Err(DbError::Unsupported(
+                    "comparison over aggregates is not supported".into(),
+                )),
+            }
+        }
+        Expr::Unary {
+            op: acidrain_sql::ast::UnaryOp::Neg,
+            expr,
+        } => eval_aggregate(expr, tables, matches)?.neg(),
+        _ => Err(DbError::Unsupported(
+            "non-aggregate expression in aggregate projection".into(),
+        )),
+    }
+}
+
+fn fold_extreme(vals: Vec<Value>, keep: std::cmp::Ordering) -> Value {
+    let mut iter = vals.into_iter();
+    let mut best = iter.next().expect("non-empty");
+    for v in iter {
+        if v.compare(&best) == Some(keep) {
+            best = v;
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// INSERT
+
+fn exec_insert(inner: &mut DbInner, txn: TxnId, i: &Insert) -> Result<ResultSet, DbError> {
+    let table_idx = inner.table_index(&i.table)?;
+    let table_schema = inner
+        .schema
+        .table(&i.table)
+        .ok_or_else(|| DbError::UnknownTable(i.table.clone()))?
+        .clone();
+
+    acquire(
+        inner,
+        txn,
+        ResourceId::Table(table_idx),
+        LockMode::IntentionExclusive,
+    )?;
+
+    // Build every row before touching storage so the statement is atomic.
+    let empty_scope = EvalScope::default();
+    let mut new_rows: Vec<Vec<Value>> = Vec::with_capacity(i.rows.len());
+    for row_exprs in &i.rows {
+        let provided: Vec<&str> = if i.columns.is_empty() {
+            table_schema
+                .columns
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect()
+        } else {
+            i.columns.iter().map(String::as_str).collect()
+        };
+        if row_exprs.len() != provided.len() {
+            return Err(DbError::Type(format!(
+                "INSERT into {} provides {} values for {} columns",
+                i.table,
+                row_exprs.len(),
+                provided.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(table_schema.columns.len());
+        for col in &table_schema.columns {
+            match provided.iter().position(|p| *p == col.name) {
+                Some(pos) => values.push(eval(&row_exprs[pos], &empty_scope)?),
+                None if col.auto_increment => values.push(Value::Null), // filled below
+                None => match &col.default {
+                    Some(lit) => values.push(Value::from_literal(lit)),
+                    None => values.push(Value::Null),
+                },
+            }
+        }
+        // Unknown target columns are an error.
+        for p in &provided {
+            if table_schema.column(p).is_none() {
+                return Err(DbError::UnknownColumn(format!("{}.{}", i.table, p)));
+            }
+        }
+        new_rows.push(values);
+    }
+
+    // Unique-constraint checks against live rows and within the batch.
+    let unique_cols: Vec<usize> = table_schema
+        .columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.unique && !c.auto_increment)
+        .map(|(idx, _)| idx)
+        .collect();
+    let current = inner.current_read(txn);
+    for &col in &unique_cols {
+        for (ri, row) in new_rows.iter().enumerate() {
+            let v = &row[col];
+            if v.is_null() {
+                continue;
+            }
+            // Within the batch.
+            for other in &new_rows[..ri] {
+                if other[col].sql_eq(v).unwrap_or(false) {
+                    return Err(DbError::ConstraintViolation(format!(
+                        "duplicate value {v} for unique column {}.{}",
+                        i.table, table_schema.columns[col].name
+                    )));
+                }
+            }
+            // Against stored rows: committed-visible duplicates violate;
+            // another transaction's uncommitted duplicate blocks (InnoDB
+            // waits on the duplicate-key lock).
+            let mut blocked_on: Option<usize> = None;
+            for (slot_idx, slot) in inner.tables[table_idx].rows.iter().enumerate() {
+                if let Some(version) = current.visible_version(slot) {
+                    if version.values[col].sql_eq(v).unwrap_or(false) {
+                        return Err(DbError::ConstraintViolation(format!(
+                            "duplicate value {v} for unique column {}.{}",
+                            i.table, table_schema.columns[col].name
+                        )));
+                    }
+                }
+                if let Some(last) = slot.versions.last() {
+                    if last.begin_ts.is_none()
+                        && last.begin_txn != txn
+                        && last.is_open()
+                        && last.values[col].sql_eq(v).unwrap_or(false)
+                    {
+                        blocked_on = Some(slot_idx);
+                    }
+                }
+            }
+            if let Some(slot_idx) = blocked_on {
+                // Wait for the conflicting writer to finish.
+                acquire(
+                    inner,
+                    txn,
+                    ResourceId::Row(table_idx, slot_idx),
+                    LockMode::Shared,
+                )?;
+            }
+        }
+    }
+
+    // Apply: assign auto-increment values and append slots.
+    let n = new_rows.len();
+    let mut last_insert_id = Value::Null;
+    for mut values in new_rows {
+        for (ci, col) in table_schema.columns.iter().enumerate() {
+            if col.auto_increment && values[ci].is_null() {
+                let v = inner.tables[table_idx].next_auto();
+                values[ci] = Value::Int(v);
+                last_insert_id = Value::Int(v);
+            } else if col.auto_increment {
+                if let Value::Int(v) = values[ci] {
+                    last_insert_id = Value::Int(v);
+                    if v >= inner.tables[table_idx].auto_counter {
+                        inner.tables[table_idx].auto_counter = v + 1;
+                    }
+                }
+            }
+        }
+        let slot_idx = inner.tables[table_idx].rows.len();
+        inner.tables[table_idx].rows.push(crate::storage::RowSlot {
+            versions: vec![RowVersion::uncommitted(values, txn)],
+        });
+        // New rows are ours; the lock cannot block.
+        acquire(
+            inner,
+            txn,
+            ResourceId::Row(table_idx, slot_idx),
+            LockMode::Exclusive,
+        )?;
+        inner
+            .txns
+            .get_mut(&txn)
+            .expect("active txn")
+            .undo
+            .push(UndoRecord::Created {
+                table: table_idx,
+                row: slot_idx,
+            });
+    }
+    Ok(ResultSet {
+        columns: vec!["affected".to_string(), "last_insert_id".to_string()],
+        rows: vec![vec![Value::Int(n as i64), last_insert_id]],
+    })
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE / DELETE
+
+/// Identify rows matching `selection` under a current read, returning
+/// `(slot index, current values)`.
+fn identify_targets(
+    inner: &DbInner,
+    txn: TxnId,
+    table_idx: usize,
+    effective: &str,
+    columns: &[String],
+    selection: Option<&Expr>,
+) -> Result<Vec<(usize, Vec<Value>)>, DbError> {
+    let view = inner.current_read(txn);
+    let mut out = Vec::new();
+    for (slot_idx, slot) in inner.tables[table_idx].rows.iter().enumerate() {
+        let Some(version) = view.visible_version(slot) else {
+            continue;
+        };
+        let matched = match selection {
+            Some(sel) => {
+                let scope = EvalScope::single(effective, columns, &version.values);
+                eval(sel, &scope)?.is_truthy()
+            }
+            None => true,
+        };
+        if matched {
+            out.push((slot_idx, version.values.clone()));
+        }
+    }
+    Ok(out)
+}
+
+/// Lock targets and run Snapshot Isolation first-updater-wins validation.
+fn lock_and_validate_targets(
+    inner: &mut DbInner,
+    txn: TxnId,
+    table_idx: usize,
+    targets: &[(usize, Vec<Value>)],
+) -> Result<(), DbError> {
+    for (slot_idx, _) in targets {
+        acquire(
+            inner,
+            txn,
+            ResourceId::Row(table_idx, *slot_idx),
+            LockMode::Exclusive,
+        )?;
+    }
+    let state = inner.txns.get(&txn).expect("active txn");
+    if state.isolation.validates_write_snapshot() {
+        if let Some(snapshot) = state.snapshot_ts {
+            for (slot_idx, _) in targets {
+                let slot = &inner.tables[table_idx].rows[*slot_idx];
+                let modified_since = slot.versions.iter().any(|v| {
+                    v.begin_txn != txn
+                        && (v.begin_ts.is_some_and(|ts| ts > snapshot)
+                            || v.end_ts.is_some_and(|ts| ts > snapshot))
+                });
+                if modified_since {
+                    return Err(DbError::WriteConflict(format!(
+                        "row {slot_idx} of table {} changed after this transaction's snapshot",
+                        inner.tables[table_idx].name
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn exec_update(inner: &mut DbInner, txn: TxnId, u: &Update) -> Result<ResultSet, DbError> {
+    let table_idx = inner.table_index(&u.table)?;
+    let columns: Vec<String> = inner
+        .schema
+        .table(&u.table)
+        .ok_or_else(|| DbError::UnknownTable(u.table.clone()))?
+        .column_names()
+        .map(str::to_string)
+        .collect();
+
+    acquire(
+        inner,
+        txn,
+        ResourceId::Table(table_idx),
+        LockMode::IntentionExclusive,
+    )?;
+    // Pin the SI snapshot before writing so validation has a baseline even
+    // when the transaction starts with a write.
+    let _ = inner.read_snapshot_ts(txn);
+
+    let targets = identify_targets(
+        inner,
+        txn,
+        table_idx,
+        &u.table,
+        &columns,
+        u.selection.as_ref(),
+    )?;
+    lock_and_validate_targets(inner, txn, table_idx, &targets)?;
+
+    // Compute all new value vectors before mutating (statement atomicity).
+    let mut assignment_indices = Vec::with_capacity(u.assignments.len());
+    for a in &u.assignments {
+        let idx = columns
+            .iter()
+            .position(|c| c == &a.column)
+            .ok_or_else(|| DbError::UnknownColumn(format!("{}.{}", u.table, a.column)))?;
+        assignment_indices.push(idx);
+    }
+    let mut updated: Vec<(usize, Vec<Value>)> = Vec::with_capacity(targets.len());
+    for (slot_idx, old_values) in &targets {
+        let scope = EvalScope::single(&u.table, &columns, old_values);
+        let mut new_values = old_values.clone();
+        for (a, &ci) in u.assignments.iter().zip(&assignment_indices) {
+            new_values[ci] = eval(&a.value, &scope)?;
+        }
+        updated.push((*slot_idx, new_values));
+    }
+
+    // Apply: end the current version, append the new one.
+    let n = updated.len();
+    for (slot_idx, new_values) in updated {
+        end_current_version(inner, txn, table_idx, slot_idx)?;
+        inner.tables[table_idx].rows[slot_idx]
+            .versions
+            .push(RowVersion::uncommitted(new_values, txn));
+        let state = inner.txns.get_mut(&txn).expect("active txn");
+        state.undo.push(UndoRecord::Ended {
+            table: table_idx,
+            row: slot_idx,
+        });
+        state.undo.push(UndoRecord::Created {
+            table: table_idx,
+            row: slot_idx,
+        });
+    }
+    Ok(ResultSet::affected(n))
+}
+
+fn exec_delete(inner: &mut DbInner, txn: TxnId, d: &Delete) -> Result<ResultSet, DbError> {
+    let table_idx = inner.table_index(&d.table)?;
+    let columns: Vec<String> = inner
+        .schema
+        .table(&d.table)
+        .ok_or_else(|| DbError::UnknownTable(d.table.clone()))?
+        .column_names()
+        .map(str::to_string)
+        .collect();
+
+    acquire(
+        inner,
+        txn,
+        ResourceId::Table(table_idx),
+        LockMode::IntentionExclusive,
+    )?;
+    let _ = inner.read_snapshot_ts(txn);
+
+    let targets = identify_targets(
+        inner,
+        txn,
+        table_idx,
+        &d.table,
+        &columns,
+        d.selection.as_ref(),
+    )?;
+    lock_and_validate_targets(inner, txn, table_idx, &targets)?;
+
+    let n = targets.len();
+    for (slot_idx, _) in targets {
+        end_current_version(inner, txn, table_idx, slot_idx)?;
+        inner
+            .txns
+            .get_mut(&txn)
+            .expect("active txn")
+            .undo
+            .push(UndoRecord::Ended {
+                table: table_idx,
+                row: slot_idx,
+            });
+    }
+    Ok(ResultSet::affected(n))
+}
+
+/// Mark the currently-visible (current-read) version of a slot as ended by
+/// `txn`.
+fn end_current_version(
+    inner: &mut DbInner,
+    txn: TxnId,
+    table_idx: usize,
+    slot_idx: usize,
+) -> Result<(), DbError> {
+    let view = inner.current_read(txn);
+    let slot = &mut inner.tables[table_idx].rows[slot_idx];
+    let pos = slot
+        .versions
+        .iter()
+        .rposition(|v| view.sees(v))
+        .ok_or_else(|| DbError::Internal("target version vanished mid-statement".into()))?;
+    slot.versions[pos].end_txn = Some(txn);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
+
+    use crate::db::Database;
+    use crate::error::DbError;
+    use crate::isolation::IsolationLevel;
+    use crate::value::Value;
+
+    fn shop_schema() -> Schema {
+        Schema::new()
+            .with_table(TableSchema::new(
+                "product",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int).auto_increment(),
+                    ColumnDef::new("name", ColumnType::Str),
+                    ColumnDef::new("stock", ColumnType::Int),
+                    ColumnDef::new("price", ColumnType::Int),
+                ],
+            ))
+            .with_table(TableSchema::new(
+                "cart_items",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int).auto_increment(),
+                    ColumnDef::new("cart_id", ColumnType::Int),
+                    ColumnDef::new("product_id", ColumnType::Int),
+                    ColumnDef::new("qty", ColumnType::Int),
+                ],
+            ))
+            .with_table(TableSchema::new(
+                "users",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int).auto_increment(),
+                    ColumnDef::new("email", ColumnType::Str).unique(),
+                ],
+            ))
+    }
+
+    fn db() -> Arc<Database> {
+        let db = Database::new(shop_schema(), IsolationLevel::ReadCommitted);
+        db.seed(
+            "product",
+            vec![
+                vec![Value::Int(1), "pen".into(), Value::Int(10), Value::Int(2)],
+                vec![
+                    Value::Int(2),
+                    "laptop".into(),
+                    Value::Int(3),
+                    Value::Int(900),
+                ],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn basic_select_and_projection() {
+        let db = db();
+        let mut c = db.connect();
+        let rs = c
+            .execute("SELECT name, stock FROM product WHERE price > 100")
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.value(0, "name"), Some(&Value::Str("laptop".into())));
+        let rs = c
+            .execute("SELECT * FROM product ORDER BY price DESC")
+            .unwrap();
+        assert_eq!(rs.value(0, "name"), Some(&Value::Str("laptop".into())));
+        let rs = c
+            .execute("SELECT * FROM product ORDER BY price DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn aggregates() {
+        let db = db();
+        let mut c = db.connect();
+        assert_eq!(c.query_i64("SELECT COUNT(*) FROM product").unwrap(), 2);
+        assert_eq!(c.query_i64("SELECT SUM(stock) FROM product").unwrap(), 13);
+        assert_eq!(c.query_i64("SELECT MIN(price) FROM product").unwrap(), 2);
+        assert_eq!(c.query_i64("SELECT MAX(price) FROM product").unwrap(), 900);
+        assert_eq!(
+            c.query_i64("SELECT SUM(stock * price) FROM product")
+                .unwrap(),
+            10 * 2 + 3 * 900
+        );
+        // Empty SUM is NULL.
+        let rs = c
+            .execute("SELECT SUM(stock) FROM product WHERE price > 99999")
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Null));
+        assert_eq!(
+            c.query_i64("SELECT COUNT(*) FROM product WHERE price > 99999")
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn insert_update_delete_roundtrip() {
+        let db = db();
+        let mut c = db.connect();
+        c.execute("INSERT INTO product (name, stock, price) VALUES ('mug', 5, 7)")
+            .unwrap();
+        assert_eq!(c.query_i64("SELECT COUNT(*) FROM product").unwrap(), 3);
+        // Auto-increment continued from the seed.
+        assert_eq!(
+            c.query_i64("SELECT id FROM product WHERE name = 'mug'")
+                .unwrap(),
+            3
+        );
+        let rs = c
+            .execute("UPDATE product SET stock = stock - 2 WHERE name = 'mug'")
+            .unwrap();
+        assert_eq!(rs.affected_rows(), 1);
+        assert_eq!(
+            c.query_i64("SELECT stock FROM product WHERE name = 'mug'")
+                .unwrap(),
+            3
+        );
+        c.execute("DELETE FROM product WHERE name = 'mug'").unwrap();
+        assert_eq!(c.query_i64("SELECT COUNT(*) FROM product").unwrap(), 2);
+    }
+
+    #[test]
+    fn join_select() {
+        let db = db();
+        db.seed(
+            "cart_items",
+            vec![
+                vec![Value::Null, Value::Int(1), Value::Int(1), Value::Int(2)],
+                vec![Value::Null, Value::Int(1), Value::Int(2), Value::Int(1)],
+                vec![Value::Null, Value::Int(9), Value::Int(1), Value::Int(5)],
+            ],
+        )
+        .unwrap();
+        let mut c = db.connect();
+        let total = c
+            .query_i64(
+                "SELECT SUM(ci.qty * p.price) FROM cart_items AS ci INNER JOIN product AS p \
+                 ON p.id = ci.product_id WHERE ci.cart_id = 1",
+            )
+            .unwrap();
+        assert_eq!(total, 2 * 2 + 900);
+    }
+
+    #[test]
+    fn transactions_commit_and_rollback() {
+        let db = db();
+        let mut c = db.connect();
+        c.execute("BEGIN").unwrap();
+        c.execute("UPDATE product SET stock = 0 WHERE id = 1")
+            .unwrap();
+        c.execute("ROLLBACK").unwrap();
+        assert_eq!(
+            c.query_i64("SELECT stock FROM product WHERE id = 1")
+                .unwrap(),
+            10
+        );
+        c.execute("BEGIN").unwrap();
+        c.execute("UPDATE product SET stock = 0 WHERE id = 1")
+            .unwrap();
+        c.execute("COMMIT").unwrap();
+        assert_eq!(
+            c.query_i64("SELECT stock FROM product WHERE id = 1")
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn autocommit_zero_opens_transaction() {
+        let db = db();
+        let mut c1 = db.connect();
+        let mut c2 = db.connect();
+        c1.execute("SET autocommit=0").unwrap();
+        c1.execute("UPDATE product SET stock = 99 WHERE id = 1")
+            .unwrap();
+        // Uncommitted: another session still sees the old value.
+        assert_eq!(
+            c2.query_i64("SELECT stock FROM product WHERE id = 1")
+                .unwrap(),
+            10
+        );
+        c1.execute("COMMIT").unwrap();
+        assert_eq!(
+            c2.query_i64("SELECT stock FROM product WHERE id = 1")
+                .unwrap(),
+            99
+        );
+    }
+
+    #[test]
+    fn set_autocommit_one_commits_open_txn() {
+        let db = db();
+        let mut c = db.connect();
+        c.execute("SET autocommit=0").unwrap();
+        c.execute("UPDATE product SET stock = 42 WHERE id = 1")
+            .unwrap();
+        c.execute("SET autocommit=1").unwrap();
+        assert!(!c.in_transaction());
+        assert_eq!(db.table_rows("product").unwrap()[0][2], Value::Int(42));
+    }
+
+    #[test]
+    fn dirty_read_only_under_read_uncommitted() {
+        let db = db();
+        let mut writer = db.connect();
+        writer.execute("BEGIN").unwrap();
+        writer
+            .execute("UPDATE product SET stock = 0 WHERE id = 1")
+            .unwrap();
+
+        let mut rc = db.connect();
+        rc.set_isolation(IsolationLevel::ReadCommitted);
+        assert_eq!(
+            rc.query_i64("SELECT stock FROM product WHERE id = 1")
+                .unwrap(),
+            10
+        );
+
+        let mut ru = db.connect();
+        ru.set_isolation(IsolationLevel::ReadUncommitted);
+        assert_eq!(
+            ru.query_i64("SELECT stock FROM product WHERE id = 1")
+                .unwrap(),
+            0
+        );
+
+        writer.execute("ROLLBACK").unwrap();
+        assert_eq!(
+            ru.query_i64("SELECT stock FROM product WHERE id = 1")
+                .unwrap(),
+            10
+        );
+    }
+
+    #[test]
+    fn write_locks_block_concurrent_writers() {
+        let db = db();
+        let mut a = db.connect();
+        let mut b = db.connect();
+        a.execute("BEGIN").unwrap();
+        a.execute("UPDATE product SET stock = 5 WHERE id = 1")
+            .unwrap();
+        b.execute("BEGIN").unwrap();
+        let err = b
+            .try_execute("UPDATE product SET stock = 6 WHERE id = 1")
+            .unwrap_err();
+        assert!(matches!(err, DbError::WouldBlock { .. }), "{err}");
+        a.execute("COMMIT").unwrap();
+        // Retry succeeds and sees a's committed value underneath.
+        b.try_execute("UPDATE product SET stock = stock + 1 WHERE id = 1")
+            .unwrap();
+        b.execute("COMMIT").unwrap();
+        assert_eq!(db.table_rows("product").unwrap()[0][2], Value::Int(6));
+    }
+
+    #[test]
+    fn select_for_update_blocks_readers_for_update() {
+        let db = db();
+        let mut a = db.connect();
+        let mut b = db.connect();
+        a.execute("BEGIN").unwrap();
+        a.execute("SELECT stock FROM product WHERE id = 1 FOR UPDATE")
+            .unwrap();
+        b.execute("BEGIN").unwrap();
+        let err = b
+            .try_execute("SELECT stock FROM product WHERE id = 1 FOR UPDATE")
+            .unwrap_err();
+        assert!(matches!(err, DbError::WouldBlock { .. }));
+        // Plain reads are not blocked (MVCC).
+        assert_eq!(
+            b.query_i64("SELECT stock FROM product WHERE id = 1")
+                .unwrap(),
+            10
+        );
+        a.execute("COMMIT").unwrap();
+    }
+
+    #[test]
+    fn unique_constraint_enforced() {
+        let db = db();
+        let mut c = db.connect();
+        c.execute("INSERT INTO users (email) VALUES ('a@example.com')")
+            .unwrap();
+        let err = c
+            .execute("INSERT INTO users (email) VALUES ('a@example.com')")
+            .unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation(_)));
+        // Batch-internal duplicates are also rejected atomically.
+        let err = c
+            .execute("INSERT INTO users (email) VALUES ('b@x.com'), ('b@x.com')")
+            .unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation(_)));
+        let mut c2 = db.connect();
+        assert_eq!(c2.query_i64("SELECT COUNT(*) FROM users").unwrap(), 1);
+    }
+
+    #[test]
+    fn deadlock_detected_and_victim_rolled_back() {
+        let db = db();
+        let mut a = db.connect();
+        let mut b = db.connect();
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        a.execute("UPDATE product SET stock = 1 WHERE id = 1")
+            .unwrap();
+        b.execute("UPDATE product SET stock = 2 WHERE id = 2")
+            .unwrap();
+        assert!(matches!(
+            b.try_execute("UPDATE product SET stock = 3 WHERE id = 1"),
+            Err(DbError::WouldBlock { .. })
+        ));
+        let err = a
+            .try_execute("UPDATE product SET stock = 4 WHERE id = 2")
+            .unwrap_err();
+        assert_eq!(err, DbError::Deadlock);
+        assert!(!a.in_transaction());
+        // b can proceed now.
+        b.try_execute("UPDATE product SET stock = 3 WHERE id = 1")
+            .unwrap();
+        b.execute("COMMIT").unwrap();
+        assert_eq!(db.table_rows("product").unwrap()[0][2], Value::Int(3));
+    }
+
+    #[test]
+    fn snapshot_isolation_first_updater_wins() {
+        let db = db();
+        let mut a = db.connect();
+        let mut b = db.connect();
+        a.set_isolation(IsolationLevel::SnapshotIsolation);
+        b.set_isolation(IsolationLevel::SnapshotIsolation);
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        // Pin both snapshots.
+        a.execute("SELECT stock FROM product WHERE id = 1").unwrap();
+        b.execute("SELECT stock FROM product WHERE id = 1").unwrap();
+        a.execute("UPDATE product SET stock = 9 WHERE id = 1")
+            .unwrap();
+        a.execute("COMMIT").unwrap();
+        let err = b
+            .try_execute("UPDATE product SET stock = 8 WHERE id = 1")
+            .unwrap_err();
+        assert!(matches!(err, DbError::WriteConflict(_)), "{err}");
+        assert!(!b.in_transaction());
+        assert_eq!(db.table_rows("product").unwrap()[0][2], Value::Int(9));
+    }
+
+    #[test]
+    fn mysql_rr_reads_snapshot_but_allows_lost_update() {
+        let db = db();
+        let mut a = db.connect();
+        let mut b = db.connect();
+        a.set_isolation(IsolationLevel::MySqlRepeatableRead);
+        b.set_isolation(IsolationLevel::MySqlRepeatableRead);
+        a.execute("BEGIN").unwrap();
+        let stock_a = a
+            .query_i64("SELECT stock FROM product WHERE id = 1")
+            .unwrap();
+        assert_eq!(stock_a, 10);
+        // b commits a decrement.
+        b.execute("UPDATE product SET stock = stock - 4 WHERE id = 1")
+            .unwrap();
+        // a's repeated read still sees 10 (repeatable read)...
+        assert_eq!(
+            a.query_i64("SELECT stock FROM product WHERE id = 1")
+                .unwrap(),
+            10
+        );
+        // ...but a's blind write based on the stale read clobbers b's
+        // update: the classic Lost Update MySQL-RR admits.
+        a.execute(&format!(
+            "UPDATE product SET stock = {} WHERE id = 1",
+            stock_a - 1
+        ))
+        .unwrap();
+        a.execute("COMMIT").unwrap();
+        assert_eq!(db.table_rows("product").unwrap()[0][2], Value::Int(9));
+    }
+
+    #[test]
+    fn true_repeatable_read_prevents_lost_update_via_deadlock() {
+        let db = db();
+        let mut a = db.connect();
+        let mut b = db.connect();
+        a.set_isolation(IsolationLevel::RepeatableRead);
+        b.set_isolation(IsolationLevel::RepeatableRead);
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        a.execute("SELECT stock FROM product WHERE id = 1").unwrap();
+        b.execute("SELECT stock FROM product WHERE id = 1").unwrap();
+        // Both try to upgrade: one blocks, the other deadlocks.
+        let r1 = a.try_execute("UPDATE product SET stock = 9 WHERE id = 1");
+        assert!(matches!(r1, Err(DbError::WouldBlock { .. })));
+        let r2 = b.try_execute("UPDATE product SET stock = 8 WHERE id = 1");
+        assert_eq!(r2.unwrap_err(), DbError::Deadlock);
+        // a can now proceed.
+        a.try_execute("UPDATE product SET stock = 9 WHERE id = 1")
+            .unwrap();
+        a.execute("COMMIT").unwrap();
+        assert_eq!(db.table_rows("product").unwrap()[0][2], Value::Int(9));
+    }
+
+    #[test]
+    fn serializable_blocks_phantoms() {
+        let db = db();
+        let mut a = db.connect();
+        let mut b = db.connect();
+        a.set_isolation(IsolationLevel::Serializable);
+        b.set_isolation(IsolationLevel::Serializable);
+        a.execute("BEGIN").unwrap();
+        // Predicate read takes a shared table lock.
+        a.execute("SELECT COUNT(*) FROM product WHERE price > 1")
+            .unwrap();
+        b.execute("BEGIN").unwrap();
+        let err = b
+            .try_execute("INSERT INTO product (name, stock, price) VALUES ('x', 1, 5)")
+            .unwrap_err();
+        assert!(matches!(err, DbError::WouldBlock { .. }));
+        a.execute("COMMIT").unwrap();
+        b.try_execute("INSERT INTO product (name, stock, price) VALUES ('x', 1, 5)")
+            .unwrap();
+        b.execute("COMMIT").unwrap();
+    }
+
+    #[test]
+    fn phantom_occurs_below_serializable() {
+        for level in [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::RepeatableRead,
+            IsolationLevel::SnapshotIsolation,
+        ] {
+            let db = db();
+            let mut a = db.connect();
+            let mut b = db.connect();
+            a.set_isolation(level);
+            b.set_isolation(level);
+            a.execute("BEGIN").unwrap();
+            let before = a.query_i64("SELECT COUNT(*) FROM product").unwrap();
+            assert_eq!(before, 2, "{level}");
+            // Concurrent insert commits without blocking.
+            b.execute("INSERT INTO product (name, stock, price) VALUES ('x', 1, 5)")
+                .unwrap();
+            a.execute("COMMIT").unwrap();
+            assert_eq!(db.table_rows("product").unwrap().len(), 3, "{level}");
+        }
+    }
+
+    #[test]
+    fn query_log_records_api_tags() {
+        let db = db();
+        let mut c = db.connect();
+        c.set_api("checkout", 7);
+        c.execute("SELECT COUNT(*) FROM product").unwrap();
+        c.clear_api();
+        c.execute("SELECT COUNT(*) FROM cart_items").unwrap();
+        let log = db.log_entries();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].api.as_ref().unwrap().name, "checkout");
+        assert!(log[1].api.is_none());
+    }
+
+    #[test]
+    fn blocked_statements_are_not_logged() {
+        let db = db();
+        let mut a = db.connect();
+        let mut b = db.connect();
+        a.execute("BEGIN").unwrap();
+        a.execute("UPDATE product SET stock = 1 WHERE id = 1")
+            .unwrap();
+        let _ = b.try_execute("UPDATE product SET stock = 2 WHERE id = 1");
+        let logged: Vec<_> = db.log_entries().iter().map(|e| e.sql.clone()).collect();
+        assert!(
+            !logged.iter().any(|s| s.contains("stock = 2")),
+            "{logged:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_connection_rolls_back() {
+        let db = db();
+        {
+            let mut c = db.connect();
+            c.execute("BEGIN").unwrap();
+            c.execute("UPDATE product SET stock = 0 WHERE id = 1")
+                .unwrap();
+        }
+        assert_eq!(db.table_rows("product").unwrap()[0][2], Value::Int(10));
+        assert_eq!(db.active_transactions(), 0);
+    }
+
+    #[test]
+    fn statement_errors_keep_explicit_transaction_open() {
+        let db = db();
+        let mut c = db.connect();
+        c.execute("BEGIN").unwrap();
+        assert!(c.execute("SELECT nope FROM product").is_err());
+        assert!(c.in_transaction());
+        c.execute("UPDATE product SET stock = 7 WHERE id = 1")
+            .unwrap();
+        c.execute("COMMIT").unwrap();
+        assert_eq!(db.table_rows("product").unwrap()[0][2], Value::Int(7));
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let db = db();
+        let mut c = db.connect();
+        assert!(matches!(
+            c.execute("SELECT * FROM nope").unwrap_err(),
+            DbError::UnknownTable(_)
+        ));
+        assert!(matches!(
+            c.execute("UPDATE product SET nope = 1").unwrap_err(),
+            DbError::UnknownColumn(_)
+        ));
+        assert!(matches!(
+            c.execute("INSERT INTO product (nope) VALUES (1)")
+                .unwrap_err(),
+            DbError::UnknownColumn(_)
+        ));
+    }
+}

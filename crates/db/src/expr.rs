@@ -1,0 +1,320 @@
+//! Scalar expression evaluation against a (possibly joined) row context.
+
+use acidrain_sql::ast::{BinOp, ColumnRef, Expr, UnaryOp};
+
+use crate::error::DbError;
+use crate::value::Value;
+
+/// One table's binding in an evaluation scope.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalTable<'a> {
+    /// The name the table is referred to by in expressions (alias or name).
+    pub effective_name: &'a str,
+    /// Column names, in storage order.
+    pub columns: &'a [String],
+    /// The current row's values, parallel to `columns`.
+    pub values: &'a [Value],
+}
+
+/// The set of rows in scope while evaluating an expression (one entry per
+/// joined table).
+#[derive(Debug, Clone, Default)]
+pub struct EvalScope<'a> {
+    pub tables: Vec<EvalTable<'a>>,
+}
+
+impl<'a> EvalScope<'a> {
+    pub fn single(effective_name: &'a str, columns: &'a [String], values: &'a [Value]) -> Self {
+        EvalScope {
+            tables: vec![EvalTable {
+                effective_name,
+                columns,
+                values,
+            }],
+        }
+    }
+
+    fn lookup(&self, col: &ColumnRef) -> Result<Value, DbError> {
+        if let Some(qualifier) = &col.table {
+            let table = self
+                .tables
+                .iter()
+                .find(|t| t.effective_name == qualifier)
+                .ok_or_else(|| DbError::UnknownColumn(format!("{qualifier}.{}", col.column)))?;
+            return table
+                .columns
+                .iter()
+                .position(|c| c == &col.column)
+                .map(|i| table.values[i].clone())
+                .ok_or_else(|| DbError::UnknownColumn(format!("{qualifier}.{}", col.column)));
+        }
+        for table in &self.tables {
+            if let Some(i) = table.columns.iter().position(|c| c == &col.column) {
+                return Ok(table.values[i].clone());
+            }
+        }
+        Err(DbError::UnknownColumn(col.column.clone()))
+    }
+}
+
+/// Evaluate `expr` in `scope`. Aggregate functions are rejected here — the
+/// executor evaluates them over row sets.
+pub fn eval(expr: &Expr, scope: &EvalScope<'_>) -> Result<Value, DbError> {
+    match expr {
+        Expr::Literal(lit) => Ok(Value::from_literal(lit)),
+        Expr::Column(col) => scope.lookup(col),
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => eval(expr, scope)?.neg(),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => Ok(Value::Bool(!eval(expr, scope)?.is_truthy())),
+        Expr::Binary { left, op, right } => {
+            // Short-circuit boolean operators.
+            match op {
+                BinOp::And => {
+                    return Ok(Value::Bool(
+                        eval(left, scope)?.is_truthy() && eval(right, scope)?.is_truthy(),
+                    ));
+                }
+                BinOp::Or => {
+                    return Ok(Value::Bool(
+                        eval(left, scope)?.is_truthy() || eval(right, scope)?.is_truthy(),
+                    ));
+                }
+                _ => {}
+            }
+            let l = eval(left, scope)?;
+            let r = eval(right, scope)?;
+            match op {
+                BinOp::Add => l.add(&r),
+                BinOp::Sub => l.sub(&r),
+                BinOp::Mul => l.mul(&r),
+                BinOp::Div => l.div(&r),
+                BinOp::Eq => Ok(Value::Bool(l.sql_eq(&r).unwrap_or(false))),
+                BinOp::NotEq => Ok(Value::Bool(l.sql_eq(&r).map(|e| !e).unwrap_or(false))),
+                BinOp::Lt => Ok(Value::Bool(matches!(
+                    l.compare(&r),
+                    Some(std::cmp::Ordering::Less)
+                ))),
+                BinOp::LtEq => Ok(Value::Bool(matches!(
+                    l.compare(&r),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                ))),
+                BinOp::Gt => Ok(Value::Bool(matches!(
+                    l.compare(&r),
+                    Some(std::cmp::Ordering::Greater)
+                ))),
+                BinOp::GtEq => Ok(Value::Bool(matches!(
+                    l.compare(&r),
+                    Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                ))),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let needle = eval(expr, scope)?;
+            let mut found = false;
+            for item in list {
+                if needle.sql_eq(&eval(item, scope)?).unwrap_or(false) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::IsNull { expr, negated } => Ok(Value::Bool(eval(expr, scope)?.is_null() != *negated)),
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            match operand {
+                Some(op_expr) => {
+                    let subject = eval(op_expr, scope)?;
+                    for (when, then) in branches {
+                        if subject.sql_eq(&eval(when, scope)?).unwrap_or(false) {
+                            return eval(then, scope);
+                        }
+                    }
+                }
+                None => {
+                    for (when, then) in branches {
+                        if eval(when, scope)?.is_truthy() {
+                            return eval(then, scope);
+                        }
+                    }
+                }
+            }
+            match else_branch {
+                Some(e) => eval(e, scope),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Function { name, .. } => Err(DbError::Unsupported(format!(
+            "function {name} is not valid in scalar context (aggregates are evaluated over \
+             row sets)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acidrain_sql::parse_statement;
+    use acidrain_sql::Statement;
+
+    fn where_expr(sql: &str) -> Expr {
+        match parse_statement(&format!("SELECT * FROM t WHERE {sql}")).unwrap() {
+            Statement::Select(s) => s.selection.unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn scope_with(cols: &[&str], vals: &[Value]) -> (Vec<String>, Vec<Value>) {
+        (cols.iter().map(|s| s.to_string()).collect(), vals.to_vec())
+    }
+
+    fn eval_where(sql: &str, cols: &[&str], vals: &[Value]) -> Value {
+        let (cols, vals) = scope_with(cols, vals);
+        let scope = EvalScope::single("t", &cols, &vals);
+        eval(&where_expr(sql), &scope).unwrap()
+    }
+
+    #[test]
+    fn comparisons_and_boolean_logic() {
+        let cols = ["stock", "name"];
+        let vals = [Value::Int(5), Value::Str("pen".into())];
+        assert_eq!(eval_where("stock >= 5", &cols, &vals), Value::Bool(true));
+        assert_eq!(eval_where("stock > 5", &cols, &vals), Value::Bool(false));
+        assert_eq!(
+            eval_where("stock = 5 AND name = 'pen'", &cols, &vals),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_where("stock != 5 OR name != 'pen'", &cols, &vals),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_where("NOT stock = 5", &cols, &vals),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn arithmetic_in_predicates() {
+        assert_eq!(
+            eval_where("stock - 2 = 3", &["stock"], &[Value::Int(5)]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_where("stock * 2 + 1 = 11", &["stock"], &[Value::Int(5)]),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn in_list_and_is_null() {
+        assert_eq!(
+            eval_where("stock IN (1, 5, 9)", &["stock"], &[Value::Int(5)]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_where("stock NOT IN (1, 5, 9)", &["stock"], &[Value::Int(5)]),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_where("stock IS NULL", &["stock"], &[Value::Null]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_where("stock IS NOT NULL", &["stock"], &[Value::Null]),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn case_with_operand() {
+        // The Magento Figure-7 pattern.
+        let cols = ["product_id", "qty"];
+        let vals = [Value::Int(2048), Value::Int(10)];
+        let (c, v) = scope_with(&cols, &vals);
+        let scope = EvalScope::single("t", &c, &v);
+        let expr = where_expr("CASE product_id WHEN 2048 THEN qty - 1 ELSE qty END = 9");
+        assert_eq!(eval(&expr, &scope).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn case_without_operand_and_else_default() {
+        assert_eq!(
+            eval_where(
+                "CASE WHEN stock > 3 THEN 1 ELSE 0 END = 1",
+                &["stock"],
+                &[Value::Int(5)]
+            ),
+            Value::Bool(true)
+        );
+        // No ELSE and no matching branch -> NULL.
+        assert_eq!(
+            eval_where(
+                "CASE WHEN stock > 9 THEN 1 END IS NULL",
+                &["stock"],
+                &[Value::Int(5)]
+            ),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn null_predicates_are_false() {
+        assert_eq!(
+            eval_where("stock = 5", &["stock"], &[Value::Null]),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_where("stock != 5", &["stock"], &[Value::Null]),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn qualified_lookup_and_unknown_column() {
+        let cols_a = vec!["x".to_string()];
+        let vals_a = vec![Value::Int(1)];
+        let cols_b = vec!["y".to_string()];
+        let vals_b = vec![Value::Int(2)];
+        let scope = EvalScope {
+            tables: vec![
+                EvalTable {
+                    effective_name: "a",
+                    columns: &cols_a,
+                    values: &vals_a,
+                },
+                EvalTable {
+                    effective_name: "b",
+                    columns: &cols_b,
+                    values: &vals_b,
+                },
+            ],
+        };
+        let e = where_expr("a.x + b.y = 3");
+        assert_eq!(eval(&e, &scope).unwrap(), Value::Bool(true));
+        let e = where_expr("a.missing = 1");
+        assert!(matches!(eval(&e, &scope), Err(DbError::UnknownColumn(_))));
+        let e = where_expr("nowhere = 1");
+        assert!(matches!(eval(&e, &scope), Err(DbError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn aggregates_rejected_in_scalar_context() {
+        let e = where_expr("COUNT(*) = 1");
+        let scope = EvalScope::default();
+        assert!(matches!(eval(&e, &scope), Err(DbError::Unsupported(_))));
+    }
+}

@@ -1,0 +1,95 @@
+//! Result sets returned by statement execution.
+
+use crate::value::Value;
+
+/// The result of executing one statement: a (possibly empty) table of
+/// values. Mutating statements report their affected-row count via
+/// [`ResultSet::affected`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    pub fn empty() -> Self {
+        ResultSet::default()
+    }
+
+    /// A conventional result for mutations: one row, one `affected` column.
+    pub fn affected(n: usize) -> Self {
+        ResultSet {
+            columns: vec!["affected".to_string()],
+            rows: vec![vec![Value::Int(n as i64)]],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Value at (`row`, `column`), by column name.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let idx = self.columns.iter().position(|c| c == column)?;
+        self.rows.get(row)?.get(idx)
+    }
+
+    /// First row, first column — for single-value queries.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first()?.first()
+    }
+
+    /// First row, first column as i64 (counts, sums, ids).
+    pub fn scalar_i64(&self) -> Option<i64> {
+        self.scalar()?.as_i64()
+    }
+
+    /// Affected-row count of a mutation result.
+    pub fn affected_rows(&self) -> usize {
+        self.scalar_i64().unwrap_or(0) as usize
+    }
+
+    /// Auto-increment id assigned by an INSERT, when any.
+    pub fn last_insert_id(&self) -> Option<i64> {
+        self.value(0, "last_insert_id")?.as_i64()
+    }
+
+    /// All values of a named column.
+    pub fn column_values(&self, column: &str) -> Vec<&Value> {
+        match self.columns.iter().position(|c| c == column) {
+            Some(idx) => self.rows.iter().filter_map(|r| r.get(idx)).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let rs = ResultSet {
+            columns: vec!["id".into(), "qty".into()],
+            rows: vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+        };
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.value(1, "qty"), Some(&Value::Int(20)));
+        assert_eq!(rs.value(1, "missing"), None);
+        assert_eq!(rs.scalar_i64(), Some(1));
+        assert_eq!(rs.column_values("id"), vec![&Value::Int(1), &Value::Int(2)]);
+    }
+
+    #[test]
+    fn affected_roundtrip() {
+        assert_eq!(ResultSet::affected(3).affected_rows(), 3);
+        assert!(ResultSet::empty().is_empty());
+    }
+}

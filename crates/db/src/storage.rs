@@ -1,0 +1,226 @@
+//! Multi-version row storage.
+//!
+//! Each logical row occupies a stable slot in its table; writes append new
+//! versions to the slot's chain. Version visibility is decided against a
+//! [`ReadView`], which encodes the isolation level's read rule.
+
+use crate::txn::TxnId;
+use crate::value::Value;
+
+/// One version of a row.
+#[derive(Debug, Clone)]
+pub struct RowVersion {
+    pub values: Vec<Value>,
+    /// Transaction that created this version.
+    pub begin_txn: TxnId,
+    /// Commit timestamp of the creator; `None` while uncommitted.
+    pub begin_ts: Option<u64>,
+    /// Transaction that ended this version (delete or superseding update).
+    pub end_txn: Option<TxnId>,
+    /// Commit timestamp of the ender; `None` while the ender is uncommitted
+    /// or the version is live.
+    pub end_ts: Option<u64>,
+}
+
+impl RowVersion {
+    /// A version created (and already committed) at timestamp `ts`.
+    pub fn committed(values: Vec<Value>, ts: u64) -> Self {
+        RowVersion {
+            values,
+            begin_txn: TxnId(0),
+            begin_ts: Some(ts),
+            end_txn: None,
+            end_ts: None,
+        }
+    }
+
+    /// A fresh uncommitted version created by `txn`.
+    pub fn uncommitted(values: Vec<Value>, txn: TxnId) -> Self {
+        RowVersion {
+            values,
+            begin_txn: txn,
+            begin_ts: None,
+            end_txn: None,
+            end_ts: None,
+        }
+    }
+
+    /// Whether no transaction, committed or not, has ended this version.
+    pub fn is_open(&self) -> bool {
+        self.end_txn.is_none()
+    }
+}
+
+/// A stable slot holding the version chain of one logical row (newest last).
+#[derive(Debug, Clone, Default)]
+pub struct RowSlot {
+    pub versions: Vec<RowVersion>,
+}
+
+/// Data pages for one table.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    pub name: String,
+    pub rows: Vec<RowSlot>,
+    /// Next value handed out for auto-increment columns.
+    pub auto_counter: i64,
+}
+
+impl TableData {
+    pub fn new(name: impl Into<String>) -> Self {
+        TableData {
+            name: name.into(),
+            rows: Vec::new(),
+            auto_counter: 1,
+        }
+    }
+
+    pub fn next_auto(&mut self) -> i64 {
+        let v = self.auto_counter;
+        self.auto_counter += 1;
+        v
+    }
+}
+
+/// A read rule: which version of each row is visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadView {
+    /// See the newest version regardless of commit status, hiding versions
+    /// ended by anyone (Read Uncommitted).
+    Latest { txn: TxnId },
+    /// See versions committed at or before `as_of`, plus this transaction's
+    /// own writes.
+    Snapshot { as_of: u64, txn: TxnId },
+}
+
+impl ReadView {
+    /// Whether `version` is visible under this view.
+    pub fn sees(&self, version: &RowVersion) -> bool {
+        match *self {
+            ReadView::Latest { txn } => {
+                // Any creator counts; any ender (even uncommitted) hides it,
+                // except that a version we ended ourselves is also hidden.
+                let _ = txn;
+                version.is_open()
+            }
+            ReadView::Snapshot { as_of, txn } => {
+                let begin_visible =
+                    version.begin_txn == txn || version.begin_ts.is_some_and(|ts| ts <= as_of);
+                if !begin_visible {
+                    return false;
+                }
+                let end_visible =
+                    version.end_txn == Some(txn) || version.end_ts.is_some_and(|ts| ts <= as_of);
+                !end_visible
+            }
+        }
+    }
+
+    /// The visible version in `slot`, if any. Version chains contain at
+    /// most one visible version per view by construction.
+    pub fn visible_version<'a>(&self, slot: &'a RowSlot) -> Option<&'a RowVersion> {
+        slot.versions.iter().rev().find(|v| self.sees(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(vals: i64) -> Vec<Value> {
+        vec![Value::Int(vals)]
+    }
+
+    #[test]
+    fn snapshot_sees_committed_at_or_before() {
+        let version = RowVersion::committed(v(1), 5);
+        let view = ReadView::Snapshot {
+            as_of: 5,
+            txn: TxnId(9),
+        };
+        assert!(view.sees(&version));
+        let early = ReadView::Snapshot {
+            as_of: 4,
+            txn: TxnId(9),
+        };
+        assert!(!early.sees(&version));
+    }
+
+    #[test]
+    fn snapshot_sees_own_uncommitted_writes() {
+        let version = RowVersion::uncommitted(v(1), TxnId(3));
+        let own = ReadView::Snapshot {
+            as_of: 10,
+            txn: TxnId(3),
+        };
+        let other = ReadView::Snapshot {
+            as_of: 10,
+            txn: TxnId(4),
+        };
+        assert!(own.sees(&version));
+        assert!(!other.sees(&version));
+    }
+
+    #[test]
+    fn snapshot_hides_versions_ended_before_as_of() {
+        let mut version = RowVersion::committed(v(1), 1);
+        version.end_txn = Some(TxnId(2));
+        version.end_ts = Some(3);
+        assert!(!ReadView::Snapshot {
+            as_of: 3,
+            txn: TxnId(9)
+        }
+        .sees(&version));
+        // An uncommitted delete by another transaction does not hide it.
+        let mut version = RowVersion::committed(v(1), 1);
+        version.end_txn = Some(TxnId(2));
+        assert!(ReadView::Snapshot {
+            as_of: 3,
+            txn: TxnId(9)
+        }
+        .sees(&version));
+        // ... but the deleter itself no longer sees it.
+        assert!(!ReadView::Snapshot {
+            as_of: 3,
+            txn: TxnId(2)
+        }
+        .sees(&version));
+    }
+
+    #[test]
+    fn latest_sees_uncommitted_and_respects_any_delete() {
+        let version = RowVersion::uncommitted(v(1), TxnId(3));
+        assert!(ReadView::Latest { txn: TxnId(4) }.sees(&version));
+        let mut deleted = RowVersion::committed(v(1), 1);
+        deleted.end_txn = Some(TxnId(5));
+        assert!(!ReadView::Latest { txn: TxnId(4) }.sees(&deleted));
+    }
+
+    #[test]
+    fn visible_version_picks_newest_visible() {
+        let mut slot = RowSlot::default();
+        let mut old = RowVersion::committed(v(1), 1);
+        old.end_txn = Some(TxnId(0));
+        old.end_ts = Some(2);
+        slot.versions.push(old);
+        slot.versions.push(RowVersion::committed(v(2), 2));
+        let view = ReadView::Snapshot {
+            as_of: 10,
+            txn: TxnId(9),
+        };
+        assert_eq!(view.visible_version(&slot).unwrap().values, v(2));
+        // At as_of = 1 the old version is the visible one.
+        let view = ReadView::Snapshot {
+            as_of: 1,
+            txn: TxnId(9),
+        };
+        assert_eq!(view.visible_version(&slot).unwrap().values, v(1));
+    }
+
+    #[test]
+    fn auto_counter_increments() {
+        let mut t = TableData::new("t");
+        assert_eq!(t.next_auto(), 1);
+        assert_eq!(t.next_auto(), 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Transaction identifiers, per-transaction state, and undo records.
+
+use crate::isolation::IsolationLevel;
+
+/// A transaction identifier, unique for the lifetime of a [`crate::Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// An entry in a transaction's undo log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UndoRecord {
+    /// The transaction created a new version in `table`/`row`.
+    Created { table: usize, row: usize },
+    /// The transaction marked an existing version in `table`/`row` as ended
+    /// (deleted or superseded by an update).
+    Ended { table: usize, row: usize },
+}
+
+/// State of one active transaction.
+#[derive(Debug)]
+pub struct TxnState {
+    pub id: TxnId,
+    pub isolation: IsolationLevel,
+    /// Commit-timestamp snapshot for consistent reads. For
+    /// transaction-snapshot levels (MySQL-RR, SI) this is pinned at the
+    /// first data statement; otherwise it is refreshed per statement.
+    pub snapshot_ts: Option<u64>,
+    pub undo: Vec<UndoRecord>,
+    /// Set when the transaction was started implicitly to serve a single
+    /// autocommit statement.
+    pub implicit: bool,
+}
+
+impl TxnState {
+    pub fn new(id: TxnId, isolation: IsolationLevel, implicit: bool) -> Self {
+        TxnState {
+            id,
+            isolation,
+            snapshot_ts: None,
+            undo: Vec::new(),
+            implicit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_ids_order_and_display() {
+        assert!(TxnId(1) < TxnId(2));
+        assert_eq!(TxnId(7).to_string(), "txn#7");
+    }
+
+    #[test]
+    fn new_state_is_empty() {
+        let t = TxnState::new(TxnId(1), IsolationLevel::ReadCommitted, false);
+        assert!(t.undo.is_empty());
+        assert_eq!(t.snapshot_ts, None);
+        assert!(!t.implicit);
+    }
+}

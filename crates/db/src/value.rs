@@ -1,0 +1,263 @@
+//! Runtime values and their SQL-flavoured comparison and arithmetic
+//! semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use acidrain_sql::ast::Literal;
+
+use crate::error::DbError;
+
+/// A runtime value stored in a row or produced by expression evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+impl Value {
+    pub fn from_literal(lit: &Literal) -> Value {
+        match lit {
+            Literal::Int(v) => Value::Int(*v),
+            Literal::Float(v) => Value::Float(*v),
+            Literal::Str(s) => Value::Str(s.clone()),
+            Literal::Bool(b) => Value::Bool(*b),
+            Literal::Null => Value::Null,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL truthiness: booleans are themselves, numbers are true when
+    /// non-zero (MySQL style), NULL is false, strings are false.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Str(_) | Value::Null => false,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(f64::from(u8::from(*b))),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Three-valued SQL comparison: `None` when either side is NULL or the
+    /// types are incomparable.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality for predicates: NULL = anything is unknown (false-ish).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.compare(other).map(|o| o == Ordering::Equal)
+    }
+
+    pub fn add(&self, other: &Value) -> Result<Value, DbError> {
+        numeric_binop(self, other, "+", |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    pub fn sub(&self, other: &Value) -> Result<Value, DbError> {
+        numeric_binop(self, other, "-", |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    pub fn mul(&self, other: &Value) -> Result<Value, DbError> {
+        numeric_binop(self, other, "*", |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// Division always produces a float (MySQL `/` semantics); division by
+    /// zero yields NULL.
+    pub fn div(&self, other: &Value) -> Result<Value, DbError> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        let (a, b) = (
+            self.as_f64().ok_or_else(|| type_error("/", self, other))?,
+            other.as_f64().ok_or_else(|| type_error("/", self, other))?,
+        );
+        if b == 0.0 {
+            Ok(Value::Null)
+        } else {
+            Ok(Value::Float(a / b))
+        }
+    }
+
+    pub fn neg(&self) -> Result<Value, DbError> {
+        match self {
+            Value::Int(v) => Ok(Value::Int(-v)),
+            Value::Float(v) => Ok(Value::Float(-v)),
+            Value::Null => Ok(Value::Null),
+            other => Err(DbError::Type(format!("cannot negate {other}"))),
+        }
+    }
+}
+
+fn numeric_binop(
+    a: &Value,
+    b: &Value,
+    op: &str,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    float_op: impl Fn(f64, f64) -> f64,
+) -> Result<Value, DbError> {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Int(x), Value::Int(y)) => int_op(*x, *y)
+            .map(Value::Int)
+            .ok_or_else(|| DbError::Type(format!("integer overflow in {x} {op} {y}"))),
+        _ => {
+            let (x, y) = (
+                a.as_f64().ok_or_else(|| type_error(op, a, b))?,
+                b.as_f64().ok_or_else(|| type_error(op, a, b))?,
+            );
+            Ok(Value::Float(float_op(x, y)))
+        }
+    }
+}
+
+fn type_error(op: &str, a: &Value, b: &Value) -> DbError {
+    DbError::Type(format!("invalid operands for {op}: {a} and {b}"))
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_coerces_numerics() {
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Str("a".into()).compare(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn mixed_type_comparison_is_unknown() {
+        assert_eq!(Value::Str("a".into()).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            Value::Int(2).mul(&Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(Value::Int(7).sub(&Value::Int(9)).unwrap(), Value::Int(-2));
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
+        assert_eq!(Value::Int(7).div(&Value::Int(0)).unwrap(), Value::Null);
+        assert!(Value::Str("x".into()).add(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn arithmetic_with_null_is_null() {
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(1).mul(&Value::Null).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Str("yes".into()).is_truthy());
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(Value::Int(5).neg().unwrap(), Value::Int(-5));
+        assert_eq!(Value::Null.neg().unwrap(), Value::Null);
+        assert!(Value::Str("x".into()).neg().is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! Executor edge cases: the corners of the SQL subset that the app
+//! simulators lean on implicitly.
+
+use std::sync::Arc;
+
+use acidrain_db::{Database, DbError, IsolationLevel, Value};
+use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
+
+fn db() -> Arc<Database> {
+    let schema = Schema::new()
+        .with_table(TableSchema::new(
+            "items",
+            vec![
+                ColumnDef::new("id", ColumnType::Int).auto_increment(),
+                ColumnDef::new("name", ColumnType::Str),
+                ColumnDef::new("qty", ColumnType::Int),
+                ColumnDef::new("price", ColumnType::Float),
+                ColumnDef::new("tag", ColumnType::Str),
+            ],
+        ))
+        .with_table(TableSchema::new(
+            "empty_table",
+            vec![ColumnDef::new("x", ColumnType::Int)],
+        ));
+    let d = Database::new(schema, IsolationLevel::ReadCommitted);
+    d.seed(
+        "items",
+        vec![
+            vec![
+                Value::Null,
+                "pen".into(),
+                Value::Int(5),
+                Value::Float(1.5),
+                Value::Null,
+            ],
+            vec![
+                Value::Null,
+                "ink".into(),
+                Value::Int(5),
+                Value::Float(2.5),
+                "blue".into(),
+            ],
+            vec![
+                Value::Null,
+                "pad".into(),
+                Value::Int(9),
+                Value::Float(0.5),
+                Value::Null,
+            ],
+        ],
+    )
+    .unwrap();
+    d
+}
+
+#[test]
+fn limit_zero_returns_nothing() {
+    let d = db();
+    let mut c = d.connect();
+    let rs = c.execute("SELECT * FROM items LIMIT 0").unwrap();
+    assert!(rs.is_empty());
+    assert_eq!(rs.columns.len(), 5);
+}
+
+#[test]
+fn order_by_is_stable_for_equal_keys() {
+    let d = db();
+    let mut c = d.connect();
+    // qty 5, 5, 9: the two fives keep insertion order.
+    let rs = c
+        .execute("SELECT name FROM items ORDER BY qty ASC")
+        .unwrap();
+    let names: Vec<&str> = rs.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+    assert_eq!(names, vec!["pen", "ink", "pad"]);
+    let rs = c
+        .execute("SELECT name FROM items ORDER BY qty DESC, price ASC")
+        .unwrap();
+    let names: Vec<&str> = rs.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+    assert_eq!(names, vec!["pad", "pen", "ink"]);
+}
+
+#[test]
+fn null_predicates_and_is_null() {
+    let d = db();
+    let mut c = d.connect();
+    // Comparisons with NULL never match.
+    assert_eq!(
+        c.query_i64("SELECT COUNT(*) FROM items WHERE tag = 'blue'")
+            .unwrap(),
+        1
+    );
+    assert_eq!(
+        c.query_i64("SELECT COUNT(*) FROM items WHERE tag != 'blue'")
+            .unwrap(),
+        0
+    );
+    assert_eq!(
+        c.query_i64("SELECT COUNT(*) FROM items WHERE tag IS NULL")
+            .unwrap(),
+        2
+    );
+    assert_eq!(
+        c.query_i64("SELECT COUNT(*) FROM items WHERE tag IS NOT NULL")
+            .unwrap(),
+        1
+    );
+}
+
+#[test]
+fn aggregates_over_empty_and_null() {
+    let d = db();
+    let mut c = d.connect();
+    assert_eq!(c.query_i64("SELECT COUNT(*) FROM empty_table").unwrap(), 0);
+    let rs = c.execute("SELECT SUM(x) FROM empty_table").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Null));
+    let rs = c.execute("SELECT MIN(x) FROM empty_table").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Null));
+    // COUNT(col) skips NULLs; COUNT(*) does not.
+    assert_eq!(c.query_i64("SELECT COUNT(tag) FROM items").unwrap(), 1);
+    assert_eq!(c.query_i64("SELECT COUNT(*) FROM items").unwrap(), 3);
+    // AVG over floats.
+    let rs = c.execute("SELECT AVG(price) FROM items").unwrap();
+    let avg = rs.scalar().unwrap().as_f64().unwrap();
+    assert!((avg - 1.5).abs() < 1e-9, "{avg}");
+}
+
+#[test]
+fn update_without_where_touches_all_rows() {
+    let d = db();
+    let mut c = d.connect();
+    let rs = c.execute("UPDATE items SET qty = qty + 1").unwrap();
+    assert_eq!(rs.affected_rows(), 3);
+    assert_eq!(c.query_i64("SELECT SUM(qty) FROM items").unwrap(), 22);
+}
+
+#[test]
+fn update_with_no_match_affects_nothing() {
+    let d = db();
+    let mut c = d.connect();
+    let rs = c
+        .execute("UPDATE items SET qty = 0 WHERE name = 'missing'")
+        .unwrap();
+    assert_eq!(rs.affected_rows(), 0);
+    assert_eq!(c.query_i64("SELECT SUM(qty) FROM items").unwrap(), 19);
+}
+
+#[test]
+fn delete_everything_and_reinsert() {
+    let d = db();
+    let mut c = d.connect();
+    let rs = c.execute("DELETE FROM items").unwrap();
+    assert_eq!(rs.affected_rows(), 3);
+    assert_eq!(c.query_i64("SELECT COUNT(*) FROM items").unwrap(), 0);
+    // Auto-increment continues after the wipe.
+    let rs = c
+        .execute("INSERT INTO items (name, qty, price) VALUES ('new', 1, 1.0)")
+        .unwrap();
+    assert_eq!(rs.last_insert_id(), Some(4));
+}
+
+#[test]
+fn multi_row_insert_assigns_sequential_ids() {
+    let d = db();
+    let mut c = d.connect();
+    let rs = c
+        .execute("INSERT INTO items (name, qty, price) VALUES ('a', 1, 1.0), ('b', 2, 2.0)")
+        .unwrap();
+    assert_eq!(rs.affected_rows(), 2);
+    assert_eq!(rs.last_insert_id(), Some(5), "last id of the batch");
+    assert_eq!(
+        c.query_i64("SELECT id FROM items WHERE name = 'a'")
+            .unwrap(),
+        4
+    );
+}
+
+#[test]
+fn in_list_and_case_in_where() {
+    let d = db();
+    let mut c = d.connect();
+    assert_eq!(
+        c.query_i64("SELECT COUNT(*) FROM items WHERE name IN ('pen', 'pad', 'nope')")
+            .unwrap(),
+        2
+    );
+    assert_eq!(
+        c.query_i64("SELECT COUNT(*) FROM items WHERE CASE WHEN qty > 6 THEN 1 ELSE 0 END = 1")
+            .unwrap(),
+        1
+    );
+}
+
+#[test]
+fn arithmetic_expressions_in_projection() {
+    let d = db();
+    let mut c = d.connect();
+    let rs = c
+        .execute("SELECT name, qty * price AS total FROM items WHERE name = 'ink'")
+        .unwrap();
+    assert_eq!(rs.value(0, "total"), Some(&Value::Float(12.5)));
+}
+
+#[test]
+fn float_and_int_comparisons_coerce() {
+    let d = db();
+    let mut c = d.connect();
+    assert_eq!(
+        c.query_i64("SELECT COUNT(*) FROM items WHERE price > 1")
+            .unwrap(),
+        2
+    );
+    assert_eq!(
+        c.query_i64("SELECT COUNT(*) FROM items WHERE price = 1.5")
+            .unwrap(),
+        1
+    );
+}
+
+#[test]
+fn division_by_zero_is_null() {
+    let d = db();
+    let mut c = d.connect();
+    let rs = c.execute("SELECT qty / 0 FROM items LIMIT 1").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Null));
+}
+
+#[test]
+fn select_for_update_on_empty_match_succeeds() {
+    let d = db();
+    let mut c = d.connect();
+    c.execute("BEGIN").unwrap();
+    let rs = c
+        .execute("SELECT * FROM items WHERE name = 'missing' FOR UPDATE")
+        .unwrap();
+    assert!(rs.is_empty());
+    c.execute("COMMIT").unwrap();
+}
+
+#[test]
+fn implicit_txn_rolls_back_failed_statement() {
+    let d = db();
+    let mut c = d.connect();
+    // Unknown column: the autocommit statement fails atomically.
+    let err = c.execute("UPDATE items SET nope = 1").unwrap_err();
+    assert!(matches!(err, DbError::UnknownColumn(_)));
+    assert!(!c.in_transaction());
+    assert_eq!(c.query_i64("SELECT SUM(qty) FROM items").unwrap(), 19);
+}
+
+#[test]
+fn commit_and_rollback_without_txn_are_noops() {
+    let d = db();
+    let mut c = d.connect();
+    c.execute("COMMIT").unwrap();
+    c.execute("ROLLBACK").unwrap();
+    assert!(!c.in_transaction());
+}
+
+#[test]
+fn begin_inside_txn_commits_previous() {
+    let d = db();
+    let mut c = d.connect();
+    c.execute("BEGIN").unwrap();
+    c.execute("UPDATE items SET qty = 100 WHERE id = 1")
+        .unwrap();
+    // MySQL semantics: BEGIN implicitly commits the open transaction.
+    c.execute("BEGIN").unwrap();
+    c.execute("ROLLBACK").unwrap();
+    assert_eq!(
+        c.query_i64("SELECT qty FROM items WHERE id = 1").unwrap(),
+        100
+    );
+}
+
+#[test]
+fn tableless_select_expression() {
+    let d = db();
+    let mut c = d.connect();
+    assert_eq!(c.query_i64("SELECT 2 + 3 * 4").unwrap(), 14);
+}
+
+#[test]
+fn join_with_no_matches_is_empty() {
+    let d = db();
+    let mut c = d.connect();
+    let rs = c
+        .execute("SELECT i.name FROM items AS i INNER JOIN empty_table AS e ON e.x = i.qty")
+        .unwrap();
+    assert!(rs.is_empty());
+}
+
+#[test]
+fn snapshot_reads_skip_locks_entirely() {
+    // MVCC reads never block, even against a long-lived writer.
+    let d = db();
+    let mut writer = d.connect();
+    writer.execute("BEGIN").unwrap();
+    writer.execute("UPDATE items SET qty = 0").unwrap();
+    let mut reader = d.connect();
+    for _ in 0..3 {
+        assert_eq!(reader.query_i64("SELECT SUM(qty) FROM items").unwrap(), 19);
+    }
+    writer.execute("ROLLBACK").unwrap();
+}

@@ -1,0 +1,132 @@
+//! Property tests for the lock manager and MVCC visibility invariants.
+
+use proptest::prelude::*;
+
+use acidrain_db::lock::{LockManager, LockMode, LockOutcome, ResourceId};
+use acidrain_db::storage::{ReadView, RowSlot, RowVersion};
+use acidrain_db::txn::TxnId;
+use acidrain_db::Value;
+
+#[derive(Debug, Clone)]
+enum LockOp {
+    Acquire {
+        txn: u8,
+        table: u8,
+        row: Option<u8>,
+        exclusive: bool,
+    },
+    Release {
+        txn: u8,
+    },
+}
+
+fn lock_op() -> impl Strategy<Value = LockOp> {
+    prop_oneof![
+        (0u8..4, 0u8..2, proptest::option::of(0u8..3), any::<bool>()).prop_map(
+            |(txn, table, row, exclusive)| LockOp::Acquire {
+                txn,
+                table,
+                row,
+                exclusive
+            }
+        ),
+        (0u8..4).prop_map(|txn| LockOp::Release { txn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// After any sequence of acquires and releases, no two transactions
+    /// hold incompatible locks on the same resource, and releases leave
+    /// nothing dangling.
+    #[test]
+    fn lock_manager_never_grants_conflicting_locks(ops in proptest::collection::vec(lock_op(), 1..60)) {
+        let mut lm = LockManager::new();
+        // Shadow model of granted locks: (txn, resource, mode).
+        let mut granted: Vec<(TxnId, ResourceId, LockMode)> = Vec::new();
+        for op in ops {
+            match op {
+                LockOp::Acquire { txn, table, row, exclusive } => {
+                    let txn = TxnId(txn as u64 + 1);
+                    let resource = match row {
+                        Some(r) => ResourceId::Row(table as usize, r as usize),
+                        None => ResourceId::Table(table as usize),
+                    };
+                    let mode = match (row.is_some(), exclusive) {
+                        (true, true) => LockMode::Exclusive,
+                        (true, false) => LockMode::Shared,
+                        (false, true) => LockMode::IntentionExclusive,
+                        (false, false) => LockMode::IntentionShared,
+                    };
+                    match lm.acquire(txn, resource, mode) {
+                        LockOutcome::Granted => {
+                            // Check against the shadow model.
+                            for (other, res, held) in &granted {
+                                if *other != txn && *res == resource {
+                                    prop_assert!(
+                                        held.compatible(mode),
+                                        "granted {mode:?} to {txn} while {other} holds {held:?}"
+                                    );
+                                }
+                            }
+                            granted.push((txn, resource, mode));
+                        }
+                        LockOutcome::Blocked(holders) => {
+                            prop_assert!(!holders.is_empty());
+                            prop_assert!(!holders.contains(&txn), "cannot block on self");
+                        }
+                        LockOutcome::Deadlock => {
+                            // The requester keeps its current locks; no
+                            // state change to model.
+                        }
+                    }
+                }
+                LockOp::Release { txn } => {
+                    let txn = TxnId(txn as u64 + 1);
+                    lm.release_all(txn);
+                    granted.retain(|(t, _, _)| *t != txn);
+                }
+            }
+        }
+        // Release everyone: the lock table must drain completely.
+        for t in 1..=4 {
+            lm.release_all(TxnId(t));
+        }
+        prop_assert_eq!(lm.locked_resources(), 0);
+    }
+
+    /// MVCC visibility: under any snapshot, at most one version per slot
+    /// is visible, and it is the newest version whose begin is visible.
+    #[test]
+    fn at_most_one_visible_version(
+        commits in proptest::collection::vec(1u64..20, 1..8),
+        as_of in 0u64..25,
+    ) {
+        // Build a version chain where version i is committed at ts[i] and
+        // superseded at ts[i+1].
+        let mut ts: Vec<u64> = commits;
+        ts.sort_unstable();
+        ts.dedup();
+        let mut slot = RowSlot::default();
+        for (i, &begin) in ts.iter().enumerate() {
+            let mut v = RowVersion::committed(vec![Value::Int(i as i64)], begin);
+            if let Some(&end) = ts.get(i + 1) {
+                v.end_txn = Some(TxnId(0));
+                v.end_ts = Some(end);
+            }
+            slot.versions.push(v);
+        }
+        let view = ReadView::Snapshot { as_of, txn: TxnId(999) };
+        let visible: Vec<&RowVersion> =
+            slot.versions.iter().filter(|v| view.sees(v)).collect();
+        prop_assert!(visible.len() <= 1, "{} versions visible at {as_of}", visible.len());
+        // If any version is committed at or before as_of, exactly one must
+        // be visible (the chain is contiguous).
+        if ts.first().is_some_and(|first| *first <= as_of) {
+            prop_assert_eq!(visible.len(), 1);
+            let expected = ts.iter().filter(|t| **t <= as_of).count() - 1;
+            prop_assert_eq!(visible[0].values[0].as_i64(), Some(expected as i64));
+        }
+    }
+}

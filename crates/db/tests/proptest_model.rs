@@ -1,0 +1,247 @@
+//! Model-based property tests: the database, driven serially, must agree
+//! with a trivial in-memory model; driven concurrently under Serializable,
+//! it must never lose updates.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use acidrain_db::{Database, DbError, IsolationLevel, Value};
+use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
+
+fn counter_schema() -> Schema {
+    Schema::new().with_table(TableSchema::new(
+        "items",
+        vec![
+            ColumnDef::new("id", ColumnType::Int).auto_increment(),
+            ColumnDef::new("bucket", ColumnType::Int),
+            ColumnDef::new("qty", ColumnType::Int),
+        ],
+    ))
+}
+
+/// Operations the model understands.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { bucket: i64, qty: i64 },
+    AddQty { bucket: i64, delta: i64 },
+    Delete { bucket: i64 },
+    SetQty { bucket: i64, qty: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let bucket = 0i64..4;
+    prop_oneof![
+        (bucket.clone(), 0i64..100).prop_map(|(bucket, qty)| Op::Insert { bucket, qty }),
+        (bucket.clone(), -10i64..10).prop_map(|(bucket, delta)| Op::AddQty { bucket, delta }),
+        bucket.clone().prop_map(|bucket| Op::Delete { bucket }),
+        (bucket, 0i64..100).prop_map(|(bucket, qty)| Op::SetQty { bucket, qty }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serial execution agrees with a Vec-backed model after every step.
+    #[test]
+    fn serial_execution_matches_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let db = Database::new(counter_schema(), IsolationLevel::ReadCommitted);
+        let mut conn = db.connect();
+        // model: live (bucket, qty) pairs.
+        let mut model: Vec<(i64, i64)> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Insert { bucket, qty } => {
+                    conn.execute(&format!(
+                        "INSERT INTO items (bucket, qty) VALUES ({bucket}, {qty})"
+                    )).unwrap();
+                    model.push((*bucket, *qty));
+                }
+                Op::AddQty { bucket, delta } => {
+                    conn.execute(&format!(
+                        "UPDATE items SET qty = qty + {delta} WHERE bucket = {bucket}"
+                    )).unwrap();
+                    for (b, q) in &mut model {
+                        if b == bucket { *q += delta; }
+                    }
+                }
+                Op::Delete { bucket } => {
+                    conn.execute(&format!("DELETE FROM items WHERE bucket = {bucket}")).unwrap();
+                    model.retain(|(b, _)| b != bucket);
+                }
+                Op::SetQty { bucket, qty } => {
+                    conn.execute(&format!(
+                        "UPDATE items SET qty = {qty} WHERE bucket = {bucket}"
+                    )).unwrap();
+                    for (b, q) in &mut model {
+                        if b == bucket { *q = *qty; }
+                    }
+                }
+            }
+            // Compare aggregate state after every operation.
+            let count = conn.query_i64("SELECT COUNT(*) FROM items").unwrap();
+            prop_assert_eq!(count, model.len() as i64);
+            let sum = conn.query_scalar("SELECT SUM(qty) FROM items").unwrap().unwrap();
+            let model_sum: i64 = model.iter().map(|(_, q)| q).sum();
+            match sum {
+                Value::Null => prop_assert!(model.is_empty()),
+                v => prop_assert_eq!(v.as_i64(), Some(model_sum)),
+            }
+            for bucket in 0..4 {
+                let db_sum = conn
+                    .query_scalar(&format!("SELECT SUM(qty) FROM items WHERE bucket = {bucket}"))
+                    .unwrap()
+                    .unwrap();
+                let m: Vec<i64> = model
+                    .iter()
+                    .filter(|(b, _)| *b == bucket)
+                    .map(|(_, q)| *q)
+                    .collect();
+                match db_sum {
+                    Value::Null => prop_assert!(m.is_empty()),
+                    v => prop_assert_eq!(v.as_i64(), Some(m.iter().sum())),
+                }
+            }
+        }
+    }
+
+    /// Rolled-back transactions leave no trace.
+    #[test]
+    fn rollback_restores_model(ops in proptest::collection::vec(op_strategy(), 1..20)) {
+        let db = Database::new(counter_schema(), IsolationLevel::ReadCommitted);
+        db.seed("items", vec![
+            vec![Value::Null, Value::Int(0), Value::Int(5)],
+            vec![Value::Null, Value::Int(1), Value::Int(7)],
+        ]).unwrap();
+        let before = db.table_rows("items").unwrap();
+        let mut conn = db.connect();
+        conn.execute("BEGIN").unwrap();
+        for op in &ops {
+            let sql = match op {
+                Op::Insert { bucket, qty } =>
+                    format!("INSERT INTO items (bucket, qty) VALUES ({bucket}, {qty})"),
+                Op::AddQty { bucket, delta } =>
+                    format!("UPDATE items SET qty = qty + {delta} WHERE bucket = {bucket}"),
+                Op::Delete { bucket } => format!("DELETE FROM items WHERE bucket = {bucket}"),
+                Op::SetQty { bucket, qty } =>
+                    format!("UPDATE items SET qty = {qty} WHERE bucket = {bucket}"),
+            };
+            conn.execute(&sql).unwrap();
+        }
+        conn.execute("ROLLBACK").unwrap();
+        prop_assert_eq!(db.table_rows("items").unwrap(), before);
+    }
+}
+
+/// Under Serializable, concurrent read-modify-write increments never lose
+/// updates: the classic Figure-1 pattern is safe at the top isolation
+/// level.
+#[test]
+fn serializable_increments_never_lost() {
+    let db = Database::new(counter_schema(), IsolationLevel::Serializable);
+    db.seed(
+        "items",
+        vec![vec![Value::Null, Value::Int(0), Value::Int(0)]],
+    )
+    .unwrap();
+    let threads = 4;
+    let per_thread = 10;
+    let committed: i64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let db: Arc<Database> = Arc::clone(&db);
+                s.spawn(move || {
+                    let mut conn = db.connect();
+                    let mut committed = 0i64;
+                    for _ in 0..per_thread {
+                        // Retry the whole transaction on deadlock/conflict,
+                        // as a real application would.
+                        loop {
+                            let attempt = (|| -> Result<(), DbError> {
+                                conn.execute("BEGIN")?;
+                                let q = conn.query_i64("SELECT qty FROM items WHERE bucket = 0")?;
+                                conn.execute(&format!(
+                                    "UPDATE items SET qty = {} WHERE bucket = 0",
+                                    q + 1
+                                ))?;
+                                conn.execute("COMMIT")?;
+                                Ok(())
+                            })();
+                            match attempt {
+                                Ok(()) => {
+                                    committed += 1;
+                                    break;
+                                }
+                                Err(e) => {
+                                    // Abort cleanly and retry.
+                                    if conn.in_transaction() {
+                                        conn.rollback_open();
+                                    }
+                                    assert!(
+                                        matches!(
+                                            e,
+                                            DbError::Deadlock
+                                                | DbError::WouldBlock { .. }
+                                                | DbError::WriteConflict(_)
+                                        ),
+                                        "unexpected error: {e}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    committed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(committed, (threads * per_thread) as i64);
+    let rows = db.table_rows("items").unwrap();
+    assert_eq!(
+        rows[0][2],
+        Value::Int(committed),
+        "no increment may be lost"
+    );
+}
+
+/// The same workload under Read Committed loses updates under contention —
+/// the database-level demonstration of the paper's Figure 1.
+#[test]
+fn read_committed_loses_updates_under_contention() {
+    let db = Database::new(counter_schema(), IsolationLevel::ReadCommitted);
+    db.seed(
+        "items",
+        vec![vec![Value::Null, Value::Int(0), Value::Int(0)]],
+    )
+    .unwrap();
+
+    // Deterministic two-session interleaving: both read 0, both write 1.
+    let mut a = db.connect();
+    let mut b = db.connect();
+    a.execute("BEGIN").unwrap();
+    b.execute("BEGIN").unwrap();
+    let qa = a
+        .query_i64("SELECT qty FROM items WHERE bucket = 0")
+        .unwrap();
+    let qb = b
+        .query_i64("SELECT qty FROM items WHERE bucket = 0")
+        .unwrap();
+    assert_eq!((qa, qb), (0, 0));
+    a.execute(&format!(
+        "UPDATE items SET qty = {} WHERE bucket = 0",
+        qa + 1
+    ))
+    .unwrap();
+    a.execute("COMMIT").unwrap();
+    b.execute(&format!(
+        "UPDATE items SET qty = {} WHERE bucket = 0",
+        qb + 1
+    ))
+    .unwrap();
+    b.execute("COMMIT").unwrap();
+
+    // Two increments committed, but the counter shows one: a Lost Update.
+    let rows = db.table_rows("items").unwrap();
+    assert_eq!(rows[0][2], Value::Int(1));
+}

@@ -1,0 +1,502 @@
+//! ACIDRain attack execution: scripted pen-test trace generation, 2AD
+//! witness-derived schedules, concurrent attack runs, and invariant
+//! verification — the full Figure-2 workflow from public API calls to a
+//! confirmed exploit.
+
+use std::sync::Arc;
+
+use acidrain_apps::prelude::*;
+use acidrain_core::{Analyzer, ColumnTarget};
+use acidrain_db::{Database, IsolationLevel, LogEntry};
+
+use crate::sched::{run_deterministic, Stepper};
+
+/// The three target invariants (paper §4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    Voucher,
+    Inventory,
+    Cart,
+}
+
+impl Invariant {
+    pub const ALL: [Invariant; 3] = [Invariant::Voucher, Invariant::Inventory, Invariant::Cart];
+
+    /// The schema targets used for the paper's filtered analysis (§4.2.3).
+    pub fn targets(self) -> Vec<ColumnTarget> {
+        match self {
+            Invariant::Voucher => vec![
+                ColumnTarget::table("vouchers"),
+                ColumnTarget::table("voucher_applications"),
+            ],
+            Invariant::Inventory => vec![
+                ColumnTarget::column("products", "stock"),
+                ColumnTarget::table("stock_adjustments"),
+            ],
+            Invariant::Cart => vec![ColumnTarget::table("cart_items")],
+        }
+    }
+
+    /// Check this invariant over the store's committed state.
+    pub fn check(self, db: &Database, app: &dyn ShopApp) -> Result<(), Violation> {
+        match self {
+            Invariant::Voucher => check_voucher(db),
+            Invariant::Inventory => check_inventory(db, app.stock_model()),
+            Invariant::Cart => check_cart(db),
+        }
+    }
+
+    /// The feature gate that decides NF / BF / NDB cells.
+    pub fn feature(self, app: &dyn ShopApp) -> FeatureStatus {
+        match self {
+            Invariant::Voucher => app.voucher_support(),
+            Invariant::Inventory => app.inventory_support(),
+            Invariant::Cart => app.cart_support(),
+        }
+    }
+}
+
+impl std::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Invariant::Voucher => "voucher",
+            Invariant::Inventory => "inventory",
+            Invariant::Cart => "cart",
+        })
+    }
+}
+
+/// Quantity of laptops per cart in the inventory attack: two checkouts of
+/// 3 each against a stock of 5 — individually fine, jointly overselling.
+const INVENTORY_QTY: i64 = 3;
+
+/// Run the scripted penetration-test session for `invariant` against a
+/// fresh store and return the tagged query log (paper §3.1.1: "a 2AD
+/// penetration tester could add items to the store cart, provide address
+/// and payment details, then place an order").
+pub fn probe_trace(
+    app: &dyn ShopApp,
+    invariant: Invariant,
+    isolation: IsolationLevel,
+) -> AppResult<Vec<LogEntry>> {
+    app.reset_session_state();
+    let db = app.make_store(isolation);
+    let mut conn = db.connect();
+    match invariant {
+        Invariant::Voucher => {
+            conn.set_api("add_to_cart", 0);
+            app.add_to_cart(&mut conn, 1, PEN, 1)?;
+            conn.set_api("checkout", 0);
+            app.checkout(&mut conn, 1, &CheckoutRequest::with_voucher(VOUCHER_CODE))?;
+        }
+        Invariant::Inventory => {
+            conn.set_api("add_to_cart", 0);
+            app.add_to_cart(&mut conn, 1, LAPTOP, INVENTORY_QTY)?;
+            conn.set_api("checkout", 0);
+            app.checkout(&mut conn, 1, &CheckoutRequest::plain())?;
+        }
+        Invariant::Cart => {
+            conn.set_api("add_to_cart", 0);
+            app.add_to_cart(&mut conn, 1, PEN, 1)?;
+            conn.set_api("checkout", 0);
+            app.checkout(&mut conn, 1, &CheckoutRequest::plain())?;
+        }
+    }
+    drop(conn);
+    Ok(db.log_entries())
+}
+
+/// Locate `seq` in the probe log: which API invocation it belongs to and
+/// its statement index within that invocation.
+pub fn statement_index(log: &[LogEntry], seq: u64) -> Option<(String, usize)> {
+    let entry = log.iter().find(|e| e.seq == seq)?;
+    let tag = entry.api.clone()?;
+    let index = log
+        .iter()
+        .filter(|e| e.api.as_ref() == Some(&tag) && e.seq < seq)
+        .count();
+    Some((tag.name, index))
+}
+
+/// A boxed request closure run by the attack scheduler.
+type RequestTask<'a> = Box<dyn FnOnce(&mut dyn SqlConn) -> bool + Send + 'a>;
+
+/// Result of one concurrent attack run.
+#[derive(Debug)]
+pub struct AttackOutcome {
+    /// The invariant violation the attack produced, if any.
+    pub violation: Option<Violation>,
+    /// Whether each concurrent request completed successfully.
+    pub request_ok: Vec<bool>,
+}
+
+/// Execute the attack for `invariant` with session 0 paused after its
+/// first `k + 1` statements (i.e. just after executing the witness's o₁),
+/// while the second session runs to completion in the gap — the Lemma-4
+/// schedule realized against the live store.
+pub fn run_attack(
+    app: &dyn ShopApp,
+    invariant: Invariant,
+    isolation: IsolationLevel,
+    k: usize,
+) -> AttackOutcome {
+    let db = app.make_store(isolation);
+    setup_attack(app, &db, invariant);
+
+    let schedule = |s: &mut Stepper| {
+        s.run_statements(0, k + 1);
+        s.run_to_completion(1);
+    };
+
+    let request_ok: Vec<bool> = match invariant {
+        Invariant::Voucher => {
+            let tasks: Vec<RequestTask<'_>> = vec![
+                Box::new(|conn: &mut dyn SqlConn| {
+                    app.checkout(conn, 1, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+                        .is_ok()
+                }),
+                Box::new(|conn: &mut dyn SqlConn| {
+                    app.checkout(conn, 2, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+                        .is_ok()
+                }),
+            ];
+            run_deterministic(&db, tasks, schedule)
+        }
+        Invariant::Inventory => {
+            let tasks: Vec<RequestTask<'_>> = vec![
+                Box::new(|conn: &mut dyn SqlConn| {
+                    app.checkout(conn, 1, &CheckoutRequest::plain()).is_ok()
+                }),
+                Box::new(|conn: &mut dyn SqlConn| {
+                    app.checkout(conn, 2, &CheckoutRequest::plain()).is_ok()
+                }),
+            ];
+            run_deterministic(&db, tasks, schedule)
+        }
+        Invariant::Cart => {
+            let tasks: Vec<RequestTask<'_>> = vec![
+                Box::new(|conn: &mut dyn SqlConn| {
+                    app.checkout(conn, 1, &CheckoutRequest::plain()).is_ok()
+                }),
+                Box::new(|conn: &mut dyn SqlConn| app.add_to_cart(conn, 1, LAPTOP, 1).is_ok()),
+            ];
+            if app.session_locked() {
+                // Both requests share the victim's session (the cart is
+                // session state), and PHP session locking serializes them:
+                // execute back-to-back instead of interleaved.
+                run_deterministic(&db, tasks, |s: &mut Stepper| {
+                    s.run_to_completion(0);
+                    s.run_to_completion(1);
+                })
+            } else {
+                run_deterministic(&db, tasks, schedule)
+            }
+        }
+    };
+
+    AttackOutcome {
+        violation: invariant.check(&db, app).err(),
+        request_ok,
+    }
+}
+
+/// Serial control run (paper §4.2.4: "we further ensured that each
+/// behavior was indeed unexpected by verifying the attack was not possible
+/// under a serial execution"): the same requests, one after another.
+pub fn run_serial_control(
+    app: &dyn ShopApp,
+    invariant: Invariant,
+    isolation: IsolationLevel,
+) -> AttackOutcome {
+    let db = app.make_store(isolation);
+    setup_attack(app, &db, invariant);
+    let mut conn = db.connect();
+    let request_ok = match invariant {
+        Invariant::Voucher => vec![
+            app.checkout(&mut conn, 1, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+                .is_ok(),
+            app.checkout(&mut conn, 2, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+                .is_ok(),
+        ],
+        Invariant::Inventory => vec![
+            app.checkout(&mut conn, 1, &CheckoutRequest::plain())
+                .is_ok(),
+            app.checkout(&mut conn, 2, &CheckoutRequest::plain())
+                .is_ok(),
+        ],
+        Invariant::Cart => vec![
+            app.checkout(&mut conn, 1, &CheckoutRequest::plain())
+                .is_ok(),
+            app.add_to_cart(&mut conn, 1, LAPTOP, 1).is_ok(),
+        ],
+    };
+    drop(conn);
+    AttackOutcome {
+        violation: invariant.check(&db, app).err(),
+        request_ok,
+    }
+}
+
+/// Serial attack setup: fill the carts the concurrent requests will use.
+fn setup_attack(app: &dyn ShopApp, db: &Arc<Database>, invariant: Invariant) {
+    app.reset_session_state();
+    let mut conn = db.connect();
+    match invariant {
+        Invariant::Voucher => {
+            // Disjoint products: the two checkouts share only the voucher
+            // state, so nothing else (e.g. a stock row write conflict)
+            // interferes with the double-spend.
+            app.add_to_cart(&mut conn, 1, PEN, 1).expect("setup");
+            app.add_to_cart(&mut conn, 2, LAPTOP, 1).expect("setup");
+        }
+        Invariant::Inventory => {
+            app.add_to_cart(&mut conn, 1, LAPTOP, INVENTORY_QTY)
+                .expect("setup");
+            app.add_to_cart(&mut conn, 2, LAPTOP, INVENTORY_QTY)
+                .expect("setup");
+        }
+        Invariant::Cart => {
+            app.add_to_cart(&mut conn, 1, PEN, 1).expect("setup");
+        }
+    }
+    // Setup traffic must not pollute the attack analysis or the log-based
+    // diagnostics.
+    db.take_log();
+}
+
+/// One audited Table-5 cell: the computed result plus diagnostics.
+#[derive(Debug)]
+pub struct CellReport {
+    pub app: &'static str,
+    pub invariant: Invariant,
+    pub cell: Cell,
+    /// Witnesses 2AD reported for this invariant's target columns.
+    pub witnesses: usize,
+    /// How many witnesses were attacked before the verdict.
+    pub attacks: usize,
+    /// The confirming violation, when vulnerable.
+    pub violation: Option<Violation>,
+}
+
+/// Audit one application × invariant cell end-to-end: probe, analyze
+/// (refined, targeted), attack each witness until one verifies, classify.
+pub fn audit_cell(
+    app: &dyn ShopApp,
+    invariant: Invariant,
+    isolation: IsolationLevel,
+    max_attempts: usize,
+) -> CellReport {
+    // Feature gates first (the NF / BF / NDB cells).
+    match invariant.feature(app) {
+        FeatureStatus::NoFeature => return gated(app, invariant, Cell::NoFeature),
+        FeatureStatus::Broken => return gated(app, invariant, Cell::Broken),
+        FeatureStatus::NotDbBacked => return gated(app, invariant, Cell::NotDbBacked),
+        FeatureStatus::Supported => {}
+    }
+
+    let log = probe_trace(app, invariant, isolation).expect("probe session must succeed");
+    let analyzer = Analyzer::from_log(&log, &app.schema()).expect("probe log lifts");
+    let mut config = acidrain_core::RefinementConfig::at_isolation(isolation);
+    if app.session_locked() {
+        config = config.with_session_locking(
+            ["add_to_cart".to_string(), "checkout".to_string()],
+            ["cart_items".to_string()],
+        );
+    }
+    let report = analyzer.analyze_targeted(&config, &invariant.targets());
+    let witnesses = report.findings.len();
+
+    let mut attacks = 0;
+    for finding in report.findings.iter() {
+        if attacks >= max_attempts {
+            break;
+        }
+        // Only seeds inside checkout drive our attack scripts.
+        if finding.api != "checkout" {
+            continue;
+        }
+        let Some(seq) = analyzer.history().op(finding.witness.o1).log_seq else {
+            continue;
+        };
+        let Some((api, k)) = statement_index(&log, seq) else {
+            continue;
+        };
+        if api != "checkout" {
+            continue;
+        }
+        attacks += 1;
+        let outcome = run_attack(app, invariant, isolation, k);
+        if let Some(violation) = outcome.violation {
+            // Confirm the serial control preserves the invariant (C1).
+            let control = run_serial_control(app, invariant, isolation);
+            assert!(
+                control.violation.is_none(),
+                "{}: serial control violated {invariant}: {:?}",
+                app.name(),
+                control.violation
+            );
+            // Classify the access pattern by the seed operation that
+            // touches the invariant's columns (the paper's Table 5 "AP"
+            // column describes how the *protected data* is accessed, not
+            // whichever operation happened to open the cycle).
+            let targets = invariant.targets();
+            let o1 = analyzer.history().op(finding.witness.o1);
+            let o2 = analyzer.history().op(finding.witness.o2);
+            let target_op = if targets.iter().any(|t| t.matches(o1)) {
+                o1
+            } else {
+                o2
+            };
+            let lost_update = target_op.access == acidrain_sql::AccessKind::KeyEq;
+            let level_based = finding.scope == acidrain_core::AnomalyScope::LevelBased;
+            let cell = if invariant == Invariant::Cart && app.total_from_request() {
+                Cell::VulnStarred {
+                    lost_update,
+                    level_based,
+                }
+            } else {
+                Cell::Vuln {
+                    lost_update,
+                    level_based,
+                }
+            };
+            return CellReport {
+                app: app.name(),
+                invariant,
+                cell,
+                witnesses,
+                attacks,
+                violation: Some(violation),
+            };
+        }
+    }
+
+    CellReport {
+        app: app.name(),
+        invariant,
+        cell: Cell::Safe,
+        witnesses,
+        attacks,
+        violation: None,
+    }
+}
+
+fn gated(app: &dyn ShopApp, invariant: Invariant, cell: Cell) -> CellReport {
+    CellReport {
+        app: app.name(),
+        invariant,
+        cell,
+        witnesses: 0,
+        attacks: 0,
+        violation: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ISO: IsolationLevel = IsolationLevel::MySqlRepeatableRead;
+
+    #[test]
+    fn probe_traces_are_tagged_and_parse() {
+        let app = PrestaShop;
+        for invariant in Invariant::ALL {
+            let log = probe_trace(&app, invariant, ISO).unwrap();
+            assert!(!log.is_empty());
+            assert!(log.iter().all(|e| e.api.is_some()));
+            Analyzer::from_log(&log, &app.schema()).unwrap();
+        }
+    }
+
+    #[test]
+    fn statement_index_locates_seed() {
+        let log = probe_trace(&PrestaShop, Invariant::Voucher, ISO).unwrap();
+        // Find the voucher counter read.
+        let entry = log
+            .iter()
+            .find(|e| e.sql.contains("SELECT used FROM vouchers"))
+            .unwrap();
+        let (api, k) = statement_index(&log, entry.seq).unwrap();
+        assert_eq!(api, "checkout");
+        assert!(k > 0, "the voucher read is not checkout's first statement");
+    }
+
+    #[test]
+    fn prestashop_voucher_attack_confirms() {
+        // End-to-end: the witness-derived schedule double-spends the
+        // voucher under MySQL-flavoured Repeatable Read.
+        let report = audit_cell(&PrestaShop, Invariant::Voucher, ISO, 60);
+        assert!(report.cell.is_vulnerable(), "{report:?}");
+        assert_eq!(report.cell.lost_update(), Some(true));
+        assert_eq!(report.cell.level_based(), Some(false));
+    }
+
+    #[test]
+    fn spree_is_safe_but_witnessed() {
+        // Spree's voucher anomaly is triggerable but benign (§4.2.5): 2AD
+        // reports witnesses, every attack fails to violate the invariant.
+        let report = audit_cell(&Spree, Invariant::Voucher, ISO, 60);
+        assert_eq!(report.cell, Cell::Safe, "{report:?}");
+        assert!(report.witnesses > 0, "the anomaly itself is real");
+        assert!(report.attacks > 0);
+    }
+
+    #[test]
+    fn spree_inventory_is_safe_and_lock_seed_removed() {
+        // The FOR UPDATE refinement removes the level-based
+        // (locked-read, update) seed; remaining cross-transaction
+        // witnesses fail attack verification, so the cell is safe.
+        let report = audit_cell(&Spree, Invariant::Inventory, ISO, 60);
+        assert_eq!(report.cell, Cell::Safe, "{report:?}");
+
+        let log = probe_trace(&Spree, Invariant::Inventory, ISO).unwrap();
+        let analyzer = Analyzer::from_log(&log, &Spree.schema()).unwrap();
+        let findings = analyzer
+            .analyze_targeted(
+                &acidrain_core::RefinementConfig::at_isolation(ISO),
+                &Invariant::Inventory.targets(),
+            )
+            .findings;
+        assert!(
+            findings
+                .iter()
+                .all(|f| f.scope != acidrain_core::AnomalyScope::LevelBased),
+            "the locked read-modify-write must not be reported"
+        );
+    }
+
+    #[test]
+    fn feature_gates_short_circuit() {
+        assert_eq!(
+            audit_cell(&Shopizer, Invariant::Voucher, ISO, 60).cell,
+            Cell::NoFeature
+        );
+        assert_eq!(
+            audit_cell(&Broadleaf, Invariant::Inventory, ISO, 60).cell,
+            Cell::Broken
+        );
+        assert_eq!(
+            audit_cell(&Saleor::new(), Invariant::Cart, ISO, 60).cell,
+            Cell::NotDbBacked
+        );
+    }
+
+    #[test]
+    fn serial_controls_hold_for_all_apps() {
+        for app in all_apps() {
+            for invariant in Invariant::ALL {
+                if invariant.feature(app.as_ref()) != FeatureStatus::Supported {
+                    continue;
+                }
+                let control = run_serial_control(app.as_ref(), invariant, ISO);
+                assert!(
+                    control.violation.is_none(),
+                    "{} {invariant}: {:?}",
+                    app.name(),
+                    control.violation
+                );
+            }
+        }
+    }
+}

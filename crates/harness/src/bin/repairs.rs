@@ -1,0 +1,21 @@
+//! The §4.2.7 remediation experiment: apply the paper's fixes and re-run
+//! the attacks.
+
+use acidrain_harness::experiments::repairs;
+
+fn main() {
+    println!("Remediation (§4.2.7): original vs scoped vs scoped+serializable");
+    println!("(only applications without internal transaction control can be auto-scoped)");
+    println!();
+    let result = repairs::run();
+    print!("{}", result.render());
+    println!();
+    println!(
+        "full repair eliminates every vulnerability: {}",
+        if result.full_repair_is_complete() {
+            "YES"
+        } else {
+            "NO"
+        }
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerate the paper's Table 2: anomalies observable under popular
+//! engines' default and maximum isolation levels.
+
+use acidrain_harness::experiments::table2;
+
+fn main() {
+    println!("Table 2 — level-based anomalies by database isolation level");
+    println!("(re-running the full corpus audit at each level; this takes a moment)");
+    println!();
+    let result = table2::run();
+    print!("{}", result.render());
+    println!();
+    println!("paper reports: MySQL 5 (RC) / 0 (S) / 17; Oracle 5 (RC) / 1 (SI) / 17;");
+    println!("               Postgres 5 (RC) / 0 (S) / 17; SAP HANA 5 (RC) / 1 (SI) / 17");
+}

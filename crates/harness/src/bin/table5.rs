@@ -1,0 +1,53 @@
+//! Regenerate the paper's Table 5: the 22-vulnerability matrix.
+//!
+//! Usage: `cargo run -p acidrain-harness --bin table5 [--isolation <level>]`
+
+use acidrain_db::IsolationLevel;
+use acidrain_harness::experiments::{table5, PAPER_DEFAULT_ISOLATION};
+
+fn parse_isolation(s: &str) -> Option<IsolationLevel> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "ru" | "read-uncommitted" => IsolationLevel::ReadUncommitted,
+        "rc" | "read-committed" => IsolationLevel::ReadCommitted,
+        "mysql-rr" | "default" => IsolationLevel::MySqlRepeatableRead,
+        "rr" | "repeatable-read" => IsolationLevel::RepeatableRead,
+        "si" | "snapshot" => IsolationLevel::SnapshotIsolation,
+        "s" | "serializable" => IsolationLevel::Serializable,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let isolation = match args.iter().position(|a| a == "--isolation") {
+        Some(i) => parse_isolation(args.get(i + 1).map(String::as_str).unwrap_or(""))
+            .unwrap_or_else(|| {
+                eprintln!("unknown isolation level; use ru|rc|mysql-rr|rr|si|s");
+                std::process::exit(2);
+            }),
+        None => PAPER_DEFAULT_ISOLATION,
+    };
+
+    println!("Table 5 — ACIDRain vulnerability matrix at {isolation}");
+    println!();
+    let result = table5::run(isolation);
+    print!("{}", result.render());
+    println!();
+    let (voucher, inventory, cart) = result.per_invariant_counts();
+    let (level, scope) = result.level_scope_split();
+    println!(
+        "vulnerabilities: {} total ({voucher} voucher, {inventory} inventory, {cart} cart; \
+         {level} level-based, {scope} scope-based)",
+        result.vulnerability_count()
+    );
+    if isolation == PAPER_DEFAULT_ISOLATION {
+        println!(
+            "paper reports:   22 total (8 voucher, 9 inventory, 5 cart; 5 level-based, \
+             17 scope-based)"
+        );
+        println!(
+            "matrix matches paper cell-for-cell: {}",
+            if result.matches_paper() { "YES" } else { "NO" }
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! `twoad` — the standalone 2AD analysis tool, mirroring the paper's
+//! prototype (§4.2.3): feed it a SQL query log and a schema, get back the
+//! potential ACIDRain anomalies with witness schedules.
+//!
+//! ```text
+//! twoad --schema shop.sql --log trace.log [options]
+//!
+//! options:
+//!   --isolation ru|rc|mysql-rr|rr|si|s   refinement isolation level (default mysql-rr)
+//!   --no-refinement                      raw Theorem-1 search
+//!   --target table[.column]              restrict to a table/column (repeatable)
+//!   --max-concurrency N                  bound witness width (web-server pool size)
+//!   --witnesses N                        print N full witness schedules (default 3)
+//!   --dot FILE                           write the abstract history as Graphviz
+//! ```
+//!
+//! Log format: one statement per line, optionally prefixed with
+//! `[sSESSION api#invocation]`; `#` comments ignored.
+
+use std::process::exit;
+
+use acidrain_core::lift::parse_log_file;
+use acidrain_core::{Analyzer, ColumnTarget, RefinementConfig};
+use acidrain_db::IsolationLevel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: twoad --schema <file.sql> --log <file.log> [--isolation LEVEL] \
+         [--no-refinement] [--target table[.column]]... [--max-concurrency N] [--witnesses N]"
+    );
+    exit(2);
+}
+
+fn parse_isolation(s: &str) -> Option<IsolationLevel> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "ru" | "read-uncommitted" => IsolationLevel::ReadUncommitted,
+        "rc" | "read-committed" => IsolationLevel::ReadCommitted,
+        "mysql-rr" | "default" => IsolationLevel::MySqlRepeatableRead,
+        "rr" | "repeatable-read" => IsolationLevel::RepeatableRead,
+        "si" | "snapshot" => IsolationLevel::SnapshotIsolation,
+        "s" | "serializable" => IsolationLevel::Serializable,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut schema_path = None;
+    let mut log_path = None;
+    let mut isolation = Some(IsolationLevel::MySqlRepeatableRead);
+    let mut targets: Vec<ColumnTarget> = Vec::new();
+    let mut max_concurrency = None;
+    let mut witnesses_to_print = 3usize;
+    let mut dot_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--schema" => {
+                schema_path = Some(next(i));
+                i += 2;
+            }
+            "--log" => {
+                log_path = Some(next(i));
+                i += 2;
+            }
+            "--isolation" => {
+                isolation = Some(parse_isolation(&next(i)).unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--no-refinement" => {
+                isolation = None;
+                i += 1;
+            }
+            "--target" => {
+                let t = next(i);
+                targets.push(match t.split_once('.') {
+                    Some((table, column)) => ColumnTarget::column(table, column),
+                    None => ColumnTarget::table(t),
+                });
+                i += 2;
+            }
+            "--max-concurrency" => {
+                max_concurrency = next(i).parse().ok();
+                i += 2;
+            }
+            "--witnesses" => {
+                witnesses_to_print = next(i).parse().unwrap_or(3);
+                i += 2;
+            }
+            "--dot" => {
+                dot_path = Some(next(i));
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let (Some(schema_path), Some(log_path)) = (schema_path, log_path) else {
+        usage()
+    };
+
+    let schema_text = std::fs::read_to_string(&schema_path).unwrap_or_else(|e| {
+        eprintln!("cannot read schema {schema_path:?}: {e}");
+        exit(1);
+    });
+    let schema = acidrain_sql::parser::parse_schema(&schema_text).unwrap_or_else(|e| {
+        eprintln!("schema error: {e}");
+        exit(1);
+    });
+    let log_text = std::fs::read_to_string(&log_path).unwrap_or_else(|e| {
+        eprintln!("cannot read log {log_path:?}: {e}");
+        exit(1);
+    });
+    let entries = parse_log_file(&log_text);
+    if entries.is_empty() {
+        eprintln!("log {log_path:?} contains no statements");
+        exit(1);
+    }
+
+    let analyzer = Analyzer::from_log(&entries, &schema).unwrap_or_else(|e| {
+        eprintln!("lift error: {e}");
+        exit(1);
+    });
+    let mut config = match isolation {
+        Some(level) => RefinementConfig::at_isolation(level),
+        None => RefinementConfig::none(),
+    };
+    config.max_concurrency = max_concurrency;
+
+    if let Some(path) = &dot_path {
+        if let Err(e) = std::fs::write(path, acidrain_core::to_dot(analyzer.history())) {
+            eprintln!("cannot write {path:?}: {e}");
+            exit(1);
+        }
+        println!("abstract history graph written to {path}");
+    }
+
+    let report = if targets.is_empty() {
+        analyzer.analyze(&config)
+    } else {
+        analyzer.analyze_targeted(&config, &targets)
+    };
+
+    let stats = report.stats;
+    println!(
+        "abstract history: {} operation nodes, {} transaction nodes ({} explicit), \
+         {} API nodes, {} edges",
+        stats.operation_nodes, stats.txn_nodes, stats.explicit_txns, stats.api_nodes, stats.edges
+    );
+    println!(
+        "analysis: {} statements lifted in {:.3} ms, searched in {:.3} ms{}",
+        entries.len(),
+        report.parse_time.as_secs_f64() * 1e3,
+        report.analyze_time.as_secs_f64() * 1e3,
+        match isolation {
+            Some(level) => format!(", refined at {level}"),
+            None => ", unrefined".to_string(),
+        }
+    );
+    println!();
+
+    if report.findings.is_empty() {
+        println!("no potential anomalies found");
+        return;
+    }
+    println!(
+        "{} potential anomalies (witness pairs):",
+        report.findings.len()
+    );
+    for finding in &report.findings {
+        println!("  {}", analyzer.describe(finding));
+    }
+    for (i, finding) in report.findings.iter().take(witnesses_to_print).enumerate() {
+        println!();
+        println!("witness #{}: {}", i + 1, analyzer.describe(finding));
+        print!("{}", analyzer.witness_trace(finding));
+    }
+    // Exit code 3 signals findings, for scripting.
+    exit(3);
+}

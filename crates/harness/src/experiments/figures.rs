@@ -1,0 +1,204 @@
+//! Figures 1, 3, 4, 5, and 9 — the paper's worked examples, regenerated.
+
+use acidrain_apps::didactic::{
+    add_employee, make_minishop, make_payroll, minishop_add_to_cart, minishop_checkout,
+    payroll_schema, raise_salary, Bank,
+};
+use acidrain_apps::SqlConn;
+use acidrain_core::{Analyzer, AnomalyScope, Finding, RefinementConfig, WitnessTrace};
+use acidrain_db::{IsolationLevel, LogEntry, Value};
+
+use crate::sched::{run_deterministic, Stepper};
+
+/// Figure 1: two concurrent `withdraw(99)` calls against a balance of 100.
+/// Returns (final balance, successful withdrawals). Under the vulnerable
+/// code paths the account overdraws: two successes against one balance.
+pub fn figure1_withdraw(bank: &Bank, isolation: IsolationLevel) -> (i64, usize) {
+    let db = bank.make_bank(isolation, 100);
+    let withdraw = |conn: &mut dyn SqlConn| bank.withdraw(conn, 1, 99).is_ok();
+    let results = run_deterministic(&db, vec![withdraw, withdraw], |s: &mut Stepper| {
+        // Both read the balance before either writes.
+        let reads = if bank.use_transaction { 2 } else { 1 };
+        s.run_statements(0, reads);
+        s.run_statements(1, reads);
+    });
+    let balance = db.table_rows("accounts").unwrap()[0][1].as_i64().unwrap();
+    (balance, results.iter().filter(|ok| **ok).count())
+}
+
+/// Figure 3b: the payroll SQL log from running `add_employee` then
+/// `raise_salary` serially.
+pub fn figure3_log() -> Vec<LogEntry> {
+    let db = make_payroll(IsolationLevel::MySqlRepeatableRead);
+    let mut conn = db.connect();
+    conn.set_api("add_employee", 0);
+    add_employee(&mut conn, "John", "Doe", 50000).expect("add employee");
+    conn.set_api("raise_salary", 0);
+    raise_salary(&mut conn, 1000).expect("raise salary");
+    drop(conn);
+    db.log_entries()
+}
+
+/// Figure 4: the abstract history lifted from the Figure 3 log.
+pub fn figure4_analyzer() -> Analyzer {
+    Analyzer::from_log(&figure3_log(), &payroll_schema()).expect("payroll log lifts")
+}
+
+/// Figure 5: the witness for the scope-based anomaly between the blanket
+/// salary update (op 5) and the employee count (op 7) in `raise_salary`,
+/// rendered as a concrete schedule.
+pub fn figure5_witness() -> (Finding, WitnessTrace) {
+    let analyzer = figure4_analyzer();
+    let report = analyzer.analyze(&RefinementConfig::none());
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| {
+            f.api == "raise_salary"
+                && f.scope == AnomalyScope::ScopeBased
+                && analyzer
+                    .history()
+                    .op(f.witness.o1)
+                    .sql
+                    .contains("UPDATE employees")
+                && analyzer.history().op(f.witness.o2).sql.contains("COUNT")
+        })
+        .expect("the Figure 5 anomaly is detected")
+        .clone();
+    let trace = analyzer.witness_trace(&finding);
+    (finding, trace)
+}
+
+/// Execute the Figure 5 schedule for real: an employee added concurrently
+/// with a raise is counted in the raised total but paid no raise. Returns
+/// (expected total from actual salaries, recorded total).
+pub fn figure5_attack() -> (i64, i64) {
+    let db = make_payroll(IsolationLevel::MySqlRepeatableRead);
+    run_deterministic(
+        &db,
+        vec![
+            Box::new(|conn: &mut dyn SqlConn| raise_salary(conn, 1000).is_ok())
+                as Box<dyn FnOnce(&mut dyn SqlConn) -> bool + Send>,
+            Box::new(|conn: &mut dyn SqlConn| add_employee(conn, "John", "Doe", 0).is_ok()),
+        ],
+        |s: &mut Stepper| {
+            // raise_salary executes its blanket UPDATE (statement 1)...
+            s.run_statements(0, 1);
+            // ...then add_employee runs in full...
+            s.run_to_completion(1);
+            // ...and raise_salary counts three employees for the total.
+        },
+    );
+    let employees = db.table_rows("employees").unwrap();
+    let actual_raise_cost: i64 = employees
+        .iter()
+        .map(|r| {
+            r[2].as_i64().unwrap()
+                - if r[0] == Value::Str("John".into()) {
+                    0
+                } else {
+                    50000
+                }
+        })
+        .sum();
+    let recorded_total = db.table_rows("salary").unwrap()[0][0].as_i64().unwrap();
+    // Baseline total was 100000.
+    (100000 + actual_raise_cost, recorded_total)
+}
+
+/// Figure 9: the abstract history of the simplified shop.
+pub fn figure9_analyzer() -> Analyzer {
+    let db = make_minishop(IsolationLevel::MySqlRepeatableRead);
+    let mut conn = db.connect();
+    conn.set_api("add_to_cart", 0);
+    minishop_add_to_cart(&mut conn, 14, 1, 2).expect("add");
+    conn.set_api("checkout", 0);
+    minishop_checkout(&mut conn, 14).expect("checkout");
+    drop(conn);
+    let log = db.log_entries();
+    Analyzer::from_log(&log, &acidrain_apps::didactic::minishop_schema()).expect("lifts")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acidrain_apps::didactic::Bank;
+    use acidrain_core::AnomalyPattern;
+
+    #[test]
+    fn figure1a_overdraws_at_any_level() {
+        let (balance, successes) =
+            figure1_withdraw(&Bank::figure_1a(), IsolationLevel::Serializable);
+        // Scope-based: even serializable statements cannot save unscoped
+        // code — $198 withdrawn from $100.
+        assert_eq!(successes, 2);
+        assert_eq!(balance, 1);
+    }
+
+    #[test]
+    fn figure1b_overdraws_below_snapshot_isolation() {
+        let (balance, successes) =
+            figure1_withdraw(&Bank::figure_1b(), IsolationLevel::ReadCommitted);
+        assert_eq!(successes, 2, "Read Committed admits the Lost Update");
+        assert_eq!(balance, 1);
+        // Snapshot Isolation's first-committer-wins stops it.
+        let (balance, successes) =
+            figure1_withdraw(&Bank::figure_1b(), IsolationLevel::SnapshotIsolation);
+        assert_eq!(successes, 1, "{balance}");
+        assert_eq!(balance, 1);
+    }
+
+    #[test]
+    fn figure1_fixed_by_select_for_update() {
+        let (balance, successes) = figure1_withdraw(&Bank::fixed(), IsolationLevel::ReadCommitted);
+        assert_eq!(successes, 1);
+        assert_eq!(balance, 1);
+    }
+
+    #[test]
+    fn figure4_has_five_operations_two_apis() {
+        let analyzer = figure4_analyzer();
+        let stats = analyzer.history().stats();
+        assert_eq!(stats.operation_nodes, 5);
+        assert_eq!(stats.api_nodes, 2);
+        assert_eq!(stats.txn_nodes, 3);
+        assert_eq!(stats.explicit_txns, 2);
+    }
+
+    #[test]
+    fn figure5_witness_shape() {
+        let (finding, trace) = figure5_witness();
+        assert_eq!(finding.pattern, AnomalyPattern::Phantom);
+        let text = trace.to_string();
+        // The witness interleaves add_employee inside raise_salary, with
+        // the seed pair starred (Figure 5's asterisks).
+        assert!(text.contains("a2"), "{text}");
+        assert_eq!(trace.steps.iter().filter(|s| s.seed_marker).count(), 2);
+        assert!(trace.steps.iter().any(|s| s.api == "add_employee"));
+    }
+
+    #[test]
+    fn figure5_attack_corrupts_salary_total() {
+        let (expected_total, recorded_total) = figure5_attack();
+        // John was counted in the raise total but received no raise.
+        assert_eq!(recorded_total - 100000, 3000, "three employees counted");
+        assert_eq!(expected_total - 100000, 2000, "only two raises paid");
+        assert_ne!(expected_total, recorded_total);
+    }
+
+    #[test]
+    fn figure9_contains_both_cycles() {
+        let analyzer = figure9_analyzer();
+        let report = analyzer.analyze(&RefinementConfig::none());
+        // The cart cycle (checkout's two cart reads vs add_to_cart's
+        // write) and the inventory self-loop cycle both appear.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.api == "checkout" && f.table == "cart_items"));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.api == "checkout" && f.table == "stock"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Table 1 — corpus summary. The descriptive columns (deployments, stars,
+//! LoC, the paper's trace sizes) come from the paper verbatim; the last
+//! column is the trace size *this* reproduction's pen-test produces.
+
+use acidrain_apps::prelude::*;
+use acidrain_db::IsolationLevel;
+
+use crate::experiments::pentest_trace;
+use crate::texttable;
+
+#[derive(Debug)]
+pub struct Table1Row {
+    pub entry: acidrain_apps::CorpusEntry,
+    /// SQL statements logged by this reproduction's pen-test session.
+    pub measured_trace_lines: usize,
+}
+
+#[derive(Debug)]
+pub struct Table1Result {
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.entry.name.to_string(),
+                    r.entry.language.to_string(),
+                    r.entry
+                        .deployments
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    r.entry.github_stars.to_string(),
+                    r.entry.lines_of_code.to_string(),
+                    r.entry.paper_trace_lines.to_string(),
+                    r.measured_trace_lines.to_string(),
+                ]
+            })
+            .collect();
+        texttable::render(
+            &[
+                "App Name",
+                "Language",
+                "Deployments",
+                "Stars",
+                "LoC",
+                "Paper trace",
+                "Our trace",
+            ],
+            &rows,
+        )
+    }
+}
+
+pub fn run(isolation: IsolationLevel) -> Table1Result {
+    let apps = all_apps();
+    let rows = apps
+        .iter()
+        .map(|app| {
+            let entry = *TABLE1
+                .iter()
+                .find(|e| e.name == app.name())
+                .expect("corpus entry");
+            let measured_trace_lines = pentest_trace(app.as_ref(), isolation).len();
+            Table1Row {
+                entry,
+                measured_trace_lines,
+            }
+        })
+        .collect();
+    Table1Result { rows }
+}

@@ -1,0 +1,188 @@
+//! Table 5 — the vulnerability matrix: for every application and every
+//! target invariant, run the full 2AD-plus-attack pipeline and compare the
+//! outcome against the paper's reported cell.
+
+use acidrain_apps::prelude::*;
+use acidrain_db::IsolationLevel;
+
+use crate::attack::{audit_cell, CellReport, Invariant};
+use crate::texttable;
+
+/// How many witnesses to attack per cell before concluding "safe".
+pub const MAX_ATTACKS_PER_CELL: usize = 60;
+
+/// One application's audited row.
+#[derive(Debug)]
+pub struct RowResult {
+    pub name: &'static str,
+    pub language: Language,
+    pub voucher: CellReport,
+    pub inventory: CellReport,
+    pub cart: CellReport,
+}
+
+impl RowResult {
+    pub fn cells(&self) -> [&CellReport; 3] {
+        [&self.voucher, &self.inventory, &self.cart]
+    }
+
+    /// Whether all three cells match the paper's Table 5 row.
+    pub fn matches_paper(&self) -> bool {
+        let Some(expected) = expected_row(self.name) else {
+            return false;
+        };
+        self.voucher.cell == expected.voucher
+            && self.inventory.cell == expected.inventory
+            && self.cart.cell == expected.cart
+    }
+}
+
+/// The full audited matrix.
+#[derive(Debug)]
+pub struct Table5Result {
+    pub rows: Vec<RowResult>,
+    pub isolation: IsolationLevel,
+}
+
+impl Table5Result {
+    /// Total number of vulnerable cells (the paper's 22).
+    pub fn vulnerability_count(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(RowResult::cells)
+            .filter(|c| c.cell.is_vulnerable())
+            .count()
+    }
+
+    /// Vulnerable cells split (level-based, scope-based) — the paper's
+    /// (5, 17).
+    pub fn level_scope_split(&self) -> (usize, usize) {
+        let cells = self.rows.iter().flat_map(RowResult::cells);
+        let mut level = 0;
+        let mut scope = 0;
+        for c in cells {
+            match c.cell.level_based() {
+                Some(true) => level += 1,
+                Some(false) => scope += 1,
+                None => {}
+            }
+        }
+        (level, scope)
+    }
+
+    /// Per-invariant vulnerable counts (voucher, inventory, cart) — the
+    /// paper's (8, 9, 5).
+    pub fn per_invariant_counts(&self) -> (usize, usize, usize) {
+        let count = |f: fn(&RowResult) -> &CellReport| {
+            self.rows
+                .iter()
+                .filter(|r| f(r).cell.is_vulnerable())
+                .count()
+        };
+        (
+            count(|r| &r.voucher),
+            count(|r| &r.inventory),
+            count(|r| &r.cart),
+        )
+    }
+
+    /// Whether every cell matches the paper.
+    pub fn matches_paper(&self) -> bool {
+        self.rows.len() == TABLE5.len() && self.rows.iter().all(RowResult::matches_paper)
+    }
+
+    /// Render in the paper's Table 5 shape.
+    pub fn render(&self) -> String {
+        let cell = |c: &CellReport| render_cell(c.cell);
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.language.to_string(),
+                    r.name.to_string(),
+                    cell(&r.voucher),
+                    cell(&r.inventory),
+                    cell(&r.cart),
+                    if r.matches_paper() {
+                        "yes".into()
+                    } else {
+                        "NO".into()
+                    },
+                ]
+            })
+            .collect();
+        texttable::render(
+            &[
+                "Language",
+                "Application",
+                "Voucher",
+                "Inventory",
+                "Cart",
+                "Matches paper",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Render a cell the way Table 5 does (V/AP/AT columns condensed).
+pub fn render_cell(cell: Cell) -> String {
+    match cell {
+        Cell::Vuln {
+            lost_update,
+            level_based,
+        } => format!(
+            "yes {} {}",
+            if lost_update { "LU" } else { "phantom" },
+            if level_based { "level" } else { "scope" }
+        ),
+        Cell::VulnStarred {
+            lost_update,
+            level_based,
+        } => format!(
+            "yes* {} {}",
+            if lost_update { "LU" } else { "phantom" },
+            if level_based { "level" } else { "scope" }
+        ),
+        Cell::Safe => "no".into(),
+        Cell::NoFeature => "NF".into(),
+        Cell::Broken => "BF".into(),
+        Cell::NotDbBacked => "NDB".into(),
+    }
+}
+
+/// Audit the entire corpus at `isolation`.
+pub fn run(isolation: IsolationLevel) -> Table5Result {
+    let apps = all_apps();
+    let rows = apps
+        .iter()
+        .map(|app| RowResult {
+            name: TABLE1
+                .iter()
+                .find(|e| e.name == app.name())
+                .map(|e| e.name)
+                .unwrap_or("unknown"),
+            language: app.language(),
+            voucher: audit_cell(
+                app.as_ref(),
+                Invariant::Voucher,
+                isolation,
+                MAX_ATTACKS_PER_CELL,
+            ),
+            inventory: audit_cell(
+                app.as_ref(),
+                Invariant::Inventory,
+                isolation,
+                MAX_ATTACKS_PER_CELL,
+            ),
+            cart: audit_cell(
+                app.as_ref(),
+                Invariant::Cart,
+                isolation,
+                MAX_ATTACKS_PER_CELL,
+            ),
+        })
+        .collect();
+    Table5Result { rows, isolation }
+}

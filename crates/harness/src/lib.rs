@@ -1,0 +1,22 @@
+//! # acidrain-harness
+//!
+//! Attack execution and experiment infrastructure for the ACIDRain
+//! reproduction: a deterministic statement-level interleaving scheduler, a
+//! threaded stress executor, witness-driven attack drivers with invariant
+//! verification, and runners that regenerate every table and figure of the
+//! paper's evaluation.
+
+pub mod attack;
+pub mod experiments;
+pub mod explore;
+pub mod sched;
+pub mod stress;
+pub mod texttable;
+
+pub use attack::{
+    audit_cell, probe_trace, run_attack, run_serial_control, statement_index, AttackOutcome,
+    CellReport, Invariant,
+};
+pub use explore::{exhaustive, randomized, Exploration, Scenario};
+pub use sched::{run_deterministic, GatedConn, StepOutcome, Stepper};
+pub use stress::{run_concurrent, DelayConn};

@@ -1,0 +1,55 @@
+//! Fixed-width text-table rendering for experiment output.
+
+/// Render rows as a fixed-width table with a header separator.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&headers_owned, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let table = render(
+            &["App", "Count"],
+            &[
+                vec!["OpenCart".into(), "3".into()],
+                vec!["X".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("App"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].starts_with("OpenCart  3"));
+    }
+}

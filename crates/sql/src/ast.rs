@@ -1,0 +1,420 @@
+//! Abstract syntax tree for the reproduction's SQL dialect.
+//!
+//! The dialect covers exactly the statement shapes that appear in the
+//! ACIDRain paper's application traces: simple and joined `SELECT`s with
+//! aggregates, `ORDER BY`, `LIMIT` and `FOR UPDATE`; `INSERT`; `UPDATE`
+//! with arithmetic and `CASE` set-expressions; `DELETE`; and transaction
+//! control including MySQL's `SET autocommit`.
+
+use std::fmt;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(Select),
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+    /// `BEGIN [TRANSACTION]` / `START TRANSACTION`.
+    Begin,
+    Commit,
+    Rollback,
+    /// `SET autocommit = 0|1`. MySQL semantics: `SET autocommit=0` opens an
+    /// implicit transaction that lasts until `COMMIT`/`ROLLBACK`.
+    SetAutocommit(bool),
+    /// `CREATE TABLE name (col TYPE [constraints], ...)` — DDL used to
+    /// load schema files; not executable against a live store.
+    CreateTable(crate::schema::TableSchema),
+}
+
+impl Statement {
+    /// Whether this is a transaction-control statement rather than a data
+    /// operation.
+    pub fn is_transaction_control(&self) -> bool {
+        matches!(
+            self,
+            Statement::Begin
+                | Statement::Commit
+                | Statement::Rollback
+                | Statement::SetAutocommit(_)
+        )
+    }
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub projection: Vec<SelectItem>,
+    /// The main table; `None` for table-less selects like `SELECT 1`.
+    pub from: Option<TableRef>,
+    /// `INNER JOIN` clauses, in order.
+    pub joins: Vec<Join>,
+    pub selection: Option<Expr>,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<u64>,
+    /// `SELECT ... FOR UPDATE` acquires exclusive locks on the rows read.
+    pub for_update: bool,
+}
+
+/// A single projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `table.*` (alias or table name before the dot).
+    QualifiedWildcard(String),
+    /// An expression, optionally aliased with `AS`.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A base-table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name the table is referred to by in expressions.
+    pub fn effective_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// An `INNER JOIN ... ON ...` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub table: TableRef,
+    pub on: Expr,
+}
+
+/// One element of an `ORDER BY` list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub asc: bool,
+}
+
+/// An `INSERT INTO t (cols) VALUES (...), (...)` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    /// Explicit column list; empty means "all columns in schema order".
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// An `UPDATE t SET col = expr, ... [WHERE ...]` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: String,
+    pub assignments: Vec<Assignment>,
+    pub selection: Option<Expr>,
+}
+
+/// A single `col = expr` assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    pub column: String,
+    pub value: Expr,
+}
+
+/// A `DELETE FROM t [WHERE ...]` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub selection: Option<Expr>,
+}
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// Binary operators, in ascending precedence groups (Or < And < comparisons
+/// < additive < multiplicative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    /// Whether the operator is a comparison producing a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Column(ColumnRef),
+    Literal(Literal),
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
+    /// A function call such as `COUNT(*)` or `SUM(qty)`. `wildcard` is true
+    /// for `f(*)`.
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        wildcard: bool,
+    },
+    /// `expr [NOT] IN (e1, e2, ...)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `CASE [operand] WHEN w THEN t ... [ELSE e] END`.
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_branch: Option<Box<Expr>>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Self {
+        Expr::Column(ColumnRef::bare(name))
+    }
+
+    pub fn int(v: i64) -> Self {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    pub fn str(v: impl Into<String>) -> Self {
+        Expr::Literal(Literal::Str(v.into()))
+    }
+
+    pub fn binary(left: Expr, op: BinOp, right: Expr) -> Self {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    /// Visit every column reference in the expression.
+    pub fn visit_columns<'a>(&'a self, f: &mut impl FnMut(&'a ColumnRef)) {
+        match self {
+            Expr::Column(c) => f(c),
+            Expr::Literal(_) => {}
+            Expr::Unary { expr, .. } => expr.visit_columns(f),
+            Expr::Binary { left, right, .. } => {
+                left.visit_columns(f);
+                right.visit_columns(f);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.visit_columns(f);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit_columns(f);
+                for e in list {
+                    e.visit_columns(f);
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
+                if let Some(op) = operand {
+                    op.visit_columns(f);
+                }
+                for (w, t) in branches {
+                    w.visit_columns(f);
+                    t.visit_columns(f);
+                }
+                if let Some(e) = else_branch {
+                    e.visit_columns(f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.visit_columns(f),
+        }
+    }
+
+    /// Whether the expression contains an aggregate function call
+    /// (`COUNT`, `SUM`, `MIN`, `MAX`, `AVG`).
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Function { name, args, .. } => {
+                let upper = name.to_ascii_uppercase();
+                matches!(upper.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG")
+                    || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
+                operand.as_deref().is_some_and(Expr::contains_aggregate)
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_branch.as_deref().is_some_and(Expr::contains_aggregate)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_name_prefers_alias() {
+        let t = TableRef {
+            name: "cataloginventory_stock_item".into(),
+            alias: Some("si".into()),
+        };
+        assert_eq!(t.effective_name(), "si");
+        let t = TableRef {
+            name: "employees".into(),
+            alias: None,
+        };
+        assert_eq!(t.effective_name(), "employees");
+    }
+
+    #[test]
+    fn visit_columns_reaches_nested_expressions() {
+        let e = Expr::Case {
+            operand: Some(Box::new(Expr::col("product_id"))),
+            branches: vec![(
+                Expr::int(2048),
+                Expr::binary(Expr::col("qty"), BinOp::Sub, Expr::int(1)),
+            )],
+            else_branch: Some(Box::new(Expr::col("qty"))),
+        };
+        let mut cols = Vec::new();
+        e.visit_columns(&mut |c| cols.push(c.column.clone()));
+        assert_eq!(cols, vec!["product_id", "qty", "qty"]);
+    }
+
+    #[test]
+    fn contains_aggregate_detects_count() {
+        let e = Expr::Function {
+            name: "COUNT".into(),
+            args: vec![],
+            wildcard: true,
+        };
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        let nested = Expr::binary(
+            Expr::Function {
+                name: "SUM".into(),
+                args: vec![Expr::col("qty")],
+                wildcard: false,
+            },
+            BinOp::Add,
+            Expr::int(1),
+        );
+        assert!(nested.contains_aggregate());
+    }
+
+    #[test]
+    fn literal_display_escapes_quotes() {
+        assert_eq!(Literal::Str("John's".into()).to_string(), "'John''s'");
+        assert_eq!(Literal::Null.to_string(), "NULL");
+        assert_eq!(Literal::Float(2.0).to_string(), "2.0");
+    }
+
+    #[test]
+    fn transaction_control_classification() {
+        assert!(Statement::Begin.is_transaction_control());
+        assert!(Statement::SetAutocommit(false).is_transaction_control());
+        assert!(!Statement::Delete(Delete {
+            table: "t".into(),
+            selection: None
+        })
+        .is_transaction_control());
+    }
+}

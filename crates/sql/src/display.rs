@@ -1,0 +1,387 @@
+//! Canonical rendering of statements back to SQL text.
+//!
+//! The renderer produces unquoted identifiers and canonical keyword casing;
+//! `parse(display(stmt)) == stmt` holds for every statement the parser can
+//! produce (verified by property tests).
+
+use std::fmt;
+
+use crate::ast::*;
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => s.fmt(f),
+            Statement::Insert(i) => i.fmt(f),
+            Statement::Update(u) => u.fmt(f),
+            Statement::Delete(d) => d.fmt(f),
+            Statement::Begin => f.write_str("BEGIN TRANSACTION"),
+            Statement::Commit => f.write_str("COMMIT"),
+            Statement::Rollback => f.write_str("ROLLBACK"),
+            Statement::SetAutocommit(on) => {
+                write!(f, "SET autocommit={}", if *on { 1 } else { 0 })
+            }
+            Statement::CreateTable(t) => {
+                write!(f, "CREATE TABLE {} (", t.name)?;
+                for (i, c) in t.columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    let ty = match c.ty {
+                        crate::schema::ColumnType::Int => "INT",
+                        crate::schema::ColumnType::Float => "FLOAT",
+                        crate::schema::ColumnType::Str => "TEXT",
+                        crate::schema::ColumnType::Bool => "BOOLEAN",
+                    };
+                    write!(f, "{} {ty}", c.name)?;
+                    if c.auto_increment {
+                        f.write_str(" PRIMARY KEY AUTO_INCREMENT")?;
+                    } else if c.unique {
+                        f.write_str(" UNIQUE")?;
+                    }
+                    if let Some(d) = &c.default {
+                        write!(f, " DEFAULT {d}")?;
+                    }
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            item.fmt(f)?;
+        }
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+            for join in &self.joins {
+                write!(f, " INNER JOIN {} ON {}", join.table, join.on)?;
+            }
+        }
+        if let Some(sel) = &self.selection {
+            write!(f, " WHERE {sel}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, item) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(
+                    f,
+                    "{}{}",
+                    item.expr,
+                    if item.asc { " ASC" } else { " DESC" }
+                )?;
+            }
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        if self.for_update {
+            f.write_str(" FOR UPDATE")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::Expr { expr, alias } => {
+                expr.fmt(f)?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        f.write_str(" VALUES ")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str("(")?;
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    f.write_str(", ")?;
+                }
+                v.fmt(f)?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {} SET ", self.table)?;
+        for (i, a) in self.assignments.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}={}", a.column, a.value)?;
+        }
+        if let Some(sel) = &self.selection {
+            write!(f, " WHERE {sel}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Delete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(sel) = &self.selection {
+            write!(f, " WHERE {sel}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(t) = &self.table {
+            write!(f, "{t}.")?;
+        }
+        f.write_str(&self.column)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Or => "OR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "!=",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        })
+    }
+}
+
+/// Precedence level used for minimal parenthesisation in `Display`.
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+    }
+}
+
+/// Render `expr`, parenthesising when its top-level binding is looser than
+/// `min_prec`.
+fn fmt_expr(expr: &Expr, min_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match expr {
+        Expr::Binary { left, op, right } => {
+            let prec = precedence(*op);
+            let need_parens = prec < min_prec;
+            if need_parens {
+                f.write_str("(")?;
+            }
+            // Left-associative operators render the left child at the same
+            // precedence; comparisons are non-associative in the grammar, so
+            // both children need strictly higher precedence.
+            let left_min = if op.is_comparison() { prec + 1 } else { prec };
+            fmt_expr(left, left_min, f)?;
+            write!(f, " {op} ")?;
+            fmt_expr(right, prec + 1, f)?;
+            if need_parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => {
+            // NOT binds between AND and the comparisons (precedence ~2.5 in
+            // this grammar), so it needs parens inside anything tighter.
+            let need_parens = min_prec > 2;
+            if need_parens {
+                f.write_str("(")?;
+            }
+            f.write_str("NOT ")?;
+            fmt_expr(expr, 3, f)?;
+            if need_parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => {
+            f.write_str("-")?;
+            fmt_expr(expr, 6, f)
+        }
+        Expr::Column(c) => write!(f, "{c}"),
+        Expr::Literal(l) => write!(f, "{l}"),
+        Expr::Function {
+            name,
+            args,
+            wildcard,
+        } => {
+            write!(f, "{name}(")?;
+            if *wildcard {
+                f.write_str("*")?;
+            } else {
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    fmt_expr(a, 0, f)?;
+                }
+            }
+            f.write_str(")")
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            // Postfix operators bind at comparison level and are
+            // non-associative: parenthesise when embedded tighter, and
+            // render the operand above comparison precedence.
+            let need_parens = min_prec > 3;
+            if need_parens {
+                f.write_str("(")?;
+            }
+            fmt_expr(expr, 4, f)?;
+            write!(f, "{} IN (", if *negated { " NOT" } else { "" })?;
+            for (i, e) in list.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_expr(e, 0, f)?;
+            }
+            f.write_str(")")?;
+            if need_parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            f.write_str("CASE")?;
+            if let Some(op) = operand {
+                write!(f, " {op}")?;
+            }
+            for (w, t) in branches {
+                write!(f, " WHEN {w} THEN {t}")?;
+            }
+            if let Some(e) = else_branch {
+                write!(f, " ELSE {e}")?;
+            }
+            f.write_str(" END")
+        }
+        Expr::IsNull { expr, negated } => {
+            let need_parens = min_prec > 3;
+            if need_parens {
+                f.write_str("(")?;
+            }
+            fmt_expr(expr, 4, f)?;
+            write!(f, " IS{} NULL", if *negated { " NOT" } else { "" })?;
+            if need_parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_statement;
+
+    fn roundtrip(sql: &str) -> String {
+        parse_statement(sql).unwrap().to_string()
+    }
+
+    #[test]
+    fn roundtrips_are_stable() {
+        // display(parse(x)) must be a fixed point: parsing the rendering and
+        // re-rendering yields the same text.
+        for sql in [
+            "SELECT COUNT(*) FROM employees WHERE first_name = 'John' AND last_name = 'Doe'",
+            "UPDATE employees SET salary=salary + 1000",
+            "SELECT si.*, p.type_id FROM cataloginventory_stock_item AS si INNER JOIN \
+             catalog_product_entity AS p ON p.entity_id = si.product_id WHERE website_id = 0 \
+             AND product_id IN (2048) FOR UPDATE",
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)",
+            "DELETE FROM t WHERE a >= 3",
+            "SELECT * FROM t ORDER BY a DESC, b ASC LIMIT 10",
+            "SET autocommit=0",
+            "UPDATE t SET q=CASE p WHEN 1 THEN q - 1 ELSE q END WHERE p IN (1)",
+        ] {
+            let once = roundtrip(sql);
+            let twice = roundtrip(&once);
+            assert_eq!(once, twice, "unstable rendering for {sql}");
+        }
+    }
+
+    #[test]
+    fn preserves_precedence_with_parens() {
+        let s = roundtrip("SELECT * FROM t WHERE (a + b) * 2 = 10");
+        assert!(s.contains("(a + b) * 2"), "{s}");
+        let s = roundtrip("SELECT * FROM t WHERE a OR b AND c");
+        // AND binds tighter; no parens needed.
+        assert!(s.contains("a OR b AND c"), "{s}");
+        let s = roundtrip("SELECT * FROM t WHERE (a OR b) AND c");
+        assert!(s.contains("(a OR b) AND c"), "{s}");
+    }
+
+    #[test]
+    fn subtraction_associativity_is_preserved() {
+        let s = roundtrip("SELECT * FROM t WHERE a - (b - c) = 0");
+        assert!(s.contains("a - (b - c)"), "{s}");
+        let s = roundtrip("SELECT * FROM t WHERE a - b - c = 0");
+        assert!(s.contains("a - b - c"), "{s}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Property tests: AST → SQL text → AST round-trips, and read/write-set
+//! extraction invariants over randomly generated statements.
+
+use proptest::prelude::*;
+
+use acidrain_sql::ast::*;
+use acidrain_sql::parser::parse_statement;
+use acidrain_sql::rwset::{statement_accesses, EXISTS_COLUMN};
+use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
+
+fn ident() -> impl Strategy<Value = String> {
+    // Lowercase identifiers that are not dialect keywords.
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.to_ascii_uppercase().as_str(),
+            "SELECT"
+                | "FROM"
+                | "WHERE"
+                | "INSERT"
+                | "UPDATE"
+                | "DELETE"
+                | "SET"
+                | "VALUES"
+                | "INTO"
+                | "AND"
+                | "OR"
+                | "NOT"
+                | "ORDER"
+                | "BY"
+                | "LIMIT"
+                | "JOIN"
+                | "INNER"
+                | "ON"
+                | "COMMIT"
+                | "BEGIN"
+                | "ROLLBACK"
+                | "START"
+                | "FOR"
+                | "AS"
+                | "IN"
+                | "IS"
+                | "NULL"
+                | "TRUE"
+                | "FALSE"
+                | "CASE"
+                | "WHEN"
+                | "THEN"
+                | "ELSE"
+                | "END"
+                | "ASC"
+                | "DESC"
+                | "GROUP"
+                | "WORK"
+                | "TRANSACTION"
+        )
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| Literal::Int(v as i64)),
+        // Finite floats with exact decimal rendering survive round-trips.
+        (-1000i32..1000, 1u8..100).prop_map(|(a, b)| Literal::Float(a as f64 + b as f64 / 100.0)),
+        "[a-zA-Z '.,_-]{0,12}".prop_map(Literal::Str),
+        Just(Literal::Null),
+    ]
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident()).prop_map(|(table, column)| ColumnRef { table, column })
+}
+
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        column_ref().prop_map(Expr::Column),
+        literal().prop_map(Expr::Literal),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), binop()).prop_map(|(l, r, op)| Expr::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r)
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (ident(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(|(name, args)| {
+                Expr::Function {
+                    name,
+                    args,
+                    wildcard: false,
+                }
+            }),
+            (
+                proptest::option::of(inner.clone()),
+                proptest::collection::vec((inner.clone(), inner.clone()), 1..3),
+                proptest::option::of(inner.clone())
+            )
+                .prop_map(|(operand, branches, else_branch)| Expr::Case {
+                    operand: operand.map(Box::new),
+                    branches,
+                    else_branch: else_branch.map(Box::new),
+                }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Or),
+        Just(BinOp::And),
+        Just(BinOp::Eq),
+        Just(BinOp::NotEq),
+        Just(BinOp::Lt),
+        Just(BinOp::LtEq),
+        Just(BinOp::Gt),
+        Just(BinOp::GtEq),
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+    ]
+}
+
+fn statement() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        select().prop_map(Statement::Select),
+        insert().prop_map(Statement::Insert),
+        update().prop_map(Statement::Update),
+        delete().prop_map(Statement::Delete),
+        Just(Statement::Begin),
+        Just(Statement::Commit),
+        Just(Statement::Rollback),
+        any::<bool>().prop_map(Statement::SetAutocommit),
+    ]
+}
+
+fn table_ref() -> impl Strategy<Value = TableRef> {
+    (ident(), proptest::option::of(ident())).prop_map(|(name, alias)| TableRef { name, alias })
+}
+
+fn select() -> impl Strategy<Value = Select> {
+    (
+        proptest::collection::vec(
+            prop_oneof![
+                Just(SelectItem::Wildcard),
+                ident().prop_map(SelectItem::QualifiedWildcard),
+                (expr(2), proptest::option::of(ident()))
+                    .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+            ],
+            1..3,
+        ),
+        table_ref(),
+        proptest::collection::vec((table_ref(), expr(1)), 0..2),
+        proptest::option::of(expr(2)),
+        proptest::collection::vec((expr(1), any::<bool>()), 0..2),
+        proptest::option::of(0u64..1000),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(projection, from, joins, selection, order_by, limit, for_update)| Select {
+                projection,
+                from: Some(from),
+                joins: joins
+                    .into_iter()
+                    .map(|(table, on)| Join { table, on })
+                    .collect(),
+                selection,
+                order_by: order_by
+                    .into_iter()
+                    .map(|(expr, asc)| OrderByItem { expr, asc })
+                    .collect(),
+                limit,
+                for_update,
+            },
+        )
+}
+
+fn insert() -> impl Strategy<Value = Insert> {
+    (
+        ident(),
+        proptest::collection::vec(ident(), 0..4),
+        1usize..3,
+        1usize..4,
+    )
+        .prop_flat_map(|(table, columns, nrows, ncols)| {
+            let ncols = if columns.is_empty() {
+                ncols
+            } else {
+                columns.len().max(1)
+            };
+            proptest::collection::vec(
+                proptest::collection::vec(expr(1), ncols..=ncols),
+                nrows..=nrows,
+            )
+            .prop_map(move |rows| Insert {
+                table: table.clone(),
+                columns: columns.clone(),
+                rows,
+            })
+        })
+}
+
+fn update() -> impl Strategy<Value = Update> {
+    (
+        ident(),
+        proptest::collection::vec((ident(), expr(2)), 1..3),
+        proptest::option::of(expr(2)),
+    )
+        .prop_map(|(table, assignments, selection)| Update {
+            table,
+            assignments: assignments
+                .into_iter()
+                .map(|(column, value)| Assignment { column, value })
+                .collect(),
+            selection,
+        })
+}
+
+fn delete() -> impl Strategy<Value = Delete> {
+    (ident(), proptest::option::of(expr(2)))
+        .prop_map(|(table, selection)| Delete { table, selection })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// display(stmt) must re-parse to the same AST.
+    #[test]
+    fn display_parse_roundtrip(stmt in statement()) {
+        let rendered = stmt.to_string();
+        let reparsed = parse_statement(&rendered)
+            .unwrap_or_else(|e| panic!("failed to re-parse {rendered:?}: {e}"));
+        prop_assert_eq!(stmt, reparsed, "rendering: {}", rendered);
+    }
+
+    /// SELECT statements never produce write columns; INSERT and DELETE
+    /// always write row membership.
+    #[test]
+    fn rwset_invariants(stmt in statement()) {
+        let schema = Schema::new().with_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("id", ColumnType::Int).unique()],
+        ));
+        let accesses = statement_accesses(&stmt, &schema);
+        match &stmt {
+            Statement::Select(_) => {
+                for a in &accesses {
+                    prop_assert!(a.write_columns.is_empty());
+                    prop_assert!(a.read_columns.contains(EXISTS_COLUMN));
+                }
+            }
+            Statement::Insert(_) | Statement::Delete(_) => {
+                prop_assert_eq!(accesses.len(), 1);
+                prop_assert!(accesses[0].write_columns.contains(EXISTS_COLUMN));
+            }
+            Statement::Update(u) => {
+                prop_assert_eq!(accesses.len(), 1);
+                for a in &u.assignments {
+                    prop_assert!(accesses[0].write_columns.contains(&a.column));
+                }
+            }
+            _ => prop_assert!(accesses.is_empty()),
+        }
+    }
+
+    /// The lexer either tokenizes arbitrary input or errors; it never
+    /// panics, and parsing never panics either.
+    #[test]
+    fn parser_total_on_arbitrary_input(input in "[ -~]{0,80}") {
+        let _ = parse_statement(&input);
+    }
+}

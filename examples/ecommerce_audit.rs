@@ -1,0 +1,88 @@
+//! Audit one eCommerce application end-to-end, the way §4 of the paper
+//! audits its corpus: pen-test trace → targeted 2AD → witness-driven
+//! attacks → verified Table-5 cells.
+//!
+//! ```text
+//! cargo run -p acidrain-harness --example ecommerce_audit [app-name]
+//! ```
+
+use acidrain_apps::prelude::*;
+use acidrain_core::Analyzer;
+use acidrain_harness::attack::{audit_cell, probe_trace, Invariant};
+use acidrain_harness::experiments::{table5, PAPER_DEFAULT_ISOLATION};
+
+fn main() {
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Lightning Fast Shop".to_string());
+    let apps = all_apps();
+    let app = apps
+        .iter()
+        .find(|a| a.name().eq_ignore_ascii_case(&wanted))
+        .unwrap_or_else(|| {
+            eprintln!("unknown application {wanted:?}; available:");
+            for a in &apps {
+                eprintln!("  {}", a.name());
+            }
+            std::process::exit(2);
+        });
+    let isolation = PAPER_DEFAULT_ISOLATION;
+
+    println!(
+        "=== Auditing {} ({}) at {isolation} ===",
+        app.name(),
+        app.language()
+    );
+
+    for invariant in Invariant::ALL {
+        println!("\n--- {invariant} invariant ---");
+        if invariant.feature(app.as_ref()) != FeatureStatus::Supported {
+            println!(
+                "feature status: {:?} — skipped",
+                invariant.feature(app.as_ref())
+            );
+            continue;
+        }
+        // Show the relevant slice of the pen-test trace.
+        let log = probe_trace(app.as_ref(), invariant, isolation).expect("probe");
+        println!("pen-test trace: {} statements", log.len());
+        let analyzer = Analyzer::from_log(&log, &app.schema()).expect("lift");
+        let mut config = acidrain_core::RefinementConfig::at_isolation(isolation);
+        if app.session_locked() {
+            config = config.with_session_locking(
+                ["add_to_cart".to_string(), "checkout".to_string()],
+                ["cart_items".to_string()],
+            );
+        }
+        let findings = analyzer.analyze_targeted(&config, &invariant.targets());
+        println!("2AD witnesses (targeted): {}", findings.finding_count());
+        for finding in findings.findings.iter().take(3) {
+            println!("  {}", analyzer.describe(finding));
+        }
+
+        let report = audit_cell(app.as_ref(), invariant, isolation, 60);
+        println!(
+            "verdict: {} (after {} attack attempts)",
+            table5::render_cell(report.cell),
+            report.attacks
+        );
+        if let Some(v) = &report.violation {
+            println!("confirmed: {v}");
+        }
+        let expected = expected_row(app.name()).unwrap();
+        let expected_cell = match invariant {
+            Invariant::Voucher => expected.voucher,
+            Invariant::Inventory => expected.inventory,
+            Invariant::Cart => expected.cart,
+        };
+        println!(
+            "paper says: {} — {}",
+            table5::render_cell(expected_cell),
+            if expected_cell == report.cell {
+                "MATCH"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+}

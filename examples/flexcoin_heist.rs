@@ -1,0 +1,114 @@
+//! The Flexcoin heist (paper §1): reproduce the March 2014 attack that
+//! bankrupted the exchange — concurrent self-transfers duplicate coins
+//! before balances are updated, snowballing across wallets until the
+//! attacker withdraws more than they ever deposited.
+//!
+//! ```text
+//! cargo run -p acidrain-harness --example flexcoin_heist
+//! ```
+
+use acidrain_apps::flexcoin::{check_solvency, exchange_schema, Flexcoin};
+use acidrain_apps::SqlConn;
+use acidrain_core::{Analyzer, RefinementConfig};
+use acidrain_db::IsolationLevel;
+use acidrain_harness::sched::{run_deterministic, Stepper};
+
+const WALLET_A: i64 = 2;
+const WALLET_B: i64 = 3;
+
+fn main() {
+    let exchange = Flexcoin;
+    let reserve = 1_000_000;
+    let deposit = 100;
+    let db = exchange.make_exchange(IsolationLevel::MySqlRepeatableRead, reserve, deposit);
+
+    // Step 0: 2AD on a single serial transfer finds the flaw before we
+    // exploit it.
+    {
+        let mut conn = db.connect();
+        conn.set_api("transfer", 0);
+        exchange.transfer(&mut conn, WALLET_A, WALLET_B, 1).unwrap();
+        conn.clear_api();
+        exchange.transfer(&mut conn, WALLET_B, WALLET_A, 1).unwrap();
+    }
+    let analyzer = Analyzer::from_log(&db.take_log(), &exchange_schema()).unwrap();
+    let report = analyzer.analyze(&RefinementConfig::at_isolation(
+        IsolationLevel::MySqlRepeatableRead,
+    ));
+    println!(
+        "2AD on one serial transfer: {} potential anomalies, e.g.:",
+        report.finding_count()
+    );
+    if let Some(f) = report.findings.first() {
+        println!("  {}", analyzer.describe(f));
+    }
+
+    // Step 1+: the snowball. Each round fires W concurrent transfers of
+    // wallet A's full balance to wallet B; every transfer reads the same
+    // pre-debit balance, so B is credited W times while A is debited to
+    // zero ("moving coins before balances were updated").
+    let waves = 6;
+    let width = 4;
+    let mut stolen_source = WALLET_A;
+    let mut stolen_dest = WALLET_B;
+    for wave in 1..=waves {
+        let balance = db.table_rows("wallets").unwrap()[(stolen_source - 1) as usize][2]
+            .as_i64()
+            .unwrap();
+        if balance == 0 {
+            break;
+        }
+        let transfer = |conn: &mut dyn SqlConn| {
+            exchange
+                .transfer(conn, stolen_source, stolen_dest, balance)
+                .is_ok()
+        };
+        let tasks = vec![transfer; width];
+        let results = run_deterministic(&db, tasks, |s: &mut Stepper| {
+            // All requests pass the balance check before any debit lands.
+            for i in 0..width {
+                s.run_statements(i, 1); // read the (still undebited) balance
+            }
+        });
+        let credited = results.iter().filter(|ok| **ok).count() as i64;
+        let dest_balance = db.table_rows("wallets").unwrap()[(stolen_dest - 1) as usize][2]
+            .as_i64()
+            .unwrap();
+        println!(
+            "wave {wave}: {credited} concurrent transfers of {balance} coins credited — \
+             destination wallet now holds {dest_balance}"
+        );
+        std::mem::swap(&mut stolen_source, &mut stolen_dest);
+    }
+
+    // Step 2: cash out everything through the (correctly guarded)
+    // withdrawal endpoint.
+    let mut conn = db.connect();
+    let mut looted = 0;
+    for wallet in [WALLET_A, WALLET_B] {
+        let coins = db.table_rows("wallets").unwrap()[(wallet - 1) as usize][2]
+            .as_i64()
+            .unwrap();
+        if coins > 0 && exchange.withdraw(&mut conn, wallet, coins).is_ok() {
+            looted += coins;
+        }
+    }
+    drop(conn);
+
+    println!();
+    println!("attacker deposited: {deposit} coins");
+    println!("attacker withdrew:  {looted} coins");
+    match check_solvency(&db, reserve + deposit) {
+        Err(v) => println!("EXCHANGE INSOLVENT: {v}"),
+        Ok(()) => {
+            // Withdrawals burned the conjured coins off the books; the
+            // theft shows up as loot far exceeding the deposit.
+            println!("books balance only because the stolen coins already left the building");
+        }
+    }
+    assert!(looted > deposit, "the snowball must conjure coins");
+    println!(
+        "=> {}x multiplication of the attacker's stake, purely via concurrent API calls.",
+        looted / deposit
+    );
+}

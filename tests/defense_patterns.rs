@@ -1,0 +1,121 @@
+//! §4.2.6 "Avoiding ACIDRain Attacks" — the defense patterns, classified
+//! mechanically from each application's own traces and checked against the
+//! paper's per-app attributions.
+
+use acidrain_apps::prelude::*;
+use acidrain_db::IsolationLevel;
+use acidrain_harness::attack::{probe_trace, Invariant};
+
+const ISO: IsolationLevel = IsolationLevel::MySqlRepeatableRead;
+
+/// How many times checkout reads the cart table (SELECTs over cart_items).
+fn cart_reads_in_checkout(app: &dyn ShopApp) -> usize {
+    let log = probe_trace(app, Invariant::Cart, ISO).expect("probe");
+    log.iter()
+        .filter(|e| {
+            e.api.as_ref().is_some_and(|t| t.name == "checkout")
+                && e.sql.starts_with("SELECT")
+                && e.sql.contains("cart_items")
+        })
+        .count()
+}
+
+/// Whether checkout uses SELECT ... FOR UPDATE anywhere.
+fn checkout_uses_for_update(app: &dyn ShopApp) -> bool {
+    let log = probe_trace(app, Invariant::Inventory, ISO).expect("probe");
+    log.iter().any(|e| e.sql.ends_with("FOR UPDATE"))
+}
+
+/// Whether checkout re-reads the voucher usage after writing it (the
+/// "multiple validations" pattern).
+fn voucher_post_validation(app: &dyn ShopApp) -> bool {
+    if app.voucher_support() != FeatureStatus::Supported {
+        return false;
+    }
+    let log = probe_trace(app, Invariant::Voucher, ISO).expect("probe");
+    let write = log
+        .iter()
+        .position(|e| e.sql.starts_with("UPDATE vouchers"))
+        .or_else(|| {
+            log.iter()
+                .position(|e| e.sql.starts_with("INSERT INTO voucher_applications"))
+        });
+    let Some(write) = write else { return false };
+    log.iter()
+        .skip(write + 1)
+        .any(|e| e.sql.starts_with("SELECT used FROM vouchers"))
+}
+
+/// "Single read of data": Oscar, PrestaShop, and WooCommerce avoided the
+/// cart vulnerability by deriving total and items from one read.
+#[test]
+fn single_read_of_cart_attribution() {
+    let single_read: &[&str] = &["PrestaShop", "WooCommerce", "Oscar"];
+    for app in all_apps() {
+        if app.cart_support() != FeatureStatus::Supported {
+            continue;
+        }
+        let reads = cart_reads_in_checkout(app.as_ref());
+        if single_read.contains(&app.name()) {
+            assert_eq!(reads, 1, "{}: expected the single-read idiom", app.name());
+        } else {
+            assert!(
+                reads >= 2,
+                "{}: expected the two-read (vulnerable or revalidated) shape, saw {reads}",
+                app.name()
+            );
+        }
+    }
+}
+
+/// SELECT FOR UPDATE usage: only Spree uses it correctly; Magento and
+/// Ror_ecommerce (above its threshold, as in the default store) also take
+/// locks — but in ways that don't help; the rest never lock.
+#[test]
+fn select_for_update_attribution() {
+    for app in all_apps() {
+        let expected = matches!(app.name(), "Spree" | "Magento" | "Broadleaf");
+        // Broadleaf locks its checkout mutex row; Ror only locks below its
+        // low-stock threshold, which the default store never reaches.
+        assert_eq!(
+            checkout_uses_for_update(app.as_ref()),
+            expected,
+            "{}",
+            app.name()
+        );
+    }
+}
+
+/// Multiple validations: Spree re-checks the voucher after marking it.
+#[test]
+fn multiple_validations_attribution() {
+    for app in all_apps() {
+        let expected = app.name() == "Spree";
+        assert_eq!(voucher_post_validation(app.as_ref()), expected, "{}", app.name());
+    }
+}
+
+/// User-level concurrency control: OpenCart is the only session-locked
+/// deployment; Broadleaf is the only database-mutex user.
+#[test]
+fn user_level_concurrency_control_attribution() {
+    for app in all_apps() {
+        assert_eq!(app.session_locked(), app.name() == "OpenCart", "{}", app.name());
+    }
+    let log = probe_trace(&Broadleaf, Invariant::Cart, ISO).unwrap();
+    assert!(
+        log.iter().any(|e| e.sql.contains("app_locks")),
+        "Broadleaf acquires its database mutex"
+    );
+    for app in all_apps() {
+        if app.name() == "Broadleaf" || app.cart_support() != FeatureStatus::Supported {
+            continue;
+        }
+        let log = probe_trace(app.as_ref(), Invariant::Cart, ISO).unwrap();
+        assert!(
+            !log.iter().any(|e| e.sql.contains("app_locks")),
+            "{}: no database mutex expected",
+            app.name()
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Isolation-envelope integration tests: the substrate database must admit
+//! exactly the anomalies each level is supposed to admit, end-to-end
+//! through application code, matching the paper's Table 2 shape.
+
+use acidrain_apps::prelude::*;
+use acidrain_db::IsolationLevel;
+use acidrain_harness::attack::{audit_cell, Invariant};
+use acidrain_harness::experiments::table2;
+
+fn vulnerable(app: &dyn ShopApp, invariant: Invariant, level: IsolationLevel) -> bool {
+    audit_cell(app, invariant, level, 60).cell.is_vulnerable()
+}
+
+/// Level-based Lost Updates die at true RR, SI, and Serializable.
+#[test]
+fn level_based_lost_update_envelope() {
+    let app = Oscar;
+    for (level, expected) in [
+        (IsolationLevel::ReadCommitted, true),
+        (IsolationLevel::MySqlRepeatableRead, true),
+        (IsolationLevel::RepeatableRead, false),
+        (IsolationLevel::SnapshotIsolation, false),
+        (IsolationLevel::Serializable, false),
+    ] {
+        assert_eq!(
+            vulnerable(&app, Invariant::Inventory, level),
+            expected,
+            "Oscar inventory at {level}"
+        );
+    }
+}
+
+/// The level-based phantom survives everything below Serializable — the
+/// "1 remaining under Snapshot Isolation" of Table 2.
+#[test]
+fn level_based_phantom_envelope() {
+    let app = Oscar;
+    for (level, expected) in [
+        (IsolationLevel::ReadCommitted, true),
+        (IsolationLevel::RepeatableRead, true),
+        (IsolationLevel::SnapshotIsolation, true),
+        (IsolationLevel::Serializable, false),
+    ] {
+        assert_eq!(
+            vulnerable(&app, Invariant::Voucher, level),
+            expected,
+            "Oscar voucher at {level}"
+        );
+    }
+}
+
+/// Scope-based vulnerabilities are "not preventable without substantial
+/// code modification": they survive Serializable.
+#[test]
+fn scope_based_attacks_survive_serializable() {
+    assert!(vulnerable(
+        &PrestaShop,
+        Invariant::Voucher,
+        IsolationLevel::Serializable
+    ));
+    assert!(vulnerable(
+        &Magento,
+        Invariant::Inventory,
+        IsolationLevel::Serializable
+    ));
+    assert!(vulnerable(
+        &LightningFastShop,
+        Invariant::Cart,
+        IsolationLevel::Serializable
+    ));
+    assert!(vulnerable(
+        &Shoppe,
+        Invariant::Inventory,
+        IsolationLevel::Serializable
+    ));
+}
+
+/// The full Table 2, matched row by row.
+#[test]
+fn table2_matches_paper() {
+    let result = table2::run();
+    let expectations = [
+        ("MySQL", 5, 0, 17),
+        ("Oracle", 5, 1, 17),
+        ("Postgres", 5, 0, 17),
+        ("SAP HANA", 5, 1, 17),
+    ];
+    for (row, (name, at_default, at_max, remaining)) in result.rows.iter().zip(expectations) {
+        assert_eq!(row.profile.name, name);
+        assert_eq!(row.level_based_at_default, at_default, "{name} default");
+        assert_eq!(row.level_based_at_max, at_max, "{name} max");
+        assert_eq!(row.remaining_scope_based, remaining, "{name} remaining");
+    }
+}
+
+/// Spree stays clean at every isolation level (its safety comes from
+/// code, not from the database).
+#[test]
+fn spree_clean_at_every_level() {
+    for level in IsolationLevel::ALL {
+        for invariant in Invariant::ALL {
+            assert!(
+                !vulnerable(&Spree, invariant, level),
+                "Spree {invariant} at {level}"
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end test of the standalone `twoad` tool: schema file + log file
+//! in, findings and witness schedules out.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("twoad-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const SCHEMA: &str = "
+CREATE TABLE vouchers (
+  id INT PRIMARY KEY AUTO_INCREMENT,
+  usage_limit INT,
+  used INT DEFAULT 0
+);
+CREATE TABLE voucher_applications (
+  id INT PRIMARY KEY AUTO_INCREMENT,
+  voucher_id INT,
+  order_id INT
+);
+";
+
+const LOG: &str = "
+# an Oscar-style voucher redemption inside one transaction
+[s1 checkout#0] SET autocommit=0
+[s1 checkout#0] SELECT (1) AS a FROM voucher_applications WHERE voucher_applications.voucher_id = 6 LIMIT 1
+[s1 checkout#0] INSERT INTO voucher_applications (voucher_id, order_id) VALUES (6, 23)
+[s1 checkout#0] COMMIT
+";
+
+fn run_twoad(args: &[&str]) -> (String, String, i32) {
+    let output = Command::new(env!("CARGO_BIN_EXE_twoad"))
+        .args(args)
+        .output()
+        .expect("twoad runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn finds_the_figure6_phantom_from_files() {
+    let schema = write_temp("voucher.sql", SCHEMA);
+    let log = write_temp("voucher.log", LOG);
+    let (stdout, stderr, code) = run_twoad(&[
+        "--schema",
+        schema.to_str().unwrap(),
+        "--log",
+        log.to_str().unwrap(),
+        "--isolation",
+        "si",
+        "--witnesses",
+        "1",
+    ]);
+    assert_eq!(code, 3, "findings exit code; stderr: {stderr}");
+    assert!(stdout.contains("potential anomalies"), "{stdout}");
+    assert!(stdout.contains("[level phantom]"), "{stdout}");
+    assert!(stdout.contains("a1*"), "witness schedule printed: {stdout}");
+    assert!(stdout.contains("a2"), "{stdout}");
+}
+
+#[test]
+fn serializable_refinement_clears_it() {
+    let schema = write_temp("voucher2.sql", SCHEMA);
+    let log = write_temp("voucher2.log", LOG);
+    let (stdout, _, code) = run_twoad(&[
+        "--schema",
+        schema.to_str().unwrap(),
+        "--log",
+        log.to_str().unwrap(),
+        "--isolation",
+        "s",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("no potential anomalies"), "{stdout}");
+}
+
+#[test]
+fn targeting_restricts_output() {
+    let schema = write_temp("voucher3.sql", SCHEMA);
+    let log = write_temp("voucher3.log", LOG);
+    let (stdout, _, code) = run_twoad(&[
+        "--schema",
+        schema.to_str().unwrap(),
+        "--log",
+        log.to_str().unwrap(),
+        "--target",
+        "vouchers.used",
+    ]);
+    // Nothing in the trace touches vouchers.used.
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn bad_input_errors_cleanly() {
+    let schema = write_temp("bad.sql", "SELECT 1");
+    let log = write_temp("ok.log", LOG);
+    let (_, stderr, code) = run_twoad(&[
+        "--schema",
+        schema.to_str().unwrap(),
+        "--log",
+        log.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("schema error"), "{stderr}");
+}

@@ -1,0 +1,101 @@
+//! The abstract's claim, taken literally: "users can buy a single gift
+//! card, then spend it an unlimited number of times by concurrently
+//! issuing checkout requests." Scale the voucher attack to N concurrent
+//! requests under the deterministic scheduler and count redemptions.
+
+use acidrain_apps::prelude::*;
+use acidrain_db::IsolationLevel;
+use acidrain_harness::sched::{run_deterministic, Stepper};
+use acidrain_harness::statement_index;
+
+const ISO: IsolationLevel = IsolationLevel::MySqlRepeatableRead;
+
+/// A boxed checkout request run by the scheduler.
+type CheckoutTask<'a> = Box<dyn FnOnce(&mut dyn SqlConn) -> bool + Send + 'a>;
+
+/// Run N concurrent voucher checkouts, each paused after its voucher
+/// availability read, then released one after another.
+fn n_way_voucher_attack(app: &dyn ShopApp, n: usize) -> (usize, usize) {
+    app.reset_session_state();
+    let db = app.make_store(ISO);
+    {
+        let mut conn = db.connect();
+        // Ample stock; one cart per attacker session.
+        conn.execute("UPDATE products SET stock = 100000 WHERE id = 1")
+            .unwrap();
+        for cart in 1..=n as i64 {
+            app.add_to_cart(&mut conn, cart, PEN, 1).unwrap();
+        }
+    }
+    db.take_log();
+
+    // Locate the voucher availability read via a probe checkout.
+    let probe_db = app.make_store(ISO);
+    let mut probe = probe_db.connect();
+    probe
+        .execute("UPDATE products SET stock = 100000 WHERE id = 1")
+        .unwrap();
+    app.add_to_cart(&mut probe, 1, PEN, 1).unwrap();
+    probe_db.take_log();
+    probe.set_api("checkout", 0);
+    app.checkout(&mut probe, 1, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+        .unwrap();
+    drop(probe);
+    let log = probe_db.log_entries();
+    let seed = log
+        .iter()
+        .find(|e| {
+            e.sql.contains("SELECT used FROM vouchers")
+                || (e.sql.contains("voucher_applications") && e.sql.starts_with("SELECT"))
+        })
+        .expect("voucher availability read");
+    let (_, k) = statement_index(&log, seed.seq).unwrap();
+
+    let tasks: Vec<CheckoutTask<'_>> = (1..=n as i64)
+        .map(|cart| {
+            let app = &*app;
+            Box::new(move |conn: &mut dyn SqlConn| {
+                app.checkout(conn, cart, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+                    .is_ok()
+            }) as CheckoutTask<'_>
+        })
+        .collect();
+
+    let results = run_deterministic(&db, tasks, |s: &mut Stepper| {
+        // Every session executes through its availability read while the
+        // voucher is still unspent...
+        for i in 0..n {
+            s.run_statements(i, k + 1);
+        }
+        // ...then each completes, redeeming "one remaining use".
+        for i in 0..n {
+            s.run_to_completion(i);
+        }
+    });
+
+    let redemptions = db.table_rows("voucher_applications").unwrap().len();
+    (results.iter().filter(|ok| **ok).count(), redemptions)
+}
+
+#[test]
+fn single_use_voucher_spent_eight_times_on_lfs() {
+    let (succeeded, redemptions) = n_way_voucher_attack(&LightningFastShop, 8);
+    assert_eq!(succeeded, 8, "every concurrent checkout succeeds");
+    assert_eq!(redemptions, 8, "a limit-1 voucher redeemed 8 times");
+}
+
+#[test]
+fn scaling_the_attack_scales_the_theft() {
+    for n in [2, 4, 6] {
+        let (succeeded, redemptions) = n_way_voucher_attack(&PrestaShop, n);
+        assert_eq!(succeeded, n, "n={n}");
+        assert_eq!(redemptions, n, "n={n}: redemptions scale with concurrency");
+    }
+}
+
+#[test]
+fn spree_refuses_all_but_one_even_at_scale() {
+    let (succeeded, redemptions) = n_way_voucher_attack(&Spree, 6);
+    assert_eq!(redemptions, 1, "multiple validations cap the damage");
+    assert_eq!(succeeded, 1, "the other five checkouts fail cleanly");
+}
