@@ -31,6 +31,7 @@ pub mod java;
 pub mod php;
 pub mod python;
 pub mod repair;
+pub mod retry;
 pub mod ruby;
 
 pub use corpus::{all_apps, expected_row, Cell, CorpusEntry, ExpectedRow, TABLE1, TABLE5};
@@ -39,6 +40,7 @@ pub use framework::{
 };
 pub use invariants::{check_cart, check_inventory, check_voucher, Violation};
 pub use repair::{can_repair, Repair, Repaired};
+pub use retry::{RetryConfig, RetryConn, RetryPolicy, RetryStats};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -51,6 +53,7 @@ pub mod prelude {
     };
     pub use crate::invariants::{check_cart, check_inventory, check_voucher, Violation};
     pub use crate::java::{Broadleaf, Shopizer};
+    pub use crate::retry::{RetryConfig, RetryConn, RetryPolicy, RetryStats};
     pub use crate::php::{Magento, OpenCart, PrestaShop, WooCommerce};
     pub use crate::python::{LightningFastShop, Oscar, Saleor};
     pub use crate::ruby::{RorEcommerce, Shoppe, Spree};

@@ -5,7 +5,7 @@
 //! reduced to its per-table read/write footprint. API calls with identical
 //! access patterns collapse into single API nodes.
 
-use acidrain_db::LogEntry;
+use acidrain_db::{LogEntry, StmtOutcome};
 use acidrain_sql::ast::Statement;
 use acidrain_sql::rwset::statement_accesses;
 use acidrain_sql::schema::Schema;
@@ -20,12 +20,15 @@ use crate::trace::{ApiCall, Op, OpKind, Trace, Txn};
 /// ```text
 /// [s1 checkout#0] SELECT used FROM vouchers WHERE id = 1
 /// [checkout#0] UPDATE vouchers SET used = 1 WHERE id = 1
+/// [s1 checkout#0 !aborted] UPDATE vouchers SET used = 2 WHERE id = 1
 /// [s2] COMMIT
 /// SELECT 1
 /// ```
 ///
-/// The bracket prefix carries the session (`sN`, default 0) and the API
-/// tag (`name#invocation`); both are optional.
+/// The bracket prefix carries the session (`sN`, default 0), the API tag
+/// (`name#invocation`), and an optional outcome marker (`!failed` for a
+/// statement-level failure, `!aborted` for a statement that rolled its
+/// whole transaction back); all are optional.
 pub fn parse_log_file(text: &str) -> Vec<LogEntry> {
     let mut entries = Vec::new();
     for line in text.lines() {
@@ -42,6 +45,7 @@ pub fn parse_log_file(text: &str) -> Vec<LogEntry> {
         };
         let mut session = 0u64;
         let mut api = None;
+        let mut outcome = StmtOutcome::Ok;
         if let Some(prefix) = prefix {
             for token in prefix.split_whitespace() {
                 if let Some(num) = token.strip_prefix('s') {
@@ -49,6 +53,13 @@ pub fn parse_log_file(text: &str) -> Vec<LogEntry> {
                         session = n;
                         continue;
                     }
+                }
+                if let Some(marker) = token.strip_prefix('!') {
+                    outcome = match marker {
+                        "aborted" => StmtOutcome::Aborted,
+                        _ => StmtOutcome::Failed,
+                    };
+                    continue;
                 }
                 if let Some((name, inv)) = token.split_once('#') {
                     api = Some(acidrain_db::ApiTag {
@@ -68,6 +79,7 @@ pub fn parse_log_file(text: &str) -> Vec<LogEntry> {
             session,
             api,
             sql: sql.to_string(),
+            outcome,
         });
     }
     entries
@@ -134,8 +146,28 @@ fn lift_invocation(
     let mut txns: Vec<Txn> = Vec::new();
     // The explicit transaction currently being accumulated, if any.
     let mut open: Option<Txn> = None;
+    // Whether the session is in `SET autocommit=0` mode (an abort then
+    // implicitly opens a fresh transaction for subsequent statements).
+    let mut autocommit_off = false;
 
     for entry in entries {
+        // Failed attempts contribute no operations — their effects never
+        // existed. An aborted statement additionally rolled the whole
+        // transaction back, so everything accumulated so far in the open
+        // transaction is discarded (the ACIDRain log under fault
+        // injection records these attempts; counting them as committed
+        // would fabricate anomalies that never materialized).
+        match entry.outcome {
+            StmtOutcome::Aborted => {
+                open = autocommit_off.then(|| Txn {
+                    explicit: true,
+                    ops: Vec::new(),
+                });
+                continue;
+            }
+            StmtOutcome::Failed => continue,
+            StmtOutcome::Ok => {}
+        }
         let stmt = parse_statement(&entry.sql).map_err(|error| LiftError::Parse {
             seq: entry.seq,
             sql: entry.sql.clone(),
@@ -157,6 +189,7 @@ fn lift_invocation(
                 }
             }
             Statement::SetAutocommit(false) => {
+                autocommit_off = true;
                 if open.is_none() {
                     open = Some(Txn {
                         explicit: true,
@@ -165,6 +198,7 @@ fn lift_invocation(
                 }
             }
             Statement::SetAutocommit(true) => {
+                autocommit_off = false;
                 if let Some(t) = open.take() {
                     push_nonempty(&mut txns, t);
                 }
@@ -230,6 +264,16 @@ mod tests {
     use acidrain_sql::schema::{ColumnDef, ColumnType, TableSchema};
 
     fn entry(seq: u64, session: u64, api: Option<(&str, u64)>, sql: &str) -> LogEntry {
+        entry_with(seq, session, api, sql, StmtOutcome::Ok)
+    }
+
+    fn entry_with(
+        seq: u64,
+        session: u64,
+        api: Option<(&str, u64)>,
+        sql: &str,
+        outcome: StmtOutcome,
+    ) -> LogEntry {
         LogEntry {
             seq,
             session,
@@ -238,6 +282,7 @@ mod tests {
                 invocation,
             }),
             sql: sql.into(),
+            outcome,
         }
     }
 
@@ -441,6 +486,108 @@ mod tests {
         // And the parsed log lifts.
         let trace = lift_trace(&entries[..3], &payroll_schema()).unwrap();
         assert_eq!(trace.api_calls.len(), 1);
+    }
+
+    #[test]
+    fn aborted_attempt_discards_open_transaction() {
+        // A deadlock-victim retry sequence: the first attempt's reads and
+        // the aborted write must vanish; only the committed retry counts.
+        let x = Some(("raise", 0));
+        let log = vec![
+            entry(0, 1, x, "BEGIN"),
+            entry(1, 1, x, "SELECT COUNT(*) FROM employees"),
+            entry_with(
+                2,
+                1,
+                x,
+                "UPDATE salary SET total=total+1",
+                StmtOutcome::Aborted,
+            ),
+            // Retry after the abort.
+            entry(3, 1, x, "BEGIN"),
+            entry(4, 1, x, "SELECT COUNT(*) FROM employees"),
+            entry(5, 1, x, "UPDATE salary SET total=total+1"),
+            entry(6, 1, x, "COMMIT"),
+        ];
+        let trace = lift_trace(&log, &payroll_schema()).unwrap();
+        assert_eq!(trace.api_calls.len(), 1);
+        let call = &trace.api_calls[0];
+        assert_eq!(call.txns.len(), 1, "aborted attempt must not count");
+        assert_eq!(call.txns[0].ops.len(), 2);
+    }
+
+    #[test]
+    fn failed_statement_is_skipped_but_txn_survives() {
+        let x = Some(("adj", 0));
+        let log = vec![
+            entry(0, 1, x, "BEGIN"),
+            entry_with(1, 1, x, "UPDATE salary SET total=1", StmtOutcome::Failed),
+            entry(2, 1, x, "UPDATE salary SET total=2"),
+            entry(3, 1, x, "COMMIT"),
+        ];
+        let trace = lift_trace(&log, &payroll_schema()).unwrap();
+        assert_eq!(trace.api_calls[0].txns.len(), 1);
+        assert_eq!(trace.api_calls[0].txns[0].ops.len(), 1);
+    }
+
+    #[test]
+    fn aborted_autocommit_statement_contributes_nothing() {
+        let log = vec![
+            entry_with(
+                0,
+                1,
+                Some(("adj", 0)),
+                "UPDATE salary SET total=1",
+                StmtOutcome::Aborted,
+            ),
+            entry(1, 1, Some(("adj", 0)), "UPDATE salary SET total=2"),
+        ];
+        let trace = lift_trace(&log, &payroll_schema()).unwrap();
+        assert_eq!(trace.api_calls[0].txns.len(), 1);
+    }
+
+    #[test]
+    fn abort_under_autocommit_off_reopens_transaction() {
+        // After an abort in `SET autocommit=0` mode the database starts a
+        // fresh transaction for subsequent statements.
+        let o = Some(("checkout", 0));
+        let log = vec![
+            entry(0, 1, o, "SET autocommit=0"),
+            entry_with(
+                1,
+                1,
+                o,
+                "UPDATE salary SET total=9",
+                StmtOutcome::Aborted,
+            ),
+            entry(2, 1, o, "SELECT COUNT(*) FROM employees"),
+            entry(3, 1, o, "UPDATE salary SET total=1"),
+            entry(4, 1, o, "COMMIT"),
+        ];
+        let trace = lift_trace(&log, &payroll_schema()).unwrap();
+        let call = &trace.api_calls[0];
+        assert_eq!(call.txns.len(), 1);
+        assert!(call.txns[0].explicit);
+        assert_eq!(call.txns[0].ops.len(), 2);
+    }
+
+    #[test]
+    fn parses_outcome_markers() {
+        let text = "[s1 checkout#0] BEGIN\n\
+                    [s1 checkout#0 !aborted] UPDATE salary SET total=1\n\
+                    [s1 !failed] UPDATE salary SET total=2\n";
+        let entries = parse_log_file(text);
+        assert_eq!(entries[0].outcome, StmtOutcome::Ok);
+        assert_eq!(entries[1].outcome, StmtOutcome::Aborted);
+        assert_eq!(entries[1].api.as_ref().unwrap().name, "checkout");
+        assert_eq!(entries[2].outcome, StmtOutcome::Failed);
+        assert_eq!(entries[2].session, 1);
+        // Display → parse round-trips the marker (strip the seq column).
+        let rendered = entries[1].to_string();
+        let line = rendered.trim_start().split_once(' ').unwrap().1;
+        let reparsed = parse_log_file(line);
+        assert_eq!(reparsed[0].outcome, StmtOutcome::Aborted);
+        assert_eq!(reparsed[0].session, 1);
     }
 
     #[test]

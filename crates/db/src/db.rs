@@ -20,17 +20,22 @@ use acidrain_sql::{parse_statement, Statement};
 
 use crate::error::DbError;
 use crate::exec;
+use crate::fault::{FaultConfig, FaultInjector, FaultStats, InjectedFault};
 use crate::isolation::IsolationLevel;
 use crate::lock::LockManager;
-use crate::log::{ApiTag, LogEntry, QueryLog};
+use crate::log::{ApiTag, LogEntry, QueryLog, StmtOutcome};
 use crate::result::ResultSet;
 use crate::storage::{ReadView, RowVersion, TableData};
 use crate::txn::{TxnId, TxnState, UndoRecord};
 use crate::value::Value;
 
-/// How long a blocking [`Connection::execute`] waits on a lock before
-/// giving up (InnoDB's `innodb_lock_wait_timeout` analogue).
-const LOCK_WAIT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default for how long a blocking [`Connection::execute`] waits on a lock
+/// before giving up (InnoDB's `innodb_lock_wait_timeout` analogue).
+/// Override per database with [`Database::set_lock_wait_timeout`]. On
+/// timeout the whole transaction is rolled back
+/// (`innodb_rollback_on_timeout=ON` semantics), so a timed-out session
+/// never wedges other sessions by sitting on its locks.
+const DEFAULT_LOCK_WAIT_TIMEOUT: Duration = Duration::from_secs(10);
 
 pub(crate) struct DbInner {
     pub(crate) schema: Schema,
@@ -41,6 +46,7 @@ pub(crate) struct DbInner {
     /// Latest committed timestamp.
     pub(crate) commit_ts: u64,
     pub(crate) log: QueryLog,
+    pub(crate) faults: FaultInjector,
 }
 
 impl DbInner {
@@ -138,6 +144,7 @@ pub struct Database {
     released: Condvar,
     default_isolation: Mutex<IsolationLevel>,
     next_session: Mutex<u64>,
+    lock_wait_timeout: Mutex<Duration>,
 }
 
 impl Database {
@@ -157,11 +164,52 @@ impl Database {
                 next_txn: 0,
                 commit_ts: 0,
                 log: QueryLog::default(),
+                faults: FaultInjector::default(),
             }),
             released: Condvar::new(),
             default_isolation: Mutex::new(default_isolation),
             next_session: Mutex::new(0),
+            lock_wait_timeout: Mutex::new(DEFAULT_LOCK_WAIT_TIMEOUT),
         })
+    }
+
+    /// Install (or replace) the fault injector configuration. Resets the
+    /// injector's per-session counters and statistics.
+    pub fn enable_faults(&self, config: FaultConfig) {
+        self.inner.lock().faults.reconfigure(config);
+    }
+
+    /// Turn fault injection off (counters and statistics reset).
+    pub fn disable_faults(&self) {
+        self.inner.lock().faults.reconfigure(FaultConfig::disabled());
+    }
+
+    /// Snapshot of the fault injector's counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.lock().faults.stats()
+    }
+
+    /// Whether the injector's latency channel is configured.
+    pub fn latency_faults_enabled(&self) -> bool {
+        self.inner.lock().faults.latency_enabled()
+    }
+
+    /// Set how long blocking [`Connection::execute`] calls wait on a lock
+    /// before the transaction is rolled back with
+    /// [`DbError::LockTimeout`]. The harness watchdog clamps this so hung
+    /// lock waits degrade to reported timeouts instead of stalling runs.
+    pub fn set_lock_wait_timeout(&self, timeout: Duration) {
+        *self.lock_wait_timeout.lock() = timeout;
+    }
+
+    pub fn lock_wait_timeout(&self) -> Duration {
+        *self.lock_wait_timeout.lock()
+    }
+
+    /// Number of currently locked resources (diagnostics: must drop to
+    /// zero once every transaction has committed or rolled back).
+    pub fn locked_resources(&self) -> usize {
+        self.inner.lock().locks.locked_resources()
     }
 
     /// Change the default isolation level handed to future connections.
@@ -324,21 +372,34 @@ impl Connection {
         self.txn
     }
 
-    /// Execute a statement, waiting (with timeout) for locks.
+    /// Execute a statement, waiting (with timeout) for locks. A lock wait
+    /// that exceeds [`Database::lock_wait_timeout`] rolls the whole
+    /// transaction back and surfaces as [`DbError::LockTimeout`], so a
+    /// stalled session can never wedge others by holding its locks.
     pub fn execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
         let stmt = parse_statement(sql)?;
+        let timeout = self.db.lock_wait_timeout();
         let db = Arc::clone(&self.db);
         let mut guard = db.inner.lock();
         loop {
             match self.apply(&mut guard, &stmt, sql) {
-                Err(DbError::WouldBlock { holders }) => {
-                    let timed_out = self
-                        .db
-                        .released
-                        .wait_for(&mut guard, LOCK_WAIT_TIMEOUT)
-                        .timed_out();
+                Err(DbError::WouldBlock { .. }) => {
+                    let timed_out = self.db.released.wait_for(&mut guard, timeout).timed_out();
                     if timed_out {
-                        return Err(DbError::WouldBlock { holders });
+                        if let Some(t) = self.txn.take() {
+                            guard.rollback(t);
+                        }
+                        self.txn_implicit = false;
+                        guard.log.append_with(
+                            self.session,
+                            self.api.clone(),
+                            sql,
+                            StmtOutcome::Aborted,
+                        );
+                        drop(guard);
+                        // The rollback released this session's locks.
+                        self.db.released.notify_all();
+                        return Err(DbError::LockTimeout);
                     }
                 }
                 other => {
@@ -380,6 +441,18 @@ impl Connection {
         let _ = self.execute("ROLLBACK");
     }
 
+    /// Draw from the database's fault-injector latency channel: `base`
+    /// plus this session's next deterministic jitter value. With the
+    /// channel unconfigured, returns `base` unchanged. Harness wrappers
+    /// use this instead of sleeping a raw fixed duration.
+    pub fn jittered_delay(&self, base: Duration) -> Duration {
+        self.db
+            .inner
+            .lock()
+            .faults
+            .draw_latency(self.session, base)
+    }
+
     /// One attempt at executing `stmt` under the held database lock.
     fn apply(
         &mut self,
@@ -387,6 +460,26 @@ impl Connection {
         stmt: &Statement,
         raw: &str,
     ) -> Result<ResultSet, DbError> {
+        // Fault decision for this attempt. Data-statement faults ride into
+        // the executor (so injected aborts share the organic rollback
+        // path); a connection drop kills the session state right here,
+        // whatever the statement was.
+        let is_data = !matches!(
+            stmt,
+            Statement::Begin
+                | Statement::Commit
+                | Statement::Rollback
+                | Statement::SetAutocommit(_)
+        );
+        let injected = inner.faults.next_fault(self.session, is_data);
+        if injected == Some(InjectedFault::ConnectionDrop) {
+            if let Some(t) = self.txn.take() {
+                inner.rollback(t);
+            }
+            self.txn_implicit = false;
+            self.log_with(inner, raw, StmtOutcome::Aborted);
+            return Err(DbError::ConnectionDropped);
+        }
         match stmt {
             Statement::Begin => {
                 if let Some(t) = self.txn.take() {
@@ -433,7 +526,7 @@ impl Connection {
                         t
                     }
                 };
-                match exec::execute(inner, txn, data_stmt) {
+                match exec::execute(inner, txn, data_stmt, injected) {
                     Ok(rs) => {
                         self.log(inner, raw);
                         if self.txn_implicit {
@@ -444,13 +537,18 @@ impl Connection {
                         Ok(rs)
                     }
                     Err(e) if e.aborts_transaction() => {
-                        // exec already rolled the transaction back.
+                        // exec already rolled the transaction back. Log the
+                        // aborted attempt so 2AD lifting can discard the
+                        // transaction's prior statements.
                         self.txn = None;
                         self.txn_implicit = false;
+                        self.log_with(inner, raw, StmtOutcome::Aborted);
                         Err(e)
                     }
                     Err(DbError::WouldBlock { holders }) => {
-                        // Keep the transaction (and its locks); retryable.
+                        // Keep the transaction (and its locks); the
+                        // statement had no effects and is retried verbatim,
+                        // so it is not logged.
                         Err(DbError::WouldBlock { holders })
                     }
                     Err(e) => {
@@ -462,6 +560,7 @@ impl Connection {
                             self.txn = None;
                             self.txn_implicit = false;
                         }
+                        self.log_with(inner, raw, StmtOutcome::Failed);
                         Err(e)
                     }
                 }
@@ -471,6 +570,12 @@ impl Connection {
 
     fn log(&self, inner: &mut DbInner, sql: &str) {
         inner.log.append(self.session, self.api.clone(), sql);
+    }
+
+    fn log_with(&self, inner: &mut DbInner, sql: &str, outcome: StmtOutcome) {
+        inner
+            .log
+            .append_with(self.session, self.api.clone(), sql, outcome);
     }
 }
 

@@ -28,6 +28,13 @@ pub enum DbError {
     /// not serialize access due to concurrent update"). The transaction has
     /// been rolled back.
     WriteConflict(String),
+    /// A blocking lock wait exceeded the database's lock-wait timeout
+    /// (`innodb_lock_wait_timeout` with `innodb_rollback_on_timeout=ON`:
+    /// the whole transaction has been rolled back, so no locks leak).
+    LockTimeout,
+    /// The server dropped the connection mid-statement (injected fault or
+    /// session kill); any open transaction has been rolled back.
+    ConnectionDropped,
     /// The statement is outside the supported dialect subset.
     Unsupported(String),
     /// Internal invariant violation — indicates a bug in the substrate.
@@ -36,9 +43,31 @@ pub enum DbError {
 
 impl DbError {
     /// Whether this error aborted the transaction (vs. a statement-level,
-    /// retryable condition).
+    /// retryable condition). Every abort-class error implies the database
+    /// already rolled the transaction back and released its locks.
     pub fn aborts_transaction(&self) -> bool {
-        matches!(self, DbError::Deadlock | DbError::WriteConflict(_))
+        matches!(
+            self,
+            DbError::Deadlock
+                | DbError::WriteConflict(_)
+                | DbError::LockTimeout
+                | DbError::ConnectionDropped
+        )
+    }
+
+    /// Whether the failure is transient: retrying the work (the statement
+    /// for [`DbError::WouldBlock`], the whole transaction for abort-class
+    /// errors) can legitimately succeed. Semantic errors (parse, schema,
+    /// type, constraint) are permanent and must not be retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DbError::WouldBlock { .. }
+                | DbError::Deadlock
+                | DbError::WriteConflict(_)
+                | DbError::LockTimeout
+                | DbError::ConnectionDropped
+        )
     }
 }
 
@@ -56,6 +85,12 @@ impl fmt::Display for DbError {
             DbError::Deadlock => f.write_str("deadlock detected; transaction rolled back"),
             DbError::WriteConflict(msg) => {
                 write!(f, "serialization failure (concurrent update): {msg}")
+            }
+            DbError::LockTimeout => {
+                f.write_str("lock wait timeout exceeded; transaction rolled back")
+            }
+            DbError::ConnectionDropped => {
+                f.write_str("connection dropped by server; transaction rolled back")
             }
             DbError::Unsupported(msg) => write!(f, "unsupported statement: {msg}"),
             DbError::Internal(msg) => write!(f, "internal error: {msg}"),

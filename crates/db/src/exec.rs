@@ -12,6 +12,7 @@ use acidrain_sql::rwset::{statement_accesses, AccessKind};
 use crate::db::DbInner;
 use crate::error::DbError;
 use crate::expr::{eval, EvalScope, EvalTable};
+use crate::fault::InjectedFault;
 use crate::lock::{LockMode, LockOutcome, ResourceId};
 use crate::result::ResultSet;
 use crate::storage::{ReadView, RowVersion};
@@ -20,19 +21,37 @@ use crate::value::Value;
 
 /// Execute a data statement within `txn`. Transaction-control statements
 /// are handled by [`crate::Connection`], not here.
+///
+/// A predetermined `injected` fault (from the database's
+/// [`crate::fault::FaultInjector`]) preempts real execution and takes the
+/// same abort path an organic failure would, so injected deadlocks and
+/// conflicts roll back — and release locks — exactly like real ones.
 pub(crate) fn execute(
     inner: &mut DbInner,
     txn: TxnId,
     stmt: &Statement,
+    injected: Option<InjectedFault>,
 ) -> Result<ResultSet, DbError> {
-    let result = match stmt {
-        Statement::Select(s) => exec_select(inner, txn, s),
-        Statement::Insert(i) => exec_insert(inner, txn, i),
-        Statement::Update(u) => exec_update(inner, txn, u),
-        Statement::Delete(d) => exec_delete(inner, txn, d),
-        _ => Err(DbError::Internal(
-            "control statement reached executor".into(),
+    let result = match injected {
+        Some(InjectedFault::Deadlock) => Err(DbError::Deadlock),
+        Some(InjectedFault::WriteConflict) => Err(DbError::WriteConflict(
+            "injected concurrent update".into(),
         )),
+        Some(InjectedFault::LockTimeout) => Err(DbError::LockTimeout),
+        // Connection drops are a session-layer fault; the connection
+        // handles them before reaching the executor.
+        Some(InjectedFault::ConnectionDrop) => Err(DbError::Internal(
+            "connection drop reached executor".into(),
+        )),
+        None => match stmt {
+            Statement::Select(s) => exec_select(inner, txn, s),
+            Statement::Insert(i) => exec_insert(inner, txn, i),
+            Statement::Update(u) => exec_update(inner, txn, u),
+            Statement::Delete(d) => exec_delete(inner, txn, d),
+            _ => Err(DbError::Internal(
+                "control statement reached executor".into(),
+            )),
+        },
     };
     if let Err(e) = &result {
         if e.aborts_transaction() {

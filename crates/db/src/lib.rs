@@ -39,6 +39,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fault;
 pub mod isolation;
 pub mod lock;
 pub mod log;
@@ -49,8 +50,9 @@ pub mod value;
 
 pub use db::{Connection, Database};
 pub use error::DbError;
+pub use fault::{FaultConfig, FaultInjector, FaultStats, InjectedFault};
 pub use isolation::{DatabaseProfile, IsolationLevel, PAPER_DATABASES};
-pub use log::{ApiTag, LogEntry};
+pub use log::{ApiTag, LogEntry, StmtOutcome};
 pub use result::ResultSet;
 pub use txn::TxnId;
 pub use value::Value;

@@ -1,9 +1,15 @@
 //! The general query log — the artifact 2AD analyzes.
 //!
-//! Every successfully executed statement is appended with its session and
-//! API-call tags. The paper (§3.1.1) requires each logged command to be
+//! Every executed statement is appended with its session and API-call
+//! tags. The paper (§3.1.1) requires each logged command to be
 //! attributable to the API call that generated it; real deployments match
 //! timestamps, while our connections carry the tag explicitly.
+//!
+//! Under fault injection the log also records *failed* attempts: each
+//! entry carries a [`StmtOutcome`] so trace lifting can skip statements
+//! whose effects never existed and discard transactions the database
+//! rolled back. Lock-wait retries ([`crate::DbError::WouldBlock`]) are
+//! not logged — the statement had no effects and is re-issued verbatim.
 
 use std::fmt;
 
@@ -17,6 +23,39 @@ pub struct ApiTag {
     pub invocation: u64,
 }
 
+/// How a logged statement ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StmtOutcome {
+    /// The statement executed; its effects are part of the transaction.
+    #[default]
+    Ok,
+    /// The statement failed but the surrounding transaction survived
+    /// (statement-level error under MySQL semantics). Its effects never
+    /// existed.
+    Failed,
+    /// The statement failed *and* the database rolled the whole
+    /// transaction back (deadlock victim, serialization failure,
+    /// lock-wait timeout, dropped connection). Everything the
+    /// transaction did is gone.
+    Aborted,
+}
+
+impl StmtOutcome {
+    /// Whether the statement's effects are (potentially) durable.
+    pub fn succeeded(self) -> bool {
+        matches!(self, StmtOutcome::Ok)
+    }
+
+    /// The `!token` used in the textual log format, if any.
+    pub fn marker(self) -> Option<&'static str> {
+        match self {
+            StmtOutcome::Ok => None,
+            StmtOutcome::Failed => Some("!failed"),
+            StmtOutcome::Aborted => Some("!aborted"),
+        }
+    }
+}
+
 /// One line of the general query log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEntry {
@@ -28,17 +67,24 @@ pub struct LogEntry {
     pub api: Option<ApiTag>,
     /// The statement as issued.
     pub sql: String,
+    /// How the statement ended.
+    pub outcome: StmtOutcome,
 }
 
 impl fmt::Display for LogEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let marker = self
+            .outcome
+            .marker()
+            .map(|m| format!(" {m}"))
+            .unwrap_or_default();
         match &self.api {
             Some(tag) => write!(
                 f,
-                "{:>5} [s{} {}#{}] {}",
+                "{:>5} [s{} {}#{}{marker}] {}",
                 self.seq, self.session, tag.name, tag.invocation, self.sql
             ),
-            None => write!(f, "{:>5} [s{}] {}", self.seq, self.session, self.sql),
+            None => write!(f, "{:>5} [s{}{marker}] {}", self.seq, self.session, self.sql),
         }
     }
 }
@@ -51,12 +97,23 @@ pub struct QueryLog {
 
 impl QueryLog {
     pub fn append(&mut self, session: u64, api: Option<ApiTag>, sql: impl Into<String>) {
+        self.append_with(session, api, sql, StmtOutcome::Ok);
+    }
+
+    pub fn append_with(
+        &mut self,
+        session: u64,
+        api: Option<ApiTag>,
+        sql: impl Into<String>,
+        outcome: StmtOutcome,
+    ) {
         let seq = self.entries.len() as u64;
         self.entries.push(LogEntry {
             seq,
             session,
             api,
             sql: sql.into(),
+            outcome,
         });
     }
 
@@ -98,6 +155,7 @@ mod tests {
         assert_eq!(log.entries()[0].seq, 0);
         assert_eq!(log.entries()[1].seq, 1);
         assert_eq!(log.entries()[1].api.as_ref().unwrap().name, "checkout");
+        assert_eq!(log.entries()[0].outcome, StmtOutcome::Ok);
     }
 
     #[test]
@@ -115,6 +173,23 @@ mod tests {
         assert!(line.contains("s4"));
         assert!(line.contains("add_to_cart#0"));
         assert!(line.ends_with("SELECT 1"));
+    }
+
+    #[test]
+    fn display_marks_failed_outcomes() {
+        let mut log = QueryLog::default();
+        log.append_with(1, None, "UPDATE t SET v = 1", StmtOutcome::Aborted);
+        log.append_with(
+            2,
+            Some(ApiTag {
+                name: "checkout".into(),
+                invocation: 0,
+            }),
+            "SELECT 1",
+            StmtOutcome::Failed,
+        );
+        assert!(log.entries()[0].to_string().contains("!aborted"));
+        assert!(log.entries()[1].to_string().contains("!failed"));
     }
 
     #[test]

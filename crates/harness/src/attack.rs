@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use acidrain_apps::prelude::*;
 use acidrain_core::{Analyzer, ColumnTarget};
-use acidrain_db::{Database, IsolationLevel, LogEntry};
+use acidrain_db::{Database, FaultConfig, FaultStats, IsolationLevel, LogEntry};
 
 use crate::sched::{run_deterministic, Stepper};
 
@@ -81,6 +81,17 @@ pub fn probe_trace(
 ) -> AppResult<Vec<LogEntry>> {
     app.reset_session_state();
     let db = app.make_store(isolation);
+    probe_trace_on(app, &db, invariant)
+}
+
+/// [`probe_trace`] against a caller-provided store — the caller controls
+/// the store's fault configuration and can inspect its [`FaultStats`]
+/// after a failed probe.
+pub fn probe_trace_on(
+    app: &dyn ShopApp,
+    db: &Arc<Database>,
+    invariant: Invariant,
+) -> AppResult<Vec<LogEntry>> {
     let mut conn = db.connect();
     match invariant {
         Invariant::Voucher => {
@@ -278,24 +289,99 @@ pub struct CellReport {
     pub violation: Option<Violation>,
 }
 
+/// Where a degraded audit gave up (see [`AuditDegraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditStage {
+    /// The probe session itself failed (e.g. a fault surfaced through the
+    /// application's error handling).
+    Probe,
+    /// The probe log could not be lifted into an abstract history.
+    Analysis,
+    /// The serial control run violated the invariant — the "attack" is
+    /// not concurrency-dependent, so no verdict can be issued.
+    SerialControl,
+}
+
+/// A partial audit result: instead of panicking mid-pipeline, the audit
+/// reports which stage failed, why, and what the fault injector had done
+/// to the probe store by that point.
+#[derive(Debug, Clone)]
+pub struct AuditDegraded {
+    pub stage: AuditStage,
+    pub error: String,
+    /// Injector activity on the probe store (all zeros when faults were
+    /// not enabled).
+    pub fault_stats: FaultStats,
+}
+
+impl std::fmt::Display for AuditDegraded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "audit degraded at {:?}: {} ({} injected faults)",
+            self.stage,
+            self.error,
+            self.fault_stats.total_injected()
+        )
+    }
+}
+
+impl std::error::Error for AuditDegraded {}
+
 /// Audit one application × invariant cell end-to-end: probe, analyze
 /// (refined, targeted), attack each witness until one verifies, classify.
+/// Panics if any pipeline stage fails; use [`try_audit_cell`] for
+/// graceful degradation.
 pub fn audit_cell(
     app: &dyn ShopApp,
     invariant: Invariant,
     isolation: IsolationLevel,
     max_attempts: usize,
 ) -> CellReport {
+    match try_audit_cell(app, invariant, isolation, max_attempts, &FaultConfig::disabled()) {
+        Ok(report) => report,
+        Err(degraded) => panic!("{}: {degraded}", app.name()),
+    }
+}
+
+/// [`audit_cell`] with graceful degradation: pipeline failures come back
+/// as [`AuditDegraded`] (stage + cause + fault counts) instead of
+/// panicking, and `faults` is enabled on the probe store so the audit
+/// front end can be exercised under injected chaos. The attack replays
+/// themselves always run fault-free — the witness-derived schedule must
+/// stay deterministic for the verdict to mean anything.
+pub fn try_audit_cell(
+    app: &dyn ShopApp,
+    invariant: Invariant,
+    isolation: IsolationLevel,
+    max_attempts: usize,
+    faults: &FaultConfig,
+) -> Result<CellReport, AuditDegraded> {
     // Feature gates first (the NF / BF / NDB cells).
     match invariant.feature(app) {
-        FeatureStatus::NoFeature => return gated(app, invariant, Cell::NoFeature),
-        FeatureStatus::Broken => return gated(app, invariant, Cell::Broken),
-        FeatureStatus::NotDbBacked => return gated(app, invariant, Cell::NotDbBacked),
+        FeatureStatus::NoFeature => return Ok(gated(app, invariant, Cell::NoFeature)),
+        FeatureStatus::Broken => return Ok(gated(app, invariant, Cell::Broken)),
+        FeatureStatus::NotDbBacked => return Ok(gated(app, invariant, Cell::NotDbBacked)),
         FeatureStatus::Supported => {}
     }
 
-    let log = probe_trace(app, invariant, isolation).expect("probe session must succeed");
-    let analyzer = Analyzer::from_log(&log, &app.schema()).expect("probe log lifts");
+    app.reset_session_state();
+    let probe_db = app.make_store(isolation);
+    if faults.any_faults() || faults.max_latency.is_some() {
+        probe_db.enable_faults(faults.clone());
+    }
+    let probe_result = probe_trace_on(app, &probe_db, invariant);
+    let fault_stats = probe_db.fault_stats();
+    let log = probe_result.map_err(|e| AuditDegraded {
+        stage: AuditStage::Probe,
+        error: e.to_string(),
+        fault_stats,
+    })?;
+    let analyzer = Analyzer::from_log(&log, &app.schema()).map_err(|e| AuditDegraded {
+        stage: AuditStage::Analysis,
+        error: e.to_string(),
+        fault_stats,
+    })?;
     let mut config = acidrain_core::RefinementConfig::at_isolation(isolation);
     if app.session_locked() {
         config = config.with_session_locking(
@@ -329,12 +415,15 @@ pub fn audit_cell(
         if let Some(violation) = outcome.violation {
             // Confirm the serial control preserves the invariant (C1).
             let control = run_serial_control(app, invariant, isolation);
-            assert!(
-                control.violation.is_none(),
-                "{}: serial control violated {invariant}: {:?}",
-                app.name(),
-                control.violation
-            );
+            if let Some(control_violation) = control.violation {
+                return Err(AuditDegraded {
+                    stage: AuditStage::SerialControl,
+                    error: format!(
+                        "serial control violated {invariant}: {control_violation:?}"
+                    ),
+                    fault_stats,
+                });
+            }
             // Classify the access pattern by the seed operation that
             // touches the invariant's columns (the paper's Table 5 "AP"
             // column describes how the *protected data* is accessed, not
@@ -360,25 +449,25 @@ pub fn audit_cell(
                     level_based,
                 }
             };
-            return CellReport {
+            return Ok(CellReport {
                 app: app.name(),
                 invariant,
                 cell,
                 witnesses,
                 attacks,
                 violation: Some(violation),
-            };
+            });
         }
     }
 
-    CellReport {
+    Ok(CellReport {
         app: app.name(),
         invariant,
         cell: Cell::Safe,
         witnesses,
         attacks,
         violation: None,
-    }
+    })
 }
 
 fn gated(app: &dyn ShopApp, invariant: Invariant, cell: Cell) -> CellReport {
@@ -480,6 +569,39 @@ mod tests {
             audit_cell(&Saleor::new(), Invariant::Cart, ISO, 60).cell,
             Cell::NotDbBacked
         );
+    }
+
+    #[test]
+    fn faulty_probe_degrades_instead_of_panicking() {
+        let faults = FaultConfig::seeded(7).with_deadlock(1.0);
+        let degraded =
+            try_audit_cell(&PrestaShop, Invariant::Voucher, ISO, 60, &faults).unwrap_err();
+        assert_eq!(degraded.stage, AuditStage::Probe);
+        assert!(degraded.fault_stats.injected_deadlocks > 0);
+        assert!(degraded.to_string().contains("degraded at Probe"));
+    }
+
+    #[test]
+    fn try_audit_without_faults_matches_audit_cell() {
+        let report = try_audit_cell(
+            &PrestaShop,
+            Invariant::Voucher,
+            ISO,
+            60,
+            &FaultConfig::disabled(),
+        )
+        .unwrap();
+        assert!(report.cell.is_vulnerable(), "{report:?}");
+    }
+
+    #[test]
+    fn mild_faults_still_let_the_audit_complete() {
+        // A probe under light latency jitter (no abort faults) produces
+        // the same verdict as a clean probe.
+        let faults = FaultConfig::seeded(11)
+            .with_max_latency(std::time::Duration::from_micros(50));
+        let report = try_audit_cell(&PrestaShop, Invariant::Voucher, ISO, 60, &faults).unwrap();
+        assert!(report.cell.is_vulnerable(), "{report:?}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! paper's evaluation.
 
 pub mod attack;
+pub mod chaos;
 pub mod experiments;
 pub mod explore;
 pub mod sched;
@@ -14,9 +15,10 @@ pub mod stress;
 pub mod texttable;
 
 pub use attack::{
-    audit_cell, probe_trace, run_attack, run_serial_control, statement_index, AttackOutcome,
-    CellReport, Invariant,
+    audit_cell, probe_trace, probe_trace_on, run_attack, run_serial_control, statement_index,
+    try_audit_cell, AttackOutcome, AuditDegraded, AuditStage, CellReport, Invariant,
 };
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use explore::{exhaustive, randomized, Exploration, Scenario};
 pub use sched::{run_deterministic, GatedConn, StepOutcome, Stepper};
-pub use stress::{run_concurrent, DelayConn};
+pub use stress::{run_concurrent, run_concurrent_watchdog, DelayConn, TaskOutcome};

@@ -3,14 +3,20 @@
 //! per-statement delay standing in for the 200 ms pass-through proxy the
 //! authors used to widen race windows (§4.2.4).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use acidrain_apps::SqlConn;
 use acidrain_db::{Connection, Database, DbError, ResultSet};
 
 /// A [`Connection`] that sleeps before each statement, emulating
 /// application-server-to-database network latency.
+///
+/// The sleep is the fixed base `delay` plus whatever jitter the database's
+/// fault injector draws on its latency channel
+/// ([`Connection::jittered_delay`]); with the channel unconfigured the
+/// base delay is used untouched, so existing attacks are unchanged.
 pub struct DelayConn {
     conn: Connection,
     delay: Duration,
@@ -24,8 +30,9 @@ impl DelayConn {
 
 impl SqlConn for DelayConn {
     fn exec(&mut self, sql: &str) -> Result<ResultSet, DbError> {
-        if !self.delay.is_zero() {
-            std::thread::sleep(self.delay);
+        let delay = self.conn.jittered_delay(self.delay);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
         }
         self.conn.execute(sql)
     }
@@ -64,6 +71,86 @@ where
             .map(|h| h.join().expect("stress task panicked"))
             .collect()
     })
+}
+
+/// How one watchdog-supervised task ended.
+#[derive(Debug)]
+pub enum TaskOutcome<T> {
+    /// The task ran to completion and returned a value.
+    Completed(T),
+    /// The task failed after the watchdog deadline elapsed — in practice a
+    /// lock wait that the clamped `lock_wait_timeout` degraded into a
+    /// reported [`DbError::LockTimeout`] instead of a hang.
+    TimedOut { elapsed: Duration },
+    /// The task panicked before the deadline.
+    Panicked,
+}
+
+impl<T> TaskOutcome<T> {
+    pub fn is_completed(&self) -> bool {
+        matches!(self, TaskOutcome::Completed(_))
+    }
+
+    pub fn is_timed_out(&self) -> bool {
+        matches!(self, TaskOutcome::TimedOut { .. })
+    }
+
+    pub fn completed(self) -> Option<T> {
+        match self {
+            TaskOutcome::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// [`run_concurrent`] with a per-task watchdog: the database's
+/// `lock_wait_timeout` is clamped to `deadline` for the duration of the
+/// run (and restored after), so a task stuck waiting on a lock held by a
+/// wedged peer degrades into a reported [`TaskOutcome::TimedOut`] within
+/// roughly `deadline` instead of hanging the harness. Task panics are
+/// caught; a panic after the deadline is classified as the timeout it
+/// almost certainly is (the task unwrapped the injected
+/// [`DbError::LockTimeout`]).
+///
+/// [`DbError::LockTimeout`]: acidrain_db::DbError::LockTimeout
+pub fn run_concurrent_watchdog<T, F>(
+    db: &Arc<Database>,
+    tasks: Vec<F>,
+    delay: Duration,
+    deadline: Duration,
+) -> Vec<TaskOutcome<T>>
+where
+    T: Send,
+    F: FnOnce(&mut dyn SqlConn) -> T + Send,
+{
+    let prior = db.lock_wait_timeout();
+    db.set_lock_wait_timeout(prior.min(deadline));
+    let barrier = std::sync::Barrier::new(tasks.len());
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .map(|task| {
+                let mut conn = DelayConn::new(db.connect(), delay);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let start = Instant::now();
+                    let result = catch_unwind(AssertUnwindSafe(|| task(&mut conn)));
+                    (result, start.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok((Ok(value), _)) => TaskOutcome::Completed(value),
+                Ok((Err(_), elapsed)) if elapsed >= deadline => TaskOutcome::TimedOut { elapsed },
+                _ => TaskOutcome::Panicked,
+            })
+            .collect()
+    });
+    db.set_lock_wait_timeout(prior);
+    outcomes
 }
 
 #[cfg(test)]
@@ -124,5 +211,47 @@ mod tests {
         run_concurrent(&db, tasks, Duration::from_millis(1));
         // Relative updates serialize via write locks regardless of delay.
         assert_eq!(db.table_rows("t").unwrap()[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn watchdog_degrades_hung_lock_wait_into_timeout() {
+        let schema = Schema::new().with_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("v", ColumnType::Int)],
+        ));
+        let db = Database::new(schema, IsolationLevel::ReadCommitted);
+        db.seed("t", vec![vec![Value::Int(0)]]).unwrap();
+
+        // A connection outside the task set holds a row lock for the
+        // whole run: every task's update would wait forever.
+        let mut holder = db.connect();
+        holder.execute("BEGIN").unwrap();
+        holder.execute("SELECT v FROM t FOR UPDATE").unwrap();
+
+        let started = Instant::now();
+        let deadline = Duration::from_millis(100);
+        let tasks: Vec<_> = (0..2)
+            .map(|_| {
+                |conn: &mut dyn SqlConn| {
+                    conn.exec("UPDATE t SET v = 1").unwrap();
+                }
+            })
+            .collect();
+        let outcomes = run_concurrent_watchdog(&db, tasks, Duration::ZERO, deadline);
+
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "watchdog must bound the run"
+        );
+        assert!(
+            outcomes.iter().all(|o| o.is_timed_out()),
+            "hung lock waits must be reported, got {outcomes:?}"
+        );
+        // The clamp is restored afterwards.
+        assert!(db.lock_wait_timeout() > deadline);
+
+        holder.execute("ROLLBACK").unwrap();
+        assert_eq!(db.active_transactions(), 0);
+        assert_eq!(db.locked_resources(), 0);
     }
 }

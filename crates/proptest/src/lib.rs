@@ -1,0 +1,106 @@
+//! Hermetic stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! re-implements the strategy-combinator surface the test suite needs:
+//! integer-range and regex-literal strategies, `Just`, `any`, tuples,
+//! `prop_map`/`prop_filter`/`prop_flat_map`/`prop_recursive`,
+//! `prop_oneof!`, `proptest::collection::vec`, `proptest::option::of`,
+//! and the `proptest!` test macro. Generation is deterministic per test
+//! name; there is no shrinking — a failing case prints its input and
+//! panics, which is enough signal for a hermetic CI loop.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+pub mod option {
+    pub use crate::strategy::of;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a `proptest!` body (panics; the runner prints the input).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// The `proptest!` test macro: each `arg in strategy` pair is generated
+/// `config.cases` times and the body re-run; a panic reports the inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let ($($arg,)+) = ($($strat,)+);
+                for __case in 0..__config.cases {
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::gen_value(&$arg, &mut __rng),)+
+                    );
+                    let __repr = format!("{:?}", ($(&$arg,)+));
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "[proptest] {} failed at case {}/{} with input {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __repr
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
