@@ -1,32 +1,37 @@
 //! The database object, connections, and transaction lifecycle.
 //!
-//! A [`Database`] holds all state behind one mutex: statements execute
-//! atomically, so every concurrency phenomenon in this substrate arises
-//! from the *interleaving of statements across transactions* — exactly the
-//! granularity at which the paper's anomalies live.
+//! A [`Database`] is a set of layered, independently synchronized
+//! subsystems — per-table-latched storage with an atomic commit clock, a
+//! lock manager behind its own mutex/condvar, a sharded query log, and
+//! atomics for session/config state — so statements from different
+//! sessions execute genuinely concurrently. Each *statement* is still
+//! atomic: it pins (latches) the tables it touches for its duration, so
+//! every concurrency phenomenon in this substrate arises from the
+//! *interleaving of statements across transactions* — exactly the
+//! granularity at which the paper's anomalies live. See DESIGN.md §8 for
+//! the latch hierarchy and lock ordering rules.
 //!
 //! Lock waits surface as [`DbError::WouldBlock`] from
 //! [`Connection::try_execute`], letting the deterministic scheduler in
 //! `acidrain-harness` decide what runs next; [`Connection::execute`] is the
 //! blocking flavour used by threaded stress tests.
 
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-
-use parking_lot::{Condvar, Mutex};
 
 use acidrain_sql::schema::Schema;
 use acidrain_sql::{parse_statement, Statement};
 
 use crate::error::DbError;
 use crate::exec;
-use crate::fault::{FaultConfig, FaultInjector, FaultStats, InjectedFault};
+use crate::fault::{FaultConfig, FaultHandle, FaultStats, InjectedFault};
 use crate::isolation::IsolationLevel;
-use crate::lock::LockManager;
+use crate::lock::LockTable;
 use crate::log::{ApiTag, LogEntry, QueryLog, StmtOutcome};
 use crate::result::ResultSet;
-use crate::storage::{ReadView, RowVersion, TableData};
-use crate::txn::{TxnId, TxnState, UndoRecord};
+use crate::storage::{ReadView, RowVersion, Storage, TableData};
+use crate::txn::{TxnId, TxnState};
 use crate::value::Value;
 
 /// Default for how long a blocking [`Connection::execute`] waits on a lock
@@ -37,114 +42,27 @@ use crate::value::Value;
 /// never wedges other sessions by sitting on its locks.
 const DEFAULT_LOCK_WAIT_TIMEOUT: Duration = Duration::from_secs(10);
 
-pub(crate) struct DbInner {
-    pub(crate) schema: Schema,
-    pub(crate) tables: Vec<TableData>,
-    pub(crate) locks: LockManager,
-    pub(crate) txns: std::collections::HashMap<TxnId, TxnState>,
-    next_txn: u64,
-    /// Latest committed timestamp.
-    pub(crate) commit_ts: u64,
-    pub(crate) log: QueryLog,
-    pub(crate) faults: FaultInjector,
-}
-
-impl DbInner {
-    pub(crate) fn table_index(&self, name: &str) -> Result<usize, DbError> {
-        self.tables
-            .iter()
-            .position(|t| t.name == name)
-            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
-    }
-
-    pub(crate) fn begin(&mut self, isolation: IsolationLevel, implicit: bool) -> TxnId {
-        self.next_txn += 1;
-        let id = TxnId(self.next_txn);
-        self.txns.insert(id, TxnState::new(id, isolation, implicit));
-        id
-    }
-
-    /// The snapshot timestamp a transaction's plain reads use, pinning the
-    /// transaction-long snapshot on first use for MySQL-RR and SI.
-    pub(crate) fn read_snapshot_ts(&mut self, txn: TxnId) -> u64 {
-        let commit_ts = self.commit_ts;
-        let state = self.txns.get_mut(&txn).expect("active txn");
-        if state.isolation.uses_txn_snapshot() {
-            *state.snapshot_ts.get_or_insert(commit_ts)
-        } else {
-            state.snapshot_ts = Some(commit_ts);
-            commit_ts
-        }
-    }
-
-    /// A current-read view: latest committed state plus own writes.
-    pub(crate) fn current_read(&self, txn: TxnId) -> ReadView {
-        ReadView::Snapshot {
-            as_of: self.commit_ts,
-            txn,
-        }
-    }
-
-    pub(crate) fn commit(&mut self, txn: TxnId) {
-        let Some(state) = self.txns.remove(&txn) else {
-            return;
-        };
-        if !state.undo.is_empty() {
-            let ts = self.commit_ts + 1;
-            self.commit_ts = ts;
-            for record in &state.undo {
-                match *record {
-                    UndoRecord::Created { table, row } => {
-                        for v in &mut self.tables[table].rows[row].versions {
-                            if v.begin_txn == txn && v.begin_ts.is_none() {
-                                v.begin_ts = Some(ts);
-                            }
-                        }
-                    }
-                    UndoRecord::Ended { table, row } => {
-                        for v in &mut self.tables[table].rows[row].versions {
-                            if v.end_txn == Some(txn) && v.end_ts.is_none() {
-                                v.end_ts = Some(ts);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        self.locks.release_all(txn);
-    }
-
-    pub(crate) fn rollback(&mut self, txn: TxnId) {
-        let Some(state) = self.txns.remove(&txn) else {
-            return;
-        };
-        for record in state.undo.iter().rev() {
-            match *record {
-                UndoRecord::Created { table, row } => {
-                    self.tables[table].rows[row]
-                        .versions
-                        .retain(|v| !(v.begin_txn == txn && v.begin_ts.is_none()));
-                }
-                UndoRecord::Ended { table, row } => {
-                    for v in &mut self.tables[table].rows[row].versions {
-                        if v.end_txn == Some(txn) && v.end_ts.is_none() {
-                            v.end_txn = None;
-                        }
-                    }
-                }
-            }
-        }
-        self.locks.release_all(txn);
-    }
-}
-
 /// A multi-version transactional database with configurable isolation.
+///
+/// No global mutex: `storage`, `locks`, `log`, and `faults` synchronize
+/// independently, and the scalar configuration/counter fields are atomics.
+/// Transaction state lives in the owning [`Connection`], not in a shared
+/// map.
 pub struct Database {
-    inner: Mutex<DbInner>,
-    released: Condvar,
-    default_isolation: Mutex<IsolationLevel>,
-    next_session: Mutex<u64>,
-    lock_wait_timeout: Mutex<Duration>,
+    /// Immutable after construction; read freely without synchronization.
+    pub(crate) schema: Schema,
+    pub(crate) storage: Storage,
+    pub(crate) locks: LockTable,
+    pub(crate) log: QueryLog,
+    pub(crate) faults: FaultHandle,
+    /// Dense [`IsolationLevel`] code (index into `IsolationLevel::ALL`).
+    default_isolation: AtomicU8,
+    next_session: AtomicU64,
+    next_txn: AtomicU64,
+    /// Number of transactions currently active (diagnostics).
+    active_txns: AtomicUsize,
+    /// Lock-wait timeout in nanoseconds.
+    lock_wait_timeout_nanos: AtomicU64,
 }
 
 impl Database {
@@ -156,42 +74,38 @@ impl Database {
             .map(|t| TableData::new(t.name.clone()))
             .collect();
         Arc::new(Database {
-            inner: Mutex::new(DbInner {
-                schema,
-                tables,
-                locks: LockManager::new(),
-                txns: std::collections::HashMap::new(),
-                next_txn: 0,
-                commit_ts: 0,
-                log: QueryLog::default(),
-                faults: FaultInjector::default(),
-            }),
-            released: Condvar::new(),
-            default_isolation: Mutex::new(default_isolation),
-            next_session: Mutex::new(0),
-            lock_wait_timeout: Mutex::new(DEFAULT_LOCK_WAIT_TIMEOUT),
+            schema,
+            storage: Storage::new(tables),
+            locks: LockTable::new(),
+            log: QueryLog::default(),
+            faults: FaultHandle::default(),
+            default_isolation: AtomicU8::new(default_isolation.code()),
+            next_session: AtomicU64::new(0),
+            next_txn: AtomicU64::new(0),
+            active_txns: AtomicUsize::new(0),
+            lock_wait_timeout_nanos: AtomicU64::new(DEFAULT_LOCK_WAIT_TIMEOUT.as_nanos() as u64),
         })
     }
 
     /// Install (or replace) the fault injector configuration. Resets the
     /// injector's per-session counters and statistics.
     pub fn enable_faults(&self, config: FaultConfig) {
-        self.inner.lock().faults.reconfigure(config);
+        self.faults.reconfigure(config);
     }
 
     /// Turn fault injection off (counters and statistics reset).
     pub fn disable_faults(&self) {
-        self.inner.lock().faults.reconfigure(FaultConfig::disabled());
+        self.faults.reconfigure(FaultConfig::disabled());
     }
 
     /// Snapshot of the fault injector's counters.
     pub fn fault_stats(&self) -> FaultStats {
-        self.inner.lock().faults.stats()
+        self.faults.stats()
     }
 
     /// Whether the injector's latency channel is configured.
     pub fn latency_faults_enabled(&self) -> bool {
-        self.inner.lock().faults.latency_enabled()
+        self.faults.latency_enabled()
     }
 
     /// Set how long blocking [`Connection::execute`] calls wait on a lock
@@ -199,35 +113,35 @@ impl Database {
     /// [`DbError::LockTimeout`]. The harness watchdog clamps this so hung
     /// lock waits degrade to reported timeouts instead of stalling runs.
     pub fn set_lock_wait_timeout(&self, timeout: Duration) {
-        *self.lock_wait_timeout.lock() = timeout;
+        self.lock_wait_timeout_nanos
+            .store(timeout.as_nanos() as u64, Ordering::Relaxed);
     }
 
     pub fn lock_wait_timeout(&self) -> Duration {
-        *self.lock_wait_timeout.lock()
+        Duration::from_nanos(self.lock_wait_timeout_nanos.load(Ordering::Relaxed))
     }
 
     /// Number of currently locked resources (diagnostics: must drop to
     /// zero once every transaction has committed or rolled back).
     pub fn locked_resources(&self) -> usize {
-        self.inner.lock().locks.locked_resources()
+        self.locks.locked_resources()
     }
 
     /// Change the default isolation level handed to future connections.
     pub fn set_default_isolation(&self, level: IsolationLevel) {
-        *self.default_isolation.lock() = level;
+        self.default_isolation.store(level.code(), Ordering::Relaxed);
     }
 
     pub fn default_isolation(&self) -> IsolationLevel {
-        *self.default_isolation.lock()
+        IsolationLevel::from_code(self.default_isolation.load(Ordering::Relaxed))
     }
 
     /// Open a new session.
     pub fn connect(self: &Arc<Self>) -> Connection {
-        let mut next = self.next_session.lock();
-        *next += 1;
+        let session = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
         Connection {
             db: Arc::clone(self),
-            session: *next,
+            session,
             isolation: self.default_isolation(),
             txn: None,
             txn_implicit: false,
@@ -240,9 +154,11 @@ impl Database {
     /// query log — for fixtures. `Value::Null` in an auto-increment column
     /// is replaced by the counter; explicit values advance the counter.
     pub fn seed(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), DbError> {
-        let mut inner = self.inner.lock();
-        let idx = inner.table_index(table)?;
-        let table_schema = inner
+        let idx = self
+            .storage
+            .table_index(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        let table_schema = self
             .schema
             .table(table)
             .ok_or_else(|| DbError::UnknownTable(table.into()))?;
@@ -254,7 +170,8 @@ impl Database {
             .map(|(i, _)| i)
             .collect();
         let ncols = table_schema.columns.len();
-        let ts = inner.commit_ts;
+        let ts = self.storage.commit_ts();
+        let mut data = self.storage.write(idx);
         for mut row in rows {
             if row.len() != ncols {
                 return Err(DbError::Internal(format!(
@@ -265,19 +182,19 @@ impl Database {
             for &i in &auto_cols {
                 match &row[i] {
                     Value::Null => {
-                        let v = inner.tables[idx].next_auto();
+                        let v = data.next_auto();
                         row[i] = Value::Int(v);
                     }
                     Value::Int(v) => {
                         let v = *v;
-                        if v >= inner.tables[idx].auto_counter {
-                            inner.tables[idx].auto_counter = v + 1;
+                        if v >= data.auto_counter {
+                            data.auto_counter = v + 1;
                         }
                     }
                     _ => {}
                 }
             }
-            inner.tables[idx].rows.push(crate::storage::RowSlot {
+            data.rows.push(crate::storage::RowSlot {
                 versions: vec![RowVersion::committed(row, ts)],
             });
         }
@@ -286,13 +203,17 @@ impl Database {
 
     /// Latest-committed contents of a table (for invariant checking).
     pub fn table_rows(&self, table: &str) -> Result<Vec<Vec<Value>>, DbError> {
-        let inner = self.inner.lock();
-        let idx = inner.table_index(table)?;
+        let idx = self
+            .storage
+            .table_index(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
         let view = ReadView::Snapshot {
-            as_of: inner.commit_ts,
+            as_of: self.storage.commit_ts(),
             txn: TxnId(u64::MAX),
         };
-        Ok(inner.tables[idx]
+        Ok(self
+            .storage
+            .read(idx)
             .rows
             .iter()
             .filter_map(|slot| view.visible_version(slot))
@@ -302,34 +223,80 @@ impl Database {
 
     /// The schema this database was created with.
     pub fn schema(&self) -> Schema {
-        self.inner.lock().schema.clone()
+        self.schema.clone()
     }
 
-    /// Snapshot of the general query log.
+    /// Snapshot of the general query log (merged sequence order).
     pub fn log_entries(&self) -> Vec<LogEntry> {
-        self.inner.lock().log.entries().to_vec()
+        self.log.entries()
     }
 
     /// Drain the general query log.
     pub fn take_log(&self) -> Vec<LogEntry> {
-        self.inner.lock().log.take()
+        self.log.take()
     }
 
     /// Number of transactions currently active (diagnostics).
     pub fn active_transactions(&self) -> usize {
-        self.inner.lock().txns.len()
+        self.active_txns.load(Ordering::Acquire)
+    }
+
+    /// Start a transaction; the returned state is owned by the calling
+    /// connection.
+    pub(crate) fn begin_txn(&self, isolation: IsolationLevel, implicit: bool) -> TxnState {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed) + 1);
+        self.active_txns.fetch_add(1, Ordering::AcqRel);
+        TxnState::new(id, isolation, implicit)
+    }
+
+    /// Commit a transaction: publish its versions (if it wrote anything),
+    /// then release its locks and wake waiters.
+    pub(crate) fn commit_txn(&self, state: TxnState) {
+        if !state.undo.is_empty() {
+            self.storage.publish_commit(state.id, &state.undo);
+        }
+        self.locks.release_all(state.id);
+        self.active_txns.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Roll a transaction back: undo its versions, release its locks, wake
+    /// waiters.
+    pub(crate) fn rollback_txn(&self, state: TxnState) {
+        self.storage.rollback(state.id, &state.undo);
+        self.locks.release_all(state.id);
+        self.active_txns.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// The snapshot timestamp a transaction's plain reads use, pinning the
+    /// transaction-long snapshot on first use for MySQL-RR and SI.
+    pub(crate) fn read_snapshot_ts(&self, state: &mut TxnState) -> u64 {
+        let commit_ts = self.storage.commit_ts();
+        if state.isolation.uses_txn_snapshot() {
+            *state.snapshot_ts.get_or_insert(commit_ts)
+        } else {
+            state.snapshot_ts = Some(commit_ts);
+            commit_ts
+        }
+    }
+
+    /// A current-read view: latest committed state plus own writes.
+    pub(crate) fn current_read(&self, txn: TxnId) -> ReadView {
+        ReadView::Snapshot {
+            as_of: self.storage.commit_ts(),
+            txn,
+        }
     }
 }
 
 /// A session against a [`Database`]. Connections are single-threaded and
 /// carry MySQL-style session state: autocommit flag, the open transaction
-/// (if any), the session isolation level, and the API-call tag applied to
-/// logged statements.
+/// (if any — owned here, not in a shared registry), the session isolation
+/// level, and the API-call tag applied to logged statements.
 pub struct Connection {
     db: Arc<Database>,
     session: u64,
     isolation: IsolationLevel,
-    txn: Option<TxnId>,
+    txn: Option<TxnState>,
     /// Whether the open transaction was started implicitly for autocommit
     /// statements (vs `BEGIN` / `SET autocommit=0`).
     txn_implicit: bool,
@@ -369,7 +336,7 @@ impl Connection {
 
     /// The id of the currently open transaction, if any.
     pub fn current_txn(&self) -> Option<TxnId> {
-        self.txn
+        self.txn.as_ref().map(|state| state.id)
     }
 
     /// Execute a statement, waiting (with timeout) for locks. A lock wait
@@ -379,34 +346,23 @@ impl Connection {
     pub fn execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
         let stmt = parse_statement(sql)?;
         let timeout = self.db.lock_wait_timeout();
-        let db = Arc::clone(&self.db);
-        let mut guard = db.inner.lock();
         loop {
-            match self.apply(&mut guard, &stmt, sql) {
+            match self.apply(&stmt, sql) {
                 Err(DbError::WouldBlock { .. }) => {
-                    let timed_out = self.db.released.wait_for(&mut guard, timeout).timed_out();
+                    let txn_id = self
+                        .current_txn()
+                        .expect("blocked statement leaves its transaction open");
+                    let timed_out = self.db.locks.wait_for_release(txn_id, timeout);
                     if timed_out {
-                        if let Some(t) = self.txn.take() {
-                            guard.rollback(t);
+                        if let Some(state) = self.txn.take() {
+                            self.db.rollback_txn(state);
                         }
                         self.txn_implicit = false;
-                        guard.log.append_with(
-                            self.session,
-                            self.api.clone(),
-                            sql,
-                            StmtOutcome::Aborted,
-                        );
-                        drop(guard);
-                        // The rollback released this session's locks.
-                        self.db.released.notify_all();
+                        self.log_with(sql, StmtOutcome::Aborted);
                         return Err(DbError::LockTimeout);
                     }
                 }
-                other => {
-                    drop(guard);
-                    self.db.released.notify_all();
-                    return other;
-                }
+                other => return other,
             }
         }
     }
@@ -415,14 +371,7 @@ impl Connection {
     /// [`DbError::WouldBlock`] and the statement can be retried verbatim.
     pub fn try_execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
         let stmt = parse_statement(sql)?;
-        let db = Arc::clone(&self.db);
-        let mut guard = db.inner.lock();
-        let result = self.apply(&mut guard, &stmt, sql);
-        drop(guard);
-        if !matches!(result, Err(DbError::WouldBlock { .. })) {
-            self.db.released.notify_all();
-        }
-        result
+        self.apply(&stmt, sql)
     }
 
     /// Convenience: execute and return the first value of the first row.
@@ -446,20 +395,13 @@ impl Connection {
     /// channel unconfigured, returns `base` unchanged. Harness wrappers
     /// use this instead of sleeping a raw fixed duration.
     pub fn jittered_delay(&self, base: Duration) -> Duration {
-        self.db
-            .inner
-            .lock()
-            .faults
-            .draw_latency(self.session, base)
+        self.db.faults.draw_latency(self.session, base)
     }
 
-    /// One attempt at executing `stmt` under the held database lock.
-    fn apply(
-        &mut self,
-        inner: &mut DbInner,
-        stmt: &Statement,
-        raw: &str,
-    ) -> Result<ResultSet, DbError> {
+    /// One attempt at executing `stmt`. Latches are acquired (and
+    /// released) inside the executor; no locks are held across attempts,
+    /// so a blocked statement parks in the lock table with nothing pinned.
+    fn apply(&mut self, stmt: &Statement, raw: &str) -> Result<ResultSet, DbError> {
         // Fault decision for this attempt. Data-statement faults ride into
         // the executor (so injected aborts share the organic rollback
         // path); a connection drop kills the session state right here,
@@ -471,78 +413,75 @@ impl Connection {
                 | Statement::Rollback
                 | Statement::SetAutocommit(_)
         );
-        let injected = inner.faults.next_fault(self.session, is_data);
+        let injected = self.db.faults.next_fault(self.session, is_data);
         if injected == Some(InjectedFault::ConnectionDrop) {
-            if let Some(t) = self.txn.take() {
-                inner.rollback(t);
+            if let Some(state) = self.txn.take() {
+                self.db.rollback_txn(state);
             }
             self.txn_implicit = false;
-            self.log_with(inner, raw, StmtOutcome::Aborted);
+            self.log_with(raw, StmtOutcome::Aborted);
             return Err(DbError::ConnectionDropped);
         }
         match stmt {
             Statement::Begin => {
-                if let Some(t) = self.txn.take() {
+                if let Some(state) = self.txn.take() {
                     // MySQL implicitly commits an open transaction on BEGIN.
-                    inner.commit(t);
+                    self.db.commit_txn(state);
                 }
-                let t = inner.begin(self.isolation, false);
-                self.txn = Some(t);
+                self.txn = Some(self.db.begin_txn(self.isolation, false));
                 self.txn_implicit = false;
-                self.log(inner, raw);
+                self.log(raw);
                 Ok(ResultSet::empty())
             }
             Statement::Commit => {
-                if let Some(t) = self.txn.take() {
-                    inner.commit(t);
+                if let Some(state) = self.txn.take() {
+                    self.db.commit_txn(state);
                 }
-                self.log(inner, raw);
+                self.log(raw);
                 Ok(ResultSet::empty())
             }
             Statement::Rollback => {
-                if let Some(t) = self.txn.take() {
-                    inner.rollback(t);
+                if let Some(state) = self.txn.take() {
+                    self.db.rollback_txn(state);
                 }
-                self.log(inner, raw);
+                self.log(raw);
                 Ok(ResultSet::empty())
             }
             Statement::SetAutocommit(on) => {
                 if *on {
-                    if let Some(t) = self.txn.take() {
-                        inner.commit(t);
+                    if let Some(state) = self.txn.take() {
+                        self.db.commit_txn(state);
                     }
                 }
                 self.autocommit = *on;
-                self.log(inner, raw);
+                self.log(raw);
                 Ok(ResultSet::empty())
             }
             data_stmt => {
-                let txn = match self.txn {
-                    Some(t) => t,
-                    None => {
-                        let t = inner.begin(self.isolation, self.autocommit);
-                        self.txn = Some(t);
-                        self.txn_implicit = self.autocommit;
-                        t
-                    }
-                };
-                match exec::execute(inner, txn, data_stmt, injected) {
+                if self.txn.is_none() {
+                    self.txn = Some(self.db.begin_txn(self.isolation, self.autocommit));
+                    self.txn_implicit = self.autocommit;
+                }
+                let db = Arc::clone(&self.db);
+                let state = self.txn.as_mut().expect("transaction just ensured");
+                match exec::execute(&db, state, data_stmt, injected) {
                     Ok(rs) => {
-                        self.log(inner, raw);
+                        self.log(raw);
                         if self.txn_implicit {
-                            inner.commit(txn);
-                            self.txn = None;
+                            let state = self.txn.take().expect("implicit txn open");
+                            self.db.commit_txn(state);
                             self.txn_implicit = false;
                         }
                         Ok(rs)
                     }
                     Err(e) if e.aborts_transaction() => {
-                        // exec already rolled the transaction back. Log the
+                        // Roll the whole transaction back and log the
                         // aborted attempt so 2AD lifting can discard the
                         // transaction's prior statements.
-                        self.txn = None;
+                        let state = self.txn.take().expect("aborting txn open");
+                        self.db.rollback_txn(state);
                         self.txn_implicit = false;
-                        self.log_with(inner, raw, StmtOutcome::Aborted);
+                        self.log_with(raw, StmtOutcome::Aborted);
                         Err(e)
                     }
                     Err(DbError::WouldBlock { holders }) => {
@@ -556,11 +495,11 @@ impl Connection {
                         // stays open (MySQL semantics); an implicit one is
                         // rolled back.
                         if self.txn_implicit {
-                            inner.rollback(txn);
-                            self.txn = None;
+                            let state = self.txn.take().expect("implicit txn open");
+                            self.db.rollback_txn(state);
                             self.txn_implicit = false;
                         }
-                        self.log_with(inner, raw, StmtOutcome::Failed);
+                        self.log_with(raw, StmtOutcome::Failed);
                         Err(e)
                     }
                 }
@@ -568,12 +507,12 @@ impl Connection {
         }
     }
 
-    fn log(&self, inner: &mut DbInner, sql: &str) {
-        inner.log.append(self.session, self.api.clone(), sql);
+    fn log(&self, sql: &str) {
+        self.db.log.append(self.session, self.api.clone(), sql);
     }
 
-    fn log_with(&self, inner: &mut DbInner, sql: &str, outcome: StmtOutcome) {
-        inner
+    fn log_with(&self, sql: &str, outcome: StmtOutcome) {
+        self.db
             .log
             .append_with(self.session, self.api.clone(), sql, outcome);
     }
@@ -581,9 +520,8 @@ impl Connection {
 
 impl Drop for Connection {
     fn drop(&mut self) {
-        if let Some(t) = self.txn.take() {
-            self.db.inner.lock().rollback(t);
-            self.db.released.notify_all();
+        if let Some(state) = self.txn.take() {
+            self.db.rollback_txn(state);
         }
     }
 }

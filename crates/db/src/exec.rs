@@ -5,34 +5,43 @@
 //! [`DbError::WouldBlock`] with no data effects), then apply mutations
 //! atomically. Lock plans depend on the transaction's isolation level; see
 //! [`crate::isolation::IsolationLevel`].
+//!
+//! Statement atomicity under the decomposed engine: each statement pins
+//! (read- or write-latches) the tables it touches for its whole duration,
+//! acquiring multiple latches in ascending table-index order. All
+//! `WouldBlock` exits happen before any mutation, and latch guards drop on
+//! every return path — a statement never parks on the lock table while
+//! holding a latch.
 
 use acidrain_sql::ast::{Delete, Expr, Insert, Select, SelectItem, Statement, Update};
 use acidrain_sql::rwset::{statement_accesses, AccessKind};
 
-use crate::db::DbInner;
+use crate::db::Database;
 use crate::error::DbError;
 use crate::expr::{eval, EvalScope, EvalTable};
 use crate::fault::InjectedFault;
 use crate::lock::{LockMode, LockOutcome, ResourceId};
 use crate::result::ResultSet;
-use crate::storage::{ReadView, RowVersion};
-use crate::txn::{TxnId, UndoRecord};
+use crate::storage::{ReadView, RowVersion, TableData};
+use crate::txn::{TxnId, TxnState, UndoRecord};
 use crate::value::Value;
 
 /// Execute a data statement within `txn`. Transaction-control statements
-/// are handled by [`crate::Connection`], not here.
+/// are handled by [`crate::Connection`], not here — as is the rollback of
+/// the transaction when the returned error aborts it (the rollback must
+/// run after this statement's latch guards have dropped).
 ///
 /// A predetermined `injected` fault (from the database's
 /// [`crate::fault::FaultInjector`]) preempts real execution and takes the
 /// same abort path an organic failure would, so injected deadlocks and
 /// conflicts roll back — and release locks — exactly like real ones.
 pub(crate) fn execute(
-    inner: &mut DbInner,
-    txn: TxnId,
+    db: &Database,
+    txn: &mut TxnState,
     stmt: &Statement,
     injected: Option<InjectedFault>,
 ) -> Result<ResultSet, DbError> {
-    let result = match injected {
+    match injected {
         Some(InjectedFault::Deadlock) => Err(DbError::Deadlock),
         Some(InjectedFault::WriteConflict) => Err(DbError::WriteConflict(
             "injected concurrent update".into(),
@@ -44,34 +53,29 @@ pub(crate) fn execute(
             "connection drop reached executor".into(),
         )),
         None => match stmt {
-            Statement::Select(s) => exec_select(inner, txn, s),
-            Statement::Insert(i) => exec_insert(inner, txn, i),
-            Statement::Update(u) => exec_update(inner, txn, u),
-            Statement::Delete(d) => exec_delete(inner, txn, d),
+            Statement::Select(s) => exec_select(db, txn, s),
+            Statement::Insert(i) => exec_insert(db, txn, i),
+            Statement::Update(u) => exec_update(db, txn, u),
+            Statement::Delete(d) => exec_delete(db, txn, d),
             _ => Err(DbError::Internal(
                 "control statement reached executor".into(),
             )),
         },
-    };
-    if let Err(e) = &result {
-        if e.aborts_transaction() {
-            inner.rollback(txn);
-        }
     }
-    result
 }
 
-fn acquire(
-    inner: &mut DbInner,
-    txn: TxnId,
-    resource: ResourceId,
-    mode: LockMode,
-) -> Result<(), DbError> {
-    match inner.locks.acquire(txn, resource, mode) {
+fn acquire(db: &Database, txn: TxnId, resource: ResourceId, mode: LockMode) -> Result<(), DbError> {
+    match db.locks.acquire(txn, resource, mode) {
         LockOutcome::Granted => Ok(()),
         LockOutcome::Blocked(holders) => Err(DbError::WouldBlock { holders }),
         LockOutcome::Deadlock => Err(DbError::Deadlock),
     }
+}
+
+fn table_index(db: &Database, name: &str) -> Result<usize, DbError> {
+    db.storage
+        .table_index(name)
+        .ok_or_else(|| DbError::UnknownTable(name.to_string()))
 }
 
 // ---------------------------------------------------------------------------
@@ -91,7 +95,7 @@ struct Matched {
     values: Vec<Vec<Value>>,
 }
 
-fn exec_select(inner: &mut DbInner, txn: TxnId, s: &Select) -> Result<ResultSet, DbError> {
+fn exec_select(db: &Database, txn: &mut TxnState, s: &Select) -> Result<ResultSet, DbError> {
     // Table-less SELECT: evaluate the projection over an empty scope.
     let Some(from) = &s.from else {
         let scope = EvalScope::default();
@@ -111,15 +115,15 @@ fn exec_select(inner: &mut DbInner, txn: TxnId, s: &Select) -> Result<ResultSet,
     };
 
     // Resolve tables and their access kinds.
-    let accesses = statement_accesses(&Statement::Select(s.clone()), &inner.schema);
+    let accesses = statement_accesses(&Statement::Select(s.clone()), &db.schema);
     let mut tables = Vec::new();
     let mut refs = vec![(from.effective_name().to_string(), from.name.clone())];
     for j in &s.joins {
         refs.push((j.table.effective_name().to_string(), j.table.name.clone()));
     }
     for (effective, real) in &refs {
-        let table_idx = inner.table_index(real)?;
-        let columns: Vec<String> = inner
+        let table_idx = table_index(db, real)?;
+        let columns: Vec<String> = db
             .schema
             .table(real)
             .map(|t| t.column_names().map(str::to_string).collect())
@@ -137,53 +141,70 @@ fn exec_select(inner: &mut DbInner, txn: TxnId, s: &Select) -> Result<ResultSet,
         });
     }
 
-    let isolation = inner.txns.get(&txn).expect("active txn").isolation;
+    let isolation = txn.isolation;
 
     // Table-level locks.
     for t in &tables {
         if s.for_update {
             acquire(
-                inner,
-                txn,
+                db,
+                txn.id,
                 ResourceId::Table(t.table_idx),
                 LockMode::IntentionExclusive,
             )?;
         } else if isolation.read_locks_predicates() && t.access == AccessKind::Predicate {
-            acquire(inner, txn, ResourceId::Table(t.table_idx), LockMode::Shared)?;
+            acquire(db, txn.id, ResourceId::Table(t.table_idx), LockMode::Shared)?;
         } else if isolation.read_locks_items() {
             acquire(
-                inner,
-                txn,
+                db,
+                txn.id,
                 ResourceId::Table(t.table_idx),
                 LockMode::IntentionShared,
             )?;
         }
     }
 
+    // Pin the statement's read latches: distinct tables only (a self-join
+    // needs one latch), in ascending index order (latch hierarchy).
+    let mut latch_order: Vec<usize> = tables.iter().map(|t| t.table_idx).collect();
+    latch_order.sort_unstable();
+    latch_order.dedup();
+    let guards: Vec<_> = latch_order.iter().map(|&idx| db.storage.read(idx)).collect();
+    let data: Vec<&TableData> = tables
+        .iter()
+        .map(|t| {
+            let pos = latch_order
+                .binary_search(&t.table_idx)
+                .expect("latched table");
+            &*guards[pos]
+        })
+        .collect();
+
     // Read view: locking reads and lock-based levels use a current read;
-    // MVCC levels use their snapshot.
+    // MVCC levels use their snapshot. Computed once per statement, after
+    // the latches are pinned.
     let view = if s.for_update || isolation.read_locks_items() {
-        inner.current_read(txn)
+        db.current_read(txn.id)
     } else if isolation.reads_uncommitted() {
-        ReadView::Latest { txn }
+        ReadView::Latest { txn: txn.id }
     } else {
-        let as_of = inner.read_snapshot_ts(txn);
-        ReadView::Snapshot { as_of, txn }
+        let as_of = db.read_snapshot_ts(txn);
+        ReadView::Snapshot { as_of, txn: txn.id }
     };
 
-    let matches = scan(inner, &tables, s, view)?;
+    let matches = scan(&data, &tables, s, view)?;
 
     // Row-level locks on everything read.
     for m in &matches {
         for (ti, slot) in m.slots.iter().enumerate() {
             let row = ResourceId::Row(tables[ti].table_idx, *slot);
             if s.for_update {
-                acquire(inner, txn, row, LockMode::Exclusive)?;
+                acquire(db, txn.id, row, LockMode::Exclusive)?;
             } else if isolation.read_locks_items()
                 && !(isolation.read_locks_predicates()
                     && tables[ti].access == AccessKind::Predicate)
             {
-                acquire(inner, txn, row, LockMode::Shared)?;
+                acquire(db, txn.id, row, LockMode::Shared)?;
             }
         }
     }
@@ -192,21 +213,22 @@ fn exec_select(inner: &mut DbInner, txn: TxnId, s: &Select) -> Result<ResultSet,
 }
 
 /// Scan the (joined) tables, returning rows matching the ON and WHERE
-/// clauses under `view`.
+/// clauses under `view`. `data` is aligned with `tables` (self-joins alias
+/// the same latched table).
 fn scan(
-    inner: &DbInner,
+    data: &[&TableData],
     tables: &[ScopeTable],
     s: &Select,
     view: ReadView,
 ) -> Result<Vec<Matched>, DbError> {
     let mut matches = Vec::new();
     let mut current: Vec<(usize, Vec<Value>)> = Vec::new();
-    scan_rec(inner, tables, s, view, 0, &mut current, &mut matches)?;
+    scan_rec(data, tables, s, view, 0, &mut current, &mut matches)?;
     Ok(matches)
 }
 
 fn scan_rec(
-    inner: &DbInner,
+    data: &[&TableData],
     tables: &[ScopeTable],
     s: &Select,
     view: ReadView,
@@ -227,8 +249,7 @@ fn scan_rec(
         });
         return Ok(());
     }
-    let table = &tables[depth];
-    for (slot_idx, slot) in inner.tables[table.table_idx].rows.iter().enumerate() {
+    for (slot_idx, slot) in data[depth].rows.iter().enumerate() {
         let Some(version) = view.visible_version(slot) else {
             continue;
         };
@@ -241,13 +262,12 @@ fn scan_rec(
             eval(&s.joins[depth - 1].on, &scope)?.is_truthy()
         };
         if join_ok {
-            scan_rec(inner, tables, s, view, depth + 1, current, matches)?;
+            scan_rec(data, tables, s, view, depth + 1, current, matches)?;
         }
         current.pop();
     }
     Ok(())
 }
-
 fn build_scope<'a>(tables: &'a [ScopeTable], current: &'a [(usize, Vec<Value>)]) -> EvalScope<'a> {
     EvalScope {
         tables: tables
@@ -490,20 +510,21 @@ fn fold_extreme(vals: Vec<Value>, keep: std::cmp::Ordering) -> Value {
     best
 }
 
+
 // ---------------------------------------------------------------------------
 // INSERT
 
-fn exec_insert(inner: &mut DbInner, txn: TxnId, i: &Insert) -> Result<ResultSet, DbError> {
-    let table_idx = inner.table_index(&i.table)?;
-    let table_schema = inner
+fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSet, DbError> {
+    let table_idx = table_index(db, &i.table)?;
+    let table_schema = db
         .schema
         .table(&i.table)
         .ok_or_else(|| DbError::UnknownTable(i.table.clone()))?
         .clone();
 
     acquire(
-        inner,
-        txn,
+        db,
+        txn.id,
         ResourceId::Table(table_idx),
         LockMode::IntentionExclusive,
     )?;
@@ -549,6 +570,9 @@ fn exec_insert(inner: &mut DbInner, txn: TxnId, i: &Insert) -> Result<ResultSet,
         new_rows.push(values);
     }
 
+    // Pin the table's write latch for the checks and the apply phase.
+    let mut table = db.storage.write(table_idx);
+
     // Unique-constraint checks against live rows and within the batch.
     let unique_cols: Vec<usize> = table_schema
         .columns
@@ -557,7 +581,7 @@ fn exec_insert(inner: &mut DbInner, txn: TxnId, i: &Insert) -> Result<ResultSet,
         .filter(|(_, c)| c.unique && !c.auto_increment)
         .map(|(idx, _)| idx)
         .collect();
-    let current = inner.current_read(txn);
+    let current = db.current_read(txn.id);
     for &col in &unique_cols {
         for (ri, row) in new_rows.iter().enumerate() {
             let v = &row[col];
@@ -577,7 +601,7 @@ fn exec_insert(inner: &mut DbInner, txn: TxnId, i: &Insert) -> Result<ResultSet,
             // another transaction's uncommitted duplicate blocks (InnoDB
             // waits on the duplicate-key lock).
             let mut blocked_on: Option<usize> = None;
-            for (slot_idx, slot) in inner.tables[table_idx].rows.iter().enumerate() {
+            for (slot_idx, slot) in table.rows.iter().enumerate() {
                 if let Some(version) = current.visible_version(slot) {
                     if version.values[col].sql_eq(v).unwrap_or(false) {
                         return Err(DbError::ConstraintViolation(format!(
@@ -588,7 +612,7 @@ fn exec_insert(inner: &mut DbInner, txn: TxnId, i: &Insert) -> Result<ResultSet,
                 }
                 if let Some(last) = slot.versions.last() {
                     if last.begin_ts.is_none()
-                        && last.begin_txn != txn
+                        && last.begin_txn != txn.id
                         && last.is_open()
                         && last.values[col].sql_eq(v).unwrap_or(false)
                     {
@@ -597,10 +621,11 @@ fn exec_insert(inner: &mut DbInner, txn: TxnId, i: &Insert) -> Result<ResultSet,
                 }
             }
             if let Some(slot_idx) = blocked_on {
-                // Wait for the conflicting writer to finish.
+                // Wait for the conflicting writer to finish (the latch
+                // guard drops on this WouldBlock return).
                 acquire(
-                    inner,
-                    txn,
+                    db,
+                    txn.id,
                     ResourceId::Row(table_idx, slot_idx),
                     LockMode::Shared,
                 )?;
@@ -614,38 +639,34 @@ fn exec_insert(inner: &mut DbInner, txn: TxnId, i: &Insert) -> Result<ResultSet,
     for mut values in new_rows {
         for (ci, col) in table_schema.columns.iter().enumerate() {
             if col.auto_increment && values[ci].is_null() {
-                let v = inner.tables[table_idx].next_auto();
+                let v = table.next_auto();
                 values[ci] = Value::Int(v);
                 last_insert_id = Value::Int(v);
             } else if col.auto_increment {
                 if let Value::Int(v) = values[ci] {
                     last_insert_id = Value::Int(v);
-                    if v >= inner.tables[table_idx].auto_counter {
-                        inner.tables[table_idx].auto_counter = v + 1;
+                    if v >= table.auto_counter {
+                        table.auto_counter = v + 1;
                     }
                 }
             }
         }
-        let slot_idx = inner.tables[table_idx].rows.len();
-        inner.tables[table_idx].rows.push(crate::storage::RowSlot {
-            versions: vec![RowVersion::uncommitted(values, txn)],
+        let slot_idx = table.rows.len();
+        table.rows.push(crate::storage::RowSlot {
+            versions: vec![RowVersion::uncommitted(values, txn.id)],
         });
         // New rows are ours; the lock cannot block.
         acquire(
-            inner,
-            txn,
+            db,
+            txn.id,
             ResourceId::Row(table_idx, slot_idx),
             LockMode::Exclusive,
         )?;
-        inner
-            .txns
-            .get_mut(&txn)
-            .expect("active txn")
-            .undo
-            .push(UndoRecord::Created {
-                table: table_idx,
-                row: slot_idx,
-            });
+        txn.undo.push(UndoRecord::Created {
+            table: table_idx,
+            row: slot_idx,
+            version: 0,
+        });
     }
     Ok(ResultSet {
         columns: vec!["affected".to_string(), "last_insert_id".to_string()],
@@ -656,19 +677,17 @@ fn exec_insert(inner: &mut DbInner, txn: TxnId, i: &Insert) -> Result<ResultSet,
 // ---------------------------------------------------------------------------
 // UPDATE / DELETE
 
-/// Identify rows matching `selection` under a current read, returning
-/// `(slot index, current values)`.
+/// Identify rows matching `selection` under `view` (a current read),
+/// returning `(slot index, current values)`.
 fn identify_targets(
-    inner: &DbInner,
-    txn: TxnId,
-    table_idx: usize,
+    table: &TableData,
+    view: ReadView,
     effective: &str,
     columns: &[String],
     selection: Option<&Expr>,
 ) -> Result<Vec<(usize, Vec<Value>)>, DbError> {
-    let view = inner.current_read(txn);
     let mut out = Vec::new();
-    for (slot_idx, slot) in inner.tables[table_idx].rows.iter().enumerate() {
+    for (slot_idx, slot) in table.rows.iter().enumerate() {
         let Some(version) = view.visible_version(slot) else {
             continue;
         };
@@ -688,33 +707,33 @@ fn identify_targets(
 
 /// Lock targets and run Snapshot Isolation first-updater-wins validation.
 fn lock_and_validate_targets(
-    inner: &mut DbInner,
-    txn: TxnId,
+    db: &Database,
+    txn: &TxnState,
     table_idx: usize,
+    table: &TableData,
     targets: &[(usize, Vec<Value>)],
 ) -> Result<(), DbError> {
     for (slot_idx, _) in targets {
         acquire(
-            inner,
-            txn,
+            db,
+            txn.id,
             ResourceId::Row(table_idx, *slot_idx),
             LockMode::Exclusive,
         )?;
     }
-    let state = inner.txns.get(&txn).expect("active txn");
-    if state.isolation.validates_write_snapshot() {
-        if let Some(snapshot) = state.snapshot_ts {
+    if txn.isolation.validates_write_snapshot() {
+        if let Some(snapshot) = txn.snapshot_ts {
             for (slot_idx, _) in targets {
-                let slot = &inner.tables[table_idx].rows[*slot_idx];
+                let slot = &table.rows[*slot_idx];
                 let modified_since = slot.versions.iter().any(|v| {
-                    v.begin_txn != txn
+                    v.begin_txn != txn.id
                         && (v.begin_ts.is_some_and(|ts| ts > snapshot)
                             || v.end_ts.is_some_and(|ts| ts > snapshot))
                 });
                 if modified_since {
                     return Err(DbError::WriteConflict(format!(
                         "row {slot_idx} of table {} changed after this transaction's snapshot",
-                        inner.tables[table_idx].name
+                        table.name
                     )));
                 }
             }
@@ -723,9 +742,9 @@ fn lock_and_validate_targets(
     Ok(())
 }
 
-fn exec_update(inner: &mut DbInner, txn: TxnId, u: &Update) -> Result<ResultSet, DbError> {
-    let table_idx = inner.table_index(&u.table)?;
-    let columns: Vec<String> = inner
+fn exec_update(db: &Database, txn: &mut TxnState, u: &Update) -> Result<ResultSet, DbError> {
+    let table_idx = table_index(db, &u.table)?;
+    let columns: Vec<String> = db
         .schema
         .table(&u.table)
         .ok_or_else(|| DbError::UnknownTable(u.table.clone()))?
@@ -734,24 +753,21 @@ fn exec_update(inner: &mut DbInner, txn: TxnId, u: &Update) -> Result<ResultSet,
         .collect();
 
     acquire(
-        inner,
-        txn,
+        db,
+        txn.id,
         ResourceId::Table(table_idx),
         LockMode::IntentionExclusive,
     )?;
+    let mut table = db.storage.write(table_idx);
     // Pin the SI snapshot before writing so validation has a baseline even
     // when the transaction starts with a write.
-    let _ = inner.read_snapshot_ts(txn);
+    let _ = db.read_snapshot_ts(txn);
+    // One current-read view for the whole statement: identification,
+    // validation, and version-chain maintenance all see the same state.
+    let view = db.current_read(txn.id);
 
-    let targets = identify_targets(
-        inner,
-        txn,
-        table_idx,
-        &u.table,
-        &columns,
-        u.selection.as_ref(),
-    )?;
-    lock_and_validate_targets(inner, txn, table_idx, &targets)?;
+    let targets = identify_targets(&table, view, &u.table, &columns, u.selection.as_ref())?;
+    lock_and_validate_targets(db, txn, table_idx, &table, &targets)?;
 
     // Compute all new value vectors before mutating (statement atomicity).
     let mut assignment_indices = Vec::with_capacity(u.assignments.len());
@@ -775,26 +791,28 @@ fn exec_update(inner: &mut DbInner, txn: TxnId, u: &Update) -> Result<ResultSet,
     // Apply: end the current version, append the new one.
     let n = updated.len();
     for (slot_idx, new_values) in updated {
-        end_current_version(inner, txn, table_idx, slot_idx)?;
-        inner.tables[table_idx].rows[slot_idx]
-            .versions
-            .push(RowVersion::uncommitted(new_values, txn));
-        let state = inner.txns.get_mut(&txn).expect("active txn");
-        state.undo.push(UndoRecord::Ended {
+        let ended = end_current_version(&mut table, view, txn.id, slot_idx)?;
+        txn.undo.push(UndoRecord::Ended {
             table: table_idx,
             row: slot_idx,
+            version: ended,
         });
-        state.undo.push(UndoRecord::Created {
+        let created = table.rows[slot_idx].versions.len();
+        table.rows[slot_idx]
+            .versions
+            .push(RowVersion::uncommitted(new_values, txn.id));
+        txn.undo.push(UndoRecord::Created {
             table: table_idx,
             row: slot_idx,
+            version: created,
         });
     }
     Ok(ResultSet::affected(n))
 }
 
-fn exec_delete(inner: &mut DbInner, txn: TxnId, d: &Delete) -> Result<ResultSet, DbError> {
-    let table_idx = inner.table_index(&d.table)?;
-    let columns: Vec<String> = inner
+fn exec_delete(db: &Database, txn: &mut TxnState, d: &Delete) -> Result<ResultSet, DbError> {
+    let table_idx = table_index(db, &d.table)?;
+    let columns: Vec<String> = db
         .schema
         .table(&d.table)
         .ok_or_else(|| DbError::UnknownTable(d.table.clone()))?
@@ -803,57 +821,50 @@ fn exec_delete(inner: &mut DbInner, txn: TxnId, d: &Delete) -> Result<ResultSet,
         .collect();
 
     acquire(
-        inner,
-        txn,
+        db,
+        txn.id,
         ResourceId::Table(table_idx),
         LockMode::IntentionExclusive,
     )?;
-    let _ = inner.read_snapshot_ts(txn);
+    let mut table = db.storage.write(table_idx);
+    let _ = db.read_snapshot_ts(txn);
+    let view = db.current_read(txn.id);
 
-    let targets = identify_targets(
-        inner,
-        txn,
-        table_idx,
-        &d.table,
-        &columns,
-        d.selection.as_ref(),
-    )?;
-    lock_and_validate_targets(inner, txn, table_idx, &targets)?;
+    let targets = identify_targets(&table, view, &d.table, &columns, d.selection.as_ref())?;
+    lock_and_validate_targets(db, txn, table_idx, &table, &targets)?;
 
     let n = targets.len();
     for (slot_idx, _) in targets {
-        end_current_version(inner, txn, table_idx, slot_idx)?;
-        inner
-            .txns
-            .get_mut(&txn)
-            .expect("active txn")
-            .undo
-            .push(UndoRecord::Ended {
-                table: table_idx,
-                row: slot_idx,
-            });
+        let ended = end_current_version(&mut table, view, txn.id, slot_idx)?;
+        txn.undo.push(UndoRecord::Ended {
+            table: table_idx,
+            row: slot_idx,
+            version: ended,
+        });
     }
     Ok(ResultSet::affected(n))
 }
 
-/// Mark the currently-visible (current-read) version of a slot as ended by
-/// `txn`.
+/// Mark the version of `slot_idx` visible under `view` as ended by `txn`,
+/// returning its index in the chain (recorded in the undo log for direct
+/// commit stamping).
 fn end_current_version(
-    inner: &mut DbInner,
+    table: &mut TableData,
+    view: ReadView,
     txn: TxnId,
-    table_idx: usize,
     slot_idx: usize,
-) -> Result<(), DbError> {
-    let view = inner.current_read(txn);
-    let slot = &mut inner.tables[table_idx].rows[slot_idx];
+) -> Result<usize, DbError> {
+    let slot = &mut table.rows[slot_idx];
     let pos = slot
         .versions
         .iter()
         .rposition(|v| view.sees(v))
         .ok_or_else(|| DbError::Internal("target version vanished mid-statement".into()))?;
     slot.versions[pos].end_txn = Some(txn);
-    Ok(())
+    Ok(pos)
 }
+
+// ---------------------------------------------------------------------------
 
 // ---------------------------------------------------------------------------
 

@@ -18,7 +18,10 @@
 //! statements fault.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
+
+use parking_lot::Mutex;
 
 /// What kinds of faults to inject, with what probabilities.
 ///
@@ -156,8 +159,9 @@ fn unit_f64(bits: u64) -> f64 {
     (bits >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// The per-database fault injector. Lives behind the database mutex, so
-/// counter updates are atomic with statement execution.
+/// The per-database fault injector. Decisions are a pure function of
+/// (seed, session, per-session counter), so they are independent of thread
+/// interleaving; the mutable state is just the counters and stats.
 #[derive(Debug, Default)]
 pub struct FaultInjector {
     config: FaultConfig,
@@ -244,6 +248,56 @@ impl FaultInjector {
         *n += 1;
         self.stats.latency_draws += 1;
         base + max.mul_f64(roll)
+    }
+}
+
+/// Concurrency wrapper around [`FaultInjector`]: the injector's counters
+/// sit behind a dedicated mutex, with lock-free `AtomicBool` fast paths so
+/// the (common) fully disabled configuration adds no synchronization to
+/// statement execution at all.
+#[derive(Debug, Default)]
+pub struct FaultHandle {
+    any_faults: AtomicBool,
+    latency: AtomicBool,
+    inner: Mutex<FaultInjector>,
+}
+
+impl FaultHandle {
+    /// Replace the configuration, resetting all counters and stats.
+    pub fn reconfigure(&self, config: FaultConfig) {
+        let mut inner = self.inner.lock();
+        inner.reconfigure(config);
+        self.any_faults
+            .store(inner.config().any_faults(), Ordering::Release);
+        self.latency
+            .store(inner.latency_enabled(), Ordering::Release);
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        self.inner.lock().stats()
+    }
+
+    /// Whether the latency channel is configured (lock-free).
+    pub fn latency_enabled(&self) -> bool {
+        self.latency.load(Ordering::Acquire)
+    }
+
+    /// See [`FaultInjector::next_fault`]; no-ops without locking when no
+    /// fault channel is configured.
+    pub fn next_fault(&self, session: u64, data_statement: bool) -> Option<InjectedFault> {
+        if !self.any_faults.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner.lock().next_fault(session, data_statement)
+    }
+
+    /// See [`FaultInjector::draw_latency`]; returns `base` without locking
+    /// when the latency channel is off.
+    pub fn draw_latency(&self, session: u64, base: Duration) -> Duration {
+        if !self.latency.load(Ordering::Acquire) {
+            return base;
+        }
+        self.inner.lock().draw_latency(session, base)
     }
 }
 

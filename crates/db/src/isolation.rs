@@ -43,6 +43,20 @@ impl IsolationLevel {
         IsolationLevel::Serializable,
     ];
 
+    /// Dense `u8` encoding (index into [`IsolationLevel::ALL`]) for
+    /// storing a level in an atomic.
+    pub(crate) fn code(self) -> u8 {
+        IsolationLevel::ALL
+            .iter()
+            .position(|l| *l == self)
+            .expect("level in ALL") as u8
+    }
+
+    /// Inverse of [`IsolationLevel::code`].
+    pub(crate) fn from_code(code: u8) -> IsolationLevel {
+        IsolationLevel::ALL[code as usize]
+    }
+
     /// Whether plain reads use a transaction-long snapshot (vs a
     /// per-statement one).
     pub fn uses_txn_snapshot(self) -> bool {

@@ -13,6 +13,9 @@
 //! requester is the victim.
 
 use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
 
 use crate::txn::TxnId;
 
@@ -224,6 +227,76 @@ fn upgrade(held: LockMode, new: LockMode) -> LockMode {
         IntentionExclusive
     } else {
         IntentionShared
+    }
+}
+
+/// Concurrency wrapper around [`LockManager`]: a dedicated mutex plus a
+/// condvar signalled on every lock release.
+///
+/// This is the lock-manager *layer* of the decomposed engine. The mutex is
+/// held only for the duration of a single table operation (acquire,
+/// release, bookkeeping query) — never across statement execution — so
+/// lock waits no longer stop the world. Blocked transactions park in
+/// [`LockTable::wait_for_release`] until every transaction they wait on
+/// has released (or the lock-wait timeout fires); the check runs under the
+/// manager mutex, so wakeups cannot be missed.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    manager: Mutex<LockManager>,
+    released: Condvar,
+}
+
+impl LockTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Non-blocking acquire; see [`LockManager::acquire`].
+    pub fn acquire(&self, txn: TxnId, resource: ResourceId, mode: LockMode) -> LockOutcome {
+        self.manager.lock().acquire(txn, resource, mode)
+    }
+
+    /// Release every lock held by `txn` and wake all parked waiters.
+    pub fn release_all(&self, txn: TxnId) {
+        self.manager.lock().release_all(txn);
+        self.released.notify_all();
+    }
+
+    /// Park until `txn` no longer waits on any other transaction, or until
+    /// `timeout` elapses. Returns `true` if the wait timed out with `txn`
+    /// still blocked.
+    ///
+    /// Must be called with no storage latches held (lock ordering: the
+    /// lock-manager mutex sits below the storage latches, and parking here
+    /// while pinning a table would stall the very writers being waited
+    /// for).
+    pub fn wait_for_release(&self, txn: TxnId, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut manager = self.manager.lock();
+        while !manager.waiting_on(txn).is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return true;
+            }
+            if self
+                .released
+                .wait_for(&mut manager, deadline - now)
+                .timed_out()
+            {
+                return !manager.waiting_on(txn).is_empty();
+            }
+        }
+        false
+    }
+
+    /// Whether `txn` holds `resource` in a mode covering `mode`.
+    pub fn holds(&self, txn: TxnId, resource: ResourceId, mode: LockMode) -> bool {
+        self.manager.lock().holds(txn, resource, mode)
+    }
+
+    /// Number of currently locked resources (diagnostics/tests).
+    pub fn locked_resources(&self) -> usize {
+        self.manager.lock().locked_resources()
     }
 }
 

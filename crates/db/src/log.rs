@@ -12,6 +12,9 @@
 //! not logged — the statement had no effects and is re-issued verbatim.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 /// Identifies one invocation of one application API endpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -89,49 +92,86 @@ impl fmt::Display for LogEntry {
     }
 }
 
+/// Number of independent append shards. Sessions hash onto shards, so
+/// concurrent appends from different sessions rarely contend on the same
+/// mutex.
+const LOG_SHARDS: usize = 16;
+
 /// The append-only query log.
-#[derive(Debug, Default)]
+///
+/// Sharded so that appending is not a global serialization point: a global
+/// `AtomicU64` hands out sequence numbers while the entry itself lands in a
+/// per-session-hash shard. [`QueryLog::entries`] merges the shards back
+/// into the deterministic sequence order that trace lifting expects.
+#[derive(Debug)]
 pub struct QueryLog {
-    entries: Vec<LogEntry>,
+    next_seq: AtomicU64,
+    shards: Vec<Mutex<Vec<LogEntry>>>,
+}
+
+impl Default for QueryLog {
+    fn default() -> Self {
+        QueryLog {
+            next_seq: AtomicU64::new(0),
+            shards: (0..LOG_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
 }
 
 impl QueryLog {
-    pub fn append(&mut self, session: u64, api: Option<ApiTag>, sql: impl Into<String>) {
+    pub fn append(&self, session: u64, api: Option<ApiTag>, sql: impl Into<String>) {
         self.append_with(session, api, sql, StmtOutcome::Ok);
     }
 
     pub fn append_with(
-        &mut self,
+        &self,
         session: u64,
         api: Option<ApiTag>,
         sql: impl Into<String>,
         outcome: StmtOutcome,
     ) {
-        let seq = self.entries.len() as u64;
-        self.entries.push(LogEntry {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let entry = LogEntry {
             seq,
             session,
             api,
             sql: sql.into(),
             outcome,
-        });
+        };
+        self.shards[session as usize % LOG_SHARDS].lock().push(entry);
     }
 
-    pub fn entries(&self) -> &[LogEntry] {
-        &self.entries
+    /// All entries merged across shards in global sequence order.
+    pub fn entries(&self) -> Vec<LogEntry> {
+        let mut all: Vec<LogEntry> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.lock().clone())
+            .collect();
+        all.sort_by_key(|e| e.seq);
+        all
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|shard| shard.lock().len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Remove and return all entries.
-    pub fn take(&mut self) -> Vec<LogEntry> {
-        std::mem::take(&mut self.entries)
+    /// Remove and return all entries in sequence order, resetting the
+    /// sequence counter. Holds every shard lock for the duration so the
+    /// drain is atomic with respect to concurrent appends.
+    pub fn take(&self) -> Vec<LogEntry> {
+        let mut guards: Vec<_> = self.shards.iter().map(|shard| shard.lock()).collect();
+        let mut all: Vec<LogEntry> = guards
+            .iter_mut()
+            .flat_map(|guard| std::mem::take(&mut **guard))
+            .collect();
+        all.sort_by_key(|e| e.seq);
+        self.next_seq.store(0, Ordering::Relaxed);
+        all
     }
 }
 
@@ -141,7 +181,7 @@ mod tests {
 
     #[test]
     fn append_assigns_sequence_numbers() {
-        let mut log = QueryLog::default();
+        let log = QueryLog::default();
         log.append(1, None, "BEGIN");
         log.append(
             2,
@@ -160,7 +200,7 @@ mod tests {
 
     #[test]
     fn display_formats_tags() {
-        let mut log = QueryLog::default();
+        let log = QueryLog::default();
         log.append(
             4,
             Some(ApiTag {
@@ -177,7 +217,7 @@ mod tests {
 
     #[test]
     fn display_marks_failed_outcomes() {
-        let mut log = QueryLog::default();
+        let log = QueryLog::default();
         log.append_with(1, None, "UPDATE t SET v = 1", StmtOutcome::Aborted);
         log.append_with(
             2,
@@ -194,7 +234,7 @@ mod tests {
 
     #[test]
     fn take_drains() {
-        let mut log = QueryLog::default();
+        let log = QueryLog::default();
         log.append(1, None, "COMMIT");
         let taken = log.take();
         assert_eq!(taken.len(), 1);

@@ -4,7 +4,11 @@
 //! versions to the slot's chain. Version visibility is decided against a
 //! [`ReadView`], which encodes the isolation level's read rule.
 
-use crate::txn::TxnId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::txn::{TxnId, UndoRecord};
 use crate::value::Value;
 
 /// One version of a row.
@@ -79,6 +83,127 @@ impl TableData {
         let v = self.auto_counter;
         self.auto_counter += 1;
         v
+    }
+}
+
+/// The storage layer of the decomposed engine: per-table latches around
+/// the data pages, an atomic commit clock, and a commit critical section
+/// that serializes nothing but version-stamp publication.
+///
+/// Statements pin (read- or write-latch) only the tables they touch for
+/// their own duration, so statements on disjoint tables run concurrently
+/// and readers of one table run concurrently with each other. Correctness
+/// of concurrent commit publication rests on the clock protocol:
+/// `commit_ts` is advanced with a `Release` store only *after* every
+/// version of the committing transaction has been stamped under the
+/// owning tables' write latches, and readers `Acquire`-load their `as_of`
+/// bound — so a partially stamped commit always carries a timestamp
+/// strictly greater than any reader's bound and is consistently invisible.
+#[derive(Debug)]
+pub struct Storage {
+    tables: Vec<RwLock<TableData>>,
+    names: Vec<String>,
+    /// Commit clock: the timestamp of the latest fully published commit.
+    commit_ts: AtomicU64,
+    /// Serializes commit publication (timestamp draw + stamping), keeping
+    /// the clock monotonic without a global statement lock.
+    commit_serial: Mutex<()>,
+}
+
+impl Storage {
+    pub fn new(tables: Vec<TableData>) -> Self {
+        let names = tables.iter().map(|t| t.name.clone()).collect();
+        Storage {
+            tables: tables.into_iter().map(RwLock::new).collect(),
+            names,
+            commit_ts: AtomicU64::new(0),
+            commit_serial: Mutex::new(()),
+        }
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Table index by name. Names are immutable after construction, so no
+    /// latch is needed.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Read-latch a table for the duration of the returned guard.
+    pub fn read(&self, table: usize) -> RwLockReadGuard<'_, TableData> {
+        self.tables[table].read()
+    }
+
+    /// Write-latch a table for the duration of the returned guard.
+    pub fn write(&self, table: usize) -> RwLockWriteGuard<'_, TableData> {
+        self.tables[table].write()
+    }
+
+    /// The latest fully published commit timestamp, usable as a snapshot
+    /// `as_of` bound.
+    pub fn commit_ts(&self) -> u64 {
+        self.commit_ts.load(Ordering::Acquire)
+    }
+
+    /// Commit critical section: stamp every version named by `undo` with
+    /// the next commit timestamp, then publish the new clock value.
+    ///
+    /// Per-table write latches are taken one at a time (batched across
+    /// consecutive same-table records); the only globally serialized part
+    /// is the stamping itself, under `commit_serial`.
+    pub fn publish_commit(&self, txn: TxnId, undo: &[UndoRecord]) {
+        let _serial = self.commit_serial.lock();
+        let ts = self.commit_ts.load(Ordering::Relaxed) + 1;
+        let mut i = 0;
+        while i < undo.len() {
+            let table = undo[i].table();
+            let mut guard = self.write(table);
+            while i < undo.len() && undo[i].table() == table {
+                match undo[i] {
+                    UndoRecord::Created { row, version, .. } => {
+                        let v = &mut guard.rows[row].versions[version];
+                        debug_assert!(v.begin_txn == txn && v.begin_ts.is_none());
+                        v.begin_ts = Some(ts);
+                    }
+                    UndoRecord::Ended { row, version, .. } => {
+                        let v = &mut guard.rows[row].versions[version];
+                        debug_assert!(v.end_txn == Some(txn) && v.end_ts.is_none());
+                        v.end_ts = Some(ts);
+                    }
+                }
+                i += 1;
+            }
+        }
+        self.commit_ts.store(ts, Ordering::Release);
+    }
+
+    /// Undo every effect named by `undo`, newest first. Reverse order keeps
+    /// the recorded version indices valid: within one slot, later records
+    /// always name higher indices, and no other transaction can grow or
+    /// shrink the chain while this transaction's row X lock is held.
+    pub fn rollback(&self, txn: TxnId, undo: &[UndoRecord]) {
+        for record in undo.iter().rev() {
+            match *record {
+                UndoRecord::Created { table, row, version } => {
+                    let mut guard = self.write(table);
+                    let slot = &mut guard.rows[row];
+                    debug_assert!(
+                        slot.versions[version].begin_txn == txn
+                            && slot.versions[version].begin_ts.is_none()
+                    );
+                    slot.versions.remove(version);
+                }
+                UndoRecord::Ended { table, row, version } => {
+                    let mut guard = self.write(table);
+                    let v = &mut guard.rows[row].versions[version];
+                    if v.end_txn == Some(txn) && v.end_ts.is_none() {
+                        v.end_txn = None;
+                    }
+                }
+            }
+        }
     }
 }
 

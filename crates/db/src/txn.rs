@@ -13,13 +13,31 @@ impl std::fmt::Display for TxnId {
 }
 
 /// An entry in a transaction's undo log.
+///
+/// Each record carries the exact index of the affected version within the
+/// row slot's chain, so commit stamps and rollback removals are O(1) per
+/// record instead of scanning the whole chain. The indices stay valid for
+/// the transaction's lifetime: only the version's creator may append to or
+/// shrink a slot's chain while its row X lock is held, and commits by
+/// other transactions merely stamp timestamps in place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UndoRecord {
-    /// The transaction created a new version in `table`/`row`.
-    Created { table: usize, row: usize },
-    /// The transaction marked an existing version in `table`/`row` as ended
-    /// (deleted or superseded by an update).
-    Ended { table: usize, row: usize },
+    /// The transaction created a new version at index `version` in
+    /// `table`/`row`.
+    Created { table: usize, row: usize, version: usize },
+    /// The transaction marked the existing version at index `version` in
+    /// `table`/`row` as ended (deleted or superseded by an update).
+    Ended { table: usize, row: usize, version: usize },
+}
+
+impl UndoRecord {
+    /// The table the record touches (used to batch per-table latch
+    /// acquisitions during commit).
+    pub fn table(&self) -> usize {
+        match *self {
+            UndoRecord::Created { table, .. } | UndoRecord::Ended { table, .. } => table,
+        }
+    }
 }
 
 /// State of one active transaction.
