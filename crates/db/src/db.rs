@@ -18,7 +18,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use acidrain_sql::schema::Schema;
 use acidrain_sql::{parse_statement, Statement};
@@ -345,14 +345,22 @@ impl Connection {
     /// stalled session can never wedge others by holding its locks.
     pub fn execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
         let stmt = parse_statement(sql)?;
-        let timeout = self.db.lock_wait_timeout();
+        // One deadline for the whole statement, set at the first block:
+        // a statement repeatedly woken and re-blocked (its lock claimed
+        // by another session each time) shares the budget across parks
+        // instead of restarting the clock, so the total wait is bounded.
+        let mut deadline: Option<Instant> = None;
         loop {
             match self.apply(&stmt, sql) {
                 Err(DbError::WouldBlock { .. }) => {
                     let txn_id = self
                         .current_txn()
                         .expect("blocked statement leaves its transaction open");
-                    let timed_out = self.db.locks.wait_for_release(txn_id, timeout);
+                    let deadline = *deadline
+                        .get_or_insert_with(|| Instant::now() + self.db.lock_wait_timeout());
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    let timed_out =
+                        remaining.is_zero() || self.db.locks.wait_for_release(txn_id, remaining);
                     if timed_out {
                         if let Some(state) = self.txn.take() {
                             self.db.rollback_txn(state);

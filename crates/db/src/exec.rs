@@ -598,8 +598,10 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
                 }
             }
             // Against stored rows: committed-visible duplicates violate;
-            // another transaction's uncommitted duplicate blocks (InnoDB
-            // waits on the duplicate-key lock).
+            // a duplicate from an in-flight writer — uncommitted
+            // (`begin_ts` unset) *or* stamped by a commit that has not yet
+            // published a timestamp our clock bound covers — blocks
+            // (InnoDB waits on the duplicate-key lock).
             let mut blocked_on: Option<usize> = None;
             for (slot_idx, slot) in table.rows.iter().enumerate() {
                 if let Some(version) = current.visible_version(slot) {
@@ -611,9 +613,9 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
                     }
                 }
                 if let Some(last) = slot.versions.last() {
-                    if last.begin_ts.is_none()
-                        && last.begin_txn != txn.id
+                    if last.begin_txn != txn.id
                         && last.is_open()
+                        && !current.sees(last)
                         && last.values[col].sql_eq(v).unwrap_or(false)
                     {
                         blocked_on = Some(slot_idx);
@@ -622,13 +624,26 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
             }
             if let Some(slot_idx) = blocked_on {
                 // Wait for the conflicting writer to finish (the latch
-                // guard drops on this WouldBlock return).
+                // guard drops on a WouldBlock return).
                 acquire(
                     db,
                     txn.id,
                     ResourceId::Row(table_idx, slot_idx),
                     LockMode::Shared,
                 )?;
+                // Granted: the writer cannot have been stamped or rolled
+                // back under our latch, so it was stamped before we
+                // latched and has since published and released. Re-check
+                // under the refreshed clock, which now covers it.
+                let fresh = db.current_read(txn.id);
+                if let Some(version) = fresh.visible_version(&table.rows[slot_idx]) {
+                    if version.values[col].sql_eq(v).unwrap_or(false) {
+                        return Err(DbError::ConstraintViolation(format!(
+                            "duplicate value {v} for unique column {}.{}",
+                            i.table, table_schema.columns[col].name
+                        )));
+                    }
+                }
             }
         }
     }
@@ -677,20 +692,28 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
 // ---------------------------------------------------------------------------
 // UPDATE / DELETE
 
-/// Identify rows matching `selection` under `view` (a current read),
-/// returning `(slot index, current values)`.
+/// One UPDATE/DELETE target: a row slot, the index of the version visible
+/// under the statement's view, and that version's values.
+struct Target {
+    slot: usize,
+    version: usize,
+    values: Vec<Value>,
+}
+
+/// Identify rows matching `selection` under `view` (a current read).
 fn identify_targets(
     table: &TableData,
     view: ReadView,
     effective: &str,
     columns: &[String],
     selection: Option<&Expr>,
-) -> Result<Vec<(usize, Vec<Value>)>, DbError> {
+) -> Result<Vec<Target>, DbError> {
     let mut out = Vec::new();
     for (slot_idx, slot) in table.rows.iter().enumerate() {
-        let Some(version) = view.visible_version(slot) else {
+        let Some(pos) = slot.versions.iter().rposition(|v| view.sees(v)) else {
             continue;
         };
+        let version = &slot.versions[pos];
         let matched = match selection {
             Some(sel) => {
                 let scope = EvalScope::single(effective, columns, &version.values);
@@ -699,7 +722,11 @@ fn identify_targets(
             None => true,
         };
         if matched {
-            out.push((slot_idx, version.values.clone()));
+            out.push(Target {
+                slot: slot_idx,
+                version: pos,
+                values: version.values.clone(),
+            });
         }
     }
     Ok(out)
@@ -711,20 +738,20 @@ fn lock_and_validate_targets(
     txn: &TxnState,
     table_idx: usize,
     table: &TableData,
-    targets: &[(usize, Vec<Value>)],
+    targets: &[Target],
 ) -> Result<(), DbError> {
-    for (slot_idx, _) in targets {
+    for t in targets {
         acquire(
             db,
             txn.id,
-            ResourceId::Row(table_idx, *slot_idx),
+            ResourceId::Row(table_idx, t.slot),
             LockMode::Exclusive,
         )?;
     }
     if txn.isolation.validates_write_snapshot() {
         if let Some(snapshot) = txn.snapshot_ts {
-            for (slot_idx, _) in targets {
-                let slot = &table.rows[*slot_idx];
+            for t in targets {
+                let slot = &table.rows[t.slot];
                 let modified_since = slot.versions.iter().any(|v| {
                     v.begin_txn != txn.id
                         && (v.begin_ts.is_some_and(|ts| ts > snapshot)
@@ -732,14 +759,64 @@ fn lock_and_validate_targets(
                 });
                 if modified_since {
                     return Err(DbError::WriteConflict(format!(
-                        "row {slot_idx} of table {} changed after this transaction's snapshot",
-                        table.name
+                        "row {} of table {} changed after this transaction's snapshot",
+                        t.slot, table.name
                     )));
                 }
             }
         }
     }
     Ok(())
+}
+
+/// Identify the target rows of an UPDATE/DELETE under a current read and
+/// X-lock them, returning targets consistent with a clock bound that
+/// covers every commit affecting them.
+///
+/// The table's version chains are frozen while the statement holds the
+/// write latch, but the commit clock and the lock manager are not: a
+/// commit that stamped this table's versions *before* the statement
+/// latched may publish its timestamp and release its row locks
+/// mid-statement. A view drawn from the pre-publication clock would
+/// identify such a commit's already-ended version as current and — once
+/// the committer's locks are gone — clobber its end stamp. So the clock
+/// is re-read after every lock grant and the targets re-identified until
+/// stable: locks are released only after publication, so a grant
+/// guarantees the refreshed clock covers every commit that touched the
+/// granted rows.
+///
+/// Terminates because the chains are frozen under the latch: successive
+/// clock reads are nondecreasing, and visibility against the table's
+/// fixed stamps changes at only finitely many timestamps.
+fn lock_current_targets(
+    db: &Database,
+    txn: &TxnState,
+    table_idx: usize,
+    table: &TableData,
+    effective: &str,
+    columns: &[String],
+    selection: Option<&Expr>,
+) -> Result<Vec<Target>, DbError> {
+    let mut view = db.current_read(txn.id);
+    let mut targets = identify_targets(table, view, effective, columns, selection)?;
+    loop {
+        lock_and_validate_targets(db, txn, table_idx, table, &targets)?;
+        let fresh = db.current_read(txn.id);
+        if fresh == view {
+            return Ok(targets);
+        }
+        let fresh_targets = identify_targets(table, fresh, effective, columns, selection)?;
+        let stable = fresh_targets.len() == targets.len()
+            && fresh_targets
+                .iter()
+                .zip(&targets)
+                .all(|(a, b)| a.slot == b.slot && a.version == b.version);
+        view = fresh;
+        targets = fresh_targets;
+        if stable {
+            return Ok(targets);
+        }
+    }
 }
 
 fn exec_update(db: &Database, txn: &mut TxnState, u: &Update) -> Result<ResultSet, DbError> {
@@ -762,12 +839,15 @@ fn exec_update(db: &Database, txn: &mut TxnState, u: &Update) -> Result<ResultSe
     // Pin the SI snapshot before writing so validation has a baseline even
     // when the transaction starts with a write.
     let _ = db.read_snapshot_ts(txn);
-    // One current-read view for the whole statement: identification,
-    // validation, and version-chain maintenance all see the same state.
-    let view = db.current_read(txn.id);
-
-    let targets = identify_targets(&table, view, &u.table, &columns, u.selection.as_ref())?;
-    lock_and_validate_targets(db, txn, table_idx, &table, &targets)?;
+    let targets = lock_current_targets(
+        db,
+        txn,
+        table_idx,
+        &table,
+        &u.table,
+        &columns,
+        u.selection.as_ref(),
+    )?;
 
     // Compute all new value vectors before mutating (statement atomicity).
     let mut assignment_indices = Vec::with_capacity(u.assignments.len());
@@ -778,32 +858,33 @@ fn exec_update(db: &Database, txn: &mut TxnState, u: &Update) -> Result<ResultSe
             .ok_or_else(|| DbError::UnknownColumn(format!("{}.{}", u.table, a.column)))?;
         assignment_indices.push(idx);
     }
-    let mut updated: Vec<(usize, Vec<Value>)> = Vec::with_capacity(targets.len());
-    for (slot_idx, old_values) in &targets {
-        let scope = EvalScope::single(&u.table, &columns, old_values);
-        let mut new_values = old_values.clone();
+    let mut updated: Vec<Vec<Value>> = Vec::with_capacity(targets.len());
+    for t in &targets {
+        let scope = EvalScope::single(&u.table, &columns, &t.values);
+        let mut new_values = t.values.clone();
         for (a, &ci) in u.assignments.iter().zip(&assignment_indices) {
             new_values[ci] = eval(&a.value, &scope)?;
         }
-        updated.push((*slot_idx, new_values));
+        updated.push(new_values);
     }
 
-    // Apply: end the current version, append the new one.
-    let n = updated.len();
-    for (slot_idx, new_values) in updated {
-        let ended = end_current_version(&mut table, view, txn.id, slot_idx)?;
+    // Apply: end the identified version (by its recorded index — the
+    // chain is frozen under the latch), append the new one.
+    let n = targets.len();
+    for (t, new_values) in targets.into_iter().zip(updated) {
+        end_target_version(&mut table, txn.id, &t);
         txn.undo.push(UndoRecord::Ended {
             table: table_idx,
-            row: slot_idx,
-            version: ended,
+            row: t.slot,
+            version: t.version,
         });
-        let created = table.rows[slot_idx].versions.len();
-        table.rows[slot_idx]
+        let created = table.rows[t.slot].versions.len();
+        table.rows[t.slot]
             .versions
             .push(RowVersion::uncommitted(new_values, txn.id));
         txn.undo.push(UndoRecord::Created {
             table: table_idx,
-            row: slot_idx,
+            row: t.slot,
             version: created,
         });
     }
@@ -828,40 +909,40 @@ fn exec_delete(db: &Database, txn: &mut TxnState, d: &Delete) -> Result<ResultSe
     )?;
     let mut table = db.storage.write(table_idx);
     let _ = db.read_snapshot_ts(txn);
-    let view = db.current_read(txn.id);
-
-    let targets = identify_targets(&table, view, &d.table, &columns, d.selection.as_ref())?;
-    lock_and_validate_targets(db, txn, table_idx, &table, &targets)?;
+    let targets = lock_current_targets(
+        db,
+        txn,
+        table_idx,
+        &table,
+        &d.table,
+        &columns,
+        d.selection.as_ref(),
+    )?;
 
     let n = targets.len();
-    for (slot_idx, _) in targets {
-        let ended = end_current_version(&mut table, view, txn.id, slot_idx)?;
+    for t in targets {
+        end_target_version(&mut table, txn.id, &t);
         txn.undo.push(UndoRecord::Ended {
             table: table_idx,
-            row: slot_idx,
-            version: ended,
+            row: t.slot,
+            version: t.version,
         });
     }
     Ok(ResultSet::affected(n))
 }
 
-/// Mark the version of `slot_idx` visible under `view` as ended by `txn`,
-/// returning its index in the chain (recorded in the undo log for direct
-/// commit stamping).
-fn end_current_version(
-    table: &mut TableData,
-    view: ReadView,
-    txn: TxnId,
-    slot_idx: usize,
-) -> Result<usize, DbError> {
-    let slot = &mut table.rows[slot_idx];
-    let pos = slot
-        .versions
-        .iter()
-        .rposition(|v| view.sees(v))
-        .ok_or_else(|| DbError::Internal("target version vanished mid-statement".into()))?;
-    slot.versions[pos].end_txn = Some(txn);
-    Ok(pos)
+/// Mark a locked target's version as ended by `txn`. The X lock plus the
+/// post-grant re-identification in [`lock_current_targets`] guarantee the
+/// version is live: any committed ender would have published a timestamp
+/// the refreshed clock bound covers, making the version invisible, and an
+/// uncommitted ender would still hold the row lock.
+fn end_target_version(table: &mut TableData, txn: TxnId, target: &Target) {
+    let version = &mut table.rows[target.slot].versions[target.version];
+    debug_assert!(
+        version.end_txn.is_none() && version.end_ts.is_none(),
+        "locked target version already ended"
+    );
+    version.end_txn = Some(txn);
 }
 
 // ---------------------------------------------------------------------------

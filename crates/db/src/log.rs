@@ -160,9 +160,15 @@ impl QueryLog {
         self.len() == 0
     }
 
-    /// Remove and return all entries in sequence order, resetting the
-    /// sequence counter. Holds every shard lock for the duration so the
-    /// drain is atomic with respect to concurrent appends.
+    /// Remove and return all entries in sequence order. Holds every shard
+    /// lock for the duration so the drain is atomic with respect to
+    /// landed appends.
+    ///
+    /// The sequence counter is deliberately *not* reset: an append racing
+    /// the drain may have drawn its number before the shard locks were
+    /// taken and push after they drop, and a reset would let post-drain
+    /// sequence numbers collide with (and sort before) that straggler.
+    /// Never reusing numbers keeps every snapshot's merge order correct.
     pub fn take(&self) -> Vec<LogEntry> {
         let mut guards: Vec<_> = self.shards.iter().map(|shard| shard.lock()).collect();
         let mut all: Vec<LogEntry> = guards
@@ -170,7 +176,6 @@ impl QueryLog {
             .flat_map(|guard| std::mem::take(&mut **guard))
             .collect();
         all.sort_by_key(|e| e.seq);
-        self.next_seq.store(0, Ordering::Relaxed);
         all
     }
 }
@@ -239,5 +244,18 @@ mod tests {
         let taken = log.take();
         assert_eq!(taken.len(), 1);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn take_never_reuses_sequence_numbers() {
+        let log = QueryLog::default();
+        log.append(1, None, "BEGIN");
+        log.append(2, None, "COMMIT");
+        assert_eq!(log.take().len(), 2);
+        // Post-drain appends continue the sequence: a straggling append
+        // that drew its number before the drain can never collide with or
+        // sort after fresher entries.
+        log.append(1, None, "SELECT 1");
+        assert_eq!(log.entries()[0].seq, 2);
     }
 }

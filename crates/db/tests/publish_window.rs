@@ -1,0 +1,181 @@
+//! Regression stress for the commit "publish window".
+//!
+//! A commit stamps its versions under the table write latches, but stores
+//! `commit_ts` and releases its row locks *without* them — so a statement
+//! that latches in between can hold a clock bound below stamps already
+//! present in its table. Before the post-grant re-verification fix, a
+//! current-read UPDATE/DELETE could identify an already-ended version as
+//! current and clobber the committer's end stamp once its locks were
+//! released mid-statement, and INSERT's unique check could miss a
+//! stamped-but-unpublished duplicate.
+//!
+//! These tests can't force the window deterministically; they hammer it
+//! from many threads and assert invariants that the races break. The
+//! corruption also trips `debug_assert`s in `publish_commit`, so a hit
+//! fails the test by panic in debug builds even when the end state happens
+//! to look consistent.
+
+use std::sync::Arc;
+use std::thread;
+
+use acidrain_db::{Database, DbError, IsolationLevel, Value};
+use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
+
+fn account_db(default_isolation: IsolationLevel) -> Arc<Database> {
+    let schema = Schema::new().with_table(TableSchema::new(
+        "account",
+        vec![
+            ColumnDef::new("id", ColumnType::Int).unique(),
+            ColumnDef::new("balance", ColumnType::Int),
+        ],
+    ));
+    Database::new(schema, default_isolation)
+}
+
+/// Autocommit read-modify-write increments on one hot row from many
+/// threads: every granted update must apply on top of the previous
+/// committed version, so the final balance equals the number of successful
+/// statements. A straddled commit loses an increment (and trips the
+/// publish-time `debug_assert`).
+#[test]
+fn hot_row_updates_never_straddle_commits() {
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::MySqlRepeatableRead,
+    ] {
+        const THREADS: usize = 4;
+        const ITERS: usize = 400;
+        let db = account_db(isolation);
+        db.seed("account", vec![vec![Value::Int(1), Value::Int(0)]])
+            .unwrap();
+
+        let successes: usize = thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let mut conn = db.connect();
+                    s.spawn(move || {
+                        let mut ok = 0usize;
+                        for _ in 0..ITERS {
+                            match conn
+                                .execute("UPDATE account SET balance = balance + 1 WHERE id = 1")
+                            {
+                                Ok(rs) => {
+                                    assert_eq!(rs.affected_rows(), 1, "{isolation}");
+                                    ok += 1;
+                                }
+                                Err(e) => panic!("unexpected error under {isolation}: {e}"),
+                            }
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+
+        assert_eq!(successes, THREADS * ITERS, "{isolation}");
+        let rows = db.table_rows("account").unwrap();
+        assert_eq!(rows.len(), 1, "{isolation}");
+        assert_eq!(rows[0][1], Value::Int((THREADS * ITERS) as i64), "{isolation}");
+        assert_eq!(db.active_transactions(), 0);
+        assert_eq!(db.locked_resources(), 0);
+    }
+}
+
+/// Updates racing delete/re-insert cycles on the same row: a current-read
+/// update that straddles a committed delete would resurrect the row (or
+/// corrupt its chain); the unique-insert check racing a stamped-but-
+/// unpublished insert would admit a duplicate id.
+#[test]
+fn update_delete_reinsert_races_keep_one_row() {
+    const UPDATERS: usize = 2;
+    const CYCLERS: usize = 2;
+    const ITERS: usize = 300;
+    let db = account_db(IsolationLevel::ReadCommitted);
+    db.seed("account", vec![vec![Value::Int(1), Value::Int(0)]])
+        .unwrap();
+
+    thread::scope(|s| {
+        for _ in 0..UPDATERS {
+            let mut conn = db.connect();
+            s.spawn(move || {
+                for _ in 0..ITERS {
+                    // Affects 0 rows whenever the row is deleted; must
+                    // never resurrect a deleted version.
+                    conn.execute("UPDATE account SET balance = balance + 1 WHERE id = 1")
+                        .unwrap();
+                }
+            });
+        }
+        for _ in 0..CYCLERS {
+            let mut conn = db.connect();
+            s.spawn(move || {
+                for _ in 0..ITERS {
+                    conn.execute("DELETE FROM account WHERE id = 1").unwrap();
+                    // Two cyclers race the re-insert; the unique check must
+                    // admit exactly one of them.
+                    match conn.execute("INSERT INTO account (id, balance) VALUES (1, 0)") {
+                        Ok(_) | Err(DbError::ConstraintViolation(_)) => {}
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let rows = db.table_rows("account").unwrap();
+    assert!(
+        rows.len() <= 1,
+        "unique id duplicated or row resurrected: {rows:?}"
+    );
+    assert_eq!(db.active_transactions(), 0);
+    assert_eq!(db.locked_resources(), 0);
+}
+
+/// Per round, every thread races to insert the same fresh unique id;
+/// exactly one insert may win even when the winner's commit is stamped
+/// but not yet published when a loser runs its duplicate check.
+#[test]
+fn unique_insert_races_admit_exactly_one_winner() {
+    const THREADS: usize = 4;
+    const ROUNDS: i64 = 250;
+    let db = account_db(IsolationLevel::ReadCommitted);
+
+    let wins: usize = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let mut conn = db.connect();
+                s.spawn(move || {
+                    let mut won = 0usize;
+                    for id in 1..=ROUNDS {
+                        match conn.execute(&format!(
+                            "INSERT INTO account (id, balance) VALUES ({id}, 0)"
+                        )) {
+                            Ok(_) => won += 1,
+                            Err(DbError::ConstraintViolation(_)) => {}
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                    won
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    assert_eq!(wins, ROUNDS as usize, "duplicate unique ids admitted");
+    let rows = db.table_rows("account").unwrap();
+    assert_eq!(rows.len(), ROUNDS as usize);
+    let mut ids: Vec<i64> = rows
+        .iter()
+        .map(|r| match r[0] {
+            Value::Int(v) => v,
+            ref other => panic!("non-int id {other:?}"),
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), ROUNDS as usize, "duplicate ids in table");
+    assert_eq!(db.active_transactions(), 0);
+    assert_eq!(db.locked_resources(), 0);
+}
