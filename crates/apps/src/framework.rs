@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use acidrain_db::{Connection, Database, DbError, IsolationLevel, ResultSet, Value};
+use acidrain_db::{Connection, Database, DbError, IsolationLevel, Obs, ResultSet, Value};
 use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
 
 /// The connection surface application endpoints are written against.
@@ -22,6 +22,13 @@ pub trait SqlConn {
 
     /// The database session id (used as the cart identity by drivers).
     fn session(&self) -> u64;
+
+    /// The observability handle of the underlying database. Wrappers
+    /// delegate to their inner connection; the default (a fresh, disabled
+    /// registry) keeps bare test doubles trivially valid.
+    fn obs(&self) -> Obs {
+        Obs::default()
+    }
 }
 
 impl SqlConn for Connection {
@@ -36,6 +43,24 @@ impl SqlConn for Connection {
     fn session(&self) -> u64 {
         self.session_id()
     }
+
+    fn obs(&self) -> Obs {
+        Connection::obs(self).clone()
+    }
+}
+
+/// Run one application request against `conn`, recording its wall-clock
+/// latency into the registry's task histogram — the same series the stress
+/// watchdog and the bench report read, so "request latency" means one
+/// thing everywhere. Free (two relaxed loads) while metrics are off.
+pub fn observed_request<C: SqlConn + ?Sized, T>(conn: &mut C, f: impl FnOnce(&mut C) -> T) -> T {
+    let obs = conn.obs();
+    let timer = obs.timer();
+    let out = f(conn);
+    if let Some(dur) = timer.elapsed() {
+        obs.task_finished(conn.session(), dur);
+    }
+    out
 }
 
 /// Application-level outcome of an endpoint.

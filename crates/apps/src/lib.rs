@@ -36,7 +36,8 @@ pub mod ruby;
 
 pub use corpus::{all_apps, expected_row, Cell, CorpusEntry, ExpectedRow, TABLE1, TABLE5};
 pub use framework::{
-    AppError, AppResult, CheckoutRequest, FeatureStatus, Language, ShopApp, SqlConn, StockModel,
+    observed_request, AppError, AppResult, CheckoutRequest, FeatureStatus, Language, ShopApp,
+    SqlConn, StockModel,
 };
 pub use invariants::{check_cart, check_inventory, check_voucher, Violation};
 pub use repair::{can_repair, Repair, Repaired};
@@ -46,8 +47,9 @@ pub use retry::{RetryConfig, RetryConn, RetryPolicy, RetryStats};
 pub mod prelude {
     pub use crate::corpus::{all_apps, expected_row, Cell, TABLE1, TABLE5};
     pub use crate::framework::{
-        clear_cart, insert_order, insert_order_items, query_i64, read_cart, read_cart_total,
-        seed_store, shop_schema, AppError, AppResult, CheckoutRequest, FeatureStatus, Language,
+        clear_cart, insert_order, insert_order_items, observed_request, query_i64, read_cart,
+        read_cart_total, seed_store, shop_schema, AppError, AppResult, CheckoutRequest,
+        FeatureStatus, Language,
         ShopApp, SqlConn, StockModel, LAPTOP, LAPTOP_PRICE, LAPTOP_STOCK, PEN, PEN_PRICE,
         PEN_STOCK, VOUCHER_CODE, VOUCHER_ID, VOUCHER_LIMIT,
     };

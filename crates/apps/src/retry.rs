@@ -23,7 +23,8 @@
 
 use std::time::Duration;
 
-use acidrain_db::{DbError, ResultSet};
+use acidrain_db::{DbError, Obs, ResultSet};
+use acidrain_obs::RetryEvent;
 use acidrain_sql::{parse_statement, Statement};
 
 use crate::framework::SqlConn;
@@ -113,10 +114,14 @@ pub struct RetryConn<C: SqlConn> {
     /// Global jitter-draw counter (deterministic stream per seed).
     draws: u64,
     stats: RetryStats,
+    /// Observability handle inherited from the wrapped connection; retry
+    /// and backoff probes record here (after each decision, never before).
+    obs: Obs,
 }
 
 impl<C: SqlConn> RetryConn<C> {
     pub fn new(inner: C, config: RetryConfig) -> Self {
+        let obs = inner.obs();
         RetryConn {
             inner,
             config,
@@ -124,6 +129,7 @@ impl<C: SqlConn> RetryConn<C> {
             in_txn: false,
             draws: 0,
             stats: RetryStats::default(),
+            obs,
         }
     }
 
@@ -180,6 +186,7 @@ impl<C: SqlConn> RetryConn<C> {
         let jitter = 0.5 + 0.5 * (roll as f64 / (1u64 << 53) as f64);
         let delay = exp.mul_f64(jitter);
         self.stats.total_backoff += delay;
+        self.obs.backoff(self.inner.session(), delay);
         if !delay.is_zero() {
             std::thread::sleep(delay);
         }
@@ -214,6 +221,7 @@ impl<C: SqlConn> RetryConn<C> {
 
 impl<C: SqlConn> SqlConn for RetryConn<C> {
     fn exec(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        let session = self.inner.session();
         let mut attempts = 0u32;
         loop {
             let err = match self.inner.exec(sql) {
@@ -239,6 +247,7 @@ impl<C: SqlConn> SqlConn for RetryConn<C> {
                 }
                 if err.is_retryable() {
                     self.stats.gave_up += 1;
+                    self.obs.retry(session, RetryEvent::GaveUp);
                 }
                 return Err(err);
             }
@@ -253,12 +262,14 @@ impl<C: SqlConn> SqlConn for RetryConn<C> {
                     match self.replay_txn() {
                         Ok(true) => {
                             self.stats.txn_replays += 1;
+                            self.obs.retry(session, RetryEvent::TxnReplay);
                             break;
                         }
                         Ok(false) => {
                             if attempts >= self.config.max_retries {
                                 self.reset_txn();
                                 self.stats.gave_up += 1;
+                                self.obs.retry(session, RetryEvent::GaveUp);
                                 return Err(err);
                             }
                             attempts += 1;
@@ -269,6 +280,7 @@ impl<C: SqlConn> SqlConn for RetryConn<C> {
                 }
             } else {
                 self.stats.statement_retries += 1;
+                self.obs.retry(session, RetryEvent::Statement);
             }
         }
     }
@@ -279,6 +291,10 @@ impl<C: SqlConn> SqlConn for RetryConn<C> {
 
     fn session(&self) -> u64 {
         self.inner.session()
+    }
+
+    fn obs(&self) -> Obs {
+        self.obs.clone()
     }
 }
 

@@ -32,7 +32,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use acidrain_db::{Database, IsolationLevel, Value};
+use acidrain_db::{Database, IsolationLevel, MetricsReport, Value};
 use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
 
 const PRODUCTS: i64 = 64;
@@ -117,6 +117,11 @@ struct Sample {
     threads: usize,
     elapsed_secs: f64,
     stmts_per_sec: f64,
+    /// Engine metrics collected during the run (metrics are enabled for
+    /// every sample; the disabled-path cost is covered by the
+    /// `obs_overhead` guard bench, and here we *want* the contention
+    /// counters).
+    metrics: MetricsReport,
 }
 
 /// Run `threads` sessions of the workload. `serialize` is the
@@ -161,6 +166,7 @@ fn main() {
                     ("global_mutex", Some(Arc::new(Mutex::new(())))),
                 ] {
                     let db = storefront_db(isolation, threads);
+                    db.enable_metrics();
                     let elapsed = run(&db, threads, w, serialize.as_ref());
                     let total = (threads * w.statements_per_session) as f64;
                     let sps = total / elapsed;
@@ -177,6 +183,7 @@ fn main() {
                         threads,
                         elapsed_secs: elapsed,
                         stmts_per_sec: sps,
+                        metrics: db.metrics_report(),
                     });
                 }
             }
@@ -222,6 +229,36 @@ fn main() {
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"isolation\": \"{}\", \"threads\": {}, \"elapsed_secs\": {:.4}, \"stmts_per_sec\": {:.0}}}{comma}\n",
             s.workload, s.mode, s.isolation, s.threads, s.elapsed_secs, s.stmts_per_sec
+        ));
+    }
+    json.push_str("  ],\n");
+    // Engine-side contention per sample, from the observability layer:
+    // where time went (statement/latch p99s) and how often sessions
+    // collided (lock waits, blocked attempts, waiter high-water marks).
+    json.push_str("  \"contention\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let m = &s.metrics;
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"isolation\": \"{}\", \"threads\": {}, \
+             \"lock_waits\": {}, \"lock_timeouts\": {}, \"deadlocks\": {}, \
+             \"blocked_attempts\": {}, \"lock_waiters_peak\": {}, \"latch_waiters_peak\": {}, \
+             \"stmt_p50_us\": {:.1}, \"stmt_p99_us\": {:.1}, \"latch_p99_us\": {:.1}, \
+             \"abort_rate\": {:.4}}}{comma}\n",
+            s.workload,
+            s.mode,
+            s.isolation,
+            s.threads,
+            m.counters.lock_waits,
+            m.counters.lock_timeouts,
+            m.counters.deadlocks,
+            m.counters.blocked_attempts,
+            m.lock_waiters_peak,
+            m.latch_waiters_peak,
+            m.statements.percentile_nanos(0.50) as f64 / 1_000.0,
+            m.statements.percentile_nanos(0.99) as f64 / 1_000.0,
+            m.latches.percentile_nanos(0.99) as f64 / 1_000.0,
+            m.abort_rate(),
         ));
     }
     json.push_str("  ],\n");

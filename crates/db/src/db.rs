@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use acidrain_obs::{MetricsReport, Obs, ProbeOutcome, TraceEvent};
 use acidrain_sql::schema::Schema;
 use acidrain_sql::{parse_statement, Statement};
 
@@ -55,6 +56,9 @@ pub struct Database {
     pub(crate) locks: LockTable,
     pub(crate) log: QueryLog,
     pub(crate) faults: FaultHandle,
+    /// Observability registry shared by every subsystem probe. Disabled by
+    /// default: each probe then costs a single relaxed atomic load.
+    pub(crate) obs: Obs,
     /// Dense [`IsolationLevel`] code (index into `IsolationLevel::ALL`).
     default_isolation: AtomicU8,
     next_session: AtomicU64,
@@ -73,12 +77,16 @@ impl Database {
             .tables()
             .map(|t| TableData::new(t.name.clone()))
             .collect();
+        let obs = Obs::with_level_names(
+            IsolationLevel::ALL.iter().map(|l| l.name().to_string()).collect(),
+        );
         Arc::new(Database {
             schema,
             storage: Storage::new(tables),
-            locks: LockTable::new(),
-            log: QueryLog::default(),
-            faults: FaultHandle::default(),
+            locks: LockTable::with_obs(obs.clone()),
+            log: QueryLog::with_obs(obs.clone()),
+            faults: FaultHandle::with_obs(obs.clone()),
+            obs,
             default_isolation: AtomicU8::new(default_isolation.code()),
             next_session: AtomicU64::new(0),
             next_txn: AtomicU64::new(0),
@@ -108,6 +116,47 @@ impl Database {
         self.faults.latency_enabled()
     }
 
+    /// The observability handle every engine probe reports into. Cheap to
+    /// clone; see [`acidrain_obs`] for the probe contract.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Start recording metrics (histograms, counters, gauges). Off by
+    /// default; while off, every probe site costs one relaxed atomic load.
+    /// Probes sit strictly *after* the engine's deterministic decision
+    /// points, so toggling this never changes execution results.
+    pub fn enable_metrics(&self) {
+        self.obs.enable();
+    }
+
+    /// Stop recording metrics (already-recorded data is kept).
+    pub fn disable_metrics(&self) {
+        self.obs.disable();
+    }
+
+    /// Whether metrics recording is on.
+    pub fn metrics_enabled(&self) -> bool {
+        self.obs.is_enabled()
+    }
+
+    /// Merge every shard into a point-in-time [`MetricsReport`].
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.obs.report()
+    }
+
+    /// Toggle span-style transaction tracing (requires metrics to be
+    /// enabled for spans to be captured).
+    pub fn set_tracing(&self, on: bool) {
+        self.obs.set_tracing(on);
+    }
+
+    /// Drain the captured trace spans in start-time order. Render with
+    /// [`acidrain_obs::trace_json`] or [`acidrain_obs::trace_chrome_json`].
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.obs.take_trace()
+    }
+
     /// Set how long blocking [`Connection::execute`] calls wait on a lock
     /// before the transaction is rolled back with
     /// [`DbError::LockTimeout`]. The harness watchdog clamps this so hung
@@ -117,6 +166,7 @@ impl Database {
             .store(timeout.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Current lock-wait timeout for blocking `execute` calls.
     pub fn lock_wait_timeout(&self) -> Duration {
         Duration::from_nanos(self.lock_wait_timeout_nanos.load(Ordering::Relaxed))
     }
@@ -132,6 +182,7 @@ impl Database {
         self.default_isolation.store(level.code(), Ordering::Relaxed);
     }
 
+    /// The isolation level handed to new connections.
     pub fn default_isolation(&self) -> IsolationLevel {
         IsolationLevel::from_code(self.default_isolation.load(Ordering::Relaxed))
     }
@@ -246,25 +297,42 @@ impl Database {
     pub(crate) fn begin_txn(&self, isolation: IsolationLevel, implicit: bool) -> TxnState {
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed) + 1);
         self.active_txns.fetch_add(1, Ordering::AcqRel);
-        TxnState::new(id, isolation, implicit)
+        TxnState::new(id, isolation, implicit).with_timer(self.obs.timer())
     }
 
     /// Commit a transaction: publish its versions (if it wrote anything),
     /// then release its locks and wake waiters.
-    pub(crate) fn commit_txn(&self, state: TxnState) {
+    pub(crate) fn commit_txn(&self, session: u64, state: TxnState) {
         if !state.undo.is_empty() {
             self.storage.publish_commit(state.id, &state.undo);
         }
         self.locks.release_all(state.id);
         self.active_txns.fetch_sub(1, Ordering::AcqRel);
+        self.obs.commit_clock(self.storage.commit_ts());
+        self.obs.txn_finished(
+            session,
+            state.id.0,
+            state.isolation.code(),
+            true,
+            state.timer,
+            state.isolation.name(),
+        );
     }
 
     /// Roll a transaction back: undo its versions, release its locks, wake
     /// waiters.
-    pub(crate) fn rollback_txn(&self, state: TxnState) {
+    pub(crate) fn rollback_txn(&self, session: u64, state: TxnState) {
         self.storage.rollback(state.id, &state.undo);
         self.locks.release_all(state.id);
         self.active_txns.fetch_sub(1, Ordering::AcqRel);
+        self.obs.txn_finished(
+            session,
+            state.id.0,
+            state.isolation.code(),
+            false,
+            state.timer,
+            state.isolation.name(),
+        );
     }
 
     /// The snapshot timestamp a transaction's plain reads use, pinning the
@@ -305,10 +373,12 @@ pub struct Connection {
 }
 
 impl Connection {
+    /// This connection's session id (unique per database).
     pub fn session_id(&self) -> u64 {
         self.session
     }
 
+    /// Isolation level used by subsequently started transactions.
     pub fn isolation(&self) -> IsolationLevel {
         self.isolation
     }
@@ -326,10 +396,12 @@ impl Connection {
         });
     }
 
+    /// Stop tagging statements with an API call.
     pub fn clear_api(&mut self) {
         self.api = None;
     }
 
+    /// Whether an explicit or implicit transaction is open.
     pub fn in_transaction(&self) -> bool {
         self.txn.is_some()
     }
@@ -359,11 +431,15 @@ impl Connection {
                     let deadline = *deadline
                         .get_or_insert_with(|| Instant::now() + self.db.lock_wait_timeout());
                     let remaining = deadline.saturating_duration_since(Instant::now());
+                    let token = self.db.obs.lock_wait_start();
                     let timed_out =
                         remaining.is_zero() || self.db.locks.wait_for_release(txn_id, remaining);
+                    self.db
+                        .obs
+                        .lock_wait_finished(token, self.session, txn_id.0, timed_out);
                     if timed_out {
                         if let Some(state) = self.txn.take() {
-                            self.db.rollback_txn(state);
+                            self.db.rollback_txn(self.session, state);
                         }
                         self.txn_implicit = false;
                         self.log_with(sql, StmtOutcome::Aborted);
@@ -406,10 +482,40 @@ impl Connection {
         self.db.faults.draw_latency(self.session, base)
     }
 
+    /// The observability handle of the database this session belongs to
+    /// (see [`Database::obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.db.obs
+    }
+
+    /// One attempt at executing `stmt`, wrapped in the per-statement
+    /// observability probe. The probe runs strictly *after* the engine has
+    /// decided the attempt's fate, so metrics can never feed back into
+    /// execution; blocked attempts are counted but excluded from the
+    /// latency histogram (the eventual completed attempt is recorded).
+    fn apply(&mut self, stmt: &Statement, raw: &str) -> Result<ResultSet, DbError> {
+        let timer = self.db.obs.timer();
+        let txn_before = self.current_txn();
+        let result = self.apply_inner(stmt, raw);
+        let outcome = match &result {
+            Ok(_) => ProbeOutcome::Ok,
+            Err(DbError::WouldBlock { .. }) => ProbeOutcome::Blocked,
+            Err(e) if e.aborts_transaction() => ProbeOutcome::Aborted,
+            Err(_) => ProbeOutcome::Failed,
+        };
+        let txn = txn_before
+            .or_else(|| self.current_txn())
+            .map_or(0, |id| id.0);
+        self.db
+            .obs
+            .statement_finished(self.session, self.isolation.code(), outcome, timer, txn, raw);
+        result
+    }
+
     /// One attempt at executing `stmt`. Latches are acquired (and
     /// released) inside the executor; no locks are held across attempts,
     /// so a blocked statement parks in the lock table with nothing pinned.
-    fn apply(&mut self, stmt: &Statement, raw: &str) -> Result<ResultSet, DbError> {
+    fn apply_inner(&mut self, stmt: &Statement, raw: &str) -> Result<ResultSet, DbError> {
         // Fault decision for this attempt. Data-statement faults ride into
         // the executor (so injected aborts share the organic rollback
         // path); a connection drop kills the session state right here,
@@ -424,7 +530,7 @@ impl Connection {
         let injected = self.db.faults.next_fault(self.session, is_data);
         if injected == Some(InjectedFault::ConnectionDrop) {
             if let Some(state) = self.txn.take() {
-                self.db.rollback_txn(state);
+                self.db.rollback_txn(self.session, state);
             }
             self.txn_implicit = false;
             self.log_with(raw, StmtOutcome::Aborted);
@@ -434,7 +540,7 @@ impl Connection {
             Statement::Begin => {
                 if let Some(state) = self.txn.take() {
                     // MySQL implicitly commits an open transaction on BEGIN.
-                    self.db.commit_txn(state);
+                    self.db.commit_txn(self.session, state);
                 }
                 self.txn = Some(self.db.begin_txn(self.isolation, false));
                 self.txn_implicit = false;
@@ -443,14 +549,14 @@ impl Connection {
             }
             Statement::Commit => {
                 if let Some(state) = self.txn.take() {
-                    self.db.commit_txn(state);
+                    self.db.commit_txn(self.session, state);
                 }
                 self.log(raw);
                 Ok(ResultSet::empty())
             }
             Statement::Rollback => {
                 if let Some(state) = self.txn.take() {
-                    self.db.rollback_txn(state);
+                    self.db.rollback_txn(self.session, state);
                 }
                 self.log(raw);
                 Ok(ResultSet::empty())
@@ -458,7 +564,7 @@ impl Connection {
             Statement::SetAutocommit(on) => {
                 if *on {
                     if let Some(state) = self.txn.take() {
-                        self.db.commit_txn(state);
+                        self.db.commit_txn(self.session, state);
                     }
                 }
                 self.autocommit = *on;
@@ -477,7 +583,7 @@ impl Connection {
                         self.log(raw);
                         if self.txn_implicit {
                             let state = self.txn.take().expect("implicit txn open");
-                            self.db.commit_txn(state);
+                            self.db.commit_txn(self.session, state);
                             self.txn_implicit = false;
                         }
                         Ok(rs)
@@ -487,7 +593,7 @@ impl Connection {
                         // aborted attempt so 2AD lifting can discard the
                         // transaction's prior statements.
                         let state = self.txn.take().expect("aborting txn open");
-                        self.db.rollback_txn(state);
+                        self.db.rollback_txn(self.session, state);
                         self.txn_implicit = false;
                         self.log_with(raw, StmtOutcome::Aborted);
                         Err(e)
@@ -504,7 +610,7 @@ impl Connection {
                         // rolled back.
                         if self.txn_implicit {
                             let state = self.txn.take().expect("implicit txn open");
-                            self.db.rollback_txn(state);
+                            self.db.rollback_txn(self.session, state);
                             self.txn_implicit = false;
                         }
                         self.log_with(raw, StmtOutcome::Failed);
@@ -529,7 +635,7 @@ impl Connection {
 impl Drop for Connection {
     fn drop(&mut self) {
         if let Some(state) = self.txn.take() {
-            self.db.rollback_txn(state);
+            self.db.rollback_txn(self.session, state);
         }
     }
 }

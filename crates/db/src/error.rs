@@ -20,7 +20,10 @@ pub enum DbError {
     /// The statement needs a lock held by another transaction. Carries the
     /// holders so cooperative schedulers can decide what to run next. The
     /// statement had no data effects and can be retried verbatim.
-    WouldBlock { holders: Vec<TxnId> },
+    WouldBlock {
+        /// Transactions currently holding the conflicting locks.
+        holders: Vec<TxnId>,
+    },
     /// The lock manager detected a waits-for cycle; this transaction was
     /// chosen as the victim and has been rolled back.
     Deadlock,

@@ -169,7 +169,9 @@ fn exec_select(db: &Database, txn: &mut TxnState, s: &Select) -> Result<ResultSe
     let mut latch_order: Vec<usize> = tables.iter().map(|t| t.table_idx).collect();
     latch_order.sort_unstable();
     latch_order.dedup();
+    let token = db.obs.latch_wait_start();
     let guards: Vec<_> = latch_order.iter().map(|&idx| db.storage.read(idx)).collect();
+    db.obs.latch_acquired(token, txn.id.0);
     let data: Vec<&TableData> = tables
         .iter()
         .map(|t| {
@@ -571,7 +573,9 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
     }
 
     // Pin the table's write latch for the checks and the apply phase.
+    let token = db.obs.latch_wait_start();
     let mut table = db.storage.write(table_idx);
+    db.obs.latch_acquired(token, txn.id.0);
 
     // Unique-constraint checks against live rows and within the batch.
     let unique_cols: Vec<usize> = table_schema
@@ -835,7 +839,9 @@ fn exec_update(db: &Database, txn: &mut TxnState, u: &Update) -> Result<ResultSe
         ResourceId::Table(table_idx),
         LockMode::IntentionExclusive,
     )?;
+    let token = db.obs.latch_wait_start();
     let mut table = db.storage.write(table_idx);
+    db.obs.latch_acquired(token, txn.id.0);
     // Pin the SI snapshot before writing so validation has a baseline even
     // when the transaction starts with a write.
     let _ = db.read_snapshot_ts(txn);
@@ -907,7 +913,9 @@ fn exec_delete(db: &Database, txn: &mut TxnState, d: &Delete) -> Result<ResultSe
         ResourceId::Table(table_idx),
         LockMode::IntentionExclusive,
     )?;
+    let token = db.obs.latch_wait_start();
     let mut table = db.storage.write(table_idx);
+    db.obs.latch_acquired(token, txn.id.0);
     let _ = db.read_snapshot_ts(txn);
     let targets = lock_current_targets(
         db,

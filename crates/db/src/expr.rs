@@ -20,10 +20,12 @@ pub struct EvalTable<'a> {
 /// joined table).
 #[derive(Debug, Clone, Default)]
 pub struct EvalScope<'a> {
+    /// One entry per joined table, in join order.
     pub tables: Vec<EvalTable<'a>>,
 }
 
 impl<'a> EvalScope<'a> {
+    /// A scope with exactly one table in it.
     pub fn single(effective_name: &'a str, columns: &'a [String], values: &'a [Value]) -> Self {
         EvalScope {
             tables: vec![EvalTable {

@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+use acidrain_obs::Obs;
 use parking_lot::Mutex;
 
 /// What kinds of faults to inject, with what probabilities.
@@ -68,26 +69,31 @@ impl FaultConfig {
         }
     }
 
+    /// Set the per-statement deadlock-victim probability.
     pub fn with_deadlock(mut self, p: f64) -> Self {
         self.deadlock = p;
         self
     }
 
+    /// Set the per-statement write-conflict probability.
     pub fn with_write_conflict(mut self, p: f64) -> Self {
         self.write_conflict = p;
         self
     }
 
+    /// Set the per-statement lock-timeout probability.
     pub fn with_lock_timeout(mut self, p: f64) -> Self {
         self.lock_timeout = p;
         self
     }
 
+    /// Set the per-statement connection-drop probability.
     pub fn with_connection_drop(mut self, p: f64) -> Self {
         self.connection_drop = p;
         self
     }
 
+    /// Enable the latency channel with the given jitter ceiling.
     pub fn with_max_latency(mut self, max: Duration) -> Self {
         self.max_latency = Some(max);
         self
@@ -111,9 +117,13 @@ impl Default for FaultConfig {
 /// A fault the injector decided to fire for one statement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InjectedFault {
+    /// The statement is chosen as a deadlock victim.
     Deadlock,
+    /// The statement hits a first-committer-wins write conflict.
     WriteConflict,
+    /// The statement's lock wait times out.
     LockTimeout,
+    /// The connection drops mid-statement.
     ConnectionDrop,
 }
 
@@ -121,9 +131,13 @@ pub enum InjectedFault {
 /// reproducibility assertions).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
+    /// Deadlock-victim faults fired.
     pub injected_deadlocks: u64,
+    /// Write-conflict faults fired.
     pub injected_write_conflicts: u64,
+    /// Lock-timeout faults fired.
     pub injected_lock_timeouts: u64,
+    /// Connection-drop faults fired.
     pub injected_drops: u64,
     /// Statements the injector considered (fault channel draws).
     pub statements_seen: u64,
@@ -132,6 +146,7 @@ pub struct FaultStats {
 }
 
 impl FaultStats {
+    /// Total faults fired across every channel (latency excluded).
     pub fn total_injected(&self) -> u64 {
         self.injected_deadlocks
             + self.injected_write_conflicts
@@ -173,6 +188,7 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
+    /// Build an injector from a configuration, with zeroed counters.
     pub fn new(config: FaultConfig) -> Self {
         FaultInjector {
             config,
@@ -180,6 +196,7 @@ impl FaultInjector {
         }
     }
 
+    /// The active configuration.
     pub fn config(&self) -> &FaultConfig {
         &self.config
     }
@@ -189,6 +206,7 @@ impl FaultInjector {
         *self = FaultInjector::new(config);
     }
 
+    /// Counters for everything fired so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
     }
@@ -260,9 +278,22 @@ pub struct FaultHandle {
     any_faults: AtomicBool,
     latency: AtomicBool,
     inner: Mutex<FaultInjector>,
+    /// Observability handle. Injected faults are counted strictly *after*
+    /// the pure-hash decision, so enabling metrics cannot perturb which
+    /// statements fault (chaos digests stay bit-for-bit identical).
+    obs: Obs,
 }
 
 impl FaultHandle {
+    /// A fault handle that reports injected faults to `obs` (the owning
+    /// database's registry).
+    pub fn with_obs(obs: Obs) -> Self {
+        FaultHandle {
+            obs,
+            ..Self::default()
+        }
+    }
+
     /// Replace the configuration, resetting all counters and stats.
     pub fn reconfigure(&self, config: FaultConfig) {
         let mut inner = self.inner.lock();
@@ -273,6 +304,7 @@ impl FaultHandle {
             .store(inner.latency_enabled(), Ordering::Release);
     }
 
+    /// Counters for everything fired so far.
     pub fn stats(&self) -> FaultStats {
         self.inner.lock().stats()
     }
@@ -288,7 +320,11 @@ impl FaultHandle {
         if !self.any_faults.load(Ordering::Acquire) {
             return None;
         }
-        self.inner.lock().next_fault(session, data_statement)
+        let fault = self.inner.lock().next_fault(session, data_statement);
+        if fault.is_some() {
+            self.obs.injected_fault(session);
+        }
+        fault
     }
 
     /// See [`FaultInjector::draw_latency`]; returns `base` without locking

@@ -104,18 +104,25 @@ impl IsolationLevel {
     pub fn allows_phantom(self) -> bool {
         self != IsolationLevel::Serializable
     }
-}
 
-impl fmt::Display for IsolationLevel {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+    /// The SQL-style display name, as a static string (what
+    /// [`fmt::Display`] prints; also used allocation-free by the
+    /// observability probes).
+    pub fn name(self) -> &'static str {
+        match self {
             IsolationLevel::ReadUncommitted => "READ UNCOMMITTED",
             IsolationLevel::ReadCommitted => "READ COMMITTED",
             IsolationLevel::MySqlRepeatableRead => "REPEATABLE READ (MySQL)",
             IsolationLevel::RepeatableRead => "REPEATABLE READ",
             IsolationLevel::SnapshotIsolation => "SNAPSHOT ISOLATION",
             IsolationLevel::Serializable => "SERIALIZABLE",
-        })
+        }
+    }
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -123,8 +130,11 @@ impl fmt::Display for IsolationLevel {
 /// popular engine defaults to and the strongest one it offers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DatabaseProfile {
+    /// Engine name as the paper gives it.
     pub name: &'static str,
+    /// The engine's default isolation level.
     pub default_level: IsolationLevel,
+    /// The strongest level the engine offers.
     pub maximum_level: IsolationLevel,
 }
 

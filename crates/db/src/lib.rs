@@ -35,6 +35,8 @@
 //! assert_eq!(balance, 100);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod db;
 pub mod error;
 pub mod exec;
@@ -48,6 +50,7 @@ pub mod storage;
 pub mod txn;
 pub mod value;
 
+pub use acidrain_obs::{MetricsReport, Obs, Stopwatch, TraceEvent};
 pub use db::{Connection, Database};
 pub use error::DbError;
 pub use fault::{FaultConfig, FaultInjector, FaultStats, InjectedFault};

@@ -15,6 +15,7 @@
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
+use acidrain_obs::Obs;
 use parking_lot::{Condvar, Mutex};
 
 use crate::txn::TxnId;
@@ -35,7 +36,9 @@ pub enum LockMode {
     IntentionShared,
     /// Intention exclusive (tables only).
     IntentionExclusive,
+    /// Shared (read) lock.
     Shared,
+    /// Exclusive (write) lock.
     Exclusive,
 }
 
@@ -97,6 +100,7 @@ pub struct LockManager {
 }
 
 impl LockManager {
+    /// An empty lock manager.
     pub fn new() -> Self {
         LockManager::default()
     }
@@ -244,16 +248,35 @@ fn upgrade(held: LockMode, new: LockMode) -> LockMode {
 pub struct LockTable {
     manager: Mutex<LockManager>,
     released: Condvar,
+    /// Observability handle; counts organic deadlocks at the point they
+    /// are detected (injected ones are counted by the fault injector).
+    obs: Obs,
 }
 
 impl LockTable {
+    /// A lock table with a fresh (disabled) observability handle.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Non-blocking acquire; see [`LockManager::acquire`].
+    /// A lock table that reports to `obs` (the owning database's
+    /// registry).
+    pub fn with_obs(obs: Obs) -> Self {
+        LockTable {
+            obs,
+            ..Self::default()
+        }
+    }
+
+    /// Non-blocking acquire; see [`LockManager::acquire`]. Deadlock
+    /// outcomes are recorded with the observability registry *after*
+    /// detection — the probe never influences the verdict.
     pub fn acquire(&self, txn: TxnId, resource: ResourceId, mode: LockMode) -> LockOutcome {
-        self.manager.lock().acquire(txn, resource, mode)
+        let outcome = self.manager.lock().acquire(txn, resource, mode);
+        if outcome == LockOutcome::Deadlock {
+            self.obs.deadlock(txn.0);
+        }
+        outcome
     }
 
     /// Release every lock held by `txn` and wake all parked waiters.

@@ -14,6 +14,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use acidrain_obs::Obs;
 use parking_lot::Mutex;
 
 /// Identifies one invocation of one application API endpoint.
@@ -107,22 +108,34 @@ const LOG_SHARDS: usize = 16;
 pub struct QueryLog {
     next_seq: AtomicU64,
     shards: Vec<Mutex<Vec<LogEntry>>>,
+    /// Observability handle; counts appends (the `log_appends` counter)
+    /// without touching the entries themselves.
+    obs: Obs,
 }
 
 impl Default for QueryLog {
     fn default() -> Self {
-        QueryLog {
-            next_seq: AtomicU64::new(0),
-            shards: (0..LOG_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
-        }
+        QueryLog::with_obs(Obs::default())
     }
 }
 
 impl QueryLog {
+    /// A log that reports appends to `obs` (the owning database's
+    /// registry).
+    pub fn with_obs(obs: Obs) -> Self {
+        QueryLog {
+            next_seq: AtomicU64::new(0),
+            shards: (0..LOG_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            obs,
+        }
+    }
+
+    /// Append a successful statement to the log.
     pub fn append(&self, session: u64, api: Option<ApiTag>, sql: impl Into<String>) {
         self.append_with(session, api, sql, StmtOutcome::Ok);
     }
 
+    /// Append a statement with an explicit outcome.
     pub fn append_with(
         &self,
         session: u64,
@@ -139,6 +152,7 @@ impl QueryLog {
             outcome,
         };
         self.shards[session as usize % LOG_SHARDS].lock().push(entry);
+        self.obs.log_append(session);
     }
 
     /// All entries merged across shards in global sequence order.
@@ -152,10 +166,12 @@ impl QueryLog {
         all
     }
 
+    /// Number of logged statements.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|shard| shard.lock().len()).sum()
     }
 
+    /// Whether the log has no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

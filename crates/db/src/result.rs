@@ -7,11 +7,14 @@ use crate::value::Value;
 /// [`ResultSet::affected`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ResultSet {
+    /// Column names, in projection order.
     pub columns: Vec<String>,
+    /// Row-major values; every row has one value per column.
     pub rows: Vec<Vec<Value>>,
 }
 
 impl ResultSet {
+    /// A result with no columns and no rows.
     pub fn empty() -> Self {
         ResultSet::default()
     }
@@ -24,10 +27,12 @@ impl ResultSet {
         }
     }
 
+    /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
+    /// Whether the result has no rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }

@@ -14,6 +14,7 @@ use crate::value::Value;
 /// One version of a row.
 #[derive(Debug, Clone)]
 pub struct RowVersion {
+    /// The row's column values in this version.
     pub values: Vec<Value>,
     /// Transaction that created this version.
     pub begin_txn: TxnId,
@@ -58,19 +59,23 @@ impl RowVersion {
 /// A stable slot holding the version chain of one logical row (newest last).
 #[derive(Debug, Clone, Default)]
 pub struct RowSlot {
+    /// The version chain, oldest first.
     pub versions: Vec<RowVersion>,
 }
 
 /// Data pages for one table.
 #[derive(Debug, Clone)]
 pub struct TableData {
+    /// Table name (immutable after construction).
     pub name: String,
+    /// Row slots; a slot's index is the row's stable identity.
     pub rows: Vec<RowSlot>,
     /// Next value handed out for auto-increment columns.
     pub auto_counter: i64,
 }
 
 impl TableData {
+    /// An empty table with the auto-increment counter at 1.
     pub fn new(name: impl Into<String>) -> Self {
         TableData {
             name: name.into(),
@@ -79,6 +84,7 @@ impl TableData {
         }
     }
 
+    /// Draw the next auto-increment value.
     pub fn next_auto(&mut self) -> i64 {
         let v = self.auto_counter;
         self.auto_counter += 1;
@@ -111,6 +117,7 @@ pub struct Storage {
 }
 
 impl Storage {
+    /// Build storage for a fixed set of tables.
     pub fn new(tables: Vec<TableData>) -> Self {
         let names = tables.iter().map(|t| t.name.clone()).collect();
         Storage {
@@ -121,6 +128,7 @@ impl Storage {
         }
     }
 
+    /// Number of tables.
     pub fn table_count(&self) -> usize {
         self.tables.len()
     }
@@ -212,10 +220,18 @@ impl Storage {
 pub enum ReadView {
     /// See the newest version regardless of commit status, hiding versions
     /// ended by anyone (Read Uncommitted).
-    Latest { txn: TxnId },
+    Latest {
+        /// The reading transaction (its own ended versions stay hidden).
+        txn: TxnId,
+    },
     /// See versions committed at or before `as_of`, plus this transaction's
     /// own writes.
-    Snapshot { as_of: u64, txn: TxnId },
+    Snapshot {
+        /// Snapshot bound: the highest commit timestamp visible.
+        as_of: u64,
+        /// The reading transaction (its own writes are always visible).
+        txn: TxnId,
+    },
 }
 
 impl ReadView {

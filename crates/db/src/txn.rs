@@ -1,5 +1,7 @@
 //! Transaction identifiers, per-transaction state, and undo records.
 
+use acidrain_obs::Timer;
+
 use crate::isolation::IsolationLevel;
 
 /// A transaction identifier, unique for the lifetime of a [`crate::Database`].
@@ -24,10 +26,24 @@ impl std::fmt::Display for TxnId {
 pub enum UndoRecord {
     /// The transaction created a new version at index `version` in
     /// `table`/`row`.
-    Created { table: usize, row: usize, version: usize },
+    Created {
+        /// Table index.
+        table: usize,
+        /// Row-slot index within the table.
+        row: usize,
+        /// Version index within the slot's chain.
+        version: usize,
+    },
     /// The transaction marked the existing version at index `version` in
     /// `table`/`row` as ended (deleted or superseded by an update).
-    Ended { table: usize, row: usize, version: usize },
+    Ended {
+        /// Table index.
+        table: usize,
+        /// Row-slot index within the table.
+        row: usize,
+        /// Version index within the slot's chain.
+        version: usize,
+    },
 }
 
 impl UndoRecord {
@@ -43,19 +59,27 @@ impl UndoRecord {
 /// State of one active transaction.
 #[derive(Debug)]
 pub struct TxnState {
+    /// The transaction's id.
     pub id: TxnId,
+    /// Isolation level the transaction runs at.
     pub isolation: IsolationLevel,
     /// Commit-timestamp snapshot for consistent reads. For
     /// transaction-snapshot levels (MySQL-RR, SI) this is pinned at the
     /// first data statement; otherwise it is refreshed per statement.
     pub snapshot_ts: Option<u64>,
+    /// Undo log, in execution order (rolled back in reverse).
     pub undo: Vec<UndoRecord>,
     /// Set when the transaction was started implicitly to serve a single
     /// autocommit statement.
     pub implicit: bool,
+    /// Observability timer armed at `BEGIN` (disarmed when the registry is
+    /// off); consumed by the commit/rollback probes for the
+    /// whole-transaction latency span.
+    pub timer: Timer,
 }
 
 impl TxnState {
+    /// Open a transaction with an empty undo log and no snapshot pinned.
     pub fn new(id: TxnId, isolation: IsolationLevel, implicit: bool) -> Self {
         TxnState {
             id,
@@ -63,7 +87,14 @@ impl TxnState {
             snapshot_ts: None,
             undo: Vec::new(),
             implicit,
+            timer: Timer::disarmed(),
         }
+    }
+
+    /// Attach the observability timer captured when the transaction began.
+    pub fn with_timer(mut self, timer: Timer) -> Self {
+        self.timer = timer;
+        self
     }
 }
 

@@ -11,14 +11,20 @@ use crate::error::DbError;
 /// A runtime value stored in a row or produced by expression evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// 64-bit signed integer.
     Int(i64),
+    /// Double-precision float.
     Float(f64),
+    /// UTF-8 string.
     Str(String),
+    /// Boolean.
     Bool(bool),
+    /// SQL NULL (absence of a value; compares as unknown).
     Null,
 }
 
 impl Value {
+    /// Convert a parsed SQL literal into a runtime value.
     pub fn from_literal(lit: &Literal) -> Value {
         match lit {
             Literal::Int(v) => Value::Int(*v),
@@ -29,6 +35,7 @@ impl Value {
         }
     }
 
+    /// Whether this is SQL NULL.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
@@ -44,6 +51,8 @@ impl Value {
         }
     }
 
+    /// Numeric view as i64 (floats truncate, bools widen); `None` for
+    /// strings and NULL.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Int(v) => Some(*v),
@@ -53,6 +62,7 @@ impl Value {
         }
     }
 
+    /// Numeric view as f64; `None` for strings and NULL.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Int(v) => Some(*v as f64),
@@ -62,6 +72,7 @@ impl Value {
         }
     }
 
+    /// String view; `None` for non-strings.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -89,14 +100,17 @@ impl Value {
         self.compare(other).map(|o| o == Ordering::Equal)
     }
 
+    /// SQL `+`: NULL-propagating, integer-overflow-checked.
     pub fn add(&self, other: &Value) -> Result<Value, DbError> {
         numeric_binop(self, other, "+", |a, b| a.checked_add(b), |a, b| a + b)
     }
 
+    /// SQL `-`: NULL-propagating, integer-overflow-checked.
     pub fn sub(&self, other: &Value) -> Result<Value, DbError> {
         numeric_binop(self, other, "-", |a, b| a.checked_sub(b), |a, b| a - b)
     }
 
+    /// SQL `*`: NULL-propagating, integer-overflow-checked.
     pub fn mul(&self, other: &Value) -> Result<Value, DbError> {
         numeric_binop(self, other, "*", |a, b| a.checked_mul(b), |a, b| a * b)
     }
@@ -118,6 +132,7 @@ impl Value {
         }
     }
 
+    /// SQL unary `-`: NULL-propagating; errors on non-numerics.
     pub fn neg(&self) -> Result<Value, DbError> {
         match self {
             Value::Int(v) => Ok(Value::Int(-v)),

@@ -5,6 +5,7 @@
 
 use std::sync::Arc;
 
+use acidrain_apps::observed_request;
 use acidrain_apps::prelude::*;
 use acidrain_core::{Analyzer, ColumnTarget};
 use acidrain_db::{Database, FaultConfig, FaultStats, IsolationLevel, LogEntry};
@@ -96,21 +97,23 @@ pub fn probe_trace_on(
     match invariant {
         Invariant::Voucher => {
             conn.set_api("add_to_cart", 0);
-            app.add_to_cart(&mut conn, 1, PEN, 1)?;
+            observed_request(&mut conn, |c| app.add_to_cart(c, 1, PEN, 1))?;
             conn.set_api("checkout", 0);
-            app.checkout(&mut conn, 1, &CheckoutRequest::with_voucher(VOUCHER_CODE))?;
+            observed_request(&mut conn, |c| {
+                app.checkout(c, 1, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+            })?;
         }
         Invariant::Inventory => {
             conn.set_api("add_to_cart", 0);
-            app.add_to_cart(&mut conn, 1, LAPTOP, INVENTORY_QTY)?;
+            observed_request(&mut conn, |c| app.add_to_cart(c, 1, LAPTOP, INVENTORY_QTY))?;
             conn.set_api("checkout", 0);
-            app.checkout(&mut conn, 1, &CheckoutRequest::plain())?;
+            observed_request(&mut conn, |c| app.checkout(c, 1, &CheckoutRequest::plain()))?;
         }
         Invariant::Cart => {
             conn.set_api("add_to_cart", 0);
-            app.add_to_cart(&mut conn, 1, PEN, 1)?;
+            observed_request(&mut conn, |c| app.add_to_cart(c, 1, PEN, 1))?;
             conn.set_api("checkout", 0);
-            app.checkout(&mut conn, 1, &CheckoutRequest::plain())?;
+            observed_request(&mut conn, |c| app.checkout(c, 1, &CheckoutRequest::plain()))?;
         }
     }
     drop(conn);
@@ -224,21 +227,22 @@ pub fn run_serial_control(
     let mut conn = db.connect();
     let request_ok = match invariant {
         Invariant::Voucher => vec![
-            app.checkout(&mut conn, 1, &CheckoutRequest::with_voucher(VOUCHER_CODE))
-                .is_ok(),
-            app.checkout(&mut conn, 2, &CheckoutRequest::with_voucher(VOUCHER_CODE))
-                .is_ok(),
+            observed_request(&mut conn, |c| {
+                app.checkout(c, 1, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+            })
+            .is_ok(),
+            observed_request(&mut conn, |c| {
+                app.checkout(c, 2, &CheckoutRequest::with_voucher(VOUCHER_CODE))
+            })
+            .is_ok(),
         ],
         Invariant::Inventory => vec![
-            app.checkout(&mut conn, 1, &CheckoutRequest::plain())
-                .is_ok(),
-            app.checkout(&mut conn, 2, &CheckoutRequest::plain())
-                .is_ok(),
+            observed_request(&mut conn, |c| app.checkout(c, 1, &CheckoutRequest::plain())).is_ok(),
+            observed_request(&mut conn, |c| app.checkout(c, 2, &CheckoutRequest::plain())).is_ok(),
         ],
         Invariant::Cart => vec![
-            app.checkout(&mut conn, 1, &CheckoutRequest::plain())
-                .is_ok(),
-            app.add_to_cart(&mut conn, 1, LAPTOP, 1).is_ok(),
+            observed_request(&mut conn, |c| app.checkout(c, 1, &CheckoutRequest::plain())).is_ok(),
+            observed_request(&mut conn, |c| app.add_to_cart(c, 1, LAPTOP, 1)).is_ok(),
         ],
     };
     drop(conn);

@@ -14,9 +14,9 @@
 use std::sync::Arc;
 
 use acidrain_apps::prelude::*;
-use acidrain_apps::{AppError, RetryConfig, RetryConn, RetryPolicy, RetryStats};
+use acidrain_apps::{observed_request, AppError, RetryConfig, RetryConn, RetryPolicy, RetryStats};
 use acidrain_core::{Analyzer, RefinementConfig};
-use acidrain_db::{Database, FaultConfig, FaultStats, IsolationLevel, StmtOutcome};
+use acidrain_db::{Database, FaultConfig, FaultStats, IsolationLevel, MetricsReport, StmtOutcome};
 use rand::prelude::*;
 
 use crate::attack::Invariant;
@@ -38,6 +38,11 @@ pub struct ChaosConfig {
     pub sessions: usize,
     pub requests_per_session: usize,
     pub isolation: IsolationLevel,
+    /// Record engine metrics during the run. Observational only: every
+    /// probe fires after the engine's deterministic decisions, so a seeded
+    /// run produces a bit-for-bit identical [`ChaosReport`] whether this
+    /// is on or off (the observability test suite pins this down).
+    pub metrics: bool,
 }
 
 impl Default for ChaosConfig {
@@ -50,6 +55,7 @@ impl Default for ChaosConfig {
             sessions: 4,
             requests_per_session: 6,
             isolation: IsolationLevel::ReadCommitted,
+            metrics: false,
         }
     }
 }
@@ -146,11 +152,30 @@ fn state_digest(db: &Arc<Database>, app: &dyn ShopApp) -> u64 {
 /// chaos run exercises is the *fault path*: injected aborts, retry
 /// convergence, and the audit trail they leave in the query log.
 pub fn run_chaos(app: &dyn ShopApp, config: &ChaosConfig) -> ChaosReport {
+    run_chaos_core(app, config, config.metrics).0
+}
+
+/// [`run_chaos`] with metrics forced on: returns the deterministic
+/// [`ChaosReport`] alongside the run's [`MetricsReport`] (latency
+/// histograms, fault/retry counters, contention gauges). Only the second
+/// element varies run-to-run — it carries wall-clock timings.
+pub fn run_chaos_instrumented(app: &dyn ShopApp, config: &ChaosConfig) -> (ChaosReport, MetricsReport) {
+    run_chaos_core(app, config, true)
+}
+
+fn run_chaos_core(
+    app: &dyn ShopApp,
+    config: &ChaosConfig,
+    metrics: bool,
+) -> (ChaosReport, MetricsReport) {
     app.reset_session_state();
     let db = app.make_store(config.isolation);
     let mut faults = config.faults.clone();
     faults.seed = config.seed;
     db.enable_faults(faults);
+    if metrics {
+        db.enable_metrics();
+    }
 
     // One retrying connection and request script per session.
     let mut conns: Vec<RetryConn<_>> = (0..config.sessions)
@@ -194,12 +219,13 @@ pub fn run_chaos(app: &dyn ShopApp, config: &ChaosConfig) -> ChaosReport {
             Request::AddToCart { product, qty } => {
                 conn.set_api("add_to_cart", invocations[0]);
                 invocations[0] += 1;
-                app.add_to_cart(conn, cart, product, qty).map(|_| ())
+                observed_request(conn, |c| app.add_to_cart(c, cart, product, qty)).map(|_| ())
             }
             Request::Checkout => {
                 conn.set_api("checkout", invocations[1]);
                 invocations[1] += 1;
-                app.checkout(conn, cart, &CheckoutRequest::plain()).map(|_| ())
+                observed_request(conn, |c| app.checkout(c, cart, &CheckoutRequest::plain()))
+                    .map(|_| ())
             }
         };
         match result {
@@ -250,7 +276,7 @@ pub fn run_chaos(app: &dyn ShopApp, config: &ChaosConfig) -> ChaosReport {
         .map(|inv| (inv, inv.check(&db, app).err()))
         .collect();
 
-    ChaosReport {
+    let report = ChaosReport {
         committed,
         rejected,
         failed,
@@ -260,7 +286,8 @@ pub fn run_chaos(app: &dyn ShopApp, config: &ChaosConfig) -> ChaosReport {
         witnesses,
         aborted_log_entries,
         state_digest: state_digest(&db, app),
-    }
+    };
+    (report, db.metrics_report())
 }
 
 #[cfg(test)]

@@ -106,6 +106,10 @@ impl SqlConn for GatedConn {
     fn session(&self) -> u64 {
         self.conn.session_id()
     }
+
+    fn obs(&self) -> acidrain_db::Obs {
+        self.conn.obs().clone()
+    }
 }
 
 /// Marks the gate finished when the session thread exits (normally or by

@@ -5,10 +5,10 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use acidrain_apps::SqlConn;
-use acidrain_db::{Connection, Database, DbError, ResultSet};
+use acidrain_db::{Connection, Database, DbError, Obs, ResultSet, Stopwatch};
 
 /// A [`Connection`] that sleeps before each statement, emulating
 /// application-server-to-database network latency.
@@ -44,10 +44,16 @@ impl SqlConn for DelayConn {
     fn session(&self) -> u64 {
         self.conn.session_id()
     }
+
+    fn obs(&self) -> Obs {
+        self.conn.obs().clone()
+    }
 }
 
 /// Run `tasks` on real threads, all released simultaneously by a barrier,
-/// each with its own connection (delayed by `delay` per statement).
+/// each with its own connection (delayed by `delay` per statement). Each
+/// task's wall-clock latency lands in the registry's task histogram when
+/// metrics are enabled.
 pub fn run_concurrent<T, F>(db: &Arc<Database>, tasks: Vec<F>, delay: Duration) -> Vec<T>
 where
     T: Send,
@@ -59,10 +65,17 @@ where
             .into_iter()
             .map(|task| {
                 let mut conn = DelayConn::new(db.connect(), delay);
+                let session = conn.session();
+                let obs = db.obs().clone();
                 let barrier = &barrier;
                 scope.spawn(move || {
                     barrier.wait();
-                    task(&mut conn)
+                    let timer = obs.timer();
+                    let out = task(&mut conn);
+                    if let Some(dur) = timer.elapsed() {
+                        obs.task_finished(session, dur);
+                    }
+                    out
                 })
             })
             .collect();
@@ -131,12 +144,21 @@ where
             .into_iter()
             .map(|task| {
                 let mut conn = DelayConn::new(db.connect(), delay);
+                let session = conn.session();
+                let obs = db.obs().clone();
                 let barrier = &barrier;
                 scope.spawn(move || {
                     barrier.wait();
-                    let start = Instant::now();
+                    // One stopwatch serves both the watchdog's timeout
+                    // classification and the recorded task latency, so the
+                    // duration the report shows is the duration the
+                    // classification used (no separate clock reads to
+                    // drift apart).
+                    let sw = Stopwatch::start();
                     let result = catch_unwind(AssertUnwindSafe(|| task(&mut conn)));
-                    (result, start.elapsed())
+                    let elapsed = sw.elapsed();
+                    obs.task_finished(session, elapsed);
+                    (result, elapsed)
                 })
             })
             .collect();
@@ -155,6 +177,8 @@ where
 
 #[cfg(test)]
 mod tests {
+    use std::time::Instant;
+
     use super::*;
     use acidrain_db::{IsolationLevel, Value};
     use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};

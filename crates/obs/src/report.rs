@@ -1,0 +1,253 @@
+//! Aggregated metric read-out: [`MetricsReport`] and its JSON export.
+//!
+//! A report is a point-in-time merge of every registry shard — the
+//! structure the harness prints alongside chaos/attack results and the
+//! throughput bench embeds as the `contention` section of
+//! `BENCH_throughput.json`. It is plain owned data; producing one never
+//! perturbs the engine.
+
+use crate::hist::HistogramSnapshot;
+use crate::trace::json_escape;
+
+/// Monotonic event counters, aggregated across shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Lock-table parks (a statement blocked on a conflicting holder).
+    pub lock_waits: u64,
+    /// Parks that ended by exhausting the lock-wait timeout.
+    pub lock_timeouts: u64,
+    /// Organic waits-for-cycle deadlocks detected.
+    pub deadlocks: u64,
+    /// Faults the injector fired (counted after the deterministic
+    /// decision).
+    pub injected_faults: u64,
+    /// Single-statement re-issues by retry wrappers.
+    pub statement_retries: u64,
+    /// Whole-transaction replays by retry wrappers.
+    pub txn_replays: u64,
+    /// Retryable errors surfaced after the retry budget ran out.
+    pub retries_gave_up: u64,
+    /// Statements that completed successfully.
+    pub statements_ok: u64,
+    /// Statement-level failures (transaction survived).
+    pub statements_failed: u64,
+    /// Statements whose failure rolled the whole transaction back.
+    pub statements_aborted: u64,
+    /// Attempts that hit a lock conflict and were retried verbatim.
+    pub blocked_attempts: u64,
+    /// Query-log entries appended.
+    pub log_appends: u64,
+}
+
+/// Commit/abort counts for one isolation level.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelMetrics {
+    /// Display name of the level.
+    pub level: String,
+    /// Transactions committed at this level.
+    pub commits: u64,
+    /// Transactions rolled back at this level.
+    pub aborts: u64,
+}
+
+impl LevelMetrics {
+    /// Fraction of transactions at this level that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / total as f64
+        }
+    }
+}
+
+/// Point-in-time aggregate of everything a registry recorded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Whether the registry was enabled when the report was taken (a
+    /// disabled registry yields an all-zero report).
+    pub enabled: bool,
+    /// Per-statement latency (completed attempts only).
+    pub statements: HistogramSnapshot,
+    /// Per-transaction latency, begin → commit/abort.
+    pub transactions: HistogramSnapshot,
+    /// Lock-table park durations.
+    pub lock_waits: HistogramSnapshot,
+    /// Storage-latch acquisition durations.
+    pub latches: HistogramSnapshot,
+    /// Harness task / request latency (the watchdog's measurement path).
+    pub tasks: HistogramSnapshot,
+    /// Retry backoff sleeps.
+    pub backoff: HistogramSnapshot,
+    /// Event counters (lock waits, faults, retries, statement outcomes).
+    pub counters: Counters,
+    /// Per-isolation-level commit/abort rows.
+    pub by_level: Vec<LevelMetrics>,
+    /// Highest commit timestamp observed (the engine's commit clock).
+    pub commit_clock: u64,
+    /// Sessions parked on the lock table right now.
+    pub lock_waiters: i64,
+    /// High-water mark of simultaneous lock-table waiters.
+    pub lock_waiters_peak: u64,
+    /// Sessions acquiring a storage latch right now.
+    pub latch_waiters: i64,
+    /// High-water mark of simultaneous latch acquirers.
+    pub latch_waiters_peak: u64,
+}
+
+impl MetricsReport {
+    /// Transactions finished (commits + aborts) across all levels.
+    pub fn transactions_finished(&self) -> u64 {
+        self.by_level.iter().map(|l| l.commits + l.aborts).sum()
+    }
+
+    /// Overall abort rate across all levels.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.transactions_finished();
+        if total == 0 {
+            0.0
+        } else {
+            let aborts: u64 = self.by_level.iter().map(|l| l.aborts).sum();
+            aborts as f64 / total as f64
+        }
+    }
+
+    /// Whether any contention signal (lock waits, timeouts, deadlocks) was
+    /// recorded.
+    pub fn saw_contention(&self) -> bool {
+        self.counters.lock_waits > 0
+            || self.counters.lock_timeouts > 0
+            || self.counters.deadlocks > 0
+            || self.counters.blocked_attempts > 0
+    }
+
+    /// Serialize the whole report as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"enabled\": {},\n", self.enabled));
+        out.push_str(&format!(
+            "  \"commit_clock\": {},\n  \"lock_waiters\": {},\n  \"lock_waiters_peak\": {},\n  \
+             \"latch_waiters\": {},\n  \"latch_waiters_peak\": {},\n",
+            self.commit_clock,
+            self.lock_waiters,
+            self.lock_waiters_peak,
+            self.latch_waiters,
+            self.latch_waiters_peak,
+        ));
+        let c = &self.counters;
+        out.push_str(&format!(
+            "  \"counters\": {{\"lock_waits\": {}, \"lock_timeouts\": {}, \"deadlocks\": {}, \
+             \"injected_faults\": {}, \"statement_retries\": {}, \"txn_replays\": {}, \
+             \"retries_gave_up\": {}, \"statements_ok\": {}, \"statements_failed\": {}, \
+             \"statements_aborted\": {}, \"blocked_attempts\": {}, \"log_appends\": {}}},\n",
+            c.lock_waits,
+            c.lock_timeouts,
+            c.deadlocks,
+            c.injected_faults,
+            c.statement_retries,
+            c.txn_replays,
+            c.retries_gave_up,
+            c.statements_ok,
+            c.statements_failed,
+            c.statements_aborted,
+            c.blocked_attempts,
+            c.log_appends,
+        ));
+        out.push_str("  \"by_level\": [");
+        for (i, l) in self.by_level.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"level\": \"{}\", \"commits\": {}, \"aborts\": {}, \"abort_rate\": {:.4}}}",
+                json_escape(&l.level),
+                l.commits,
+                l.aborts,
+                l.abort_rate(),
+            ));
+        }
+        out.push_str("],\n");
+        let hist = |name: &str, h: &HistogramSnapshot, last: bool| {
+            format!(
+                "  \"{name}\": {{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {}}}{}\n",
+                h.count(),
+                h.mean_nanos(),
+                h.percentile_nanos(0.50),
+                h.percentile_nanos(0.90),
+                h.percentile_nanos(0.99),
+                h.max_nanos,
+                if last { "" } else { "," },
+            )
+        };
+        out.push_str(&hist("statements", &self.statements, false));
+        out.push_str(&hist("transactions", &self.transactions, false));
+        out.push_str(&hist("lock_waits", &self.lock_waits, false));
+        out.push_str(&hist("latches", &self.latches, false));
+        out.push_str(&hist("tasks", &self.tasks, false));
+        out.push_str(&hist("backoff", &self.backoff, true));
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_rate_math() {
+        let report = MetricsReport {
+            by_level: vec![
+                LevelMetrics {
+                    level: "RC".into(),
+                    commits: 9,
+                    aborts: 1,
+                },
+                LevelMetrics {
+                    level: "SER".into(),
+                    commits: 0,
+                    aborts: 10,
+                },
+            ],
+            ..MetricsReport::default()
+        };
+        assert_eq!(report.transactions_finished(), 20);
+        assert!((report.abort_rate() - 0.55).abs() < 1e-9);
+        assert!((report.by_level[0].abort_rate() - 0.1).abs() < 1e-9);
+        assert_eq!(report.by_level[1].abort_rate(), 1.0);
+    }
+
+    #[test]
+    fn empty_report_rates_are_zero() {
+        let report = MetricsReport::default();
+        assert_eq!(report.abort_rate(), 0.0);
+        assert!(!report.saw_contention());
+    }
+
+    #[test]
+    fn json_shape() {
+        let report = MetricsReport {
+            enabled: true,
+            by_level: vec![LevelMetrics {
+                level: "READ COMMITTED".into(),
+                commits: 3,
+                aborts: 1,
+            }],
+            ..MetricsReport::default()
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"enabled\": true"));
+        assert!(json.contains("\"lock_waits\":"));
+        assert!(json.contains("\"READ COMMITTED\""));
+        assert!(json.contains("\"abort_rate\": 0.2500"));
+        assert!(json.contains("\"p99_ns\":"));
+        // Every opening brace closes (cheap balance check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+    }
+}

@@ -33,6 +33,7 @@ fn main() {
         sessions: 6,
         requests_per_session: 9,
         isolation: IsolationLevel::ReadCommitted,
+        metrics: false,
     };
 
     println!("chaos run against {} (seed {seed:#x})", app.name());

@@ -24,6 +24,7 @@ fn chaotic_config(seed: u64) -> ChaosConfig {
         sessions: 6,
         requests_per_session: 9,
         isolation: IsolationLevel::ReadCommitted,
+        metrics: false,
     }
 }
 

@@ -172,6 +172,7 @@ fn chaos_config(seed: u64) -> ChaosConfig {
         sessions: 4,
         requests_per_session: 6,
         isolation: IsolationLevel::ReadCommitted,
+        metrics: false,
     }
 }
 
