@@ -16,7 +16,7 @@
 //! `acidrain-harness` decide what runs next; [`Connection::execute`] is the
 //! blocking flavour used by threaded stress tests.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -67,6 +67,11 @@ pub struct Database {
     active_txns: AtomicUsize,
     /// Lock-wait timeout in nanoseconds.
     lock_wait_timeout_nanos: AtomicU64,
+    /// Whether statements may route point lookups through the equality
+    /// indexes (on by default). The indexes are always *maintained*; this
+    /// flag only gates the read path, so it can be toggled at any time —
+    /// results are identical either way.
+    use_indexes: AtomicBool,
 }
 
 impl Database {
@@ -75,7 +80,7 @@ impl Database {
     pub fn new(schema: Schema, default_isolation: IsolationLevel) -> Arc<Self> {
         let tables = schema
             .tables()
-            .map(|t| TableData::new(t.name.clone()))
+            .map(|t| TableData::new(t.name.clone(), t.index_backed_columns()))
             .collect();
         let obs = Obs::with_level_names(
             IsolationLevel::ALL.iter().map(|l| l.name().to_string()).collect(),
@@ -92,6 +97,7 @@ impl Database {
             next_txn: AtomicU64::new(0),
             active_txns: AtomicUsize::new(0),
             lock_wait_timeout_nanos: AtomicU64::new(DEFAULT_LOCK_WAIT_TIMEOUT.as_nanos() as u64),
+            use_indexes: AtomicBool::new(true),
         })
     }
 
@@ -177,6 +183,23 @@ impl Database {
         self.locks.locked_resources()
     }
 
+    /// Enable or disable the equality-index read path. The per-table
+    /// indexes are always maintained; when off, every statement takes the
+    /// full-scan route. Because index candidates are iterated in the same
+    /// ascending slot order the full scan uses — and every candidate still
+    /// passes through normal visibility and predicate evaluation — results,
+    /// lock acquisition order, abstract histories, and seeded chaos digests
+    /// are identical in both modes. On by default; turned off by benchmarks
+    /// to measure the scan baseline and by CI to assert the invariance.
+    pub fn set_use_indexes(&self, on: bool) {
+        self.use_indexes.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the equality-index read path is enabled.
+    pub fn use_indexes(&self) -> bool {
+        self.use_indexes.load(Ordering::Relaxed)
+    }
+
     /// Change the default isolation level handed to future connections.
     pub fn set_default_isolation(&self, level: IsolationLevel) {
         self.default_isolation.store(level.code(), Ordering::Relaxed);
@@ -245,9 +268,7 @@ impl Database {
                     _ => {}
                 }
             }
-            data.rows.push(crate::storage::RowSlot {
-                versions: vec![RowVersion::committed(row, ts)],
-            });
+            data.push_row(RowVersion::committed(row, ts));
         }
         Ok(())
     }

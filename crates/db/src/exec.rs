@@ -21,6 +21,7 @@ use crate::error::DbError;
 use crate::expr::{eval, EvalScope, EvalTable};
 use crate::fault::InjectedFault;
 use crate::lock::{LockMode, LockOutcome, ResourceId};
+use crate::plan::{equality_constraints, PlanTable};
 use crate::result::ResultSet;
 use crate::storage::{ReadView, RowVersion, TableData};
 use crate::txn::{TxnId, TxnState, UndoRecord};
@@ -194,7 +195,13 @@ fn exec_select(db: &Database, txn: &mut TxnState, s: &Select) -> Result<ResultSe
         ReadView::Snapshot { as_of, txn: txn.id }
     };
 
-    let matches = scan(&data, &tables, s, view)?;
+    // Candidate slot lists, per scan depth: index-supplied where a WHERE/ON
+    // conjunct proves `col = literal` on an index-backed column, full walk
+    // otherwise. Decided after the latches are pinned (the probe must see
+    // the same frozen index state the scan will).
+    let candidates = scan_candidates(db, txn, &data, &tables, s);
+
+    let matches = scan(&data, &tables, s, view, &candidates)?;
 
     // Row-level locks on everything read.
     for m in &matches {
@@ -214,28 +221,81 @@ fn exec_select(db: &Database, txn: &mut TxnState, s: &Select) -> Result<ResultSe
     project(&tables, s, matches)
 }
 
+/// Per-depth candidate slot lists for a (joined) SELECT scan: `Some` holds
+/// ascending index-supplied candidates, `None` demands a full slot walk.
+///
+/// Because index buckets are visibility-agnostic supersets and probe
+/// results come back sorted in slot order, routing through the index never
+/// changes which rows the scan yields or the order it yields them in —
+/// only how many slots it inspects. The hit/fallback counters fire here,
+/// after the route is fixed, so observability never perturbs the decision.
+fn scan_candidates(
+    db: &Database,
+    txn: &TxnState,
+    data: &[&TableData],
+    tables: &[ScopeTable],
+    s: &Select,
+) -> Vec<Option<Vec<usize>>> {
+    let mut out: Vec<Option<Vec<usize>>> = vec![None; tables.len()];
+    // Unpredicated scans are honest full walks, not index fallbacks.
+    if s.selection.is_none() && s.joins.is_empty() {
+        return out;
+    }
+    if db.use_indexes() {
+        let plan_tables: Vec<PlanTable<'_>> = tables
+            .iter()
+            .map(|t| PlanTable {
+                effective_name: &t.effective,
+                columns: &t.columns,
+            })
+            .collect();
+        let mut clauses: Vec<&Expr> = Vec::new();
+        if let Some(sel) = &s.selection {
+            clauses.push(sel);
+        }
+        for j in &s.joins {
+            clauses.push(&j.on);
+        }
+        if let Some(constraints) = equality_constraints(&clauses, &plan_tables) {
+            for c in &constraints {
+                if out[c.table].is_some() {
+                    continue;
+                }
+                out[c.table] = data[c.table].indexes.probe(c.column, &c.value);
+            }
+        }
+    }
+    for cand in &out {
+        db.obs.index_probe(txn.id.0, cand.is_some());
+    }
+    out
+}
+
 /// Scan the (joined) tables, returning rows matching the ON and WHERE
 /// clauses under `view`. `data` is aligned with `tables` (self-joins alias
-/// the same latched table).
+/// the same latched table); `candidates` is aligned with both.
 fn scan(
     data: &[&TableData],
     tables: &[ScopeTable],
     s: &Select,
     view: ReadView,
+    candidates: &[Option<Vec<usize>>],
 ) -> Result<Vec<Matched>, DbError> {
     let mut matches = Vec::new();
-    let mut current: Vec<(usize, Vec<Value>)> = Vec::new();
-    scan_rec(data, tables, s, view, 0, &mut current, &mut matches)?;
+    let mut current: Vec<(usize, &[Value])> = Vec::new();
+    scan_rec(data, tables, s, view, candidates, 0, &mut current, &mut matches)?;
     Ok(matches)
 }
 
-fn scan_rec(
-    data: &[&TableData],
+#[allow(clippy::too_many_arguments)]
+fn scan_rec<'a>(
+    data: &[&'a TableData],
     tables: &[ScopeTable],
     s: &Select,
     view: ReadView,
+    candidates: &[Option<Vec<usize>>],
     depth: usize,
-    current: &mut Vec<(usize, Vec<Value>)>,
+    current: &mut Vec<(usize, &'a [Value])>,
     matches: &mut Vec<Matched>,
 ) -> Result<(), DbError> {
     if depth == tables.len() {
@@ -245,17 +305,32 @@ fn scan_rec(
                 return Ok(());
             }
         }
+        // Materialize values only now that the predicate has accepted the
+        // row combination; rejected rows are never cloned.
         matches.push(Matched {
             slots: current.iter().map(|(slot, _)| *slot).collect(),
-            values: current.iter().map(|(_, v)| v.clone()).collect(),
+            values: current.iter().map(|(_, v)| v.to_vec()).collect(),
         });
         return Ok(());
     }
-    for (slot_idx, slot) in data[depth].rows.iter().enumerate() {
-        let Some(version) = view.visible_version(slot) else {
+    let rows = &data[depth].rows;
+    let mut index_slots;
+    let mut full_walk;
+    let slot_indices: &mut dyn Iterator<Item = usize> = match &candidates[depth] {
+        Some(slots) => {
+            index_slots = slots.iter().copied();
+            &mut index_slots
+        }
+        None => {
+            full_walk = 0..rows.len();
+            &mut full_walk
+        }
+    };
+    for slot_idx in slot_indices {
+        let Some(version) = view.visible_version(&rows[slot_idx]) else {
             continue;
         };
-        current.push((slot_idx, version.values.clone()));
+        current.push((slot_idx, version.values.as_slice()));
         // Apply the join condition as soon as both sides are bound.
         let join_ok = if depth == 0 {
             true
@@ -264,18 +339,18 @@ fn scan_rec(
             eval(&s.joins[depth - 1].on, &scope)?.is_truthy()
         };
         if join_ok {
-            scan_rec(data, tables, s, view, depth + 1, current, matches)?;
+            scan_rec(data, tables, s, view, candidates, depth + 1, current, matches)?;
         }
         current.pop();
     }
     Ok(())
 }
-fn build_scope<'a>(tables: &'a [ScopeTable], current: &'a [(usize, Vec<Value>)]) -> EvalScope<'a> {
+fn build_scope<'a>(tables: &'a [ScopeTable], current: &'a [(usize, &'a [Value])]) -> EvalScope<'a> {
     EvalScope {
         tables: tables
             .iter()
             .zip(current)
-            .map(|(t, (_, values))| EvalTable {
+            .map(|(t, &(_, values))| EvalTable {
                 effective_name: &t.effective,
                 columns: &t.columns,
                 values,
@@ -327,16 +402,18 @@ fn project(
     if !s.order_by.is_empty() {
         let mut keyed: Vec<(Vec<Value>, Matched)> = Vec::with_capacity(matches.len());
         for m in matches {
-            let current: Vec<(usize, Vec<Value>)> = m
-                .slots
-                .iter()
-                .copied()
-                .zip(m.values.iter().cloned())
-                .collect();
-            let scope = build_scope(tables, &current);
             let mut keys = Vec::with_capacity(s.order_by.len());
-            for ob in &s.order_by {
-                keys.push(eval(&ob.expr, &scope)?);
+            {
+                let current: Vec<(usize, &[Value])> = m
+                    .slots
+                    .iter()
+                    .copied()
+                    .zip(m.values.iter().map(Vec::as_slice))
+                    .collect();
+                let scope = build_scope(tables, &current);
+                for ob in &s.order_by {
+                    keys.push(eval(&ob.expr, &scope)?);
+                }
             }
             keyed.push((keys, m));
         }
@@ -379,11 +456,11 @@ fn project(
 
     let mut rows = Vec::with_capacity(matches.len());
     for m in &matches {
-        let current: Vec<(usize, Vec<Value>)> = m
+        let current: Vec<(usize, &[Value])> = m
             .slots
             .iter()
             .copied()
-            .zip(m.values.iter().cloned())
+            .zip(m.values.iter().map(Vec::as_slice))
             .collect();
         let scope = build_scope(tables, &current);
         let mut row = Vec::with_capacity(columns.len());
@@ -423,11 +500,11 @@ fn eval_aggregate(
                 matches
                     .iter()
                     .map(|m| {
-                        let current: Vec<(usize, Vec<Value>)> = m
+                        let current: Vec<(usize, &[Value])> = m
                             .slots
                             .iter()
                             .copied()
-                            .zip(m.values.iter().cloned())
+                            .zip(m.values.iter().map(Vec::as_slice))
                             .collect();
                         eval(arg, &build_scope(tables, &current))
                     })
@@ -578,11 +655,14 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
     db.obs.latch_acquired(token, txn.id.0);
 
     // Unique-constraint checks against live rows and within the batch.
+    // Auto-increment unique columns are checked too: an *explicit* value
+    // supplied for one must not duplicate a stored row. Values the engine
+    // will assign below are still `Null` here and skip the check.
     let unique_cols: Vec<usize> = table_schema
         .columns
         .iter()
         .enumerate()
-        .filter(|(_, c)| c.unique && !c.auto_increment)
+        .filter(|(_, c)| c.unique)
         .map(|(idx, _)| idx)
         .collect();
     let current = db.current_read(txn.id);
@@ -601,13 +681,38 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
                     )));
                 }
             }
+            // Unique columns are always index-backed, so the duplicate
+            // probe is a point lookup unless the index path is disabled.
+            // Buckets are visibility-agnostic supersets: every stored
+            // version carrying a `sql_eq`-equal value is in the bucket.
+            let dup_candidates: Option<Vec<usize>> = if db.use_indexes() {
+                table.indexes.probe(col, v)
+            } else {
+                None
+            };
+            db.obs.index_probe(txn.id.0, dup_candidates.is_some());
+            let mut index_slots;
+            let mut full_walk;
+            let slot_indices: &mut dyn Iterator<Item = usize> = match &dup_candidates {
+                Some(slots) => {
+                    index_slots = slots.iter().copied();
+                    &mut index_slots
+                }
+                None => {
+                    full_walk = 0..table.rows.len();
+                    &mut full_walk
+                }
+            };
             // Against stored rows: committed-visible duplicates violate;
             // a duplicate from an in-flight writer — uncommitted
             // (`begin_ts` unset) *or* stamped by a commit that has not yet
             // published a timestamp our clock bound covers — blocks
-            // (InnoDB waits on the duplicate-key lock).
-            let mut blocked_on: Option<usize> = None;
-            for (slot_idx, slot) in table.rows.iter().enumerate() {
+            // (InnoDB waits on the duplicate-key lock). Every conflicting
+            // writer is collected: waiting out only one would let another
+            // commit its duplicate unobserved.
+            let mut blocked: Vec<usize> = Vec::new();
+            for slot_idx in slot_indices {
+                let slot = &table.rows[slot_idx];
                 if let Some(version) = current.visible_version(slot) {
                     if version.values[col].sql_eq(v).unwrap_or(false) {
                         return Err(DbError::ConstraintViolation(format!(
@@ -622,30 +727,36 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
                         && !current.sees(last)
                         && last.values[col].sql_eq(v).unwrap_or(false)
                     {
-                        blocked_on = Some(slot_idx);
+                        blocked.push(slot_idx);
                     }
                 }
             }
-            if let Some(slot_idx) = blocked_on {
-                // Wait for the conflicting writer to finish (the latch
-                // guard drops on a WouldBlock return).
-                acquire(
-                    db,
-                    txn.id,
-                    ResourceId::Row(table_idx, slot_idx),
-                    LockMode::Shared,
-                )?;
-                // Granted: the writer cannot have been stamped or rolled
-                // back under our latch, so it was stamped before we
-                // latched and has since published and released. Re-check
-                // under the refreshed clock, which now covers it.
+            if !blocked.is_empty() {
+                // Wait for every conflicting writer to finish, acquiring
+                // in ascending slot order (the latch guard drops on a
+                // WouldBlock return and the statement retries whole).
+                for &slot_idx in &blocked {
+                    acquire(
+                        db,
+                        txn.id,
+                        ResourceId::Row(table_idx, slot_idx),
+                        LockMode::Shared,
+                    )?;
+                }
+                // All granted: none of the writers can have been stamped
+                // or rolled back under our latch, so each was stamped
+                // before we latched and has since published and released.
+                // Re-check every one under a single refreshed clock,
+                // which now covers them all.
                 let fresh = db.current_read(txn.id);
-                if let Some(version) = fresh.visible_version(&table.rows[slot_idx]) {
-                    if version.values[col].sql_eq(v).unwrap_or(false) {
-                        return Err(DbError::ConstraintViolation(format!(
-                            "duplicate value {v} for unique column {}.{}",
-                            i.table, table_schema.columns[col].name
-                        )));
+                for &slot_idx in &blocked {
+                    if let Some(version) = fresh.visible_version(&table.rows[slot_idx]) {
+                        if version.values[col].sql_eq(v).unwrap_or(false) {
+                            return Err(DbError::ConstraintViolation(format!(
+                                "duplicate value {v} for unique column {}.{}",
+                                i.table, table_schema.columns[col].name
+                            )));
+                        }
                     }
                 }
             }
@@ -670,10 +781,7 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
                 }
             }
         }
-        let slot_idx = table.rows.len();
-        table.rows.push(crate::storage::RowSlot {
-            versions: vec![RowVersion::uncommitted(values, txn.id)],
-        });
+        let slot_idx = table.push_row(RowVersion::uncommitted(values, txn.id));
         // New rows are ours; the lock cannot block.
         acquire(
             db,
@@ -705,15 +813,32 @@ struct Target {
 }
 
 /// Identify rows matching `selection` under `view` (a current read).
+/// `candidates`, when present, restricts the walk to an ascending
+/// index-supplied slot list; index buckets are visibility-agnostic
+/// supersets, so the restriction never drops a matching row.
 fn identify_targets(
     table: &TableData,
     view: ReadView,
     effective: &str,
     columns: &[String],
     selection: Option<&Expr>,
+    candidates: Option<&[usize]>,
 ) -> Result<Vec<Target>, DbError> {
     let mut out = Vec::new();
-    for (slot_idx, slot) in table.rows.iter().enumerate() {
+    let mut index_slots;
+    let mut full_walk;
+    let slot_indices: &mut dyn Iterator<Item = usize> = match candidates {
+        Some(slots) => {
+            index_slots = slots.iter().copied();
+            &mut index_slots
+        }
+        None => {
+            full_walk = 0..table.rows.len();
+            &mut full_walk
+        }
+    };
+    for slot_idx in slot_indices {
+        let slot = &table.rows[slot_idx];
         let Some(pos) = slot.versions.iter().rposition(|v| view.sees(v)) else {
             continue;
         };
@@ -792,6 +917,11 @@ fn lock_and_validate_targets(
 /// Terminates because the chains are frozen under the latch: successive
 /// clock reads are nondecreasing, and visibility against the table's
 /// fixed stamps changes at only finitely many timestamps.
+///
+/// `candidates` is computed once by the caller — version chains *and*
+/// indexes are frozen under the write latch, so one probe serves every
+/// re-identification round.
+#[allow(clippy::too_many_arguments)]
 fn lock_current_targets(
     db: &Database,
     txn: &TxnState,
@@ -800,16 +930,18 @@ fn lock_current_targets(
     effective: &str,
     columns: &[String],
     selection: Option<&Expr>,
+    candidates: Option<&[usize]>,
 ) -> Result<Vec<Target>, DbError> {
     let mut view = db.current_read(txn.id);
-    let mut targets = identify_targets(table, view, effective, columns, selection)?;
+    let mut targets = identify_targets(table, view, effective, columns, selection, candidates)?;
     loop {
         lock_and_validate_targets(db, txn, table_idx, table, &targets)?;
         let fresh = db.current_read(txn.id);
         if fresh == view {
             return Ok(targets);
         }
-        let fresh_targets = identify_targets(table, fresh, effective, columns, selection)?;
+        let fresh_targets =
+            identify_targets(table, fresh, effective, columns, selection, candidates)?;
         let stable = fresh_targets.len() == targets.len()
             && fresh_targets
                 .iter()
@@ -821,6 +953,36 @@ fn lock_current_targets(
             return Ok(targets);
         }
     }
+}
+
+/// Index candidates for a single-table UPDATE/DELETE selection, or `None`
+/// for a full walk. Must be called under the table's write latch so the
+/// probe sees the same frozen index state target identification will.
+/// Fires the hit/fallback counter after the route is fixed; unpredicated
+/// statements are honest full walks and count as neither.
+fn write_candidates(
+    db: &Database,
+    txn: &TxnState,
+    table: &TableData,
+    effective: &str,
+    columns: &[String],
+    selection: Option<&Expr>,
+) -> Option<Vec<usize>> {
+    let sel = selection?;
+    let mut result = None;
+    if db.use_indexes() {
+        let plan_tables = [PlanTable {
+            effective_name: effective,
+            columns,
+        }];
+        if let Some(constraints) = equality_constraints(&[sel], &plan_tables) {
+            result = constraints
+                .iter()
+                .find_map(|c| table.indexes.probe(c.column, &c.value));
+        }
+    }
+    db.obs.index_probe(txn.id.0, result.is_some());
+    result
 }
 
 fn exec_update(db: &Database, txn: &mut TxnState, u: &Update) -> Result<ResultSet, DbError> {
@@ -845,6 +1007,7 @@ fn exec_update(db: &Database, txn: &mut TxnState, u: &Update) -> Result<ResultSe
     // Pin the SI snapshot before writing so validation has a baseline even
     // when the transaction starts with a write.
     let _ = db.read_snapshot_ts(txn);
+    let candidates = write_candidates(db, txn, &table, &u.table, &columns, u.selection.as_ref());
     let targets = lock_current_targets(
         db,
         txn,
@@ -853,6 +1016,7 @@ fn exec_update(db: &Database, txn: &mut TxnState, u: &Update) -> Result<ResultSe
         &u.table,
         &columns,
         u.selection.as_ref(),
+        candidates.as_deref(),
     )?;
 
     // Compute all new value vectors before mutating (statement atomicity).
@@ -884,10 +1048,7 @@ fn exec_update(db: &Database, txn: &mut TxnState, u: &Update) -> Result<ResultSe
             row: t.slot,
             version: t.version,
         });
-        let created = table.rows[t.slot].versions.len();
-        table.rows[t.slot]
-            .versions
-            .push(RowVersion::uncommitted(new_values, txn.id));
+        let created = table.push_version(t.slot, RowVersion::uncommitted(new_values, txn.id));
         txn.undo.push(UndoRecord::Created {
             table: table_idx,
             row: t.slot,
@@ -917,6 +1078,7 @@ fn exec_delete(db: &Database, txn: &mut TxnState, d: &Delete) -> Result<ResultSe
     let mut table = db.storage.write(table_idx);
     db.obs.latch_acquired(token, txn.id.0);
     let _ = db.read_snapshot_ts(txn);
+    let candidates = write_candidates(db, txn, &table, &d.table, &columns, d.selection.as_ref());
     let targets = lock_current_targets(
         db,
         txn,
@@ -925,6 +1087,7 @@ fn exec_delete(db: &Database, txn: &mut TxnState, d: &Delete) -> Result<ResultSe
         &d.table,
         &columns,
         d.selection.as_ref(),
+        candidates.as_deref(),
     )?;
 
     let n = targets.len();

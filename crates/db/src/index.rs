@@ -1,0 +1,204 @@
+//! Per-table equality (hash) indexes over unique and declared-indexed
+//! columns.
+//!
+//! An index lives inside its table's [`crate::storage::TableData`], so
+//! every maintenance step is naturally covered by the table write latch
+//! the mutating statement already holds. The structure is deliberately a
+//! **visibility-agnostic superset**: a slot appears in the bucket for key
+//! `k` whenever *any* version in its chain carries a value with key `k`
+//! for the indexed column — regardless of commit status or snapshot
+//! bounds. Probes therefore return candidate slots only; the caller runs
+//! the statement's normal visibility rule and predicate over them, which
+//! keeps every isolation level's read semantics byte-identical to the
+//! full-scan path.
+//!
+//! Maintenance points:
+//!
+//! * version **create** (INSERT new slot, UPDATE appending a version) —
+//!   the slot is added under the new values' keys;
+//! * version **end** (DELETE / the superseded half of UPDATE) — nothing:
+//!   the ended version stays in the chain, so its index entries stay too
+//!   (superset invariant);
+//! * **rollback** of a `Created` undo record — the removed version's
+//!   entries are unwound, unless another version of the same slot still
+//!   carries the key.
+//!
+//! Probes return slots in **ascending slot order** (buckets are sorted on
+//! lookup). That makes row-lock acquisition order, result order, and
+//! therefore abstract histories and seeded chaos digests identical to the
+//! full-scan path, which iterates slots in the same order.
+
+use std::collections::HashMap;
+
+use crate::value::Value;
+
+/// A hashable, equality-compatible rendering of a [`Value`].
+///
+/// Two values that compare SQL-equal must map to the same key; distinct
+/// values *may* collide (the caller re-verifies candidates against the
+/// predicate), but SQL-equal values must never map apart. Numerics
+/// (`Int`, `Float`, `Bool`) compare through `f64` coercion in
+/// [`Value::compare`], so they all key on the canonical `f64` bit
+/// pattern; strings key on themselves. `NULL` and `NaN` have no key —
+/// they are equal to nothing, so an equality probe on them matches no
+/// rows, exactly like the scan path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexKey {
+    /// Canonical bit pattern of the value's `f64` rendering (`-0.0`
+    /// normalized to `0.0`).
+    Num(u64),
+    /// A string value, keyed exactly.
+    Str(String),
+}
+
+/// The key `v` indexes and probes under, if it has one.
+pub fn index_key(v: &Value) -> Option<IndexKey> {
+    let f = match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => *f,
+        Value::Bool(b) => i64::from(*b) as f64,
+        Value::Str(s) => return Some(IndexKey::Str(s.clone())),
+        Value::Null => return None,
+    };
+    if f.is_nan() {
+        return None;
+    }
+    let f = if f == 0.0 { 0.0 } else { f };
+    Some(IndexKey::Num(f.to_bits()))
+}
+
+/// The equality indexes of one table: one bucket map per indexed column.
+#[derive(Debug, Clone, Default)]
+pub struct TableIndexes {
+    /// Indexed column positions, ascending.
+    columns: Vec<usize>,
+    /// Bucket maps, parallel to `columns`. Buckets hold slot indices in
+    /// insertion order and may contain duplicates (a slot re-indexed
+    /// under the same key by a later version); probes sort and dedup.
+    maps: Vec<HashMap<IndexKey, Vec<usize>>>,
+}
+
+impl TableIndexes {
+    /// Indexes over the given column positions (empty = no indexes).
+    pub fn new(mut columns: Vec<usize>) -> Self {
+        columns.sort_unstable();
+        columns.dedup();
+        let maps = columns.iter().map(|_| HashMap::new()).collect();
+        TableIndexes { columns, maps }
+    }
+
+    /// Whether `column` is index-backed.
+    pub fn covers(&self, column: usize) -> bool {
+        self.columns.binary_search(&column).is_ok()
+    }
+
+    /// Record that `slot` now has a version carrying `values`.
+    pub fn add(&mut self, slot: usize, values: &[Value]) {
+        for (pos, &col) in self.columns.iter().enumerate() {
+            if let Some(key) = values.get(col).and_then(index_key) {
+                let bucket = self.maps[pos].entry(key).or_default();
+                if bucket.last() != Some(&slot) {
+                    bucket.push(slot);
+                }
+            }
+        }
+    }
+
+    /// Unwind the entries `add` created for a rolled-back version.
+    /// `remaining` yields the value vectors of the versions still in the
+    /// slot's chain; an entry survives if any of them carries the same
+    /// key.
+    pub fn unwind<'a>(
+        &mut self,
+        slot: usize,
+        removed: &[Value],
+        remaining: impl Iterator<Item = &'a [Value]> + Clone,
+    ) {
+        for (pos, &col) in self.columns.iter().enumerate() {
+            let Some(key) = removed.get(col).and_then(index_key) else {
+                continue;
+            };
+            let still_carried = remaining
+                .clone()
+                .any(|values| values.get(col).and_then(index_key) == Some(key.clone()));
+            if still_carried {
+                continue;
+            }
+            if let Some(bucket) = self.maps[pos].get_mut(&key) {
+                bucket.retain(|&s| s != slot);
+                if bucket.is_empty() {
+                    self.maps[pos].remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Candidate slots whose chains may carry `value` in `column`, in
+    /// ascending slot order. `None` when the column is not indexed (the
+    /// caller must fall back to a full scan); `Some(vec![])` when the
+    /// column is indexed and no slot can match.
+    pub fn probe(&self, column: usize, value: &Value) -> Option<Vec<usize>> {
+        let pos = self.columns.binary_search(&column).ok()?;
+        let Some(key) = index_key(value) else {
+            // NULL / NaN probes: equality is never true, so the (indexed)
+            // answer is the empty candidate set.
+            return Some(Vec::new());
+        };
+        let mut slots = self.maps[pos].get(&key).cloned().unwrap_or_default();
+        slots.sort_unstable();
+        slots.dedup();
+        Some(slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_equal_values_share_a_key() {
+        assert_eq!(index_key(&Value::Int(2)), index_key(&Value::Float(2.0)));
+        assert_eq!(index_key(&Value::Bool(true)), index_key(&Value::Int(1)));
+        assert_eq!(
+            index_key(&Value::Float(-0.0)),
+            index_key(&Value::Int(0)),
+            "-0.0 and 0 compare equal and must share a key"
+        );
+        assert_ne!(index_key(&Value::Int(1)), index_key(&Value::Int(2)));
+        assert_ne!(
+            index_key(&Value::Str("1".into())),
+            index_key(&Value::Int(1)),
+            "strings never compare equal to numerics"
+        );
+        assert_eq!(index_key(&Value::Null), None);
+        assert_eq!(index_key(&Value::Float(f64::NAN)), None);
+    }
+
+    #[test]
+    fn add_probe_roundtrip_in_ascending_order() {
+        let mut idx = TableIndexes::new(vec![0]);
+        idx.add(7, &[Value::Int(5)]);
+        idx.add(3, &[Value::Int(5)]);
+        idx.add(4, &[Value::Int(6)]);
+        assert_eq!(idx.probe(0, &Value::Int(5)), Some(vec![3, 7]));
+        assert_eq!(idx.probe(0, &Value::Float(5.0)), Some(vec![3, 7]));
+        assert_eq!(idx.probe(0, &Value::Int(9)), Some(vec![]));
+        assert_eq!(idx.probe(0, &Value::Null), Some(vec![]));
+        assert_eq!(idx.probe(1, &Value::Int(5)), None, "unindexed column");
+    }
+
+    #[test]
+    fn unwind_respects_surviving_versions() {
+        let mut idx = TableIndexes::new(vec![0]);
+        let old = vec![Value::Int(5)];
+        let new = vec![Value::Int(5)];
+        idx.add(2, &old);
+        idx.add(2, &new);
+        // Rolling back the new version: the old one still carries key 5.
+        idx.unwind(2, &new, std::iter::once(old.as_slice()));
+        assert_eq!(idx.probe(0, &Value::Int(5)), Some(vec![2]));
+        // Rolling back the old one too: the entry goes away.
+        idx.unwind(2, &old, std::iter::empty());
+        assert_eq!(idx.probe(0, &Value::Int(5)), Some(vec![]));
+    }
+}

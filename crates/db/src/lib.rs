@@ -42,9 +42,11 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod fault;
+pub mod index;
 pub mod isolation;
 pub mod lock;
 pub mod log;
+pub mod plan;
 pub mod result;
 pub mod storage;
 pub mod txn;

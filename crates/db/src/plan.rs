@@ -1,0 +1,214 @@
+//! Predicate analysis for the equality-index read path.
+//!
+//! The executor asks one narrow question before scanning a table: *does
+//! the statement's WHERE/ON tree prove `col = literal` for some
+//! index-backed column of this table?* If so, the table's candidate rows
+//! come from an index probe instead of a full slot walk. The analysis is
+//! purely sufficient, never necessary: a conjunct it cannot extract just
+//! means a full scan, and every candidate an index supplies is still run
+//! through the ordinary predicate evaluation — so a false negative costs
+//! time, never correctness.
+//!
+//! Extraction rules:
+//!
+//! * only **top-level AND conjuncts** are inspected (`a = 1 AND rest`);
+//!   anything under `OR`, `NOT`, arithmetic, `IN`, or `CASE` is opaque;
+//! * a conjunct must be `column = literal` or `literal = column` with a
+//!   bare column reference and a bare literal — computed values fall back;
+//! * column references resolve exactly as [`crate::expr::EvalScope`]
+//!   resolves them (qualifier → effective table name; unqualified → first
+//!   table in scope order carrying the name);
+//! * if *any* column reference in the analyzed clause fails to resolve,
+//!   the whole statement falls back to the full scan, so evaluation
+//!   surfaces the same [`crate::error::DbError::UnknownColumn`] the
+//!   pre-index engine raised.
+
+use acidrain_sql::ast::{BinOp, ColumnRef, Expr};
+
+use crate::value::Value;
+
+/// A `col = literal` equality that holds for every row combination the
+/// analyzed clauses accept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqConstraint {
+    /// Position of the owning table in the statement's scope (join order).
+    pub table: usize,
+    /// Storage position of the column within that table.
+    pub column: usize,
+    /// The literal the column must equal.
+    pub value: Value,
+}
+
+/// One table's name bindings during analysis, mirroring
+/// [`crate::expr::EvalTable`] without row values.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanTable<'a> {
+    /// The name expressions refer to the table by (alias or real name).
+    pub effective_name: &'a str,
+    /// Column names in storage order.
+    pub columns: &'a [String],
+}
+
+/// Resolve a column reference against the scope, mirroring
+/// `EvalScope::lookup`: `Some((table position, column position))` or
+/// `None` when evaluation would raise `UnknownColumn`.
+fn resolve(tables: &[PlanTable<'_>], col: &ColumnRef) -> Option<(usize, usize)> {
+    if let Some(qualifier) = &col.table {
+        let ti = tables
+            .iter()
+            .position(|t| t.effective_name == qualifier)?;
+        let ci = tables[ti].columns.iter().position(|c| c == &col.column)?;
+        return Some((ti, ci));
+    }
+    for (ti, t) in tables.iter().enumerate() {
+        if let Some(ci) = t.columns.iter().position(|c| c == &col.column) {
+            return Some((ti, ci));
+        }
+    }
+    None
+}
+
+/// Collect the `col = literal` constraints proven by the top-level AND
+/// conjuncts of every clause in `clauses`. Returns `None` — demanding a
+/// full-scan fallback — when any column reference in any clause fails to
+/// resolve, so the scan raises the same `UnknownColumn` error the
+/// index-free engine did.
+pub fn equality_constraints(
+    clauses: &[&Expr],
+    tables: &[PlanTable<'_>],
+) -> Option<Vec<EqConstraint>> {
+    // Fallback on unresolvable columns anywhere in the clauses.
+    for clause in clauses {
+        let mut all_resolve = true;
+        clause.visit_columns(&mut |c| {
+            if resolve(tables, c).is_none() {
+                all_resolve = false;
+            }
+        });
+        if !all_resolve {
+            return None;
+        }
+    }
+    let mut out = Vec::new();
+    for clause in clauses {
+        collect_conjuncts(clause, tables, &mut out);
+    }
+    Some(out)
+}
+
+fn collect_conjuncts(expr: &Expr, tables: &[PlanTable<'_>], out: &mut Vec<EqConstraint>) {
+    match expr {
+        Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => {
+            collect_conjuncts(left, tables, out);
+            collect_conjuncts(right, tables, out);
+        }
+        Expr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } => {
+            let col_lit = match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(l)) | (Expr::Literal(l), Expr::Column(c)) => {
+                    Some((c, l))
+                }
+                _ => None,
+            };
+            if let Some((c, lit)) = col_lit {
+                if let Some((table, column)) = resolve(tables, c) {
+                    out.push(EqConstraint {
+                        table,
+                        column,
+                        value: Value::from_literal(lit),
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acidrain_sql::{parse_statement, Statement};
+
+    fn where_expr(sql: &str) -> Expr {
+        match parse_statement(&format!("SELECT * FROM t WHERE {sql}")).unwrap() {
+            Statement::Select(s) => s.selection.unwrap(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn single_scope(cols: &[&str]) -> Vec<String> {
+        cols.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn analyze(sql: &str, cols: &[&str]) -> Option<Vec<EqConstraint>> {
+        let columns = single_scope(cols);
+        let tables = [PlanTable {
+            effective_name: "t",
+            columns: &columns,
+        }];
+        equality_constraints(&[&where_expr(sql)], &tables)
+    }
+
+    #[test]
+    fn extracts_top_level_equality_conjuncts() {
+        let cs = analyze("id = 5", &["id", "v"]).unwrap();
+        assert_eq!(
+            cs,
+            vec![EqConstraint {
+                table: 0,
+                column: 0,
+                value: Value::Int(5)
+            }]
+        );
+        // Reversed operands and AND chains both extract.
+        let cs = analyze("7 = v AND id = 1 AND v > 0", &["id", "v"]).unwrap();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].column, 1);
+        assert_eq!(cs[1].column, 0);
+    }
+
+    #[test]
+    fn opaque_shapes_extract_nothing_but_do_not_fallback() {
+        assert_eq!(analyze("id = 1 OR v = 2", &["id", "v"]).unwrap(), vec![]);
+        assert_eq!(analyze("id + 1 = 2", &["id", "v"]).unwrap(), vec![]);
+        assert_eq!(analyze("id IN (1, 2)", &["id", "v"]).unwrap(), vec![]);
+        // NOT over an equality is opaque.
+        assert_eq!(analyze("NOT id = 1", &["id", "v"]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn unresolvable_column_forces_fallback() {
+        assert_eq!(analyze("nope = 1", &["id", "v"]), None);
+        // ... even when buried in a non-conjunct position.
+        assert_eq!(analyze("id = 1 AND (nope > 2 OR v = 3)", &["id", "v"]), None);
+    }
+
+    #[test]
+    fn qualified_and_join_scope_resolution() {
+        let a = single_scope(&["x", "shared"]);
+        let b = single_scope(&["y", "shared"]);
+        let tables = [
+            PlanTable {
+                effective_name: "a",
+                columns: &a,
+            },
+            PlanTable {
+                effective_name: "b",
+                columns: &b,
+            },
+        ];
+        let e = where_expr("b.y = 3 AND shared = 1");
+        let cs = equality_constraints(&[&e], &tables).unwrap();
+        assert_eq!(cs[0], EqConstraint { table: 1, column: 0, value: Value::Int(3) });
+        // Unqualified `shared` resolves to the FIRST scope table, exactly
+        // as EvalScope::lookup does.
+        assert_eq!(cs[1], EqConstraint { table: 0, column: 1, value: Value::Int(1) });
+    }
+}

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::index::TableIndexes;
 use crate::txn::{TxnId, UndoRecord};
 use crate::value::Value;
 
@@ -70,18 +71,47 @@ pub struct TableData {
     pub name: String,
     /// Row slots; a slot's index is the row's stable identity.
     pub rows: Vec<RowSlot>,
+    /// Equality indexes over the table's unique and declared-indexed
+    /// columns. Maintained under this table's write latch at version
+    /// create time and unwound on rollback; see [`crate::index`] for the
+    /// visibility-agnostic superset contract.
+    pub indexes: TableIndexes,
     /// Next value handed out for auto-increment columns.
     pub auto_counter: i64,
 }
 
 impl TableData {
-    /// An empty table with the auto-increment counter at 1.
-    pub fn new(name: impl Into<String>) -> Self {
+    /// An empty table with the auto-increment counter at 1, indexing the
+    /// given column positions.
+    pub fn new(name: impl Into<String>, indexed_columns: Vec<usize>) -> Self {
         TableData {
             name: name.into(),
             rows: Vec::new(),
+            indexes: TableIndexes::new(indexed_columns),
             auto_counter: 1,
         }
+    }
+
+    /// Append a freshly created row slot and register it in the indexes.
+    /// Callers hold the table's write latch (or own the table during
+    /// seeding); returns the new slot's index.
+    pub fn push_row(&mut self, version: RowVersion) -> usize {
+        let slot_idx = self.rows.len();
+        self.indexes.add(slot_idx, &version.values);
+        self.rows.push(RowSlot {
+            versions: vec![version],
+        });
+        slot_idx
+    }
+
+    /// Append a new version to an existing slot's chain and register its
+    /// values in the indexes. Callers hold the table's write latch;
+    /// returns the new version's position in the chain.
+    pub fn push_version(&mut self, slot: usize, version: RowVersion) -> usize {
+        self.indexes.add(slot, &version.values);
+        let chain = &mut self.rows[slot].versions;
+        chain.push(version);
+        chain.len() - 1
     }
 
     /// Draw the next auto-increment value.
@@ -196,12 +226,20 @@ impl Storage {
             match *record {
                 UndoRecord::Created { table, row, version } => {
                     let mut guard = self.write(table);
-                    let slot = &mut guard.rows[row];
+                    let data = &mut *guard;
+                    let slot = &mut data.rows[row];
                     debug_assert!(
                         slot.versions[version].begin_txn == txn
                             && slot.versions[version].begin_ts.is_none()
                     );
-                    slot.versions.remove(version);
+                    let removed = slot.versions.remove(version);
+                    // Unwind the removed version's index entries (unless a
+                    // surviving version of the slot still carries the key).
+                    data.indexes.unwind(
+                        row,
+                        &removed.values,
+                        data.rows[row].versions.iter().map(|v| v.values.as_slice()),
+                    );
                 }
                 UndoRecord::Ended { table, row, version } => {
                     let mut guard = self.write(table);
@@ -360,8 +398,20 @@ mod tests {
 
     #[test]
     fn auto_counter_increments() {
-        let mut t = TableData::new("t");
+        let mut t = TableData::new("t", vec![]);
         assert_eq!(t.next_auto(), 1);
         assert_eq!(t.next_auto(), 2);
+    }
+
+    #[test]
+    fn push_row_and_push_version_maintain_indexes() {
+        let mut t = TableData::new("t", vec![0]);
+        let slot = t.push_row(RowVersion::committed(v(5), 1));
+        assert_eq!(t.indexes.probe(0, &Value::Int(5)), Some(vec![slot]));
+        // An updating version re-indexes the slot under its new value and
+        // keeps the old entry (superset over the whole chain).
+        t.push_version(slot, RowVersion::uncommitted(v(6), TxnId(2)));
+        assert_eq!(t.indexes.probe(0, &Value::Int(5)), Some(vec![slot]));
+        assert_eq!(t.indexes.probe(0, &Value::Int(6)), Some(vec![slot]));
     }
 }

@@ -43,6 +43,13 @@ pub struct ChaosConfig {
     /// run produces a bit-for-bit identical [`ChaosReport`] whether this
     /// is on or off (the observability test suite pins this down).
     pub metrics: bool,
+    /// Route point lookups through the store's equality indexes (the
+    /// engine default). Indexes are maintained either way; this gates only
+    /// the read path, and index candidates are probed in the same
+    /// ascending slot order a full scan visits — so a seeded run produces
+    /// a bit-for-bit identical [`ChaosReport`] whether this is on or off
+    /// (the engine invariance suite pins this down).
+    pub use_indexes: bool,
 }
 
 impl Default for ChaosConfig {
@@ -56,6 +63,7 @@ impl Default for ChaosConfig {
             requests_per_session: 6,
             isolation: IsolationLevel::ReadCommitted,
             metrics: false,
+            use_indexes: true,
         }
     }
 }
@@ -170,6 +178,7 @@ fn run_chaos_core(
 ) -> (ChaosReport, MetricsReport) {
     app.reset_session_state();
     let db = app.make_store(config.isolation);
+    db.set_use_indexes(config.use_indexes);
     let mut faults = config.faults.clone();
     faults.seed = config.seed;
     db.enable_faults(faults);

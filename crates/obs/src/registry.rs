@@ -83,6 +83,8 @@ struct Shard {
     statements_aborted: AtomicU64,
     blocked_attempts: AtomicU64,
     log_appends: AtomicU64,
+    index_hits: AtomicU64,
+    index_fallbacks: AtomicU64,
 
     commits_by_level: [AtomicU64; MAX_LEVELS],
     aborts_by_level: [AtomicU64; MAX_LEVELS],
@@ -433,6 +435,23 @@ impl Obs {
         self.shard(session).backoff.record(dur);
     }
 
+    /// A predicated table scan picked its candidate set: `hit` when an
+    /// equality index supplied it, `false` when the scan fell back to the
+    /// full slot walk. Fired *after* the executor has committed to the
+    /// candidate set, so the probe never influences the route taken.
+    #[inline]
+    pub fn index_probe(&self, session: u64, hit: bool) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let shard = self.shard(session);
+        if hit {
+            shard.index_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shard.index_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A query-log entry landed.
     #[inline]
     pub fn log_append(&self, session: u64) {
@@ -497,6 +516,8 @@ impl Obs {
             c.statements_aborted += shard.statements_aborted.load(Ordering::Relaxed);
             c.blocked_attempts += shard.blocked_attempts.load(Ordering::Relaxed);
             c.log_appends += shard.log_appends.load(Ordering::Relaxed);
+            c.index_hits += shard.index_hits.load(Ordering::Relaxed);
+            c.index_fallbacks += shard.index_fallbacks.load(Ordering::Relaxed);
             for i in 0..MAX_LEVELS {
                 commits[i] += shard.commits_by_level[i].load(Ordering::Relaxed);
                 aborts[i] += shard.aborts_by_level[i].load(Ordering::Relaxed);
@@ -556,6 +577,8 @@ mod tests {
         obs.retry(1, RetryEvent::TxnReplay);
         obs.backoff(1, Duration::from_millis(1));
         obs.log_append(1);
+        obs.index_probe(1, true);
+        obs.index_probe(1, false);
         obs.commit_clock(42);
         obs.task_finished(1, Duration::from_millis(1));
         let report = obs.report();

@@ -37,6 +37,13 @@ pub struct Counters {
     pub blocked_attempts: u64,
     /// Query-log entries appended.
     pub log_appends: u64,
+    /// Table scans routed through an equality index (candidate set came
+    /// from an index probe instead of a full slot walk).
+    pub index_hits: u64,
+    /// Predicated table scans that fell back to the full slot walk (no
+    /// usable `col = literal` conjunct, column not index-backed, or the
+    /// index path disabled).
+    pub index_fallbacks: u64,
 }
 
 /// Commit/abort counts for one isolation level.
@@ -140,7 +147,8 @@ impl MetricsReport {
             "  \"counters\": {{\"lock_waits\": {}, \"lock_timeouts\": {}, \"deadlocks\": {}, \
              \"injected_faults\": {}, \"statement_retries\": {}, \"txn_replays\": {}, \
              \"retries_gave_up\": {}, \"statements_ok\": {}, \"statements_failed\": {}, \
-             \"statements_aborted\": {}, \"blocked_attempts\": {}, \"log_appends\": {}}},\n",
+             \"statements_aborted\": {}, \"blocked_attempts\": {}, \"log_appends\": {}, \
+             \"index_hits\": {}, \"index_fallbacks\": {}}},\n",
             c.lock_waits,
             c.lock_timeouts,
             c.deadlocks,
@@ -153,6 +161,8 @@ impl MetricsReport {
             c.statements_aborted,
             c.blocked_attempts,
             c.log_appends,
+            c.index_hits,
+            c.index_fallbacks,
         ));
         out.push_str("  \"by_level\": [");
         for (i, l) in self.by_level.iter().enumerate() {

@@ -230,6 +230,8 @@ impl Parser {
                     col.unique = true;
                 } else if self.eat_keyword("UNIQUE") {
                     col.unique = true;
+                } else if self.eat_keyword("INDEX") || self.eat_keyword("INDEXED") {
+                    col.indexed = true;
                 } else if self.eat_keyword("NOT") {
                     self.expect_keyword("NULL")?;
                 } else if self.eat_keyword("NULL") {

@@ -30,6 +30,10 @@ pub struct ColumnDef {
     pub unique: bool,
     /// Whether the column is auto-assigned on insert when omitted.
     pub auto_increment: bool,
+    /// Whether the column carries a declared secondary index. Unique
+    /// columns are always index-backed; this flag extends equality-index
+    /// coverage to non-unique columns (MySQL `KEY`/`INDEX`).
+    pub indexed: bool,
     /// Default value used when an INSERT omits the column.
     pub default: Option<Literal>,
 }
@@ -41,12 +45,18 @@ impl ColumnDef {
             ty,
             unique: false,
             auto_increment: false,
+            indexed: false,
             default: None,
         }
     }
 
     pub fn unique(mut self) -> Self {
         self.unique = true;
+        self
+    }
+
+    pub fn indexed(mut self) -> Self {
+        self.indexed = true;
         self
     }
 
@@ -91,6 +101,18 @@ impl TableSchema {
 
     pub fn is_unique_column(&self, name: &str) -> bool {
         self.column(name).is_some_and(|c| c.unique)
+    }
+
+    /// Indices of columns the engine maintains an equality index over:
+    /// every unique column (primary/unique keys) plus declared-indexed
+    /// non-unique columns.
+    pub fn index_backed_columns(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.unique || c.indexed)
+            .map(|(i, _)| i)
+            .collect()
     }
 }
 

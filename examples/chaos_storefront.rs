@@ -34,6 +34,7 @@ fn main() {
         requests_per_session: 9,
         isolation: IsolationLevel::ReadCommitted,
         metrics: false,
+        use_indexes: true,
     };
 
     println!("chaos run against {} (seed {seed:#x})", app.name());

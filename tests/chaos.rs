@@ -25,6 +25,7 @@ fn chaotic_config(seed: u64) -> ChaosConfig {
         requests_per_session: 9,
         isolation: IsolationLevel::ReadCommitted,
         metrics: false,
+        use_indexes: true,
     }
 }
 

@@ -173,6 +173,7 @@ fn chaos_config(seed: u64) -> ChaosConfig {
         requests_per_session: 6,
         isolation: IsolationLevel::ReadCommitted,
         metrics: false,
+        use_indexes: true,
     }
 }
 
@@ -216,6 +217,53 @@ fn seeded_chaos_reports_match_pre_refactor_baseline() {
         assert_eq!(report.state_digest, digest, "seed {seed:#x}");
         assert!(report.invariants_held(), "seed {seed}: {report:?}");
     }
+}
+
+/// The equality-index read path is a pure routing change: forcing it off
+/// (full scans everywhere) must reproduce field-for-field identical chaos
+/// reports — request outcomes, fault counters, 2AD witnesses, and the
+/// state digest — for the same seeds.
+#[test]
+fn chaos_reports_identical_with_index_path_on_or_off() {
+    for seed in [7u64, 42, 0xAC1D] {
+        let on = run_chaos(&PrestaShop, &chaos_config(seed));
+        let off = run_chaos(
+            &PrestaShop,
+            &ChaosConfig {
+                use_indexes: false,
+                ..chaos_config(seed)
+            },
+        );
+        assert_eq!(on, off, "seed {seed}: index routing changed the chaos report");
+    }
+}
+
+/// The scripted lost-update scenario lifts to the same abstract history
+/// with the index path forced off: point lookups and full scans must read
+/// and lock the same rows in the same order.
+#[test]
+fn scripted_fingerprint_identical_with_index_path_on_or_off() {
+    let level = IsolationLevel::MySqlRepeatableRead;
+    let run = |use_indexes: bool| {
+        let d = test_db(level);
+        d.set_use_indexes(use_indexes);
+        let mut t1 = d.connect();
+        let mut t2 = d.connect();
+        t1.set_api("debit", 0);
+        t2.set_api("debit", 1);
+        t1.execute("BEGIN").unwrap();
+        t2.execute("BEGIN").unwrap();
+        t1.execute("SELECT value FROM test WHERE id = 1").unwrap();
+        t2.execute("SELECT value FROM test WHERE id = 1").unwrap();
+        t1.execute("UPDATE test SET value = 9 WHERE id = 1").unwrap();
+        t1.execute("COMMIT").unwrap();
+        t2.execute("UPDATE test SET value = 8 WHERE id = 1").unwrap();
+        t2.execute("COMMIT").unwrap();
+        fingerprint(&d, level)
+    };
+    let (on, off) = (run(true), run(false));
+    assert_eq!(on, off, "index routing changed the abstract history");
+    assert_eq!(on, (2, 2, 1), "lost-update fingerprint drifted from baseline");
 }
 
 /// A genuinely concurrent threaded workload on disjoint rows: the abstract

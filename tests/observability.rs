@@ -35,6 +35,7 @@ fn chaotic_config(seed: u64, metrics: bool) -> ChaosConfig {
         requests_per_session: 9,
         isolation: IsolationLevel::ReadCommitted,
         metrics,
+        use_indexes: true,
     }
 }
 
