@@ -24,6 +24,7 @@
 
 pub mod corpus;
 pub mod didactic;
+pub mod endpoints;
 pub mod flexcoin;
 pub mod framework;
 pub mod invariants;
@@ -35,6 +36,10 @@ pub mod retry;
 pub mod ruby;
 
 pub use corpus::{all_apps, expected_row, Cell, CorpusEntry, ExpectedRow, TABLE1, TABLE5};
+pub use endpoints::{
+    all_surfaces, corpus_surfaces, didactic_surfaces, flexcoin_surface, AppSurface, Scenario,
+    INVENTORY_QTY,
+};
 pub use framework::{
     observed_request, AppError, AppResult, CheckoutRequest, FeatureStatus, Language, ShopApp,
     SqlConn, StockModel,
@@ -46,17 +51,19 @@ pub use retry::{RetryConfig, RetryConn, RetryPolicy, RetryStats};
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::corpus::{all_apps, expected_row, Cell, TABLE1, TABLE5};
+    pub use crate::endpoints::{
+        all_surfaces, corpus_surfaces, AppSurface, Scenario, INVENTORY_QTY,
+    };
     pub use crate::framework::{
         clear_cart, insert_order, insert_order_items, observed_request, query_i64, read_cart,
         read_cart_total, seed_store, shop_schema, AppError, AppResult, CheckoutRequest,
-        FeatureStatus, Language,
-        ShopApp, SqlConn, StockModel, LAPTOP, LAPTOP_PRICE, LAPTOP_STOCK, PEN, PEN_PRICE,
-        PEN_STOCK, VOUCHER_CODE, VOUCHER_ID, VOUCHER_LIMIT,
+        FeatureStatus, Language, ShopApp, SqlConn, StockModel, LAPTOP, LAPTOP_PRICE, LAPTOP_STOCK,
+        PEN, PEN_PRICE, PEN_STOCK, VOUCHER_CODE, VOUCHER_ID, VOUCHER_LIMIT,
     };
     pub use crate::invariants::{check_cart, check_inventory, check_voucher, Violation};
     pub use crate::java::{Broadleaf, Shopizer};
-    pub use crate::retry::{RetryConfig, RetryConn, RetryPolicy, RetryStats};
     pub use crate::php::{Magento, OpenCart, PrestaShop, WooCommerce};
     pub use crate::python::{LightningFastShop, Oscar, Saleor};
+    pub use crate::retry::{RetryConfig, RetryConn, RetryPolicy, RetryStats};
     pub use crate::ruby::{RorEcommerce, Shoppe, Spree};
 }

@@ -158,7 +158,9 @@ impl<C: SqlConn> RetryConn<C> {
                 self.txn_log.clear();
                 self.txn_log.push(sql.to_string());
             }
-            Ok(Statement::Commit) | Ok(Statement::Rollback) | Ok(Statement::SetAutocommit(true)) => {
+            Ok(Statement::Commit)
+            | Ok(Statement::Rollback)
+            | Ok(Statement::SetAutocommit(true)) => {
                 self.reset_txn();
             }
             _ => {
@@ -354,10 +356,7 @@ mod tests {
     fn no_retry_policy_surfaces_aborts() {
         let db = counter_db();
         db.enable_faults(FaultConfig::seeded(3).with_deadlock(1.0));
-        let mut conn = RetryConn::new(
-            db.connect(),
-            RetryConfig::no_sleep(RetryPolicy::NoRetry, 8),
-        );
+        let mut conn = RetryConn::new(db.connect(), RetryConfig::no_sleep(RetryPolicy::NoRetry, 8));
         conn.exec("BEGIN").unwrap();
         let err = conn.exec("UPDATE t SET v = 1").unwrap_err();
         assert_eq!(err, DbError::Deadlock);

@@ -54,24 +54,42 @@ fn main() {
     let budget = baseline * FACTOR + SLACK_NS;
 
     let probes: [(&str, f64); 6] = [
-        ("timer", per_op_ns(|| {
-            black_box(obs.timer().is_armed());
-        })),
-        ("lock_wait_start", per_op_ns(|| {
-            black_box(obs.lock_wait_start());
-        })),
-        ("latch_wait_start", per_op_ns(|| {
-            black_box(obs.latch_wait_start());
-        })),
-        ("deadlock", per_op_ns(|| {
-            obs.deadlock(black_box(7));
-        })),
-        ("log_append", per_op_ns(|| {
-            obs.log_append(black_box(7));
-        })),
-        ("commit_clock", per_op_ns(|| {
-            obs.commit_clock(black_box(42));
-        })),
+        (
+            "timer",
+            per_op_ns(|| {
+                black_box(obs.timer().is_armed());
+            }),
+        ),
+        (
+            "lock_wait_start",
+            per_op_ns(|| {
+                black_box(obs.lock_wait_start());
+            }),
+        ),
+        (
+            "latch_wait_start",
+            per_op_ns(|| {
+                black_box(obs.latch_wait_start());
+            }),
+        ),
+        (
+            "deadlock",
+            per_op_ns(|| {
+                obs.deadlock(black_box(7));
+            }),
+        ),
+        (
+            "log_append",
+            per_op_ns(|| {
+                obs.log_append(black_box(7));
+            }),
+        ),
+        (
+            "commit_clock",
+            per_op_ns(|| {
+                obs.commit_clock(black_box(42));
+            }),
+        ),
     ];
 
     eprintln!("baseline relaxed load: {baseline:.2} ns/op (budget {budget:.2} ns/op)");

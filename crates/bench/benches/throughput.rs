@@ -102,7 +102,10 @@ fn storefront_db(isolation: IsolationLevel, sessions: usize) -> Arc<Database> {
 /// shared catalog, ~10% writes to the session's own cart row.
 fn statement(session: usize, i: usize) -> String {
     if i % 10 == 9 {
-        format!("UPDATE cart SET items = items + 1 WHERE id = {}", session + 1)
+        format!(
+            "UPDATE cart SET items = items + 1 WHERE id = {}",
+            session + 1
+        )
     } else {
         // Cheap LCG so sessions walk the catalog in different orders.
         let k = (session as i64 * 7919 + i as i64 * 104729) % PRODUCTS + 1;

@@ -553,13 +553,7 @@ mod tests {
         let o = Some(("checkout", 0));
         let log = vec![
             entry(0, 1, o, "SET autocommit=0"),
-            entry_with(
-                1,
-                1,
-                o,
-                "UPDATE salary SET total=9",
-                StmtOutcome::Aborted,
-            ),
+            entry_with(1, 1, o, "UPDATE salary SET total=9", StmtOutcome::Aborted),
             entry(2, 1, o, "SELECT COUNT(*) FROM employees"),
             entry(3, 1, o, "UPDATE salary SET total=1"),
             entry(4, 1, o, "COMMIT"),

@@ -83,7 +83,10 @@ impl Database {
             .map(|t| TableData::new(t.name.clone(), t.index_backed_columns()))
             .collect();
         let obs = Obs::with_level_names(
-            IsolationLevel::ALL.iter().map(|l| l.name().to_string()).collect(),
+            IsolationLevel::ALL
+                .iter()
+                .map(|l| l.name().to_string())
+                .collect(),
         );
         Arc::new(Database {
             schema,
@@ -202,7 +205,8 @@ impl Database {
 
     /// Change the default isolation level handed to future connections.
     pub fn set_default_isolation(&self, level: IsolationLevel) {
-        self.default_isolation.store(level.code(), Ordering::Relaxed);
+        self.default_isolation
+            .store(level.code(), Ordering::Relaxed);
     }
 
     /// The isolation level handed to new connections.
@@ -527,9 +531,14 @@ impl Connection {
         let txn = txn_before
             .or_else(|| self.current_txn())
             .map_or(0, |id| id.0);
-        self.db
-            .obs
-            .statement_finished(self.session, self.isolation.code(), outcome, timer, txn, raw);
+        self.db.obs.statement_finished(
+            self.session,
+            self.isolation.code(),
+            outcome,
+            timer,
+            txn,
+            raw,
+        );
         result
     }
 

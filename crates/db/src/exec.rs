@@ -44,15 +44,15 @@ pub(crate) fn execute(
 ) -> Result<ResultSet, DbError> {
     match injected {
         Some(InjectedFault::Deadlock) => Err(DbError::Deadlock),
-        Some(InjectedFault::WriteConflict) => Err(DbError::WriteConflict(
-            "injected concurrent update".into(),
-        )),
+        Some(InjectedFault::WriteConflict) => {
+            Err(DbError::WriteConflict("injected concurrent update".into()))
+        }
         Some(InjectedFault::LockTimeout) => Err(DbError::LockTimeout),
         // Connection drops are a session-layer fault; the connection
         // handles them before reaching the executor.
-        Some(InjectedFault::ConnectionDrop) => Err(DbError::Internal(
-            "connection drop reached executor".into(),
-        )),
+        Some(InjectedFault::ConnectionDrop) => {
+            Err(DbError::Internal("connection drop reached executor".into()))
+        }
         None => match stmt {
             Statement::Select(s) => exec_select(db, txn, s),
             Statement::Insert(i) => exec_insert(db, txn, i),
@@ -171,7 +171,10 @@ fn exec_select(db: &Database, txn: &mut TxnState, s: &Select) -> Result<ResultSe
     latch_order.sort_unstable();
     latch_order.dedup();
     let token = db.obs.latch_wait_start();
-    let guards: Vec<_> = latch_order.iter().map(|&idx| db.storage.read(idx)).collect();
+    let guards: Vec<_> = latch_order
+        .iter()
+        .map(|&idx| db.storage.read(idx))
+        .collect();
     db.obs.latch_acquired(token, txn.id.0);
     let data: Vec<&TableData> = tables
         .iter()
@@ -283,7 +286,16 @@ fn scan(
 ) -> Result<Vec<Matched>, DbError> {
     let mut matches = Vec::new();
     let mut current: Vec<(usize, &[Value])> = Vec::new();
-    scan_rec(data, tables, s, view, candidates, 0, &mut current, &mut matches)?;
+    scan_rec(
+        data,
+        tables,
+        s,
+        view,
+        candidates,
+        0,
+        &mut current,
+        &mut matches,
+    )?;
     Ok(matches)
 }
 
@@ -339,7 +351,16 @@ fn scan_rec<'a>(
             eval(&s.joins[depth - 1].on, &scope)?.is_truthy()
         };
         if join_ok {
-            scan_rec(data, tables, s, view, candidates, depth + 1, current, matches)?;
+            scan_rec(
+                data,
+                tables,
+                s,
+                view,
+                candidates,
+                depth + 1,
+                current,
+                matches,
+            )?;
         }
         current.pop();
     }
@@ -588,7 +609,6 @@ fn fold_extreme(vals: Vec<Value>, keep: std::cmp::Ordering) -> Value {
     }
     best
 }
-
 
 // ---------------------------------------------------------------------------
 // INSERT

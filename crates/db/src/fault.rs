@@ -350,7 +350,10 @@ mod tests {
             }
         }
         assert_eq!(inj.stats().statements_seen, 0);
-        assert_eq!(inj.draw_latency(1, Duration::from_millis(5)), Duration::from_millis(5));
+        assert_eq!(
+            inj.draw_latency(1, Duration::from_millis(5)),
+            Duration::from_millis(5)
+        );
     }
 
     #[test]
@@ -411,7 +414,9 @@ mod tests {
     #[test]
     fn fault_rates_track_probabilities() {
         let mut inj = FaultInjector::new(FaultConfig::seeded(99).with_deadlock(0.3));
-        let hits = (0..2000).filter(|_| inj.next_fault(5, true).is_some()).count();
+        let hits = (0..2000)
+            .filter(|_| inj.next_fault(5, true).is_some())
+            .count();
         let rate = hits as f64 / 2000.0;
         assert!((0.25..0.35).contains(&rate), "rate {rate}");
     }
@@ -430,7 +435,11 @@ mod tests {
             let d = with_latency.draw_latency(2, Duration::from_millis(1));
             assert!(d >= Duration::from_millis(1) && d < Duration::from_millis(11));
             // Latency draws must not perturb fault decisions.
-            assert_eq!(with_latency.next_fault(2, true), without.next_fault(2, true), "at {i}");
+            assert_eq!(
+                with_latency.next_fault(2, true),
+                without.next_fault(2, true),
+                "at {i}"
+            );
         }
     }
 }

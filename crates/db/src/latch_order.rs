@@ -1,0 +1,234 @@
+//! Debug-only latch-order checker.
+//!
+//! DESIGN.md §8 fixes the engine's latch acquisition hierarchy:
+//!
+//! ```text
+//! commit_serial  <  storage latch  <  lock-manager mutex  <  log shard
+//! ```
+//!
+//! plus two same-rank rules: per-table storage latches and log-shard
+//! mutexes may be held together only in strictly ascending index order,
+//! and the commit-serial and lock-manager mutexes are never re-entered.
+//!
+//! In debug builds every latch acquisition registers a [`LatchToken`] on a
+//! thread-local stack **before** calling into the underlying lock, so a
+//! hierarchy inversion panics deterministically at the offending
+//! acquisition site instead of deadlocking two threads somewhere else. In
+//! release builds the token is a zero-sized no-op and the checker costs
+//! nothing.
+//!
+//! The fault-injector mutex is deliberately not tracked: it is not part of
+//! the documented hierarchy (it is a leaf taken with no other engine lock
+//! held and nothing is acquired under it).
+
+/// Rank of a latch in the DESIGN.md §8 hierarchy. Acquisitions must be
+/// non-decreasing in rank per thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LatchRank {
+    /// The commit publication critical section (`Storage::commit_serial`).
+    CommitSerial = 0,
+    /// A per-table storage latch; detail is the table index.
+    Storage = 1,
+    /// The lock-manager mutex ([`crate::lock::LockTable`]).
+    LockManager = 2,
+    /// A query-log shard mutex; detail is the shard index.
+    LogShard = 3,
+}
+
+impl LatchRank {
+    #[cfg(debug_assertions)]
+    fn name(self) -> &'static str {
+        match self {
+            LatchRank::CommitSerial => "commit_serial",
+            LatchRank::Storage => "storage latch",
+            LatchRank::LockManager => "lock-manager mutex",
+            LatchRank::LogShard => "log shard",
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+mod tracking {
+    use super::LatchRank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Latches this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<(LatchRank, Option<usize>)>> =
+            const { RefCell::new(Vec::new()) };
+    }
+
+    fn describe(rank: LatchRank, detail: Option<usize>) -> String {
+        match detail {
+            Some(d) => format!("{}[{}]", rank.name(), d),
+            None => rank.name().to_string(),
+        }
+    }
+
+    pub fn register(rank: LatchRank, detail: Option<usize>) {
+        HELD.with(|h| {
+            for &(held_rank, held_detail) in h.borrow().iter() {
+                if rank < held_rank {
+                    panic!(
+                        "latch-order violation: acquiring {} while holding {} \
+                         (DESIGN.md §8: commit_serial < storage latch < \
+                         lock-manager mutex < log shard)",
+                        describe(rank, detail),
+                        describe(held_rank, held_detail),
+                    );
+                }
+                if rank == held_rank {
+                    match rank {
+                        LatchRank::CommitSerial | LatchRank::LockManager => panic!(
+                            "latch-order violation: re-entrant acquisition of {}",
+                            rank.name(),
+                        ),
+                        LatchRank::Storage | LatchRank::LogShard => {
+                            if detail <= held_detail {
+                                panic!(
+                                    "latch-order violation: acquiring {} while \
+                                     holding {} (same-rank latches must be taken \
+                                     in strictly ascending index order)",
+                                    describe(rank, detail),
+                                    describe(held_rank, held_detail),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            h.borrow_mut().push((rank, detail));
+        });
+    }
+
+    pub fn unregister(rank: LatchRank, detail: Option<usize>) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&e| e == (rank, detail)) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    pub fn holds_at_or_above(rank: LatchRank) -> bool {
+        HELD.with(|h| h.borrow().iter().any(|&(r, _)| r >= rank))
+    }
+}
+
+/// RAII witness of one latch acquisition. Created via [`acquired`]
+/// immediately **before** the underlying lock call; dropping it (normally
+/// together with the lock guard) pops the thread-local record.
+#[must_use = "the token must live as long as the latch guard it describes"]
+#[derive(Debug)]
+pub struct LatchToken {
+    #[cfg(debug_assertions)]
+    entry: (LatchRank, Option<usize>),
+}
+
+#[cfg(debug_assertions)]
+impl Drop for LatchToken {
+    fn drop(&mut self) {
+        tracking::unregister(self.entry.0, self.entry.1);
+    }
+}
+
+/// Record the acquisition of a latch of `rank` (with `detail` as the table
+/// or shard index where the rank is per-resource). Call this right before
+/// the `.lock()` / `.read()` / `.write()` so that an ordering inversion
+/// panics here rather than deadlocking there.
+///
+/// Debug builds panic on any violation of the §8 hierarchy; release
+/// builds compile this to nothing.
+#[inline]
+pub fn acquired(rank: LatchRank, detail: Option<usize>) -> LatchToken {
+    #[cfg(debug_assertions)]
+    {
+        tracking::register(rank, detail);
+        LatchToken {
+            entry: (rank, detail),
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (rank, detail);
+        LatchToken {}
+    }
+}
+
+/// Whether this thread currently holds any latch of `rank` or higher.
+/// Always `false` in release builds; use inside `debug_assert!` only.
+#[inline]
+pub fn holds_at_or_above(rank: LatchRank) -> bool {
+    #[cfg(debug_assertions)]
+    {
+        tracking::holds_at_or_above(rank)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = rank;
+        false
+    }
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn ascending_acquisitions_pass() {
+        let _serial = acquired(LatchRank::CommitSerial, None);
+        let _t0 = acquired(LatchRank::Storage, Some(0));
+        let _t3 = acquired(LatchRank::Storage, Some(3));
+        let _mgr = acquired(LatchRank::LockManager, None);
+        let _s0 = acquired(LatchRank::LogShard, Some(0));
+        let _s7 = acquired(LatchRank::LogShard, Some(7));
+        assert!(holds_at_or_above(LatchRank::Storage));
+    }
+
+    #[test]
+    fn release_reopens_the_rank() {
+        {
+            let _t1 = acquired(LatchRank::Storage, Some(1));
+        }
+        // Table 0 after table 1 is fine once table 1's guard is gone.
+        let _t0 = acquired(LatchRank::Storage, Some(0));
+        assert!(!holds_at_or_above(LatchRank::LockManager));
+    }
+
+    #[test]
+    fn rank_inversion_panics() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _shard = acquired(LatchRank::LogShard, Some(0));
+            let _latch = acquired(LatchRank::Storage, Some(0));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("latch-order violation"), "{msg}");
+        // The unwind dropped the shard token; the thread-local stack is
+        // clean again.
+        assert!(!holds_at_or_above(LatchRank::CommitSerial));
+    }
+
+    #[test]
+    fn same_rank_descending_panics() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _t2 = acquired(LatchRank::Storage, Some(2));
+            let _t1 = acquired(LatchRank::Storage, Some(1));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("strictly ascending"), "{msg}");
+    }
+
+    #[test]
+    fn reentrant_singleton_panics() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _a = acquired(LatchRank::LockManager, None);
+            let _b = acquired(LatchRank::LockManager, None);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("re-entrant"), "{msg}");
+    }
+}

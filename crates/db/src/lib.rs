@@ -44,6 +44,7 @@ pub mod expr;
 pub mod fault;
 pub mod index;
 pub mod isolation;
+pub mod latch_order;
 pub mod lock;
 pub mod log;
 pub mod plan;

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use acidrain_obs::Obs;
 use parking_lot::{Condvar, Mutex};
 
+use crate::latch_order::{self, LatchRank};
 use crate::txn::TxnId;
 
 /// A lockable resource.
@@ -272,7 +273,10 @@ impl LockTable {
     /// outcomes are recorded with the observability registry *after*
     /// detection — the probe never influences the verdict.
     pub fn acquire(&self, txn: TxnId, resource: ResourceId, mode: LockMode) -> LockOutcome {
-        let outcome = self.manager.lock().acquire(txn, resource, mode);
+        let outcome = {
+            let _order = latch_order::acquired(LatchRank::LockManager, None);
+            self.manager.lock().acquire(txn, resource, mode)
+        };
         if outcome == LockOutcome::Deadlock {
             self.obs.deadlock(txn.0);
         }
@@ -281,7 +285,10 @@ impl LockTable {
 
     /// Release every lock held by `txn` and wake all parked waiters.
     pub fn release_all(&self, txn: TxnId) {
-        self.manager.lock().release_all(txn);
+        {
+            let _order = latch_order::acquired(LatchRank::LockManager, None);
+            self.manager.lock().release_all(txn);
+        }
         self.released.notify_all();
     }
 
@@ -294,7 +301,12 @@ impl LockTable {
     /// while pinning a table would stall the very writers being waited
     /// for).
     pub fn wait_for_release(&self, txn: TxnId, timeout: Duration) -> bool {
+        debug_assert!(
+            !latch_order::holds_at_or_above(LatchRank::CommitSerial),
+            "wait_for_release called with an engine latch held"
+        );
         let deadline = Instant::now() + timeout;
+        let _order = latch_order::acquired(LatchRank::LockManager, None);
         let mut manager = self.manager.lock();
         while !manager.waiting_on(txn).is_empty() {
             let now = Instant::now();
@@ -314,11 +326,13 @@ impl LockTable {
 
     /// Whether `txn` holds `resource` in a mode covering `mode`.
     pub fn holds(&self, txn: TxnId, resource: ResourceId, mode: LockMode) -> bool {
+        let _order = latch_order::acquired(LatchRank::LockManager, None);
         self.manager.lock().holds(txn, resource, mode)
     }
 
     /// Number of currently locked resources (diagnostics/tests).
     pub fn locked_resources(&self) -> usize {
+        let _order = latch_order::acquired(LatchRank::LockManager, None);
         self.manager.lock().locked_resources()
     }
 }

@@ -17,6 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use acidrain_obs::Obs;
 use parking_lot::Mutex;
 
+use crate::latch_order::{self, LatchRank};
+
 /// Identifies one invocation of one application API endpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ApiTag {
@@ -88,7 +90,11 @@ impl fmt::Display for LogEntry {
                 "{:>5} [s{} {}#{}{marker}] {}",
                 self.seq, self.session, tag.name, tag.invocation, self.sql
             ),
-            None => write!(f, "{:>5} [s{}{marker}] {}", self.seq, self.session, self.sql),
+            None => write!(
+                f,
+                "{:>5} [s{}{marker}] {}",
+                self.seq, self.session, self.sql
+            ),
         }
     }
 }
@@ -151,7 +157,11 @@ impl QueryLog {
             sql: sql.into(),
             outcome,
         };
-        self.shards[session as usize % LOG_SHARDS].lock().push(entry);
+        let shard = session as usize % LOG_SHARDS;
+        {
+            let _order = latch_order::acquired(LatchRank::LogShard, Some(shard));
+            self.shards[shard].lock().push(entry);
+        }
         self.obs.log_append(session);
     }
 
@@ -160,7 +170,11 @@ impl QueryLog {
         let mut all: Vec<LogEntry> = self
             .shards
             .iter()
-            .flat_map(|shard| shard.lock().clone())
+            .enumerate()
+            .flat_map(|(i, shard)| {
+                let _order = latch_order::acquired(LatchRank::LogShard, Some(i));
+                shard.lock().clone()
+            })
             .collect();
         all.sort_by_key(|e| e.seq);
         all
@@ -168,7 +182,14 @@ impl QueryLog {
 
     /// Number of logged statements.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|shard| shard.lock().len()).sum()
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let _order = latch_order::acquired(LatchRank::LogShard, Some(i));
+                shard.lock().len()
+            })
+            .sum()
     }
 
     /// Whether the log has no entries.
@@ -186,10 +207,20 @@ impl QueryLog {
     /// sequence numbers collide with (and sort before) that straggler.
     /// Never reusing numbers keeps every snapshot's merge order correct.
     pub fn take(&self) -> Vec<LogEntry> {
-        let mut guards: Vec<_> = self.shards.iter().map(|shard| shard.lock()).collect();
+        // Shard locks are collected in ascending index order (latch
+        // hierarchy: same-rank latches must ascend).
+        let mut guards: Vec<_> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let order = latch_order::acquired(LatchRank::LogShard, Some(i));
+                (order, shard.lock())
+            })
+            .collect();
         let mut all: Vec<LogEntry> = guards
             .iter_mut()
-            .flat_map(|guard| std::mem::take(&mut **guard))
+            .flat_map(|(_, guard)| std::mem::take(&mut **guard))
             .collect();
         all.sort_by_key(|e| e.seq);
         all

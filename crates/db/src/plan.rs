@@ -54,9 +54,7 @@ pub struct PlanTable<'a> {
 /// `None` when evaluation would raise `UnknownColumn`.
 fn resolve(tables: &[PlanTable<'_>], col: &ColumnRef) -> Option<(usize, usize)> {
     if let Some(qualifier) = &col.table {
-        let ti = tables
-            .iter()
-            .position(|t| t.effective_name == qualifier)?;
+        let ti = tables.iter().position(|t| t.effective_name == qualifier)?;
         let ci = tables[ti].columns.iter().position(|c| c == &col.column)?;
         return Some((ti, ci));
     }
@@ -187,7 +185,10 @@ mod tests {
     fn unresolvable_column_forces_fallback() {
         assert_eq!(analyze("nope = 1", &["id", "v"]), None);
         // ... even when buried in a non-conjunct position.
-        assert_eq!(analyze("id = 1 AND (nope > 2 OR v = 3)", &["id", "v"]), None);
+        assert_eq!(
+            analyze("id = 1 AND (nope > 2 OR v = 3)", &["id", "v"]),
+            None
+        );
     }
 
     #[test]
@@ -206,9 +207,23 @@ mod tests {
         ];
         let e = where_expr("b.y = 3 AND shared = 1");
         let cs = equality_constraints(&[&e], &tables).unwrap();
-        assert_eq!(cs[0], EqConstraint { table: 1, column: 0, value: Value::Int(3) });
+        assert_eq!(
+            cs[0],
+            EqConstraint {
+                table: 1,
+                column: 0,
+                value: Value::Int(3)
+            }
+        );
         // Unqualified `shared` resolves to the FIRST scope table, exactly
         // as EvalScope::lookup does.
-        assert_eq!(cs[1], EqConstraint { table: 0, column: 1, value: Value::Int(1) });
+        assert_eq!(
+            cs[1],
+            EqConstraint {
+                table: 0,
+                column: 1,
+                value: Value::Int(1)
+            }
+        );
     }
 }

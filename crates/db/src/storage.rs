@@ -4,11 +4,13 @@
 //! versions to the slot's chain. Version visibility is decided against a
 //! [`ReadView`], which encodes the isolation level's read rule.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::index::TableIndexes;
+use crate::latch_order::{self, LatchRank, LatchToken};
 use crate::txn::{TxnId, UndoRecord};
 use crate::value::Value;
 
@@ -170,13 +172,21 @@ impl Storage {
     }
 
     /// Read-latch a table for the duration of the returned guard.
-    pub fn read(&self, table: usize) -> RwLockReadGuard<'_, TableData> {
-        self.tables[table].read()
+    pub fn read(&self, table: usize) -> TableReadGuard<'_> {
+        let token = latch_order::acquired(LatchRank::Storage, Some(table));
+        TableReadGuard {
+            guard: self.tables[table].read(),
+            _token: token,
+        }
     }
 
     /// Write-latch a table for the duration of the returned guard.
-    pub fn write(&self, table: usize) -> RwLockWriteGuard<'_, TableData> {
-        self.tables[table].write()
+    pub fn write(&self, table: usize) -> TableWriteGuard<'_> {
+        let token = latch_order::acquired(LatchRank::Storage, Some(table));
+        TableWriteGuard {
+            guard: self.tables[table].write(),
+            _token: token,
+        }
     }
 
     /// The latest fully published commit timestamp, usable as a snapshot
@@ -192,6 +202,7 @@ impl Storage {
     /// consecutive same-table records); the only globally serialized part
     /// is the stamping itself, under `commit_serial`.
     pub fn publish_commit(&self, txn: TxnId, undo: &[UndoRecord]) {
+        let _serial_order = latch_order::acquired(LatchRank::CommitSerial, None);
         let _serial = self.commit_serial.lock();
         let ts = self.commit_ts.load(Ordering::Relaxed) + 1;
         let mut i = 0;
@@ -224,7 +235,11 @@ impl Storage {
     pub fn rollback(&self, txn: TxnId, undo: &[UndoRecord]) {
         for record in undo.iter().rev() {
             match *record {
-                UndoRecord::Created { table, row, version } => {
+                UndoRecord::Created {
+                    table,
+                    row,
+                    version,
+                } => {
                     let mut guard = self.write(table);
                     let data = &mut *guard;
                     let slot = &mut data.rows[row];
@@ -241,7 +256,11 @@ impl Storage {
                         data.rows[row].versions.iter().map(|v| v.values.as_slice()),
                     );
                 }
-                UndoRecord::Ended { table, row, version } => {
+                UndoRecord::Ended {
+                    table,
+                    row,
+                    version,
+                } => {
                     let mut guard = self.write(table);
                     let v = &mut guard.rows[row].versions[version];
                     if v.end_txn == Some(txn) && v.end_ts.is_none() {
@@ -250,6 +269,41 @@ impl Storage {
                 }
             }
         }
+    }
+}
+
+/// A table read latch paired with its latch-order token. Dereferences to
+/// the table's data; dropping it releases the latch and pops the token.
+pub struct TableReadGuard<'a> {
+    guard: RwLockReadGuard<'a, TableData>,
+    _token: LatchToken,
+}
+
+impl Deref for TableReadGuard<'_> {
+    type Target = TableData;
+
+    fn deref(&self) -> &TableData {
+        &self.guard
+    }
+}
+
+/// A table write latch paired with its latch-order token.
+pub struct TableWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, TableData>,
+    _token: LatchToken,
+}
+
+impl Deref for TableWriteGuard<'_> {
+    type Target = TableData;
+
+    fn deref(&self) -> &TableData {
+        &self.guard
+    }
+}
+
+impl DerefMut for TableWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut TableData {
+        &mut self.guard
     }
 }
 
@@ -394,6 +448,25 @@ mod tests {
             txn: TxnId(9),
         };
         assert_eq!(view.visible_version(&slot).unwrap().values, v(1));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn descending_table_latches_panic() {
+        // A real-site latch-order inversion: write-latching table 0 while
+        // holding table 1 violates the ascending-index rule and must panic
+        // in the checker (before the RwLock call, so no deadlock).
+        let storage = Storage::new(vec![
+            TableData::new("a", vec![]),
+            TableData::new("b", vec![]),
+        ]);
+        let _held = storage.write(1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _inverted = storage.write(0);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("latch-order violation"), "{msg}");
     }
 
     #[test]

@@ -37,22 +37,21 @@ fn leaf() -> impl Strategy<Value = Predicate> {
     ];
     (col, op, -5i64..5).prop_map(|(col, op, k)| {
         let sql = format!("{col} {op} {k}");
-        let model: Arc<dyn Fn(i64, i64, i64) -> bool + Send + Sync> =
-            Arc::new(move |a, b, c| {
-                let v = match col {
-                    "a" => a,
-                    "b" => b,
-                    _ => c,
-                };
-                match op {
-                    "=" => v == k,
-                    "!=" => v != k,
-                    "<" => v < k,
-                    "<=" => v <= k,
-                    ">" => v > k,
-                    _ => v >= k,
-                }
-            });
+        let model: Arc<dyn Fn(i64, i64, i64) -> bool + Send + Sync> = Arc::new(move |a, b, c| {
+            let v = match col {
+                "a" => a,
+                "b" => b,
+                _ => c,
+            };
+            match op {
+                "=" => v == k,
+                "!=" => v != k,
+                "<" => v < k,
+                "<=" => v <= k,
+                ">" => v > k,
+                _ => v >= k,
+            }
+        });
         Predicate { sql, model }
     })
 }

@@ -76,7 +76,11 @@ fn hot_row_updates_never_straddle_commits() {
         assert_eq!(successes, THREADS * ITERS, "{isolation}");
         let rows = db.table_rows("account").unwrap();
         assert_eq!(rows.len(), 1, "{isolation}");
-        assert_eq!(rows[0][1], Value::Int((THREADS * ITERS) as i64), "{isolation}");
+        assert_eq!(
+            rows[0][1],
+            Value::Int((THREADS * ITERS) as i64),
+            "{isolation}"
+        );
         assert_eq!(db.active_transactions(), 0);
         assert_eq!(db.locked_resources(), 0);
     }

@@ -69,7 +69,9 @@ impl std::fmt::Display for Invariant {
 
 /// Quantity of laptops per cart in the inventory attack: two checkouts of
 /// 3 each against a stock of 5 — individually fine, jointly overselling.
-const INVENTORY_QTY: i64 = 3;
+/// Shared with the endpoint registry so the static audit records the same
+/// probe trace this module replays.
+use acidrain_apps::endpoints::INVENTORY_QTY;
 
 /// Run the scripted penetration-test session for `invariant` against a
 /// fresh store and return the tagged query log (paper §3.1.1: "a 2AD
@@ -342,7 +344,13 @@ pub fn audit_cell(
     isolation: IsolationLevel,
     max_attempts: usize,
 ) -> CellReport {
-    match try_audit_cell(app, invariant, isolation, max_attempts, &FaultConfig::disabled()) {
+    match try_audit_cell(
+        app,
+        invariant,
+        isolation,
+        max_attempts,
+        &FaultConfig::disabled(),
+    ) {
         Ok(report) => report,
         Err(degraded) => panic!("{}: {degraded}", app.name()),
     }
@@ -422,9 +430,7 @@ pub fn try_audit_cell(
             if let Some(control_violation) = control.violation {
                 return Err(AuditDegraded {
                     stage: AuditStage::SerialControl,
-                    error: format!(
-                        "serial control violated {invariant}: {control_violation:?}"
-                    ),
+                    error: format!("serial control violated {invariant}: {control_violation:?}"),
                     fault_stats,
                 });
             }
@@ -602,8 +608,7 @@ mod tests {
     fn mild_faults_still_let_the_audit_complete() {
         // A probe under light latency jitter (no abort faults) produces
         // the same verdict as a clean probe.
-        let faults = FaultConfig::seeded(11)
-            .with_max_latency(std::time::Duration::from_micros(50));
+        let faults = FaultConfig::seeded(11).with_max_latency(std::time::Duration::from_micros(50));
         let report = try_audit_cell(&PrestaShop, Invariant::Voucher, ISO, 60, &faults).unwrap();
         assert!(report.cell.is_vulnerable(), "{report:?}");
     }

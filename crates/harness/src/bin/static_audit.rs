@@ -1,0 +1,94 @@
+//! `static_audit` — the execution-free 2AD audit over the whole
+//! application registry: corpus, didactic apps, and Flexcoin, at all six
+//! isolation levels, with witness provenance down to statement templates.
+//!
+//! ```text
+//! static_audit [options]
+//!
+//! options:
+//!   --app NAME       audit only the named surface (repeatable)
+//!   --json FILE      also write the report as JSON to FILE ("-" = stdout)
+//!   --quiet          suppress the text report (use with --json)
+//! ```
+//!
+//! No concurrent traffic is executed: each endpoint scenario is recorded
+//! in one deterministic solo pass and the 2AD detector explores all
+//! pairwise abstract interleavings symbolically.
+
+use std::process::exit;
+use std::time::Instant;
+
+use acidrain_apps::endpoints::all_surfaces;
+use acidrain_static::{audit_surface, render_json, render_text, StaticAuditReport};
+
+fn usage() -> ! {
+    eprintln!("usage: static_audit [--app NAME]... [--json FILE] [--quiet]");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut apps: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut quiet = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--app" => {
+                apps.push(next(i));
+                i += 1;
+            }
+            "--json" => {
+                json_path = Some(next(i));
+                i += 1;
+            }
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let start = Instant::now();
+    let mut surfaces = all_surfaces();
+    if !apps.is_empty() {
+        surfaces.retain(|s| apps.iter().any(|a| a == &s.app));
+        if surfaces.is_empty() {
+            eprintln!("static_audit: no surface matches {apps:?}");
+            exit(2);
+        }
+    }
+
+    let mut audited = Vec::with_capacity(surfaces.len());
+    for surface in &surfaces {
+        match audit_surface(surface) {
+            Ok(audit) => audited.push(audit),
+            Err(e) => {
+                eprintln!("static_audit: {e}");
+                exit(1);
+            }
+        }
+    }
+    let report = StaticAuditReport { apps: audited };
+    let elapsed = start.elapsed();
+
+    if let Some(path) = &json_path {
+        let json = render_json(&report);
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, json) {
+            eprintln!("static_audit: writing {path}: {e}");
+            exit(1);
+        }
+    }
+    if !quiet {
+        print!("{}", render_text(&report));
+        println!(
+            "\n{} surfaces, {} findings, audited in {:.2?} (no concurrent execution)",
+            report.apps.len(),
+            report.finding_count(),
+            elapsed
+        );
+    }
+}

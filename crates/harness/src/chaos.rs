@@ -117,7 +117,11 @@ enum Request {
 /// script any violation in a chaos report is attributable to the run,
 /// not the workload.
 fn session_script(session: usize, len: usize) -> Vec<Request> {
-    let product = if session.is_multiple_of(2) { PEN } else { LAPTOP };
+    let product = if session.is_multiple_of(2) {
+        PEN
+    } else {
+        LAPTOP
+    };
     (0..len)
         .map(|i| {
             if i % 2 == 0 {
@@ -167,7 +171,10 @@ pub fn run_chaos(app: &dyn ShopApp, config: &ChaosConfig) -> ChaosReport {
 /// [`ChaosReport`] alongside the run's [`MetricsReport`] (latency
 /// histograms, fault/retry counters, contention gauges). Only the second
 /// element varies run-to-run — it carries wall-clock timings.
-pub fn run_chaos_instrumented(app: &dyn ShopApp, config: &ChaosConfig) -> (ChaosReport, MetricsReport) {
+pub fn run_chaos_instrumented(
+    app: &dyn ShopApp,
+    config: &ChaosConfig,
+) -> (ChaosReport, MetricsReport) {
     run_chaos_core(app, config, true)
 }
 

@@ -57,6 +57,8 @@ pub mod report;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
-pub use registry::{Obs, ProbeOutcome, RetryEvent, Stopwatch, Timer, WaitToken, MAX_LEVELS, SHARDS};
+pub use registry::{
+    Obs, ProbeOutcome, RetryEvent, Stopwatch, Timer, WaitToken, MAX_LEVELS, SHARDS,
+};
 pub use report::{Counters, LevelMetrics, MetricsReport};
 pub use trace::{trace_chrome_json, trace_json, SpanKind, TraceBuffer, TraceEvent};

@@ -202,7 +202,10 @@ impl Obs {
     /// (index-aligned with the engine's dense isolation-level codes).
     pub fn with_level_names(names: Vec<String>) -> Self {
         let obs = Obs::default();
-        *obs.registry.level_names.lock().expect("level names poisoned") = names;
+        *obs.registry
+            .level_names
+            .lock()
+            .expect("level names poisoned") = names;
         obs
     }
 
@@ -244,7 +247,15 @@ impl Obs {
         self.registry.tracing.load(Ordering::Relaxed)
     }
 
-    fn push_trace(&self, session: u64, txn: u64, kind: SpanKind, name: &str, start: Instant, dur: Duration) {
+    fn push_trace(
+        &self,
+        session: u64,
+        txn: u64,
+        kind: SpanKind,
+        name: &str,
+        start: Instant,
+        dur: Duration,
+    ) {
         let start_nanos = start
             .saturating_duration_since(self.registry.epoch)
             .as_nanos() as u64;
@@ -327,7 +338,14 @@ impl Obs {
             shard.aborts_by_level[idx].fetch_add(1, Ordering::Relaxed);
         }
         if self.trace_armed() {
-            self.push_trace(session, txn, SpanKind::Txn { committed }, level_name, start, dur);
+            self.push_trace(
+                session,
+                txn,
+                SpanKind::Txn { committed },
+                level_name,
+                start,
+                dur,
+            );
         }
     }
 
@@ -397,7 +415,9 @@ impl Obs {
         if !self.registry.enabled.load(Ordering::Relaxed) {
             return;
         }
-        self.shard(session).deadlocks.fetch_add(1, Ordering::Relaxed);
+        self.shard(session)
+            .deadlocks
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// The fault injector fired. Called *after* the deterministic decision
@@ -458,7 +478,9 @@ impl Obs {
         if !self.registry.enabled.load(Ordering::Relaxed) {
             return;
         }
-        self.shard(session).log_appends.fetch_add(1, Ordering::Relaxed);
+        self.shard(session)
+            .log_appends
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Publish the commit clock's current value (monotonic gauge).
@@ -597,7 +619,14 @@ mod tests {
         for session in 0..40u64 {
             obs.statement_finished(session, 0, ProbeOutcome::Ok, obs.timer(), 1, "SELECT 1");
             obs.deadlock(session);
-            obs.txn_finished(session, session, (session % 2) as u8, session % 3 != 0, obs.timer(), "x");
+            obs.txn_finished(
+                session,
+                session,
+                (session % 2) as u8,
+                session % 3 != 0,
+                obs.timer(),
+                "x",
+            );
         }
         let report = obs.report();
         assert!(report.enabled);

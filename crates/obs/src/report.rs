@@ -255,9 +255,6 @@ mod tests {
         assert!(json.contains("\"abort_rate\": 0.2500"));
         assert!(json.contains("\"p99_ns\":"));
         // Every opening brace closes (cheap balance check).
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -146,7 +146,9 @@ pub fn trace_json(events: &[TraceEvent]) -> String {
         let (kind, flag) = match &e.kind {
             SpanKind::Txn { committed } => ("txn", format!(", \"committed\": {committed}")),
             SpanKind::Statement => ("statement", String::new()),
-            SpanKind::LockWait { timed_out } => ("lock_wait", format!(", \"timed_out\": {timed_out}")),
+            SpanKind::LockWait { timed_out } => {
+                ("lock_wait", format!(", \"timed_out\": {timed_out}"))
+            }
         };
         out.push_str(&format!(
             "  {{\"kind\": \"{kind}\", \"session\": {}, \"txn\": {}, \"name\": \"{}\", \

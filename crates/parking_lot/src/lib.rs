@@ -26,9 +26,7 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(
-            self.0.lock().unwrap_or_else(PoisonError::into_inner),
-        ))
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {

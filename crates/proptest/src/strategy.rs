@@ -569,12 +569,14 @@ mod tests {
                 Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 2, |inner| {
-            crate::prop_oneof![
-                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
-                (0i64..10).prop_map(Tree::Leaf),
-            ]
-        });
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                crate::prop_oneof![
+                    (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+                    (0i64..10).prop_map(Tree::Leaf),
+                ]
+            });
         let mut r = rng();
         for _ in 0..50 {
             assert!(depth(&strat.gen_value(&mut r)) <= 4);

@@ -15,7 +15,10 @@
 //!   defaults) shared by the database executor and the 2AD analysis;
 //! * [`rwset`]: reduction of a statement to its per-table read/write column
 //!   sets with key-vs-predicate access classification — the logical-item
-//!   footprint 2AD builds conflict edges from.
+//!   footprint 2AD builds conflict edges from;
+//! * [`fingerprint`]: literal abstraction to typed placeholders plus a
+//!   stable 64-bit statement fingerprint — the template layer the static
+//!   2AD audit reasons over.
 //!
 //! ```
 //! use acidrain_sql::{parse_statement, rwset::statement_accesses, schema::Schema};
@@ -29,6 +32,7 @@
 pub mod ast;
 pub mod display;
 pub mod error;
+pub mod fingerprint;
 pub mod parser;
 pub mod rwset;
 pub mod schema;
@@ -36,6 +40,7 @@ pub mod token;
 
 pub use ast::{Expr, Literal, Statement};
 pub use error::ParseError;
+pub use fingerprint::{statement_template, StatementTemplate};
 pub use parser::{parse_script, parse_statement};
 pub use rwset::{statement_accesses, AccessKind, TableAccess, EXISTS_COLUMN};
 pub use schema::{ColumnDef, ColumnType, Schema, TableSchema};

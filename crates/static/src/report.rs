@@ -1,0 +1,213 @@
+//! Report rendering: JSON and a fixed-width text table.
+//!
+//! Both renderings are fully deterministic (no timestamps, no durations,
+//! stable ordering), so they double as golden-file material: any drift in
+//! templates, refinement behaviour, or the detector shows up as a diff.
+
+use acidrain_db::IsolationLevel;
+
+use crate::audit::{LevelAudit, StaticAuditReport, StaticFinding};
+
+/// Short column header per level, in [`IsolationLevel::ALL`] order.
+fn level_abbrev(level: IsolationLevel) -> &'static str {
+    match level {
+        IsolationLevel::ReadUncommitted => "RU",
+        IsolationLevel::ReadCommitted => "RC",
+        IsolationLevel::MySqlRepeatableRead => "MySQL-RR",
+        IsolationLevel::RepeatableRead => "RR",
+        IsolationLevel::SnapshotIsolation => "SI",
+        IsolationLevel::Serializable => "SER",
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &StaticFinding, indent: &str) -> String {
+    format!(
+        "{indent}{{\"api\": \"{}\", \"scope\": \"{}\", \"pattern\": \"{}\", \
+         \"table\": \"{}\", \"instances\": {}, \
+         \"seed\": [{{\"position\": {}, \"template\": \"{}\"}}, \
+         {{\"position\": {}, \"template\": \"{}\"}}], \
+         \"witness\": [{}]}}",
+        json_escape(&f.api),
+        f.scope,
+        f.pattern,
+        json_escape(&f.table),
+        f.instances,
+        f.seed.0.position,
+        json_escape(&f.seed.0.template),
+        f.seed.1.position,
+        json_escape(&f.seed.1.template),
+        f.witness
+            .iter()
+            .map(|w| format!("\"{}\"", json_escape(w)))
+            .collect::<Vec<_>>()
+            .join(", "),
+    )
+}
+
+/// Render the audit as JSON (deterministic, schema-stable).
+pub fn render_json(report: &StaticAuditReport) -> String {
+    let mut out = String::from("{\n  \"apps\": [\n");
+    for (ai, app) in report.apps.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"session_locked\": {}, \"levels\": [\n",
+            json_escape(&app.app),
+            app.session_locked
+        ));
+        for (li, level) in app.levels.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"level\": \"{}\", \"scenarios\": [\n",
+                json_escape(level.level.name())
+            ));
+            for (si, scenario) in level.scenarios.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"scenario\": \"{}\", \"endpoints\": [{}], \"findings\": [\n",
+                    json_escape(&scenario.scenario),
+                    scenario
+                        .endpoints
+                        .iter()
+                        .map(|e| format!("\"{}\"", json_escape(e)))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ));
+                for (fi, finding) in scenario.findings.iter().enumerate() {
+                    out.push_str(&finding_json(finding, "          "));
+                    out.push_str(if fi + 1 < scenario.findings.len() {
+                        ",\n"
+                    } else {
+                        "\n"
+                    });
+                }
+                out.push_str("        ]}");
+                out.push_str(if si + 1 < level.scenarios.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("      ]}");
+            out.push_str(if li + 1 < app.levels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("    ]}");
+        out.push_str(if ai + 1 < report.apps.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn summary_table(report: &StaticAuditReport) -> String {
+    let app_width = report
+        .apps
+        .iter()
+        .map(|a| a.app.len())
+        .chain(std::iter::once("app".len()))
+        .max()
+        .unwrap_or(3);
+    let mut out = String::new();
+    out.push_str(&format!("{:<app_width$}", "app"));
+    for level in IsolationLevel::ALL {
+        out.push_str(&format!("  {:>8}", level_abbrev(level)));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(app_width + 6 * 10));
+    out.push('\n');
+    for app in &report.apps {
+        out.push_str(&format!("{:<app_width$}", app.app));
+        for level in IsolationLevel::ALL {
+            let count = app.level(level).map(LevelAudit::finding_count).unwrap_or(0);
+            if count == 0 {
+                out.push_str(&format!("  {:>8}", "-"));
+            } else {
+                out.push_str(&format!("  {count:>8}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the audit as a text report: a per-app × per-level anomaly-count
+/// table followed by each finding with its witness schedule.
+pub fn render_text(report: &StaticAuditReport) -> String {
+    let mut out = String::from("static 2AD audit (anomalies admitted per isolation level)\n\n");
+    out.push_str(&summary_table(report));
+    for app in &report.apps {
+        for level in &app.levels {
+            for scenario in &level.scenarios {
+                for finding in &scenario.findings {
+                    out.push_str(&format!(
+                        "\n{} / {} @ {}: [{} {}] API {} on table {} ({} instances)\n",
+                        app.app,
+                        scenario.scenario,
+                        level.level.name(),
+                        finding.scope,
+                        finding.pattern,
+                        finding.api,
+                        finding.table,
+                        finding.instances,
+                    ));
+                    out.push_str(&format!(
+                        "  seed: #{} {}\n     ~  #{} {}\n",
+                        finding.seed.0.position,
+                        finding.seed.0.template,
+                        finding.seed.1.position,
+                        finding.seed.1.template,
+                    ));
+                    for line in &finding.witness {
+                        out.push_str("  | ");
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::audit_surface;
+    use acidrain_apps::endpoints::flexcoin_surface;
+
+    #[test]
+    fn renderings_are_deterministic_and_well_formed() {
+        let report = StaticAuditReport {
+            apps: vec![audit_surface(&flexcoin_surface()).unwrap()],
+        };
+        let a = render_json(&report);
+        let b = render_json(&report);
+        assert_eq!(a, b);
+        assert!(a.contains("\"app\": \"flexcoin\""));
+        assert!(a.contains(":int"), "templates appear in the JSON");
+        // Balanced quotes implies escaping didn't break the framing.
+        assert_eq!(a.matches('"').count() % 2, 0);
+        let text = render_text(&report);
+        assert!(text.contains("flexcoin"));
+        assert!(text.contains("SERIALIZABLE") || text.contains("SER"));
+    }
+}

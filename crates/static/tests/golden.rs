@@ -1,0 +1,79 @@
+//! Golden-file tests pinning the `static_audit` report — full witness
+//! provenance included — for three representative applications at Read
+//! Committed and Serializable.
+//!
+//! Regenerate after an intentional detector or renderer change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p acidrain-static --test golden
+//! ```
+
+use std::path::PathBuf;
+
+use acidrain_apps::endpoints::all_surfaces;
+use acidrain_db::IsolationLevel;
+use acidrain_static::{audit_surface, render_text, StaticAuditReport};
+
+/// The pinned levels: the paper's weak default family representative and
+/// the strongest level (where only scope-based anomalies remain).
+const LEVELS: [IsolationLevel; 2] = [IsolationLevel::ReadCommitted, IsolationLevel::Serializable];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Audit one app and keep only the pinned levels, so the golden file stays
+/// small and focused on the RC-vs-SER contrast.
+fn report_for(app: &str) -> StaticAuditReport {
+    let surfaces = all_surfaces();
+    let surface = surfaces
+        .iter()
+        .find(|s| s.app == app)
+        .unwrap_or_else(|| panic!("no surface named {app}"));
+    let mut audit = audit_surface(surface).unwrap();
+    audit.levels.retain(|l| LEVELS.contains(&l.level));
+    StaticAuditReport { apps: vec![audit] }
+}
+
+fn check_golden(app: &str) {
+    let rendered = render_text(&report_for(app));
+    let path = golden_path(app);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}; run with UPDATE_GOLDEN=1 to create",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "{app}: static audit report drifted from {} \
+         (rerun with UPDATE_GOLDEN=1 if the change is intentional)",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_bank_figure1a() {
+    // Didactic: the unscoped Figure-1a bank — identical findings at RC
+    // and SER because everything is scope-based.
+    check_golden("bank-figure1a");
+}
+
+#[test]
+fn golden_flexcoin() {
+    // The §2 case study: the unguarded transfer endpoint.
+    check_golden("flexcoin");
+}
+
+#[test]
+fn golden_prestashop() {
+    // A PHP corpus app with session locking in the refinement config.
+    check_golden("PrestaShop");
+}

@@ -47,7 +47,9 @@ fn main() {
     let f = &report.fault_stats;
     println!(
         "injected faults: {} deadlocks, {} write conflicts, {} lock timeouts over {} statements",
-        f.injected_deadlocks, f.injected_write_conflicts, f.injected_lock_timeouts,
+        f.injected_deadlocks,
+        f.injected_write_conflicts,
+        f.injected_lock_timeouts,
         f.statements_seen
     );
     let r = &report.retry_stats;

@@ -91,7 +91,12 @@ fn select_for_update_attribution() {
 fn multiple_validations_attribution() {
     for app in all_apps() {
         let expected = app.name() == "Spree";
-        assert_eq!(voucher_post_validation(app.as_ref()), expected, "{}", app.name());
+        assert_eq!(
+            voucher_post_validation(app.as_ref()),
+            expected,
+            "{}",
+            app.name()
+        );
     }
 }
 
@@ -100,7 +105,12 @@ fn multiple_validations_attribution() {
 #[test]
 fn user_level_concurrency_control_attribution() {
     for app in all_apps() {
-        assert_eq!(app.session_locked(), app.name() == "OpenCart", "{}", app.name());
+        assert_eq!(
+            app.session_locked(),
+            app.name() == "OpenCart",
+            "{}",
+            app.name()
+        );
     }
     let log = probe_trace(&Broadleaf, Invariant::Cart, ISO).unwrap();
     assert!(

@@ -75,9 +75,11 @@ fn lost_update_scenario_fingerprint_is_stable() {
     t2.execute("BEGIN").unwrap();
     t1.execute("SELECT value FROM test WHERE id = 1").unwrap();
     t2.execute("SELECT value FROM test WHERE id = 1").unwrap();
-    t1.execute("UPDATE test SET value = 9 WHERE id = 1").unwrap();
+    t1.execute("UPDATE test SET value = 9 WHERE id = 1")
+        .unwrap();
     t1.execute("COMMIT").unwrap();
-    t2.execute("UPDATE test SET value = 8 WHERE id = 1").unwrap();
+    t2.execute("UPDATE test SET value = 8 WHERE id = 1")
+        .unwrap();
     t2.execute("COMMIT").unwrap();
 
     let fp = fingerprint(&d, level);
@@ -100,8 +102,10 @@ fn write_skew_scenario_fingerprint_is_stable() {
     t2.execute("BEGIN").unwrap();
     t1.execute("SELECT value FROM test WHERE id = 1").unwrap();
     t2.execute("SELECT value FROM test WHERE id = 2").unwrap();
-    t1.execute("UPDATE test SET value = 11 WHERE id = 1").unwrap();
-    t2.execute("UPDATE test SET value = 21 WHERE id = 2").unwrap();
+    t1.execute("UPDATE test SET value = 11 WHERE id = 1")
+        .unwrap();
+    t2.execute("UPDATE test SET value = 21 WHERE id = 2")
+        .unwrap();
     t1.execute("COMMIT").unwrap();
     t2.execute("COMMIT").unwrap();
 
@@ -122,12 +126,15 @@ fn phantom_scenario_fingerprint_is_stable() {
     t2.set_api("insert", 0);
     t1.execute("BEGIN").unwrap();
     assert_eq!(
-        t1.query_i64("SELECT COUNT(*) FROM test WHERE value > 5").unwrap(),
+        t1.query_i64("SELECT COUNT(*) FROM test WHERE value > 5")
+            .unwrap(),
         2
     );
-    t2.execute("INSERT INTO test (id, value) VALUES (3, 30)").unwrap();
+    t2.execute("INSERT INTO test (id, value) VALUES (3, 30)")
+        .unwrap();
     assert_eq!(
-        t1.query_i64("SELECT COUNT(*) FROM test WHERE value > 5").unwrap(),
+        t1.query_i64("SELECT COUNT(*) FROM test WHERE value > 5")
+            .unwrap(),
         3
     );
     t1.execute("COMMIT").unwrap();
@@ -148,11 +155,13 @@ fn serializable_phantom_block_fingerprint_is_stable() {
     t1.set_api("report", 0);
     t2.set_api("insert", 0);
     t1.execute("BEGIN").unwrap();
-    t1.execute("SELECT COUNT(*) FROM test WHERE value > 5").unwrap();
+    t1.execute("SELECT COUNT(*) FROM test WHERE value > 5")
+        .unwrap();
     let blocked = t2.try_execute("INSERT INTO test (id, value) VALUES (3, 30)");
     assert!(matches!(blocked, Err(DbError::WouldBlock { .. })));
     t1.execute("COMMIT").unwrap();
-    t2.try_execute("INSERT INTO test (id, value) VALUES (3, 30)").unwrap();
+    t2.try_execute("INSERT INTO test (id, value) VALUES (3, 30)")
+        .unwrap();
 
     let fp = fingerprint(&d, level);
     eprintln!("serializable fingerprint: {fp:?}");
@@ -234,7 +243,10 @@ fn chaos_reports_identical_with_index_path_on_or_off() {
                 ..chaos_config(seed)
             },
         );
-        assert_eq!(on, off, "seed {seed}: index routing changed the chaos report");
+        assert_eq!(
+            on, off,
+            "seed {seed}: index routing changed the chaos report"
+        );
     }
 }
 
@@ -255,15 +267,21 @@ fn scripted_fingerprint_identical_with_index_path_on_or_off() {
         t2.execute("BEGIN").unwrap();
         t1.execute("SELECT value FROM test WHERE id = 1").unwrap();
         t2.execute("SELECT value FROM test WHERE id = 1").unwrap();
-        t1.execute("UPDATE test SET value = 9 WHERE id = 1").unwrap();
+        t1.execute("UPDATE test SET value = 9 WHERE id = 1")
+            .unwrap();
         t1.execute("COMMIT").unwrap();
-        t2.execute("UPDATE test SET value = 8 WHERE id = 1").unwrap();
+        t2.execute("UPDATE test SET value = 8 WHERE id = 1")
+            .unwrap();
         t2.execute("COMMIT").unwrap();
         fingerprint(&d, level)
     };
     let (on, off) = (run(true), run(false));
     assert_eq!(on, off, "index routing changed the abstract history");
-    assert_eq!(on, (2, 2, 1), "lost-update fingerprint drifted from baseline");
+    assert_eq!(
+        on,
+        (2, 2, 1),
+        "lost-update fingerprint drifted from baseline"
+    );
 }
 
 /// A genuinely concurrent threaded workload on disjoint rows: the abstract
@@ -312,7 +330,9 @@ fn concurrent_disjoint_workload_fingerprint_is_stable() {
 
     let log = db.log_entries();
     let analyzer = Analyzer::from_log(&log, &db.schema()).expect("log lifts");
-    let report = analyzer.analyze(&RefinementConfig::at_isolation(IsolationLevel::ReadCommitted));
+    let report = analyzer.analyze(&RefinementConfig::at_isolation(
+        IsolationLevel::ReadCommitted,
+    ));
     let fp = (
         analyzer.history().node_count(),
         analyzer.history().edge_count(),

@@ -127,7 +127,10 @@ fn enabling_metrics_mid_flight_starts_recording() {
     Oscar.add_to_cart(&mut conn, 1, PEN, 1).unwrap();
     let on = db.metrics_report();
     assert!(on.statements.count() > 0);
-    assert!(on.commit_clock > 0, "gauge tracks the engine's commit clock");
+    assert!(
+        on.commit_clock > 0,
+        "gauge tracks the engine's commit clock"
+    );
 
     db.disable_metrics();
     let frozen = db.metrics_report().statements.count();
@@ -149,9 +152,7 @@ fn trace_spans_cover_the_transaction_lifecycle_and_export_cleanly() {
 
     let events = db.take_trace();
     assert!(!events.is_empty());
-    assert!(events
-        .iter()
-        .any(|e| matches!(e.kind, SpanKind::Statement)));
+    assert!(events.iter().any(|e| matches!(e.kind, SpanKind::Statement)));
     assert!(events
         .iter()
         .any(|e| matches!(e.kind, SpanKind::Txn { committed: true })));

@@ -37,7 +37,8 @@ fn user_db(isolation: IsolationLevel) -> Arc<Database> {
 fn explicit_duplicate_into_auto_increment_column_is_rejected() {
     let db = user_db(IsolationLevel::ReadCommitted);
     let mut conn = db.connect();
-    conn.execute("INSERT INTO users (name) VALUES ('ada')").unwrap();
+    conn.execute("INSERT INTO users (name) VALUES ('ada')")
+        .unwrap();
 
     // id 1 is taken; supplying it explicitly must violate, not clone it.
     let err = conn
@@ -50,11 +51,16 @@ fn explicit_duplicate_into_auto_increment_column_is_rejected() {
     assert_eq!(db.table_rows("users").unwrap().len(), 1);
 
     // A fresh explicit id is fine and bumps the counter past itself.
-    conn.execute("INSERT INTO users (id, name) VALUES (5, 'bob')").unwrap();
+    conn.execute("INSERT INTO users (id, name) VALUES (5, 'bob')")
+        .unwrap();
     let rs = conn
         .execute("INSERT INTO users (name) VALUES ('eve')")
         .unwrap();
-    assert_eq!(rs.rows[0][1], Value::Int(6), "auto counter skips explicit id");
+    assert_eq!(
+        rs.rows[0][1],
+        Value::Int(6),
+        "auto counter skips explicit id"
+    );
 }
 
 #[test]
@@ -71,7 +77,8 @@ fn batch_explicit_auto_increment_duplicates_are_rejected_atomically() {
 
     // Batch-vs-stored: any row of the batch colliding with a stored row
     // rejects the batch atomically, even when other rows are clean.
-    conn.execute("INSERT INTO users (id, name) VALUES (3, 'stored')").unwrap();
+    conn.execute("INSERT INTO users (id, name) VALUES (3, 'stored')")
+        .unwrap();
     let err = conn
         .try_execute("INSERT INTO users (id, name) VALUES (8, 'ok'), (3, 'dup')")
         .unwrap_err();
@@ -84,7 +91,8 @@ fn own_uncommitted_duplicate_is_visible_to_the_check() {
     let db = user_db(IsolationLevel::ReadCommitted);
     let mut conn = db.connect();
     conn.execute("BEGIN").unwrap();
-    conn.execute("INSERT INTO users (id, name) VALUES (2, 'mine')").unwrap();
+    conn.execute("INSERT INTO users (id, name) VALUES (2, 'mine')")
+        .unwrap();
     // The same transaction re-inserting its own uncommitted id violates.
     let err = conn
         .try_execute("INSERT INTO users (id, name) VALUES (2, 'again')")
@@ -99,14 +107,16 @@ fn rolled_back_duplicate_frees_the_value() {
     let db = user_db(IsolationLevel::ReadCommitted);
     let mut conn = db.connect();
     conn.execute("BEGIN").unwrap();
-    conn.execute("INSERT INTO users (id, name) VALUES (9, 'ghost')").unwrap();
+    conn.execute("INSERT INTO users (id, name) VALUES (9, 'ghost')")
+        .unwrap();
     conn.execute("ROLLBACK").unwrap();
     // The undo unwound the index entry along with the version: the value
     // is insertable again (a stale index entry would false-positive here
     // only if the checker skipped predicate re-verification — it doesn't —
     // but the entry itself must also be gone for the probe to be a true
     // point lookup).
-    conn.execute("INSERT INTO users (id, name) VALUES (9, 'real')").unwrap();
+    conn.execute("INSERT INTO users (id, name) VALUES (9, 'real')")
+        .unwrap();
     assert_eq!(db.table_rows("users").unwrap().len(), 1);
 }
 
@@ -141,9 +151,9 @@ fn threaded_unique_insert_race_has_exactly_one_winner() {
                     s.spawn(move || {
                         let mut conn = db.connect();
                         loop {
-                            match conn.execute(
-                                "INSERT INTO claims (token) VALUES ('golden-ticket')",
-                            ) {
+                            match conn
+                                .execute("INSERT INTO claims (token) VALUES ('golden-ticket')")
+                            {
                                 Ok(_) => return Ok(()),
                                 Err(e) if e.is_retryable() => continue,
                                 Err(e) => return Err(e),
