@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 use acidrain_obs::{MetricsReport, Obs, ProbeOutcome, TraceEvent};
 use acidrain_sql::schema::Schema;
 use acidrain_sql::{parse_statement, Statement};
+use parking_lot::Mutex;
 
 use crate::error::DbError;
 use crate::exec;
@@ -34,6 +35,7 @@ use crate::result::ResultSet;
 use crate::storage::{ReadView, RowVersion, Storage, TableData};
 use crate::txn::{TxnId, TxnState};
 use crate::value::Value;
+use crate::wal::{self, RecoveryInfo, Wal, WalConfig};
 
 /// Default for how long a blocking [`Connection::execute`] waits on a lock
 /// before giving up (InnoDB's `innodb_lock_wait_timeout` analogue).
@@ -72,6 +74,14 @@ pub struct Database {
     /// flag only gates the read path, so it can be toggled at any time —
     /// results are identical either way.
     use_indexes: AtomicBool,
+    /// Attached write-ahead log, if durability was enabled via
+    /// [`Database::attach_wal`] / [`Database::recover`]. Behind a mutex
+    /// only for attach-time interior mutability; the hot commit path gates
+    /// on `wal_attached` first so the unattached case costs one atomic
+    /// load.
+    wal: Mutex<Option<Arc<Wal>>>,
+    /// Fast-path flag mirroring `wal.is_some()`.
+    wal_attached: AtomicBool,
 }
 
 impl Database {
@@ -101,6 +111,8 @@ impl Database {
             active_txns: AtomicUsize::new(0),
             lock_wait_timeout_nanos: AtomicU64::new(DEFAULT_LOCK_WAIT_TIMEOUT.as_nanos() as u64),
             use_indexes: AtomicBool::new(true),
+            wal: Mutex::new(None),
+            wal_attached: AtomicBool::new(false),
         })
     }
 
@@ -212,6 +224,79 @@ impl Database {
     /// The isolation level handed to new connections.
     pub fn default_isolation(&self) -> IsolationLevel {
         IsolationLevel::from_code(self.default_isolation.load(Ordering::Relaxed))
+    }
+
+    /// Attach a write-ahead log: every subsequent writing commit appends
+    /// its redo record (inside the commit critical section, so WAL order
+    /// is commit order) and is acknowledged only once durable — via its
+    /// own fsync in per-commit mode, or a shared group-commit fsync by
+    /// default. Opening an existing log repairs any torn tail so appends
+    /// resume at a valid record boundary; it does **not** replay old
+    /// records into storage — use [`Database::recover`] on a fresh engine
+    /// for that. Errors if a WAL is already attached.
+    pub fn attach_wal(&self, config: WalConfig) -> Result<(), DbError> {
+        let mut slot = self.wal.lock();
+        if slot.is_some() {
+            return Err(DbError::Internal("a WAL is already attached".into()));
+        }
+        let opened = Wal::open(config, self.obs.clone())?;
+        *slot = Some(Arc::new(opened));
+        self.wal_attached.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Whether a WAL is attached.
+    pub fn wal_attached(&self) -> bool {
+        self.wal_attached.load(Ordering::Acquire)
+    }
+
+    /// Whether the attached WAL was killed by an injected crash point (or
+    /// a real I/O failure). A dead log fails every subsequent writing
+    /// commit with [`DbError::Io`]; the on-disk state is exactly what a
+    /// `kill -9` at that point would have left, ready for
+    /// [`Database::recover`].
+    pub fn wal_crashed(&self) -> bool {
+        self.wal().is_some_and(|w| w.is_dead())
+    }
+
+    /// Checkpoint: freeze the commit clock, snapshot every table's
+    /// committed state to `snapshot.bin` (atomic tmp-file + rename), and
+    /// truncate the log. Requires an attached WAL.
+    pub fn checkpoint(&self) -> Result<(), DbError> {
+        let wal = self
+            .wal()
+            .ok_or_else(|| DbError::Internal("checkpoint requires an attached WAL".into()))?;
+        self.storage.with_commit_frozen(|| {
+            let ts = self.storage.commit_ts();
+            let snapshot = wal::encode_snapshot(&self.storage, ts);
+            wal.checkpoint(&snapshot, &self.faults)
+        })
+    }
+
+    /// ARIES-lite restart from the durable state under `config.dir`:
+    /// install the snapshot (if one exists), replay the WAL tail, discard
+    /// (and truncate off) any torn trailing bytes, advance the commit
+    /// clock, and attach the repaired log for continued operation.
+    ///
+    /// Must be called on a freshly built engine in the same pre-crash
+    /// state the crashed instance started from (same schema, same seeded
+    /// fixtures) before any connections run statements.
+    pub fn recover(&self, config: WalConfig) -> Result<RecoveryInfo, DbError> {
+        if self.wal_attached() {
+            return Err(DbError::Internal(
+                "recover must run before a WAL is attached".into(),
+            ));
+        }
+        let info = wal::recover_into(&self.storage, &config)?;
+        self.attach_wal(config)?;
+        Ok(info)
+    }
+
+    fn wal(&self) -> Option<Arc<Wal>> {
+        if !self.wal_attached.load(Ordering::Acquire) {
+            return None;
+        }
+        self.wal.lock().clone()
     }
 
     /// Open a new session.
@@ -326,11 +411,31 @@ impl Database {
     }
 
     /// Commit a transaction: publish its versions (if it wrote anything),
-    /// then release its locks and wake waiters.
-    pub(crate) fn commit_txn(&self, session: u64, state: TxnState) {
-        if !state.undo.is_empty() {
-            self.storage.publish_commit(state.id, &state.undo);
-        }
+    /// then release its locks and wake waiters. With a WAL attached, a
+    /// writing commit appends its redo record inside the commit critical
+    /// section and returns only once the record is durable (group-commit
+    /// fsync by default); read-only transactions skip the log entirely.
+    /// On a durability failure ([`DbError::Io`] — the log is dead) the
+    /// commit is not acknowledged, but locks are still released and the
+    /// transaction is closed so the session can observe the failure
+    /// without wedging others.
+    pub(crate) fn commit_txn(&self, session: u64, state: TxnState) -> Result<(), DbError> {
+        let result = if state.undo.is_empty() {
+            Ok(())
+        } else {
+            match self.wal() {
+                None => {
+                    self.storage.publish_commit(state.id, &state.undo);
+                    Ok(())
+                }
+                Some(wal) => self
+                    .storage
+                    .publish_commit_logged(state.id, &state.undo, |ts, ops| {
+                        wal.append(session, ts, state.id, ops, &self.faults)
+                    })
+                    .and_then(|lsn| wal.sync_to(lsn, session, &self.faults)),
+            }
+        };
         self.locks.release_all(state.id);
         self.active_txns.fetch_sub(1, Ordering::AcqRel);
         self.obs.commit_clock(self.storage.commit_ts());
@@ -338,10 +443,11 @@ impl Database {
             session,
             state.id.0,
             state.isolation.code(),
-            true,
+            result.is_ok(),
             state.timer,
             state.isolation.name(),
         );
+        result
     }
 
     /// Roll a transaction back: undo its versions, release its locks, wake
@@ -550,13 +656,7 @@ impl Connection {
         // the executor (so injected aborts share the organic rollback
         // path); a connection drop kills the session state right here,
         // whatever the statement was.
-        let is_data = !matches!(
-            stmt,
-            Statement::Begin
-                | Statement::Commit
-                | Statement::Rollback
-                | Statement::SetAutocommit(_)
-        );
+        let is_data = !stmt.is_transaction_control();
         let injected = self.db.faults.next_fault(self.session, is_data);
         if injected == Some(InjectedFault::ConnectionDrop) {
             if let Some(state) = self.txn.take() {
@@ -570,7 +670,11 @@ impl Connection {
             Statement::Begin => {
                 if let Some(state) = self.txn.take() {
                     // MySQL implicitly commits an open transaction on BEGIN.
-                    self.db.commit_txn(self.session, state);
+                    self.txn_implicit = false;
+                    if let Err(e) = self.db.commit_txn(self.session, state) {
+                        self.log_with(raw, StmtOutcome::Failed);
+                        return Err(e);
+                    }
                 }
                 self.txn = Some(self.db.begin_txn(self.isolation, false));
                 self.txn_implicit = false;
@@ -579,7 +683,11 @@ impl Connection {
             }
             Statement::Commit => {
                 if let Some(state) = self.txn.take() {
-                    self.db.commit_txn(self.session, state);
+                    self.txn_implicit = false;
+                    if let Err(e) = self.db.commit_txn(self.session, state) {
+                        self.log_with(raw, StmtOutcome::Failed);
+                        return Err(e);
+                    }
                 }
                 self.log(raw);
                 Ok(ResultSet::empty())
@@ -594,12 +702,64 @@ impl Connection {
             Statement::SetAutocommit(on) => {
                 if *on {
                     if let Some(state) = self.txn.take() {
-                        self.db.commit_txn(self.session, state);
+                        self.txn_implicit = false;
+                        if let Err(e) = self.db.commit_txn(self.session, state) {
+                            self.log_with(raw, StmtOutcome::Failed);
+                            self.autocommit = true;
+                            return Err(e);
+                        }
                     }
                 }
                 self.autocommit = *on;
                 self.log(raw);
                 Ok(ResultSet::empty())
+            }
+            Statement::Savepoint(name) => {
+                // Inside a transaction: mark the current undo position.
+                // Outside one (autocommit), MySQL accepts the statement as
+                // a no-op.
+                if let Some(state) = self.txn.as_mut() {
+                    state.set_savepoint(name);
+                }
+                self.log(raw);
+                Ok(ResultSet::empty())
+            }
+            Statement::RollbackToSavepoint(name) => {
+                let mark = self
+                    .txn
+                    .as_mut()
+                    .and_then(|state| state.rollback_to_savepoint(name));
+                match mark {
+                    Some(mark) => {
+                        let state = self.txn.as_mut().expect("savepoint found in open txn");
+                        // Undo everything past the watermark. Row locks
+                        // taken since the savepoint are retained until
+                        // transaction end (conservative divergence from
+                        // InnoDB, which may release them).
+                        self.db.storage.rollback(state.id, &state.undo[mark..]);
+                        state.undo.truncate(mark);
+                        self.log(raw);
+                        Ok(ResultSet::empty())
+                    }
+                    None => {
+                        // Statement-level error: the transaction stays open.
+                        self.log_with(raw, StmtOutcome::Failed);
+                        Err(DbError::UnknownSavepoint(name.clone()))
+                    }
+                }
+            }
+            Statement::ReleaseSavepoint(name) => {
+                let released = self
+                    .txn
+                    .as_mut()
+                    .is_some_and(|state| state.release_savepoint(name));
+                if released {
+                    self.log(raw);
+                    Ok(ResultSet::empty())
+                } else {
+                    self.log_with(raw, StmtOutcome::Failed);
+                    Err(DbError::UnknownSavepoint(name.clone()))
+                }
             }
             data_stmt => {
                 if self.txn.is_none() {
@@ -613,8 +773,8 @@ impl Connection {
                         self.log(raw);
                         if self.txn_implicit {
                             let state = self.txn.take().expect("implicit txn open");
-                            self.db.commit_txn(self.session, state);
                             self.txn_implicit = false;
+                            self.db.commit_txn(self.session, state)?;
                         }
                         Ok(rs)
                     }

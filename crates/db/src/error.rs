@@ -40,6 +40,18 @@ pub enum DbError {
     ConnectionDropped,
     /// The statement is outside the supported dialect subset.
     Unsupported(String),
+    /// A durability I/O operation failed (WAL write/fsync, checkpoint), or
+    /// the engine was killed at an injected crash point and can no longer
+    /// accept work. Non-retryable: retrying cannot make a dead log durable.
+    Io(String),
+    /// The write-ahead log or snapshot on disk is structurally invalid
+    /// beyond an ordinary torn tail (bad magic, non-monotonic commit
+    /// timestamps, a redo op referencing impossible state). Non-retryable.
+    WalCorrupt(String),
+    /// `ROLLBACK TO` / `RELEASE` named a savepoint that does not exist in
+    /// the current transaction. Statement-level and permanent, like MySQL's
+    /// ER_SP_DOES_NOT_EXIST: the transaction stays open.
+    UnknownSavepoint(String),
     /// Internal invariant violation — indicates a bug in the substrate.
     Internal(String),
 }
@@ -61,7 +73,10 @@ impl DbError {
     /// Whether the failure is transient: retrying the work (the statement
     /// for [`DbError::WouldBlock`], the whole transaction for abort-class
     /// errors) can legitimately succeed. Semantic errors (parse, schema,
-    /// type, constraint) are permanent and must not be retried.
+    /// type, constraint) are permanent and must not be retried, and so are
+    /// durability failures ([`DbError::Io`], [`DbError::WalCorrupt`]): a
+    /// dead or corrupt log does not heal on retry, so they must not
+    /// masquerade as lock timeouts.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -96,6 +111,9 @@ impl fmt::Display for DbError {
                 f.write_str("connection dropped by server; transaction rolled back")
             }
             DbError::Unsupported(msg) => write!(f, "unsupported statement: {msg}"),
+            DbError::Io(msg) => write!(f, "durability i/o error: {msg}"),
+            DbError::WalCorrupt(msg) => write!(f, "write-ahead log corrupt: {msg}"),
+            DbError::UnknownSavepoint(name) => write!(f, "savepoint {name:?} does not exist"),
             DbError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -106,5 +124,28 @@ impl std::error::Error for DbError {}
 impl From<acidrain_sql::ParseError> for DbError {
     fn from(e: acidrain_sql::ParseError) -> Self {
         DbError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_errors_are_permanent() {
+        for e in [
+            DbError::Io("fsync failed".into()),
+            DbError::WalCorrupt("bad magic".into()),
+            DbError::UnknownSavepoint("sp1".into()),
+        ] {
+            assert!(!e.is_retryable(), "{e} must not be retryable");
+            assert!(!e.aborts_transaction(), "{e} must not claim abort-class");
+        }
     }
 }

@@ -46,6 +46,76 @@ pub struct FaultConfig {
     /// Upper bound of the per-statement latency jitter channel. `None`
     /// disables the channel (wrappers fall back to their fixed delays).
     pub max_latency: Option<Duration>,
+    /// Optional kill switch: simulate a process crash the `at`-th time the
+    /// durability layer passes the configured [`CrashPoint`]. Uses its own
+    /// occurrence counter, so arming a crash never perturbs the fault or
+    /// latency channels.
+    pub crash: Option<CrashSpec>,
+}
+
+/// Where in the durability pipeline an injected crash fires. Each point
+/// models a `kill -9` at a precise moment, and the WAL truncates its
+/// on-disk state to exactly the bytes a real kill would have left durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Mid-append: the tail record reaches disk torn (half its bytes).
+    WalAppend,
+    /// In a group-commit flush, after the batch is handed to the OS but
+    /// before `fsync` returns: the whole batch is lost.
+    PreFsync,
+    /// Immediately after a successful `fsync`: the batch is durable but the
+    /// committing sessions never see the acknowledgement.
+    PostFsync,
+    /// Mid-checkpoint: a partial snapshot temp file is left behind; the
+    /// previous snapshot and the full WAL remain intact.
+    MidCheckpoint,
+}
+
+impl CrashPoint {
+    /// Stable lowercase name (used in error messages and test output).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::WalAppend => "wal-append",
+            CrashPoint::PreFsync => "pre-fsync",
+            CrashPoint::PostFsync => "post-fsync",
+            CrashPoint::MidCheckpoint => "mid-checkpoint",
+        }
+    }
+
+    /// Every crash point, for exhaustive kill-and-recover sweeps.
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::WalAppend,
+        CrashPoint::PreFsync,
+        CrashPoint::PostFsync,
+        CrashPoint::MidCheckpoint,
+    ];
+}
+
+/// A seeded crash instruction: die the `at`-th time `point` is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The durability-pipeline location to die at.
+    pub point: CrashPoint,
+    /// 1-based occurrence count of `point` at which the crash fires.
+    pub at: u64,
+}
+
+impl CrashSpec {
+    /// Crash at the `at`-th occurrence of `point` (`at` is clamped to ≥ 1).
+    pub fn new(point: CrashPoint, at: u64) -> Self {
+        CrashSpec {
+            point,
+            at: at.max(1),
+        }
+    }
+
+    /// Derive the occurrence index from a seed: crashes at a deterministic
+    /// position in `1..=within`, different per seed and per point.
+    pub fn seeded(point: CrashPoint, seed: u64, within: u64) -> Self {
+        let span = within.max(1);
+        let at = draw(seed, CRASH_SALT, point as u64, 0) % span + 1;
+        CrashSpec { point, at }
+    }
 }
 
 impl FaultConfig {
@@ -58,6 +128,7 @@ impl FaultConfig {
             lock_timeout: 0.0,
             connection_drop: 0.0,
             max_latency: None,
+            crash: None,
         }
     }
 
@@ -96,6 +167,12 @@ impl FaultConfig {
     /// Enable the latency channel with the given jitter ceiling.
     pub fn with_max_latency(mut self, max: Duration) -> Self {
         self.max_latency = Some(max);
+        self
+    }
+
+    /// Arm a simulated crash (see [`CrashSpec`]).
+    pub fn with_crash(mut self, spec: CrashSpec) -> Self {
+        self.crash = Some(spec);
         self
     }
 
@@ -143,6 +220,10 @@ pub struct FaultStats {
     pub statements_seen: u64,
     /// Latency-channel draws.
     pub latency_draws: u64,
+    /// Times the armed crash point was passed (other points don't count).
+    pub crash_points_seen: u64,
+    /// Simulated crashes fired (0 or 1; the kill switch is one-shot).
+    pub crashes_fired: u64,
 }
 
 impl FaultStats {
@@ -157,6 +238,7 @@ impl FaultStats {
 
 const FAULT_SALT: u64 = 0xF0A7_1D3E_5C2B_9A17;
 const LATENCY_SALT: u64 = 0x1A7E_4CC9_D5B3_02F1;
+const CRASH_SALT: u64 = 0xC4A5_8FD1_7E60_B329;
 
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -184,6 +266,11 @@ pub struct FaultInjector {
     fault_counters: HashMap<u64, u64>,
     /// Per-session latency-channel counters (separate stream).
     latency_counters: HashMap<u64, u64>,
+    /// Occurrences of the armed crash point (its own stream: arming a
+    /// crash never perturbs fault or latency decisions).
+    crash_counter: u64,
+    /// One-shot latch: set once the crash has fired.
+    crashed: bool,
     stats: FaultStats,
 }
 
@@ -254,6 +341,28 @@ impl FaultInjector {
         None
     }
 
+    /// Report that the durability layer reached `point`; returns true when
+    /// the armed crash fires there (one-shot). Points other than the armed
+    /// one consume nothing, so adding new crash points to the pipeline
+    /// cannot shift existing crash positions.
+    pub fn next_crash(&mut self, point: CrashPoint) -> bool {
+        let Some(spec) = self.config.crash else {
+            return false;
+        };
+        if spec.point != point || self.crashed {
+            return false;
+        }
+        self.crash_counter += 1;
+        self.stats.crash_points_seen += 1;
+        if self.crash_counter == spec.at {
+            self.crashed = true;
+            self.stats.crashes_fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Draw from the latency channel: `base` plus deterministic jitter in
     /// `[0, max_latency)`. With the channel disabled, returns `base`
     /// unchanged and consumes nothing.
@@ -277,6 +386,7 @@ impl FaultInjector {
 pub struct FaultHandle {
     any_faults: AtomicBool,
     latency: AtomicBool,
+    crash_armed: AtomicBool,
     inner: Mutex<FaultInjector>,
     /// Observability handle. Injected faults are counted strictly *after*
     /// the pure-hash decision, so enabling metrics cannot perturb which
@@ -302,6 +412,8 @@ impl FaultHandle {
             .store(inner.config().any_faults(), Ordering::Release);
         self.latency
             .store(inner.latency_enabled(), Ordering::Release);
+        self.crash_armed
+            .store(inner.config().crash.is_some(), Ordering::Release);
     }
 
     /// Counters for everything fired so far.
@@ -325,6 +437,16 @@ impl FaultHandle {
             self.obs.injected_fault(session);
         }
         fault
+    }
+
+    /// See [`FaultInjector::next_crash`]; no-ops without locking when no
+    /// crash is armed (the common case, so the durability hot path pays
+    /// one relaxed-ish atomic load per crash point).
+    pub fn next_crash(&self, point: CrashPoint) -> bool {
+        if !self.crash_armed.load(Ordering::Acquire) {
+            return false;
+        }
+        self.inner.lock().next_crash(point)
     }
 
     /// See [`FaultInjector::draw_latency`]; returns `base` without locking
@@ -419,6 +541,48 @@ mod tests {
             .count();
         let rate = hits as f64 / 2000.0;
         assert!((0.25..0.35).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn crash_fires_once_at_configured_occurrence() {
+        let spec = CrashSpec::new(CrashPoint::PreFsync, 3);
+        let mut inj = FaultInjector::new(FaultConfig::seeded(5).with_crash(spec));
+        // Other points never trigger and never consume the counter.
+        assert!(!inj.next_crash(CrashPoint::WalAppend));
+        assert!(!inj.next_crash(CrashPoint::PreFsync));
+        assert!(!inj.next_crash(CrashPoint::MidCheckpoint));
+        assert!(!inj.next_crash(CrashPoint::PreFsync));
+        assert!(inj.next_crash(CrashPoint::PreFsync), "3rd pass must kill");
+        assert!(!inj.next_crash(CrashPoint::PreFsync), "one-shot");
+        assert_eq!(inj.stats().crashes_fired, 1);
+        assert_eq!(inj.stats().crash_points_seen, 3);
+    }
+
+    #[test]
+    fn crash_channel_does_not_perturb_faults() {
+        let base = FaultConfig::seeded(21).with_deadlock(0.3);
+        let armed = base
+            .clone()
+            .with_crash(CrashSpec::seeded(CrashPoint::WalAppend, 21, 10));
+        let mut a = FaultInjector::new(base);
+        let mut b = FaultInjector::new(armed);
+        for i in 0..100 {
+            b.next_crash(CrashPoint::WalAppend);
+            assert_eq!(a.next_fault(1, true), b.next_fault(1, true), "at {i}");
+        }
+    }
+
+    #[test]
+    fn seeded_crash_spec_is_deterministic_and_in_range() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            for point in CrashPoint::ALL {
+                let s1 = CrashSpec::seeded(point, seed, 8);
+                let s2 = CrashSpec::seeded(point, seed, 8);
+                assert_eq!(s1, s2);
+                assert!((1..=8).contains(&s1.at), "at {}", s1.at);
+            }
+        }
+        assert_eq!(CrashSpec::new(CrashPoint::WalAppend, 0).at, 1);
     }
 
     #[test]

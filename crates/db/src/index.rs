@@ -92,6 +92,12 @@ impl TableIndexes {
         self.columns.binary_search(&column).is_ok()
     }
 
+    /// The indexed column positions, ascending (used to rebuild indexes
+    /// from scratch when recovery installs a snapshot).
+    pub fn indexed_columns(&self) -> &[usize] {
+        &self.columns
+    }
+
     /// Record that `slot` now has a version carrying `values`.
     pub fn add(&mut self, slot: usize, values: &[Value]) {
         for (pos, &col) in self.columns.iter().enumerate() {

@@ -52,13 +52,15 @@ pub mod result;
 pub mod storage;
 pub mod txn;
 pub mod value;
+pub mod wal;
 
 pub use acidrain_obs::{MetricsReport, Obs, Stopwatch, TraceEvent};
 pub use db::{Connection, Database};
 pub use error::DbError;
-pub use fault::{FaultConfig, FaultInjector, FaultStats, InjectedFault};
+pub use fault::{CrashPoint, CrashSpec, FaultConfig, FaultInjector, FaultStats, InjectedFault};
 pub use isolation::{DatabaseProfile, IsolationLevel, PAPER_DATABASES};
 pub use log::{ApiTag, LogEntry, StmtOutcome};
 pub use result::ResultSet;
 pub use txn::TxnId;
 pub use value::Value;
+pub use wal::{RecoveryInfo, Wal, WalConfig, WalRecordInfo};

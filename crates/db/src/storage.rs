@@ -9,10 +9,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::error::DbError;
 use crate::index::TableIndexes;
 use crate::latch_order::{self, LatchRank, LatchToken};
 use crate::txn::{TxnId, UndoRecord};
 use crate::value::Value;
+use crate::wal::WalOp;
 
 /// One version of a row.
 #[derive(Debug, Clone)]
@@ -226,6 +228,82 @@ impl Storage {
             }
         }
         self.commit_ts.store(ts, Ordering::Release);
+    }
+
+    /// Force the commit clock to `ts`. Recovery-only: called while the
+    /// engine is still single-threaded, after replay reconstructed the
+    /// committed state up to `ts`.
+    pub(crate) fn set_commit_ts(&self, ts: u64) {
+        self.commit_ts.store(ts, Ordering::Release);
+    }
+
+    /// Run `f` while holding the commit critical section, freezing the
+    /// commit clock and all version stamping. Checkpoints use this to cut
+    /// a consistent snapshot: with `commit_serial` held, the committed
+    /// state cannot advance, and per-table read latches (rank above
+    /// `CommitSerial`) can be taken freely inside `f`.
+    pub(crate) fn with_commit_frozen<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _serial_order = latch_order::acquired(LatchRank::CommitSerial, None);
+        let _serial = self.commit_serial.lock();
+        f()
+    }
+
+    /// [`Storage::publish_commit`] with write-ahead logging: stamps every
+    /// version exactly like the unlogged path while capturing the redo ops
+    /// ([`WalOp`]s in undo order, plus each touched table's auto-increment
+    /// watermark), then calls `append(ts, ops)` — still inside the commit
+    /// critical section, so WAL append order is commit-clock order.
+    ///
+    /// The clock is published only when `append` succeeds; on failure the
+    /// stamped-but-unpublished versions stay invisible to snapshot reads
+    /// (their timestamp is above every reader's bound) and the engine is
+    /// expected to stop accepting work (the WAL is dead).
+    pub(crate) fn publish_commit_logged(
+        &self,
+        txn: TxnId,
+        undo: &[UndoRecord],
+        append: impl FnOnce(u64, &[WalOp]) -> Result<u64, DbError>,
+    ) -> Result<u64, DbError> {
+        let _serial_order = latch_order::acquired(LatchRank::CommitSerial, None);
+        let _serial = self.commit_serial.lock();
+        let ts = self.commit_ts.load(Ordering::Relaxed) + 1;
+        let mut ops = Vec::with_capacity(undo.len() + 1);
+        let mut i = 0;
+        while i < undo.len() {
+            let table = undo[i].table();
+            let mut guard = self.write(table);
+            while i < undo.len() && undo[i].table() == table {
+                match undo[i] {
+                    UndoRecord::Created { row, version, .. } => {
+                        let v = &mut guard.rows[row].versions[version];
+                        debug_assert!(v.begin_txn == txn && v.begin_ts.is_none());
+                        v.begin_ts = Some(ts);
+                        ops.push(WalOp::Create {
+                            table: table as u32,
+                            slot: row as u64,
+                            values: v.values.clone(),
+                        });
+                    }
+                    UndoRecord::Ended { row, version, .. } => {
+                        let v = &mut guard.rows[row].versions[version];
+                        debug_assert!(v.end_txn == Some(txn) && v.end_ts.is_none());
+                        v.end_ts = Some(ts);
+                        ops.push(WalOp::End {
+                            table: table as u32,
+                            slot: row as u64,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            ops.push(WalOp::AutoInc {
+                table: table as u32,
+                value: guard.auto_counter,
+            });
+        }
+        let lsn = append(ts, &ops)?;
+        self.commit_ts.store(ts, Ordering::Release);
+        Ok(lsn)
     }
 
     /// Undo every effect named by `undo`, newest first. Reverse order keeps

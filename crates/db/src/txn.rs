@@ -76,6 +76,10 @@ pub struct TxnState {
     /// off); consumed by the commit/rollback probes for the
     /// whole-transaction latency span.
     pub timer: Timer,
+    /// Active savepoints, oldest first: `(name, undo-log watermark)`.
+    /// `ROLLBACK TO` undoes every [`UndoRecord`] past the watermark and
+    /// truncates the undo log back to it; `RELEASE` just forgets marks.
+    pub savepoints: Vec<(String, usize)>,
 }
 
 impl TxnState {
@@ -88,6 +92,7 @@ impl TxnState {
             undo: Vec::new(),
             implicit,
             timer: Timer::disarmed(),
+            savepoints: Vec::new(),
         }
     }
 
@@ -95,6 +100,38 @@ impl TxnState {
     pub fn with_timer(mut self, timer: Timer) -> Self {
         self.timer = timer;
         self
+    }
+
+    /// Establish (or move, MySQL-style) a savepoint at the current undo
+    /// position. Re-using a name destroys the old mark and any marks set
+    /// after it.
+    pub fn set_savepoint(&mut self, name: &str) {
+        if let Some(i) = self.savepoints.iter().position(|(n, _)| n == name) {
+            self.savepoints.truncate(i);
+        }
+        self.savepoints.push((name.to_string(), self.undo.len()));
+    }
+
+    /// Undo-log watermark for `ROLLBACK TO name`. The savepoint itself is
+    /// kept (it can be rolled back to again) but later marks are dropped.
+    /// Returns `None` when the name is unknown.
+    pub fn rollback_to_savepoint(&mut self, name: &str) -> Option<usize> {
+        let i = self.savepoints.iter().position(|(n, _)| n == name)?;
+        let mark = self.savepoints[i].1;
+        self.savepoints.truncate(i + 1);
+        Some(mark)
+    }
+
+    /// `RELEASE name`: drop the named savepoint and every later one without
+    /// undoing any work. Returns false when the name is unknown.
+    pub fn release_savepoint(&mut self, name: &str) -> bool {
+        match self.savepoints.iter().position(|(n, _)| n == name) {
+            Some(i) => {
+                self.savepoints.truncate(i);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -114,5 +151,49 @@ mod tests {
         assert!(t.undo.is_empty());
         assert_eq!(t.snapshot_ts, None);
         assert!(!t.implicit);
+        assert!(t.savepoints.is_empty());
+    }
+
+    fn undo_at(row: usize) -> UndoRecord {
+        UndoRecord::Created {
+            table: 0,
+            row,
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn savepoints_track_undo_watermarks() {
+        let mut t = TxnState::new(TxnId(1), IsolationLevel::ReadCommitted, false);
+        t.undo.push(undo_at(0));
+        t.set_savepoint("a");
+        t.undo.push(undo_at(1));
+        t.set_savepoint("b");
+        t.undo.push(undo_at(2));
+
+        assert_eq!(t.rollback_to_savepoint("missing"), None);
+        assert_eq!(t.rollback_to_savepoint("b"), Some(2));
+        // "b" survives its own rollback and can be targeted again.
+        assert_eq!(t.rollback_to_savepoint("b"), Some(2));
+        // Rolling back to "a" destroys "b".
+        assert_eq!(t.rollback_to_savepoint("a"), Some(1));
+        assert_eq!(t.savepoints.len(), 1);
+        assert_eq!(t.rollback_to_savepoint("b"), None);
+    }
+
+    #[test]
+    fn savepoint_reuse_and_release() {
+        let mut t = TxnState::new(TxnId(1), IsolationLevel::ReadCommitted, false);
+        t.set_savepoint("a");
+        t.undo.push(undo_at(0));
+        t.set_savepoint("b");
+        // Re-using "a" drops both old marks and re-adds "a" at the top.
+        t.set_savepoint("a");
+        assert_eq!(t.savepoints, vec![("a".to_string(), 1)]);
+
+        t.set_savepoint("c");
+        assert!(t.release_savepoint("a"));
+        assert!(t.savepoints.is_empty(), "release drops later marks too");
+        assert!(!t.release_savepoint("a"));
     }
 }

@@ -11,12 +11,17 @@
 //! set. That property is what makes fault-injection campaigns debuggable:
 //! any surprising report can be replayed exactly.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use acidrain_apps::prelude::*;
 use acidrain_apps::{observed_request, AppError, RetryConfig, RetryConn, RetryPolicy, RetryStats};
 use acidrain_core::{Analyzer, RefinementConfig};
-use acidrain_db::{Database, FaultConfig, FaultStats, IsolationLevel, MetricsReport, StmtOutcome};
+use acidrain_db::{
+    Database, DbError, FaultConfig, FaultStats, IsolationLevel, MetricsReport, RecoveryInfo,
+    StmtOutcome, WalConfig,
+};
 use rand::prelude::*;
 
 use crate::attack::Invariant;
@@ -50,6 +55,12 @@ pub struct ChaosConfig {
     /// a bit-for-bit identical [`ChaosReport`] whether this is on or off
     /// (the engine invariance suite pins this down).
     pub use_indexes: bool,
+    /// Attach a write-ahead log before the workload runs. Combined with a
+    /// crash point in `faults`, the run dies at a deterministic, seeded
+    /// instant (the report's `crashed` flag is set and the remaining
+    /// requests never execute) and the directory holds exactly what a
+    /// `kill -9` would have left — ready for [`recover_app_store`].
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ChaosConfig {
@@ -64,6 +75,7 @@ impl Default for ChaosConfig {
             isolation: IsolationLevel::ReadCommitted,
             metrics: false,
             use_indexes: true,
+            wal: None,
         }
     }
 }
@@ -92,6 +104,9 @@ pub struct ChaosReport {
     pub aborted_log_entries: usize,
     /// FNV-1a digest of the final committed table contents.
     pub state_digest: u64,
+    /// Whether an injected crash point killed the WAL mid-run (the
+    /// remaining requests were skipped, as after a real `kill -9`).
+    pub crashed: bool,
 }
 
 impl ChaosReport {
@@ -140,8 +155,10 @@ fn fnv1a(digest: &mut u64, bytes: &[u8]) {
     }
 }
 
-/// Digest the committed contents of every table, in schema order.
-fn state_digest(db: &Arc<Database>, app: &dyn ShopApp) -> u64 {
+/// FNV-1a digest of the committed contents of every table, in schema
+/// order — the engine-invariance fingerprint chaos reports carry and the
+/// recovery suite compares bit-for-bit against a recovered engine.
+pub fn state_digest(db: &Arc<Database>, app: &dyn ShopApp) -> u64 {
     let mut digest = 0xCBF2_9CE4_8422_2325u64;
     for table in app.schema().tables() {
         fnv1a(&mut digest, table.name.as_bytes());
@@ -189,6 +206,10 @@ fn run_chaos_core(
     let mut faults = config.faults.clone();
     faults.seed = config.seed;
     db.enable_faults(faults);
+    if let Some(wal_config) = &config.wal {
+        db.attach_wal(wal_config.clone())
+            .expect("chaos store accepts a fresh WAL");
+    }
     if metrics {
         db.enable_metrics();
     }
@@ -228,6 +249,10 @@ fn run_chaos_core(
     // numbering would fuse different sessions' requests into one node.
     let mut invocations = [0u64; 2];
     for s in order {
+        // A dead WAL is the simulated kill -9: nothing runs after it.
+        if db.wal_crashed() {
+            break;
+        }
         let request = scripts[s].next().expect("script length matches order");
         let conn = &mut conns[s];
         let cart = s as i64 + 1;
@@ -302,8 +327,35 @@ fn run_chaos_core(
         witnesses,
         aborted_log_entries,
         state_digest: state_digest(&db, app),
+        crashed: db.wal_crashed(),
     };
     (report, db.metrics_report())
+}
+
+/// Rebuild `app`'s store (same schema, same seeded fixtures) and recover
+/// the durable state under `wal` into it — the restart half of a
+/// kill-and-recover cycle. Returns the recovered database alongside what
+/// recovery found; errors only on structural corruption ([`DbError::Io`] /
+/// [`DbError::WalCorrupt`]), never on an ordinary torn tail.
+pub fn recover_app_store(
+    app: &dyn ShopApp,
+    isolation: IsolationLevel,
+    wal: WalConfig,
+) -> Result<(Arc<Database>, RecoveryInfo), DbError> {
+    let db = app.make_store(isolation);
+    let info = db.recover(wal)?;
+    Ok((db, info))
+}
+
+/// A unique scratch directory under the system temp dir for WAL/recovery
+/// artifacts (no external tempdir dependency). The directory is created;
+/// callers remove it best-effort when done.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("acidrain-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
 }
 
 #[cfg(test)]

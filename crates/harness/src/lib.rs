@@ -18,7 +18,10 @@ pub use attack::{
     audit_cell, probe_trace, probe_trace_on, run_attack, run_serial_control, statement_index,
     try_audit_cell, AttackOutcome, AuditDegraded, AuditStage, CellReport, Invariant,
 };
-pub use chaos::{run_chaos, run_chaos_instrumented, ChaosConfig, ChaosReport};
+pub use chaos::{
+    recover_app_store, run_chaos, run_chaos_instrumented, scratch_dir, state_digest, ChaosConfig,
+    ChaosReport,
+};
 pub use explore::{exhaustive, randomized, Exploration, Scenario};
 pub use sched::{run_deterministic, GatedConn, StepOutcome, Stepper};
 pub use stress::{run_concurrent, run_concurrent_watchdog, DelayConn, TaskOutcome};

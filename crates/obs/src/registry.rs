@@ -70,6 +70,9 @@ struct Shard {
     latches: Histogram,
     tasks: Histogram,
     backoff: Histogram,
+    /// Group-commit batch sizes: each recorded "nanos" value is the number
+    /// of commit records one WAL fsync made durable.
+    group_commit: Histogram,
 
     lock_waits: AtomicU64,
     lock_timeouts: AtomicU64,
@@ -85,6 +88,9 @@ struct Shard {
     log_appends: AtomicU64,
     index_hits: AtomicU64,
     index_fallbacks: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_bytes: AtomicU64,
 
     commits_by_level: [AtomicU64; MAX_LEVELS],
     aborts_by_level: [AtomicU64; MAX_LEVELS],
@@ -492,6 +498,33 @@ impl Obs {
         self.registry.commit_clock.fetch_max(ts, Ordering::Relaxed);
     }
 
+    /// A commit record was appended to the WAL buffer (`bytes` = framed
+    /// record size). Fired after the append is decided, inside the commit
+    /// critical section — the probe never influences WAL contents.
+    #[inline]
+    pub fn wal_append(&self, session: u64, bytes: u64) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let shard = self.shard(session);
+        shard.wal_appends.fetch_add(1, Ordering::Relaxed);
+        shard.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A WAL fsync completed, making `batch` commit records durable at
+    /// once. `batch` feeds the group-commit batch-size histogram (recorded
+    /// as a raw count, not a duration); per-commit-fsync mode records a
+    /// constant 1.
+    #[inline]
+    pub fn wal_fsync(&self, session: u64, batch: u64) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let shard = self.shard(session);
+        shard.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        shard.group_commit.record_nanos(batch);
+    }
+
     /// A harness task / request finished after `dur` — the shared
     /// measurement path for watchdog classification and bench reporting.
     #[inline]
@@ -525,6 +558,7 @@ impl Obs {
             report.latches.merge(&shard.latches.snapshot());
             report.tasks.merge(&shard.tasks.snapshot());
             report.backoff.merge(&shard.backoff.snapshot());
+            report.group_commit.merge(&shard.group_commit.snapshot());
             let c = &mut report.counters;
             c.lock_waits += shard.lock_waits.load(Ordering::Relaxed);
             c.lock_timeouts += shard.lock_timeouts.load(Ordering::Relaxed);
@@ -540,6 +574,9 @@ impl Obs {
             c.log_appends += shard.log_appends.load(Ordering::Relaxed);
             c.index_hits += shard.index_hits.load(Ordering::Relaxed);
             c.index_fallbacks += shard.index_fallbacks.load(Ordering::Relaxed);
+            c.wal_appends += shard.wal_appends.load(Ordering::Relaxed);
+            c.wal_fsyncs += shard.wal_fsyncs.load(Ordering::Relaxed);
+            c.wal_bytes += shard.wal_bytes.load(Ordering::Relaxed);
             for i in 0..MAX_LEVELS {
                 commits[i] += shard.commits_by_level[i].load(Ordering::Relaxed);
                 aborts[i] += shard.aborts_by_level[i].load(Ordering::Relaxed);
@@ -603,6 +640,8 @@ mod tests {
         obs.index_probe(1, false);
         obs.commit_clock(42);
         obs.task_finished(1, Duration::from_millis(1));
+        obs.wal_append(1, 64);
+        obs.wal_fsync(1, 3);
         let report = obs.report();
         assert!(!report.enabled);
         assert_eq!(report.statements.count(), 0);
@@ -683,6 +722,21 @@ mod tests {
         let report = obs.report();
         assert_eq!(report.counters.blocked_attempts, 1);
         assert_eq!(report.statements.count(), 1);
+    }
+
+    #[test]
+    fn wal_probes_track_group_commit_batches() {
+        let obs = Obs::new();
+        obs.enable();
+        obs.wal_append(1, 64);
+        obs.wal_append(2, 80);
+        obs.wal_fsync(2, 2);
+        let report = obs.report();
+        assert_eq!(report.counters.wal_appends, 2);
+        assert_eq!(report.counters.wal_bytes, 144);
+        assert_eq!(report.counters.wal_fsyncs, 1);
+        assert_eq!(report.group_commit.count(), 1);
+        assert_eq!(report.group_commit.max_nanos, 2, "batch of 2 commits");
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct Counters {
     /// usable `col = literal` conjunct, column not index-backed, or the
     /// index path disabled).
     pub index_fallbacks: u64,
+    /// Commit records appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// WAL fsyncs issued (group commit amortizes many appends per fsync).
+    pub wal_fsyncs: u64,
+    /// Bytes of framed commit records appended to the WAL.
+    pub wal_bytes: u64,
 }
 
 /// Commit/abort counts for one isolation level.
@@ -87,6 +93,10 @@ pub struct MetricsReport {
     pub tasks: HistogramSnapshot,
     /// Retry backoff sleeps.
     pub backoff: HistogramSnapshot,
+    /// Group-commit batch sizes: each sample is the number of commit
+    /// records one WAL fsync made durable (raw counts, not durations —
+    /// read the `*_ns` fields as plain numbers).
+    pub group_commit: HistogramSnapshot,
     /// Event counters (lock waits, faults, retries, statement outcomes).
     pub counters: Counters,
     /// Per-isolation-level commit/abort rows.
@@ -148,7 +158,8 @@ impl MetricsReport {
              \"injected_faults\": {}, \"statement_retries\": {}, \"txn_replays\": {}, \
              \"retries_gave_up\": {}, \"statements_ok\": {}, \"statements_failed\": {}, \
              \"statements_aborted\": {}, \"blocked_attempts\": {}, \"log_appends\": {}, \
-             \"index_hits\": {}, \"index_fallbacks\": {}}},\n",
+             \"index_hits\": {}, \"index_fallbacks\": {}, \"wal_appends\": {}, \
+             \"wal_fsyncs\": {}, \"wal_bytes\": {}}},\n",
             c.lock_waits,
             c.lock_timeouts,
             c.deadlocks,
@@ -163,6 +174,9 @@ impl MetricsReport {
             c.log_appends,
             c.index_hits,
             c.index_fallbacks,
+            c.wal_appends,
+            c.wal_fsyncs,
+            c.wal_bytes,
         ));
         out.push_str("  \"by_level\": [");
         for (i, l) in self.by_level.iter().enumerate() {
@@ -196,7 +210,8 @@ impl MetricsReport {
         out.push_str(&hist("lock_waits", &self.lock_waits, false));
         out.push_str(&hist("latches", &self.latches, false));
         out.push_str(&hist("tasks", &self.tasks, false));
-        out.push_str(&hist("backoff", &self.backoff, true));
+        out.push_str(&hist("backoff", &self.backoff, false));
+        out.push_str(&hist("group_commit", &self.group_commit, true));
         out.push('}');
         out
     }

@@ -22,6 +22,15 @@ pub enum Statement {
     /// `SET autocommit = 0|1`. MySQL semantics: `SET autocommit=0` opens an
     /// implicit transaction that lasts until `COMMIT`/`ROLLBACK`.
     SetAutocommit(bool),
+    /// `SAVEPOINT name` — establish a named partial-rollback mark in the
+    /// current transaction.
+    Savepoint(String),
+    /// `ROLLBACK TO [SAVEPOINT] name` — undo work back to a savepoint
+    /// without ending the transaction.
+    RollbackToSavepoint(String),
+    /// `RELEASE [SAVEPOINT] name` — forget a savepoint (and any later
+    /// ones) without undoing work.
+    ReleaseSavepoint(String),
     /// `CREATE TABLE name (col TYPE [constraints], ...)` — DDL used to
     /// load schema files; not executable against a live store.
     CreateTable(crate::schema::TableSchema),
@@ -37,6 +46,9 @@ impl Statement {
                 | Statement::Commit
                 | Statement::Rollback
                 | Statement::SetAutocommit(_)
+                | Statement::Savepoint(_)
+                | Statement::RollbackToSavepoint(_)
+                | Statement::ReleaseSavepoint(_)
         )
     }
 }
@@ -411,6 +423,9 @@ mod tests {
     fn transaction_control_classification() {
         assert!(Statement::Begin.is_transaction_control());
         assert!(Statement::SetAutocommit(false).is_transaction_control());
+        assert!(Statement::Savepoint("sp1".into()).is_transaction_control());
+        assert!(Statement::RollbackToSavepoint("sp1".into()).is_transaction_control());
+        assert!(Statement::ReleaseSavepoint("sp1".into()).is_transaction_control());
         assert!(!Statement::Delete(Delete {
             table: "t".into(),
             selection: None

@@ -21,6 +21,11 @@ impl fmt::Display for Statement {
             Statement::SetAutocommit(on) => {
                 write!(f, "SET autocommit={}", if *on { 1 } else { 0 })
             }
+            Statement::Savepoint(name) => write!(f, "SAVEPOINT {name}"),
+            Statement::RollbackToSavepoint(name) => {
+                write!(f, "ROLLBACK TO SAVEPOINT {name}")
+            }
+            Statement::ReleaseSavepoint(name) => write!(f, "RELEASE SAVEPOINT {name}"),
             Statement::CreateTable(t) => {
                 write!(f, "CREATE TABLE {} (", t.name)?;
                 for (i, c) in t.columns.iter().enumerate() {

@@ -167,7 +167,24 @@ impl Parser {
             "ROLLBACK" => {
                 self.advance();
                 self.eat_keyword("WORK");
-                Ok(Statement::Rollback)
+                if self.eat_keyword("TO") {
+                    self.eat_keyword("SAVEPOINT");
+                    let name = self.parse_ident()?;
+                    Ok(Statement::RollbackToSavepoint(name))
+                } else {
+                    Ok(Statement::Rollback)
+                }
+            }
+            "SAVEPOINT" => {
+                self.advance();
+                let name = self.parse_ident()?;
+                Ok(Statement::Savepoint(name))
+            }
+            "RELEASE" => {
+                self.advance();
+                self.eat_keyword("SAVEPOINT");
+                let name = self.parse_ident()?;
+                Ok(Statement::ReleaseSavepoint(name))
             }
             "CREATE" => self.parse_create_table().map(Statement::CreateTable),
             "SET" => {
@@ -730,6 +747,51 @@ mod tests {
         match parse_statement(input).unwrap() {
             Statement::Select(s) => s,
             other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_savepoint_statements() {
+        assert_eq!(
+            parse_statement("SAVEPOINT sp1").unwrap(),
+            Statement::Savepoint("sp1".into())
+        );
+        assert_eq!(
+            parse_statement("ROLLBACK TO sp1").unwrap(),
+            Statement::RollbackToSavepoint("sp1".into())
+        );
+        assert_eq!(
+            parse_statement("ROLLBACK TO SAVEPOINT sp1").unwrap(),
+            Statement::RollbackToSavepoint("sp1".into())
+        );
+        assert_eq!(
+            parse_statement("ROLLBACK WORK TO SAVEPOINT sp1").unwrap(),
+            Statement::RollbackToSavepoint("sp1".into())
+        );
+        assert_eq!(
+            parse_statement("RELEASE sp1").unwrap(),
+            Statement::ReleaseSavepoint("sp1".into())
+        );
+        assert_eq!(
+            parse_statement("release savepoint sp1;").unwrap(),
+            Statement::ReleaseSavepoint("sp1".into())
+        );
+        // A bare ROLLBACK still parses as full rollback.
+        assert_eq!(parse_statement("ROLLBACK").unwrap(), Statement::Rollback);
+        assert!(parse_statement("SAVEPOINT").is_err());
+        assert!(parse_statement("ROLLBACK TO SAVEPOINT").is_err());
+    }
+
+    #[test]
+    fn savepoint_statements_roundtrip_through_display() {
+        for sql in [
+            "SAVEPOINT retry_mark",
+            "ROLLBACK TO SAVEPOINT retry_mark",
+            "RELEASE SAVEPOINT retry_mark",
+        ] {
+            let stmt = parse_statement(sql).unwrap();
+            assert_eq!(stmt.to_string(), sql);
+            assert_eq!(parse_statement(&stmt.to_string()).unwrap(), stmt);
         }
     }
 

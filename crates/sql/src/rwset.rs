@@ -74,6 +74,9 @@ pub fn statement_accesses(stmt: &Statement, schema: &Schema) -> Vec<TableAccess>
         | Statement::Commit
         | Statement::Rollback
         | Statement::SetAutocommit(_)
+        | Statement::Savepoint(_)
+        | Statement::RollbackToSavepoint(_)
+        | Statement::ReleaseSavepoint(_)
         | Statement::CreateTable(_) => Vec::new(),
     }
 }

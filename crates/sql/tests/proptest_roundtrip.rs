@@ -52,6 +52,9 @@ fn ident() -> impl Strategy<Value = String> {
                 | "GROUP"
                 | "WORK"
                 | "TRANSACTION"
+                | "SAVEPOINT"
+                | "RELEASE"
+                | "TO"
         )
     })
 }
@@ -149,6 +152,9 @@ fn statement() -> impl Strategy<Value = Statement> {
         Just(Statement::Commit),
         Just(Statement::Rollback),
         any::<bool>().prop_map(Statement::SetAutocommit),
+        ident().prop_map(Statement::Savepoint),
+        ident().prop_map(Statement::RollbackToSavepoint),
+        ident().prop_map(Statement::ReleaseSavepoint),
     ]
 }
 

@@ -35,6 +35,7 @@ fn main() {
         isolation: IsolationLevel::ReadCommitted,
         metrics: false,
         use_indexes: true,
+        wal: None,
     };
 
     println!("chaos run against {} (seed {seed:#x})", app.name());

@@ -183,6 +183,7 @@ fn chaos_config(seed: u64) -> ChaosConfig {
         isolation: IsolationLevel::ReadCommitted,
         metrics: false,
         use_indexes: true,
+        wal: None,
     }
 }
 
