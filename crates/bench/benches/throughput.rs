@@ -113,6 +113,73 @@ fn statement(session: usize, i: usize) -> String {
     }
 }
 
+/// Pure-read session stream for the read-scaling samples: every statement
+/// is a point SELECT on the shared catalog, so transactions are read-only
+/// end to end and exercise the lock-free visibility path (atomic
+/// timestamp loads, no lock-manager traffic at commit).
+fn read_statement(session: usize, i: usize) -> String {
+    let k = (session as i64 * 7919 + i as i64 * 104_729) % PRODUCTS + 1;
+    format!("SELECT stock, price FROM product WHERE id = {k}")
+}
+
+/// Thread counts for the read-scaling section (1 → 4 is the CI guard's
+/// measured ratio).
+const READ_SCALING_THREADS: [usize; 3] = [1, 2, 4];
+const READ_SCALING_STATEMENTS: usize = 20_000;
+
+/// Aggregate read-only statements/sec on the inmem workload at each
+/// thread count, fine-grained engine, default isolation.
+fn run_read_scaling() -> Vec<(usize, f64)> {
+    READ_SCALING_THREADS
+        .iter()
+        .map(|&threads| {
+            let db = storefront_db(IsolationLevel::ReadCommitted, threads);
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for session in 0..threads {
+                    let db = Arc::clone(&db);
+                    scope.spawn(move || {
+                        let mut conn = db.connect();
+                        for i in 0..READ_SCALING_STATEMENTS {
+                            conn.execute(&read_statement(session, i))
+                                .expect("read statement");
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let sps = (threads * READ_SCALING_STATEMENTS) as f64 / elapsed;
+            eprintln!("read_scaling threads={threads} {sps:>10.0} stmts/sec");
+            (threads, sps)
+        })
+        .collect()
+}
+
+/// The read-scaling acceptance check: on a host with ≥4 cores, read-only
+/// sessions must scale ≥2× in aggregate throughput from 1 to 4 threads —
+/// the lock-free read path has no serialization point to flatten the
+/// curve. Skipped (with a message) on smaller hosts, where the extra
+/// sessions have no cores to land on.
+fn assert_read_scaling(scaling: &[(usize, f64)], host_cpus: usize) {
+    let pick = |t: usize| {
+        scaling
+            .iter()
+            .find(|(threads, _)| *threads == t)
+            .map(|(_, sps)| *sps)
+            .unwrap_or(f64::NAN)
+    };
+    let ratio = pick(4) / pick(1);
+    eprintln!("read scaling 1->4 threads: {ratio:.2}x (host_cpus={host_cpus})");
+    if host_cpus >= 4 {
+        assert!(
+            ratio >= 2.0,
+            "read-only throughput must scale >=2x from 1 to 4 sessions, got {ratio:.2}x"
+        );
+    } else {
+        eprintln!("skipping >=2x read-scaling assertion: host has {host_cpus} CPUs (< 4)");
+    }
+}
+
 struct Sample {
     workload: &'static str,
     mode: &'static str,
@@ -160,6 +227,18 @@ fn run(
 }
 
 fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // `-- read-scaling`: run only the read-scaling guard (the CI job's
+    // fast path) and skip the full matrix + JSON regeneration.
+    if std::env::args().any(|a| a == "read-scaling") {
+        let scaling = run_read_scaling();
+        assert_read_scaling(&scaling, host_cpus);
+        return;
+    }
+
     let mut samples: Vec<Sample> = Vec::new();
     for w in &WORKLOADS {
         for isolation in IsolationLevel::ALL {
@@ -211,9 +290,7 @@ fn main() {
         pick("fine_grained") / pick("global_mutex")
     };
 
-    let host_cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let read_scaling = run_read_scaling();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -265,6 +342,31 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    // Read-only scaling on the inmem workload: every statement is a point
+    // SELECT, so the curve isolates the lock-free visibility path.
+    json.push_str("  \"read_scaling\": {\n");
+    json.push_str("    \"workload\": \"inmem read-only (100% point SELECT on shared catalog)\",\n");
+    json.push_str("    \"isolation\": \"ReadCommitted\",\n");
+    json.push_str("    \"results\": [\n");
+    for (i, (threads, sps)) in read_scaling.iter().enumerate() {
+        let comma = if i + 1 == read_scaling.len() { "" } else { "," };
+        json.push_str(&format!(
+            "      {{\"threads\": {threads}, \"stmts_per_sec\": {sps:.0}}}{comma}\n"
+        ));
+    }
+    json.push_str("    ],\n");
+    let pick = |t: usize| {
+        read_scaling
+            .iter()
+            .find(|(threads, _)| *threads == t)
+            .map(|(_, sps)| *sps)
+            .unwrap_or(f64::NAN)
+    };
+    json.push_str(&format!(
+        "    \"scaling_1_to_4\": {:.2}\n",
+        pick(4) / pick(1)
+    ));
+    json.push_str("  },\n");
     json.push_str("  \"speedup_vs_global_mutex\": {\n");
     let mut lines = Vec::new();
     for w in &WORKLOADS {
@@ -289,4 +391,8 @@ fn main() {
     // mix with in-statement I/O, reported for the default level.
     let s = speedup("simulated_io", IsolationLevel::ReadCommitted, 4);
     eprintln!("simulated_io ReadCommitted@4 speedup: {s:.2}x");
+
+    // Read-scaling acceptance: ≥2× from 1 to 4 read-only sessions on
+    // hosts with the cores to show it.
+    assert_read_scaling(&read_scaling, host_cpus);
 }

@@ -16,6 +16,7 @@
 //! `acidrain-harness` decide what runs next; [`Connection::execute`] is the
 //! blocking flavour used by threaded stress tests.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -32,7 +33,7 @@ use crate::isolation::IsolationLevel;
 use crate::lock::LockTable;
 use crate::log::{ApiTag, LogEntry, QueryLog, StmtOutcome};
 use crate::result::ResultSet;
-use crate::storage::{ReadView, RowVersion, Storage, TableData};
+use crate::storage::{GcStats, ReadView, RowVersion, Storage, TableData};
 use crate::txn::{TxnId, TxnState};
 use crate::value::Value;
 use crate::wal::{self, RecoveryInfo, Wal, WalConfig};
@@ -44,6 +45,11 @@ use crate::wal::{self, RecoveryInfo, Wal, WalConfig};
 /// (`innodb_rollback_on_timeout=ON` semantics), so a timed-out session
 /// never wedges other sessions by sitting on its locks.
 const DEFAULT_LOCK_WAIT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default number of writing commits between automatic version-GC passes.
+/// Frequent enough to keep chains bounded under sustained update streams,
+/// rare enough that the per-commit amortized cost is negligible.
+const DEFAULT_GC_INTERVAL: u64 = 128;
 
 /// A multi-version transactional database with configurable isolation.
 ///
@@ -74,6 +80,28 @@ pub struct Database {
     /// flag only gates the read path, so it can be toggled at any time —
     /// results are identical either way.
     use_indexes: AtomicBool,
+    /// Whether statements may route range predicates through the ordered
+    /// indexes (on by default; same maintained-always, read-path-only
+    /// contract as `use_indexes`).
+    use_range_indexes: AtomicBool,
+    /// GC pin registry: snapshot timestamp → number of active
+    /// transaction-long snapshots (MySQL-RR, SI) pinned at it. The GC
+    /// bound is computed under this mutex and pins are registered under
+    /// it, so a concurrent pass can never slip between a transaction's
+    /// clock read and its registration. Statement-scope snapshots are
+    /// protected by the table latches instead (GC prunes under the write
+    /// latch). Leaf lock: never held while acquiring a latch.
+    pinned_snapshots: Mutex<BTreeMap<u64, usize>>,
+    /// Writing commits between automatic GC passes (0 disables auto-GC).
+    gc_interval: AtomicU64,
+    /// Writing commits since the last automatic GC pass.
+    commits_since_gc: AtomicU64,
+    /// WAL log-size threshold (bytes) past which a commit triggers an
+    /// automatic checkpoint; 0 disables the trigger.
+    auto_checkpoint_bytes: AtomicU64,
+    /// Guard so concurrent commits don't stack up behind one in-flight
+    /// automatic checkpoint.
+    checkpoint_in_progress: AtomicBool,
     /// Attached write-ahead log, if durability was enabled via
     /// [`Database::attach_wal`] / [`Database::recover`]. Behind a mutex
     /// only for attach-time interior mutability; the hot commit path gates
@@ -111,6 +139,12 @@ impl Database {
             active_txns: AtomicUsize::new(0),
             lock_wait_timeout_nanos: AtomicU64::new(DEFAULT_LOCK_WAIT_TIMEOUT.as_nanos() as u64),
             use_indexes: AtomicBool::new(true),
+            use_range_indexes: AtomicBool::new(true),
+            pinned_snapshots: Mutex::new(BTreeMap::new()),
+            gc_interval: AtomicU64::new(DEFAULT_GC_INTERVAL),
+            commits_since_gc: AtomicU64::new(0),
+            auto_checkpoint_bytes: AtomicU64::new(0),
+            checkpoint_in_progress: AtomicBool::new(false),
             wal: Mutex::new(None),
             wal_attached: AtomicBool::new(false),
         })
@@ -213,6 +247,100 @@ impl Database {
     /// Whether the equality-index read path is enabled.
     pub fn use_indexes(&self) -> bool {
         self.use_indexes.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable the ordered-index (range-predicate) read path.
+    /// The per-table ordered maps are always maintained; when off, range
+    /// predicates fall back to full scans. Candidates come back in the
+    /// same ascending slot order the full scan uses and are re-verified by
+    /// normal predicate evaluation, so results, lock acquisition order,
+    /// abstract histories, and seeded chaos digests are identical in both
+    /// modes. On by default; turned off by benchmarks to measure the scan
+    /// baseline and by CI to assert the invariance.
+    pub fn set_use_range_indexes(&self, on: bool) {
+        self.use_range_indexes.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the ordered-index (range-predicate) read path is enabled.
+    pub fn use_range_indexes(&self) -> bool {
+        self.use_range_indexes.load(Ordering::Relaxed)
+    }
+
+    /// Set how many writing commits elapse between automatic version-GC
+    /// passes (0 disables the automatic trigger; [`Database::gc`] can
+    /// still be called directly). Default: one pass every 128 commits.
+    pub fn set_gc_interval(&self, commits: u64) {
+        self.gc_interval.store(commits, Ordering::Relaxed);
+    }
+
+    /// Garbage-collect superseded row versions now.
+    ///
+    /// The reclamation bound is the oldest snapshot any current or future
+    /// reader can use: the minimum of the registered transaction-long
+    /// snapshots and the current commit clock, taken under the pin
+    /// registry's mutex so no concurrent pin can race below it. Versions
+    /// whose end stamp is committed at or before the bound are invisible
+    /// to every such snapshot and are pruned (with their index entries);
+    /// chains still carrying an uncommitted transaction tag are left
+    /// untouched. Callers must hold no table latches.
+    pub fn gc(&self) -> GcStats {
+        let oldest = {
+            let pins = self.pinned_snapshots.lock();
+            let clock = self.storage.commit_ts();
+            pins.keys().next().map_or(clock, |p| (*p).min(clock))
+        };
+        let stats = self.storage.prune(oldest);
+        self.obs
+            .gc_run(stats.reclaimed as u64, oldest, stats.max_chain as u64);
+        stats
+    }
+
+    /// Census of the version store: `(total live versions, longest chain)`.
+    /// Diagnostics for GC tests and soak harnesses.
+    pub fn version_stats(&self) -> (usize, usize) {
+        self.storage.version_stats()
+    }
+
+    /// Automatic-GC trigger, called once per successful writing commit.
+    fn maybe_gc(&self) {
+        let every = self.gc_interval.load(Ordering::Relaxed);
+        if every == 0 {
+            return;
+        }
+        if self.commits_since_gc.fetch_add(1, Ordering::Relaxed) + 1 < every {
+            return;
+        }
+        self.commits_since_gc.store(0, Ordering::Relaxed);
+        self.gc();
+    }
+
+    /// Fire [`Database::checkpoint`] automatically whenever a writing
+    /// commit observes the WAL's log section above `bytes` (0 disables).
+    /// Requires an attached WAL to have any effect.
+    pub fn set_auto_checkpoint(&self, bytes: u64) {
+        self.auto_checkpoint_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Auto-checkpoint trigger, called once per successful writing commit.
+    /// Failures are swallowed: the commit was already acknowledged as
+    /// durable, and a checkpoint-killing fault leaves the WAL dead, which
+    /// every subsequent writing commit surfaces on its own.
+    fn maybe_auto_checkpoint(&self) {
+        let threshold = self.auto_checkpoint_bytes.load(Ordering::Relaxed);
+        if threshold == 0 {
+            return;
+        }
+        let Some(wal) = self.wal() else {
+            return;
+        };
+        if wal.log_bytes() < threshold {
+            return;
+        }
+        if self.checkpoint_in_progress.swap(true, Ordering::Acquire) {
+            return;
+        }
+        let _ = self.checkpoint();
+        self.checkpoint_in_progress.store(false, Ordering::Release);
     }
 
     /// Change the default isolation level handed to future connections.
@@ -420,7 +548,8 @@ impl Database {
     /// transaction is closed so the session can observe the failure
     /// without wedging others.
     pub(crate) fn commit_txn(&self, session: u64, state: TxnState) -> Result<(), DbError> {
-        let result = if state.undo.is_empty() {
+        let wrote = !state.undo.is_empty();
+        let result = if !wrote {
             Ok(())
         } else {
             match self.wal() {
@@ -436,7 +565,13 @@ impl Database {
                     .and_then(|lsn| wal.sync_to(lsn, session, &self.faults)),
             }
         };
-        self.locks.release_all(state.id);
+        self.unpin_snapshot(&state);
+        // Read-only fast path: a transaction that never touched the lock
+        // manager has nothing to release and skips its global mutex — the
+        // last serialization point on the pure-read path.
+        if state.locks_taken.get() {
+            self.locks.release_all(state.id);
+        }
         self.active_txns.fetch_sub(1, Ordering::AcqRel);
         self.obs.commit_clock(self.storage.commit_ts());
         self.obs.txn_finished(
@@ -447,6 +582,10 @@ impl Database {
             state.timer,
             state.isolation.name(),
         );
+        if wrote && result.is_ok() {
+            self.maybe_gc();
+            self.maybe_auto_checkpoint();
+        }
         result
     }
 
@@ -454,7 +593,10 @@ impl Database {
     /// waiters.
     pub(crate) fn rollback_txn(&self, session: u64, state: TxnState) {
         self.storage.rollback(state.id, &state.undo);
-        self.locks.release_all(state.id);
+        self.unpin_snapshot(&state);
+        if state.locks_taken.get() {
+            self.locks.release_all(state.id);
+        }
         self.active_txns.fetch_sub(1, Ordering::AcqRel);
         self.obs.txn_finished(
             session,
@@ -466,13 +608,40 @@ impl Database {
         );
     }
 
+    /// Drop the transaction's GC pin, if it registered one.
+    fn unpin_snapshot(&self, state: &TxnState) {
+        if let Some(ts) = state.pinned_snapshot {
+            let mut pins = self.pinned_snapshots.lock();
+            if let Some(n) = pins.get_mut(&ts) {
+                *n -= 1;
+                if *n == 0 {
+                    pins.remove(&ts);
+                }
+            }
+        }
+    }
+
     /// The snapshot timestamp a transaction's plain reads use, pinning the
-    /// transaction-long snapshot on first use for MySQL-RR and SI.
+    /// transaction-long snapshot on first use for MySQL-RR and SI. The pin
+    /// is registered with the GC under the registry mutex — the clock is
+    /// read under the same mutex the GC bound is computed under, so the
+    /// bound can never pass an in-flight pin.
     pub(crate) fn read_snapshot_ts(&self, state: &mut TxnState) -> u64 {
-        let commit_ts = self.storage.commit_ts();
         if state.isolation.uses_txn_snapshot() {
-            *state.snapshot_ts.get_or_insert(commit_ts)
+            if let Some(ts) = state.snapshot_ts {
+                return ts;
+            }
+            let commit_ts = {
+                let mut pins = self.pinned_snapshots.lock();
+                let commit_ts = self.storage.commit_ts();
+                *pins.entry(commit_ts).or_insert(0) += 1;
+                commit_ts
+            };
+            state.snapshot_ts = Some(commit_ts);
+            state.pinned_snapshot = Some(commit_ts);
+            commit_ts
         } else {
+            let commit_ts = self.storage.commit_ts();
             state.snapshot_ts = Some(commit_ts);
             commit_ts
         }

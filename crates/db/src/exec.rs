@@ -21,7 +21,7 @@ use crate::error::DbError;
 use crate::expr::{eval, EvalScope, EvalTable};
 use crate::fault::InjectedFault;
 use crate::lock::{LockMode, LockOutcome, ResourceId};
-use crate::plan::{equality_constraints, PlanTable};
+use crate::plan::{equality_constraints, range_constraints, PlanTable};
 use crate::result::ResultSet;
 use crate::storage::{ReadView, RowVersion, TableData};
 use crate::txn::{TxnId, TxnState, UndoRecord};
@@ -65,8 +65,18 @@ pub(crate) fn execute(
     }
 }
 
-fn acquire(db: &Database, txn: TxnId, resource: ResourceId, mode: LockMode) -> Result<(), DbError> {
-    match db.locks.acquire(txn, resource, mode) {
+fn acquire(
+    db: &Database,
+    txn: &TxnState,
+    resource: ResourceId,
+    mode: LockMode,
+) -> Result<(), DbError> {
+    // Flagged before the attempt: even a blocked or deadlocked request may
+    // have registered this transaction with the lock manager, so commit and
+    // rollback must still run `release_all`. Transactions that never reach
+    // this function skip the lock manager's global mutex entirely.
+    txn.locks_taken.set(true);
+    match db.locks.acquire(txn.id, resource, mode) {
         LockOutcome::Granted => Ok(()),
         LockOutcome::Blocked(holders) => Err(DbError::WouldBlock { holders }),
         LockOutcome::Deadlock => Err(DbError::Deadlock),
@@ -149,16 +159,16 @@ fn exec_select(db: &Database, txn: &mut TxnState, s: &Select) -> Result<ResultSe
         if s.for_update {
             acquire(
                 db,
-                txn.id,
+                txn,
                 ResourceId::Table(t.table_idx),
                 LockMode::IntentionExclusive,
             )?;
         } else if isolation.read_locks_predicates() && t.access == AccessKind::Predicate {
-            acquire(db, txn.id, ResourceId::Table(t.table_idx), LockMode::Shared)?;
+            acquire(db, txn, ResourceId::Table(t.table_idx), LockMode::Shared)?;
         } else if isolation.read_locks_items() {
             acquire(
                 db,
-                txn.id,
+                txn,
                 ResourceId::Table(t.table_idx),
                 LockMode::IntentionShared,
             )?;
@@ -211,12 +221,12 @@ fn exec_select(db: &Database, txn: &mut TxnState, s: &Select) -> Result<ResultSe
         for (ti, slot) in m.slots.iter().enumerate() {
             let row = ResourceId::Row(tables[ti].table_idx, *slot);
             if s.for_update {
-                acquire(db, txn.id, row, LockMode::Exclusive)?;
+                acquire(db, txn, row, LockMode::Exclusive)?;
             } else if isolation.read_locks_items()
                 && !(isolation.read_locks_predicates()
                     && tables[ti].access == AccessKind::Predicate)
             {
-                acquire(db, txn.id, row, LockMode::Shared)?;
+                acquire(db, txn, row, LockMode::Shared)?;
             }
         }
     }
@@ -265,6 +275,22 @@ fn scan_candidates(
                     continue;
                 }
                 out[c.table] = data[c.table].indexes.probe(c.column, &c.value);
+            }
+            // Depths an equality couldn't serve fall through to ordered
+            // range probes (`qty < k`, `BETWEEN`) when those are enabled.
+            if db.use_range_indexes() {
+                if let Some(ranges) = range_constraints(&clauses, &plan_tables) {
+                    for r in &ranges {
+                        if out[r.table].is_some() {
+                            continue;
+                        }
+                        out[r.table] = data[r.table].indexes.probe_range(
+                            r.column,
+                            r.lower.as_ref(),
+                            r.upper.as_ref(),
+                        );
+                    }
+                }
             }
         }
     }
@@ -623,7 +649,7 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
 
     acquire(
         db,
-        txn.id,
+        txn,
         ResourceId::Table(table_idx),
         LockMode::IntentionExclusive,
     )?;
@@ -742,7 +768,7 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
                     }
                 }
                 if let Some(last) = slot.versions.last() {
-                    if last.begin_txn != txn.id
+                    if !last.created_by(txn.id)
                         && last.is_open()
                         && !current.sees(last)
                         && last.values[col].sql_eq(v).unwrap_or(false)
@@ -758,7 +784,7 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
                 for &slot_idx in &blocked {
                     acquire(
                         db,
-                        txn.id,
+                        txn,
                         ResourceId::Row(table_idx, slot_idx),
                         LockMode::Shared,
                     )?;
@@ -805,7 +831,7 @@ fn exec_insert(db: &Database, txn: &mut TxnState, i: &Insert) -> Result<ResultSe
         // New rows are ours; the lock cannot block.
         acquire(
             db,
-            txn.id,
+            txn,
             ResourceId::Row(table_idx, slot_idx),
             LockMode::Exclusive,
         )?;
@@ -892,7 +918,7 @@ fn lock_and_validate_targets(
     for t in targets {
         acquire(
             db,
-            txn.id,
+            txn,
             ResourceId::Row(table_idx, t.slot),
             LockMode::Exclusive,
         )?;
@@ -902,9 +928,9 @@ fn lock_and_validate_targets(
             for t in targets {
                 let slot = &table.rows[t.slot];
                 let modified_since = slot.versions.iter().any(|v| {
-                    v.begin_txn != txn.id
-                        && (v.begin_ts.is_some_and(|ts| ts > snapshot)
-                            || v.end_ts.is_some_and(|ts| ts > snapshot))
+                    !v.created_by(txn.id)
+                        && (v.begin_ts().is_some_and(|ts| ts > snapshot)
+                            || v.end_ts().is_some_and(|ts| ts > snapshot))
                 });
                 if modified_since {
                     return Err(DbError::WriteConflict(format!(
@@ -999,6 +1025,17 @@ fn write_candidates(
             result = constraints
                 .iter()
                 .find_map(|c| table.indexes.probe(c.column, &c.value));
+            // No usable equality: try an ordered range probe before
+            // surrendering to the full walk.
+            if result.is_none() && db.use_range_indexes() {
+                if let Some(ranges) = range_constraints(&[sel], &plan_tables) {
+                    result = ranges.iter().find_map(|r| {
+                        table
+                            .indexes
+                            .probe_range(r.column, r.lower.as_ref(), r.upper.as_ref())
+                    });
+                }
+            }
         }
     }
     db.obs.index_probe(txn.id.0, result.is_some());
@@ -1017,7 +1054,7 @@ fn exec_update(db: &Database, txn: &mut TxnState, u: &Update) -> Result<ResultSe
 
     acquire(
         db,
-        txn.id,
+        txn,
         ResourceId::Table(table_idx),
         LockMode::IntentionExclusive,
     )?;
@@ -1062,7 +1099,7 @@ fn exec_update(db: &Database, txn: &mut TxnState, u: &Update) -> Result<ResultSe
     // chain is frozen under the latch), append the new one.
     let n = targets.len();
     for (t, new_values) in targets.into_iter().zip(updated) {
-        end_target_version(&mut table, txn.id, &t);
+        end_target_version(&table, txn.id, &t);
         txn.undo.push(UndoRecord::Ended {
             table: table_idx,
             row: t.slot,
@@ -1090,12 +1127,12 @@ fn exec_delete(db: &Database, txn: &mut TxnState, d: &Delete) -> Result<ResultSe
 
     acquire(
         db,
-        txn.id,
+        txn,
         ResourceId::Table(table_idx),
         LockMode::IntentionExclusive,
     )?;
     let token = db.obs.latch_wait_start();
-    let mut table = db.storage.write(table_idx);
+    let table = db.storage.write(table_idx);
     db.obs.latch_acquired(token, txn.id.0);
     let _ = db.read_snapshot_ts(txn);
     let candidates = write_candidates(db, txn, &table, &d.table, &columns, d.selection.as_ref());
@@ -1112,7 +1149,7 @@ fn exec_delete(db: &Database, txn: &mut TxnState, d: &Delete) -> Result<ResultSe
 
     let n = targets.len();
     for t in targets {
-        end_target_version(&mut table, txn.id, &t);
+        end_target_version(&table, txn.id, &t);
         txn.undo.push(UndoRecord::Ended {
             table: table_idx,
             row: t.slot,
@@ -1127,13 +1164,10 @@ fn exec_delete(db: &Database, txn: &mut TxnState, d: &Delete) -> Result<ResultSe
 /// version is live: any committed ender would have published a timestamp
 /// the refreshed clock bound covers, making the version invisible, and an
 /// uncommitted ender would still hold the row lock.
-fn end_target_version(table: &mut TableData, txn: TxnId, target: &Target) {
-    let version = &mut table.rows[target.slot].versions[target.version];
-    debug_assert!(
-        version.end_txn.is_none() && version.end_ts.is_none(),
-        "locked target version already ended"
-    );
-    version.end_txn = Some(txn);
+fn end_target_version(table: &TableData, txn: TxnId, target: &Target) {
+    let version = &table.rows[target.slot].versions[target.version];
+    debug_assert!(version.is_open(), "locked target version already ended");
+    version.mark_ended(txn);
 }
 
 // ---------------------------------------------------------------------------
@@ -1666,5 +1700,84 @@ mod tests {
                 .unwrap_err(),
             DbError::UnknownColumn(_)
         ));
+    }
+
+    /// A schema whose `qty` column is declared-indexed (range-probe
+    /// eligible) without being unique.
+    fn indexed_schema() -> Schema {
+        Schema::new().with_table(TableSchema::new(
+            "items",
+            vec![
+                ColumnDef::new("id", ColumnType::Int).auto_increment(),
+                ColumnDef::new("qty", ColumnType::Int).indexed(),
+                ColumnDef::new("tag", ColumnType::Str),
+            ],
+        ))
+    }
+
+    #[test]
+    fn range_predicates_match_full_scan_results() {
+        let db = Database::new(indexed_schema(), IsolationLevel::ReadCommitted);
+        {
+            let mut c = db.connect();
+            for i in 0..50i64 {
+                c.execute(&format!(
+                    "INSERT INTO items (qty, tag) VALUES ({}, 't{}')",
+                    i % 10,
+                    i
+                ))
+                .unwrap();
+            }
+        }
+        let queries = [
+            "SELECT id FROM items WHERE qty < 3 ORDER BY id",
+            "SELECT id FROM items WHERE qty >= 7 ORDER BY id",
+            "SELECT id FROM items WHERE qty BETWEEN 2 AND 4 ORDER BY id",
+            "SELECT id FROM items WHERE qty NOT BETWEEN 2 AND 4 ORDER BY id",
+            "SELECT id FROM items WHERE qty > 1 AND qty < 5 ORDER BY id",
+        ];
+        for q in queries {
+            db.set_use_range_indexes(true);
+            let indexed = db.connect().execute(q).unwrap();
+            db.set_use_range_indexes(false);
+            let scanned = db.connect().execute(q).unwrap();
+            assert_eq!(indexed, scanned, "route changed results for {q}");
+        }
+        db.set_use_range_indexes(true);
+        // Writes through a range predicate behave identically too.
+        let mut c = db.connect();
+        c.execute("UPDATE items SET tag = 'low' WHERE qty < 2")
+            .unwrap();
+        assert_eq!(
+            c.query_i64("SELECT COUNT(*) FROM items WHERE tag = 'low'")
+                .unwrap(),
+            10
+        );
+        c.execute("DELETE FROM items WHERE qty BETWEEN 8 AND 9")
+            .unwrap();
+        assert_eq!(c.query_i64("SELECT COUNT(*) FROM items").unwrap(), 40);
+    }
+
+    #[test]
+    fn range_probe_counts_as_index_hit() {
+        let db = Database::new(indexed_schema(), IsolationLevel::ReadCommitted);
+        db.connect()
+            .execute("INSERT INTO items (qty, tag) VALUES (5, 'x')")
+            .unwrap();
+        db.obs.enable();
+        let before = db.obs.counters();
+        db.connect()
+            .execute("SELECT * FROM items WHERE qty < 10")
+            .unwrap();
+        let mid = db.obs.counters();
+        assert_eq!(mid.index_hits, before.index_hits + 1);
+        // With range indexes disabled the same predicate is a fallback.
+        db.set_use_range_indexes(false);
+        db.connect()
+            .execute("SELECT * FROM items WHERE qty < 10")
+            .unwrap();
+        let after = db.obs.counters();
+        assert_eq!(after.index_hits, mid.index_hits);
+        assert_eq!(after.index_fallbacks, mid.index_fallbacks + 1);
     }
 }

@@ -27,8 +27,19 @@
 //! lookup). That makes row-lock acquisition order, result order, and
 //! therefore abstract histories and seeded chaos digests identical to the
 //! full-scan path, which iterates slots in the same order.
+//!
+//! Alongside the hash buckets, each indexed column also maintains two
+//! **ordered** maps — one over numeric keys, one over strings — that
+//! serve range probes (`col < k`, `BETWEEN`, …). The keyspaces are
+//! disjoint on purpose: [`Value::compare`] never orders a string against
+//! a numeric, so a range probe resolves entirely within one keyspace and
+//! a bound of the other type matches nothing. Range probes take
+//! *inclusive* bounds only; callers widen exclusive bounds to inclusive
+//! (a superset) and re-verify candidates against the exact predicate,
+//! the same re-verification contract equality probes already have.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
 
 use crate::value::Value;
 
@@ -67,6 +78,28 @@ pub fn index_key(v: &Value) -> Option<IndexKey> {
     Some(IndexKey::Num(f.to_bits()))
 }
 
+/// An orderable numeric key for the range maps: the value's `f64`
+/// rendering (`-0.0` normalized to `0.0`, `NaN` never keyed), totally
+/// ordered via [`f64::total_cmp`]. Because [`Value::compare`] coerces
+/// every numeric (`Int`, `Float`, `Bool`) through `f64`, BTreeMap order
+/// over `NumKey` *is* SQL comparison order for keyed values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumKey(f64);
+
+impl Eq for NumKey {}
+
+impl Ord for NumKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for NumKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// The equality indexes of one table: one bucket map per indexed column.
 #[derive(Debug, Clone, Default)]
 pub struct TableIndexes {
@@ -76,6 +109,13 @@ pub struct TableIndexes {
     /// insertion order and may contain duplicates (a slot re-indexed
     /// under the same key by a later version); probes sort and dedup.
     maps: Vec<HashMap<IndexKey, Vec<usize>>>,
+    /// Ordered numeric maps, parallel to `columns`, serving range probes
+    /// over `Int` / `Float` / `Bool` values. Same bucket discipline as
+    /// `maps`.
+    nums: Vec<BTreeMap<NumKey, Vec<usize>>>,
+    /// Ordered string maps, parallel to `columns`, serving range probes
+    /// over `Str` values. Same bucket discipline as `maps`.
+    strs: Vec<BTreeMap<String, Vec<usize>>>,
 }
 
 impl TableIndexes {
@@ -84,7 +124,14 @@ impl TableIndexes {
         columns.sort_unstable();
         columns.dedup();
         let maps = columns.iter().map(|_| HashMap::new()).collect();
-        TableIndexes { columns, maps }
+        let nums = columns.iter().map(|_| BTreeMap::new()).collect();
+        let strs = columns.iter().map(|_| BTreeMap::new()).collect();
+        TableIndexes {
+            columns,
+            maps,
+            nums,
+            strs,
+        }
     }
 
     /// Whether `column` is index-backed.
@@ -102,6 +149,22 @@ impl TableIndexes {
     pub fn add(&mut self, slot: usize, values: &[Value]) {
         for (pos, &col) in self.columns.iter().enumerate() {
             if let Some(key) = values.get(col).and_then(index_key) {
+                match &key {
+                    IndexKey::Num(bits) => {
+                        let bucket = self.nums[pos]
+                            .entry(NumKey(f64::from_bits(*bits)))
+                            .or_default();
+                        if bucket.last() != Some(&slot) {
+                            bucket.push(slot);
+                        }
+                    }
+                    IndexKey::Str(s) => {
+                        let bucket = self.strs[pos].entry(s.clone()).or_default();
+                        if bucket.last() != Some(&slot) {
+                            bucket.push(slot);
+                        }
+                    }
+                }
                 let bucket = self.maps[pos].entry(key).or_default();
                 if bucket.last() != Some(&slot) {
                     bucket.push(slot);
@@ -130,6 +193,25 @@ impl TableIndexes {
             if still_carried {
                 continue;
             }
+            match &key {
+                IndexKey::Num(bits) => {
+                    let nkey = NumKey(f64::from_bits(*bits));
+                    if let Some(bucket) = self.nums[pos].get_mut(&nkey) {
+                        bucket.retain(|&s| s != slot);
+                        if bucket.is_empty() {
+                            self.nums[pos].remove(&nkey);
+                        }
+                    }
+                }
+                IndexKey::Str(s) => {
+                    if let Some(bucket) = self.strs[pos].get_mut(s) {
+                        bucket.retain(|&x| x != slot);
+                        if bucket.is_empty() {
+                            self.strs[pos].remove(s);
+                        }
+                    }
+                }
+            }
             if let Some(bucket) = self.maps[pos].get_mut(&key) {
                 bucket.retain(|&s| s != slot);
                 if bucket.is_empty() {
@@ -151,6 +233,84 @@ impl TableIndexes {
             return Some(Vec::new());
         };
         let mut slots = self.maps[pos].get(&key).cloned().unwrap_or_default();
+        slots.sort_unstable();
+        slots.dedup();
+        Some(slots)
+    }
+
+    /// Candidate slots whose chains may carry a value in the *inclusive*
+    /// range `[lower, upper]` for `column`, in ascending slot order
+    /// (missing bounds are unbounded on that side). `None` when the
+    /// column is not indexed or both bounds are absent — the caller must
+    /// fall back to a full scan. `Some(vec![])` when the range can match
+    /// nothing: a `NULL` / `NaN` bound (comparisons with them are never
+    /// true) or bounds from different keyspaces (a string never orders
+    /// against a numeric).
+    pub fn probe_range(
+        &self,
+        column: usize,
+        lower: Option<&Value>,
+        upper: Option<&Value>,
+    ) -> Option<Vec<usize>> {
+        let pos = self.columns.binary_search(&column).ok()?;
+        if lower.is_none() && upper.is_none() {
+            return None;
+        }
+        // Classify each present bound into a keyspace; a bound with no
+        // key (NULL / NaN) poisons the whole range.
+        enum Space {
+            Num(NumKey),
+            Str(String),
+        }
+        let classify = |v: &Value| -> Result<Space, ()> {
+            match index_key(v) {
+                Some(IndexKey::Num(bits)) => Ok(Space::Num(NumKey(f64::from_bits(bits)))),
+                Some(IndexKey::Str(s)) => Ok(Space::Str(s)),
+                None => Err(()),
+            }
+        };
+        let lo = match lower.map(classify) {
+            Some(Ok(s)) => Some(s),
+            Some(Err(())) => return Some(Vec::new()),
+            None => None,
+        };
+        let hi = match upper.map(classify) {
+            Some(Ok(s)) => Some(s),
+            Some(Err(())) => return Some(Vec::new()),
+            None => None,
+        };
+        let mut slots: Vec<usize> = match (lo, hi) {
+            // Inverted ranges (lower > upper) match nothing — and would
+            // panic `BTreeMap::range` — so they short-circuit to empty.
+            (Some(Space::Num(a)), Some(Space::Num(b))) if a > b => Vec::new(),
+            (Some(Space::Str(a)), Some(Space::Str(b))) if a > b => Vec::new(),
+            (Some(Space::Num(a)), Some(Space::Num(b))) => self.nums[pos]
+                .range((Bound::Included(a), Bound::Included(b)))
+                .flat_map(|(_, b)| b.iter().copied())
+                .collect(),
+            (Some(Space::Num(a)), None) => self.nums[pos]
+                .range((Bound::Included(a), Bound::Unbounded))
+                .flat_map(|(_, b)| b.iter().copied())
+                .collect(),
+            (None, Some(Space::Num(b))) => self.nums[pos]
+                .range((Bound::Unbounded, Bound::Included(b)))
+                .flat_map(|(_, b)| b.iter().copied())
+                .collect(),
+            (Some(Space::Str(a)), Some(Space::Str(b))) => self.strs[pos]
+                .range::<str, _>((Bound::Included(a.as_str()), Bound::Included(b.as_str())))
+                .flat_map(|(_, b)| b.iter().copied())
+                .collect(),
+            (Some(Space::Str(a)), None) => self.strs[pos]
+                .range::<str, _>((Bound::Included(a.as_str()), Bound::Unbounded))
+                .flat_map(|(_, b)| b.iter().copied())
+                .collect(),
+            (None, Some(Space::Str(b))) => self.strs[pos]
+                .range::<str, _>((Bound::Unbounded, Bound::Included(b.as_str())))
+                .flat_map(|(_, b)| b.iter().copied())
+                .collect(),
+            // Mixed keyspaces: no value satisfies both bounds.
+            _ => Vec::new(),
+        };
         slots.sort_unstable();
         slots.dedup();
         Some(slots)
@@ -191,6 +351,84 @@ mod tests {
         assert_eq!(idx.probe(0, &Value::Int(9)), Some(vec![]));
         assert_eq!(idx.probe(0, &Value::Null), Some(vec![]));
         assert_eq!(idx.probe(1, &Value::Int(5)), None, "unindexed column");
+    }
+
+    #[test]
+    fn range_probe_spans_numeric_keyspace() {
+        let mut idx = TableIndexes::new(vec![0]);
+        idx.add(0, &[Value::Int(10)]);
+        idx.add(1, &[Value::Int(20)]);
+        idx.add(2, &[Value::Float(15.5)]);
+        idx.add(3, &[Value::Int(30)]);
+        idx.add(4, &[Value::Str("20".into())]);
+        // Inclusive both-bounds range; the string "20" is a different
+        // keyspace and never matches a numeric range.
+        assert_eq!(
+            idx.probe_range(0, Some(&Value::Int(10)), Some(&Value::Int(20))),
+            Some(vec![0, 1, 2])
+        );
+        // Half-open ranges.
+        assert_eq!(
+            idx.probe_range(0, Some(&Value::Int(16)), None),
+            Some(vec![1, 3])
+        );
+        assert_eq!(
+            idx.probe_range(0, None, Some(&Value::Float(15.5))),
+            Some(vec![0, 2])
+        );
+        // Unindexed column and no bounds at all: fall back to the scan.
+        assert_eq!(idx.probe_range(1, Some(&Value::Int(0)), None), None);
+        assert_eq!(idx.probe_range(0, None, None), None);
+        // NULL bound, mixed keyspaces, inverted range: provably empty.
+        assert_eq!(
+            idx.probe_range(0, Some(&Value::Null), Some(&Value::Int(20))),
+            Some(vec![])
+        );
+        assert_eq!(
+            idx.probe_range(0, Some(&Value::Int(0)), Some(&Value::Str("z".into()))),
+            Some(vec![])
+        );
+        assert_eq!(
+            idx.probe_range(0, Some(&Value::Int(20)), Some(&Value::Int(10))),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn range_probe_spans_string_keyspace() {
+        let mut idx = TableIndexes::new(vec![0]);
+        idx.add(0, &[Value::Str("apple".into())]);
+        idx.add(1, &[Value::Str("mango".into())]);
+        idx.add(2, &[Value::Str("zebra".into())]);
+        idx.add(3, &[Value::Int(5)]);
+        assert_eq!(
+            idx.probe_range(
+                0,
+                Some(&Value::Str("apple".into())),
+                Some(&Value::Str("mango".into()))
+            ),
+            Some(vec![0, 1])
+        );
+        assert_eq!(
+            idx.probe_range(0, Some(&Value::Str("n".into())), None),
+            Some(vec![2])
+        );
+    }
+
+    #[test]
+    fn range_maps_follow_add_and_unwind() {
+        let mut idx = TableIndexes::new(vec![0]);
+        let vals = vec![Value::Int(7)];
+        idx.add(1, &vals);
+        assert_eq!(
+            idx.probe_range(0, Some(&Value::Int(0)), Some(&Value::Int(10))),
+            Some(vec![1])
+        );
+        idx.unwind(1, &vals, std::iter::empty());
+        assert_eq!(
+            idx.probe_range(0, Some(&Value::Int(0)), Some(&Value::Int(10))),
+            Some(vec![])
+        );
     }
 
     #[test]

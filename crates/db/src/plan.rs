@@ -1,7 +1,9 @@
-//! Predicate analysis for the equality-index read path.
+//! Predicate analysis for the index read paths.
 //!
-//! The executor asks one narrow question before scanning a table: *does
-//! the statement's WHERE/ON tree prove `col = literal` for some
+//! The executor asks two narrow questions before scanning a table: *does
+//! the statement's WHERE/ON tree prove `col = literal`* — served by an
+//! equality (hash) probe — *or, failing that, a one-column range like
+//! `col < literal`* — served by an ordered-index range probe — *for some
 //! index-backed column of this table?* If so, the table's candidate rows
 //! come from an index probe instead of a full slot walk. The analysis is
 //! purely sufficient, never necessary: a conjunct it cannot extract just
@@ -37,6 +39,23 @@ pub struct EqConstraint {
     pub column: usize,
     /// The literal the column must equal.
     pub value: Value,
+}
+
+/// A one-column range that holds for every row combination the analyzed
+/// clauses accept: `lower <= col <= upper` with either side optional.
+/// Bounds are **widened to inclusive** (`col < 10` contributes upper
+/// `10`) — the candidate set is a superset and the exact predicate
+/// re-verifies every candidate, same as the equality path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeConstraint {
+    /// Position of the owning table in the statement's scope (join order).
+    pub table: usize,
+    /// Storage position of the column within that table.
+    pub column: usize,
+    /// Inclusive lower bound, if any conjunct proved one.
+    pub lower: Option<Value>,
+    /// Inclusive upper bound, if any conjunct proved one.
+    pub upper: Option<Value>,
 }
 
 /// One table's name bindings during analysis, mirroring
@@ -92,6 +111,82 @@ pub fn equality_constraints(
         collect_conjuncts(clause, tables, &mut out);
     }
     Some(out)
+}
+
+/// Collect the one-column range constraints proven by the top-level AND
+/// conjuncts of every clause in `clauses` — `col < lit`, `lit <= col`,
+/// and friends (`BETWEEN` desugars to such conjuncts in the parser).
+/// Bounds merge per column: the first lower and first upper seen win
+/// (later, possibly tighter bounds only shrink a set the predicate
+/// re-verifies anyway). Returns `None` under exactly the same
+/// unresolvable-column rule as [`equality_constraints`].
+pub fn range_constraints(
+    clauses: &[&Expr],
+    tables: &[PlanTable<'_>],
+) -> Option<Vec<RangeConstraint>> {
+    for clause in clauses {
+        let mut all_resolve = true;
+        clause.visit_columns(&mut |c| {
+            if resolve(tables, c).is_none() {
+                all_resolve = false;
+            }
+        });
+        if !all_resolve {
+            return None;
+        }
+    }
+    let mut out: Vec<RangeConstraint> = Vec::new();
+    for clause in clauses {
+        collect_range_conjuncts(clause, tables, &mut out);
+    }
+    Some(out)
+}
+
+fn collect_range_conjuncts(expr: &Expr, tables: &[PlanTable<'_>], out: &mut Vec<RangeConstraint>) {
+    let Expr::Binary { left, op, right } = expr else {
+        return;
+    };
+    if *op == BinOp::And {
+        collect_range_conjuncts(left, tables, out);
+        collect_range_conjuncts(right, tables, out);
+        return;
+    }
+    // Orient each comparison as `col OP lit`: `lit < col` is `col > lit`.
+    let (c, lit, op) = match (&**left, &**right, *op) {
+        (Expr::Column(c), Expr::Literal(l), op) => (c, l, op),
+        (Expr::Literal(l), Expr::Column(c), BinOp::Lt) => (c, l, BinOp::Gt),
+        (Expr::Literal(l), Expr::Column(c), BinOp::LtEq) => (c, l, BinOp::GtEq),
+        (Expr::Literal(l), Expr::Column(c), BinOp::Gt) => (c, l, BinOp::Lt),
+        (Expr::Literal(l), Expr::Column(c), BinOp::GtEq) => (c, l, BinOp::LtEq),
+        _ => return,
+    };
+    let Some((table, column)) = resolve(tables, c) else {
+        return;
+    };
+    let value = Value::from_literal(lit);
+    let (lower, upper) = match op {
+        BinOp::Lt | BinOp::LtEq => (None, Some(value)),
+        BinOp::Gt | BinOp::GtEq => (Some(value), None),
+        _ => return,
+    };
+    if let Some(existing) = out
+        .iter_mut()
+        .find(|r| r.table == table && r.column == column)
+    {
+        if existing.lower.is_none() {
+            existing.lower = lower.clone();
+        }
+        if existing.upper.is_none() {
+            existing.upper = upper.clone();
+        }
+        return;
+    }
+    out.push(RangeConstraint {
+        table,
+        column,
+        lower,
+        upper,
+    });
 }
 
 fn collect_conjuncts(expr: &Expr, tables: &[PlanTable<'_>], out: &mut Vec<EqConstraint>) {
@@ -189,6 +284,61 @@ mod tests {
             analyze("id = 1 AND (nope > 2 OR v = 3)", &["id", "v"]),
             None
         );
+    }
+
+    fn analyze_range(sql: &str, cols: &[&str]) -> Option<Vec<RangeConstraint>> {
+        let columns = single_scope(cols);
+        let tables = [PlanTable {
+            effective_name: "t",
+            columns: &columns,
+        }];
+        range_constraints(&[&where_expr(sql)], &tables)
+    }
+
+    #[test]
+    fn extracts_and_merges_range_conjuncts() {
+        let rs = analyze_range("qty < 10", &["id", "qty"]).unwrap();
+        assert_eq!(
+            rs,
+            vec![RangeConstraint {
+                table: 0,
+                column: 1,
+                lower: None,
+                upper: Some(Value::Int(10)),
+            }]
+        );
+        // Both sides merge onto one constraint; reversed operands orient.
+        let rs = analyze_range("qty >= 2 AND 10 > qty", &["id", "qty"]).unwrap();
+        assert_eq!(
+            rs,
+            vec![RangeConstraint {
+                table: 0,
+                column: 1,
+                lower: Some(Value::Int(2)),
+                upper: Some(Value::Int(10)),
+            }]
+        );
+        // BETWEEN desugars in the parser to the same conjunct shape.
+        let rs = analyze_range("qty BETWEEN 3 AND 7", &["id", "qty"]).unwrap();
+        assert_eq!(rs[0].lower, Some(Value::Int(3)));
+        assert_eq!(rs[0].upper, Some(Value::Int(7)));
+        // First bound per side wins; extra bounds only widen the superset.
+        let rs = analyze_range("qty > 5 AND qty > 8", &["id", "qty"]).unwrap();
+        assert_eq!(rs[0].lower, Some(Value::Int(5)));
+        assert_eq!(rs[0].upper, None);
+    }
+
+    #[test]
+    fn range_opaque_shapes_and_fallback() {
+        assert_eq!(
+            analyze_range("qty < 1 OR qty > 5", &["id", "qty"]).unwrap(),
+            vec![]
+        );
+        assert_eq!(
+            analyze_range("qty + 1 < 10", &["id", "qty"]).unwrap(),
+            vec![]
+        );
+        assert_eq!(analyze_range("nope < 1", &["id", "qty"]), None);
     }
 
     #[test]

@@ -3,6 +3,28 @@
 //! Each logical row occupies a stable slot in its table; writes append new
 //! versions to the slot's chain. Version visibility is decided against a
 //! [`ReadView`], which encodes the isolation level's read rule.
+//!
+//! # Atomic tuple timestamps
+//!
+//! A version's begin and end stamps are single `AtomicU64` words carrying
+//! a transaction-id tag bit (`TXN_TAG`, the Hekaton encoding):
+//!
+//! | word            | meaning                                        |
+//! |-----------------|------------------------------------------------|
+//! | `ts` (untagged) | commit timestamp of the creator/ender          |
+//! | `TXN_TAG \| id` | the (uncommitted) transaction that wrote it    |
+//! | `0` (end only)  | open — no transaction has ended this version   |
+//!
+//! Commit timestamps start at 1 and transaction ids stay below `TXN_TAG`,
+//! so the three states never collide (a begin word of `0` is the seeded
+//! "committed at time zero" state). Visibility checks are plain `Acquire`
+//! loads — no latch — and commit stamping is a `Release` store through a
+//! shared reference, which is why [`Storage::publish_commit`] needs only
+//! *read* latches: the latch pins the slot/chain `Vec` structure, not the
+//! stamps. Readers scanning concurrently with a commit can only observe
+//! the `TXN_TAG|id → ts` transition, and both sides of it are invisible
+//! to them: the tag matches no other transaction, and `ts` is above every
+//! published snapshot bound until the commit clock advances.
 
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,48 +38,141 @@ use crate::txn::{TxnId, UndoRecord};
 use crate::value::Value;
 use crate::wal::WalOp;
 
-/// One version of a row.
-#[derive(Debug, Clone)]
+/// Tag bit marking a timestamp word as holding an uncommitted
+/// transaction's id rather than a commit timestamp.
+const TXN_TAG: u64 = 1 << 63;
+
+/// End-word sentinel: no transaction, committed or not, has ended the
+/// version. Never collides with a real end stamp because commit
+/// timestamps start at 1.
+const OPEN: u64 = 0;
+
+fn tagged(word: u64) -> bool {
+    word & TXN_TAG != 0
+}
+
+/// One version of a row. The column values are immutable after creation;
+/// the begin/end stamps are atomic words (see the module docs for the
+/// encoding) so visibility resolves lock-free at read time.
+#[derive(Debug)]
 pub struct RowVersion {
     /// The row's column values in this version.
     pub values: Vec<Value>,
-    /// Transaction that created this version.
-    pub begin_txn: TxnId,
-    /// Commit timestamp of the creator; `None` while uncommitted.
-    pub begin_ts: Option<u64>,
-    /// Transaction that ended this version (delete or superseding update).
-    pub end_txn: Option<TxnId>,
-    /// Commit timestamp of the ender; `None` while the ender is uncommitted
-    /// or the version is live.
-    pub end_ts: Option<u64>,
+    /// Begin word: `TXN_TAG | creator` until the creator commits, then its
+    /// commit timestamp.
+    begin: AtomicU64,
+    /// End word: [`OPEN`], or `TXN_TAG | ender` until the ender commits,
+    /// then its commit timestamp.
+    end: AtomicU64,
+}
+
+impl Clone for RowVersion {
+    fn clone(&self) -> Self {
+        RowVersion {
+            values: self.values.clone(),
+            begin: AtomicU64::new(self.begin.load(Ordering::Acquire)),
+            end: AtomicU64::new(self.end.load(Ordering::Acquire)),
+        }
+    }
 }
 
 impl RowVersion {
     /// A version created (and already committed) at timestamp `ts`.
     pub fn committed(values: Vec<Value>, ts: u64) -> Self {
+        debug_assert!(!tagged(ts), "commit timestamp overflows into tag bit");
         RowVersion {
             values,
-            begin_txn: TxnId(0),
-            begin_ts: Some(ts),
-            end_txn: None,
-            end_ts: None,
+            begin: AtomicU64::new(ts),
+            end: AtomicU64::new(OPEN),
         }
     }
 
     /// A fresh uncommitted version created by `txn`.
     pub fn uncommitted(values: Vec<Value>, txn: TxnId) -> Self {
+        debug_assert!(!tagged(txn.0), "transaction id overflows into tag bit");
         RowVersion {
             values,
-            begin_txn: txn,
-            begin_ts: None,
-            end_txn: None,
-            end_ts: None,
+            begin: AtomicU64::new(TXN_TAG | txn.0),
+            end: AtomicU64::new(OPEN),
         }
+    }
+
+    fn begin_word(&self) -> u64 {
+        self.begin.load(Ordering::Acquire)
+    }
+
+    fn end_word(&self) -> u64 {
+        self.end.load(Ordering::Acquire)
+    }
+
+    /// Commit timestamp of the creator; `None` while uncommitted.
+    pub fn begin_ts(&self) -> Option<u64> {
+        let w = self.begin_word();
+        (!tagged(w)).then_some(w)
+    }
+
+    /// Commit timestamp of the ender; `None` while the version is open or
+    /// its ender is uncommitted.
+    pub fn end_ts(&self) -> Option<u64> {
+        let w = self.end_word();
+        (w != OPEN && !tagged(w)).then_some(w)
     }
 
     /// Whether no transaction, committed or not, has ended this version.
     pub fn is_open(&self) -> bool {
-        self.end_txn.is_none()
+        self.end_word() == OPEN
+    }
+
+    /// Whether `txn` created this version and has not yet committed it.
+    pub fn created_by(&self, txn: TxnId) -> bool {
+        self.begin_word() == (TXN_TAG | txn.0)
+    }
+
+    /// Whether `txn` ended this version and has not yet committed the end.
+    pub fn ended_by(&self, txn: TxnId) -> bool {
+        self.end_word() == (TXN_TAG | txn.0)
+    }
+
+    /// Whether either word still carries an uncommitted transaction tag.
+    /// Chains containing such a version are skipped by GC, which keeps
+    /// every version index recorded in an active transaction's undo log
+    /// valid.
+    pub fn has_uncommitted_mark(&self) -> bool {
+        tagged(self.begin_word()) || tagged(self.end_word())
+    }
+
+    /// Publish the creator's commit timestamp (`Release`: readers that see
+    /// the stamp also see the values written before it).
+    pub fn stamp_begin(&self, ts: u64) {
+        debug_assert!(tagged(self.begin_word()), "begin already committed");
+        debug_assert!(!tagged(ts));
+        self.begin.store(ts, Ordering::Release);
+    }
+
+    /// Publish the ender's commit timestamp. Also used by recovery replay,
+    /// where the open→ts transition skips the tagged state.
+    pub fn stamp_end(&self, ts: u64) {
+        debug_assert!(self.end_ts().is_none(), "end already committed");
+        debug_assert!(!tagged(ts) && ts != OPEN);
+        self.end.store(ts, Ordering::Release);
+    }
+
+    /// Mark this open version as ended by the (uncommitted) `txn`. Callers
+    /// hold the table's write latch and the row's X lock.
+    pub fn mark_ended(&self, txn: TxnId) {
+        debug_assert!(self.is_open(), "version already ended");
+        debug_assert!(!tagged(txn.0));
+        self.end.store(TXN_TAG | txn.0, Ordering::Release);
+    }
+
+    /// Roll back `txn`'s uncommitted end mark, if present. A no-op when the
+    /// word holds anything else (the mark was never placed, or another
+    /// state transition superseded it — impossible while `txn` holds the
+    /// row's X lock, but cheap to guard).
+    pub fn clear_end(&self, txn: TxnId) {
+        if self.ended_by(txn) {
+            self.end.store(OPEN, Ordering::Release);
+        }
     }
 }
 
@@ -75,10 +190,10 @@ pub struct TableData {
     pub name: String,
     /// Row slots; a slot's index is the row's stable identity.
     pub rows: Vec<RowSlot>,
-    /// Equality indexes over the table's unique and declared-indexed
-    /// columns. Maintained under this table's write latch at version
-    /// create time and unwound on rollback; see [`crate::index`] for the
-    /// visibility-agnostic superset contract.
+    /// Equality and ordered indexes over the table's unique and
+    /// declared-indexed columns. Maintained under this table's write latch
+    /// at version create time and unwound on rollback; see [`crate::index`]
+    /// for the visibility-agnostic superset contract.
     pub indexes: TableIndexes,
     /// Next value handed out for auto-increment columns.
     pub auto_counter: i64,
@@ -126,17 +241,30 @@ impl TableData {
     }
 }
 
+/// Outcome of one garbage-collection pass over the version store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Superseded versions reclaimed (removed from their chains and
+    /// unwound from the indexes).
+    pub reclaimed: usize,
+    /// Versions still live across all tables after the pass.
+    pub live_versions: usize,
+    /// Longest version chain remaining after the pass.
+    pub max_chain: usize,
+}
+
 /// The storage layer of the decomposed engine: per-table latches around
 /// the data pages, an atomic commit clock, and a commit critical section
 /// that serializes nothing but version-stamp publication.
 ///
 /// Statements pin (read- or write-latch) only the tables they touch for
 /// their own duration, so statements on disjoint tables run concurrently
-/// and readers of one table run concurrently with each other. Correctness
+/// and readers of one table run concurrently with each other — and, since
+/// stamps are atomic words, with commit publication itself. Correctness
 /// of concurrent commit publication rests on the clock protocol:
 /// `commit_ts` is advanced with a `Release` store only *after* every
 /// version of the committing transaction has been stamped under the
-/// owning tables' write latches, and readers `Acquire`-load their `as_of`
+/// owning tables' read latches, and readers `Acquire`-load their `as_of`
 /// bound — so a partially stamped commit always carries a timestamp
 /// strictly greater than any reader's bound and is consistently invisible.
 #[derive(Debug)]
@@ -200,9 +328,12 @@ impl Storage {
     /// Commit critical section: stamp every version named by `undo` with
     /// the next commit timestamp, then publish the new clock value.
     ///
-    /// Per-table write latches are taken one at a time (batched across
-    /// consecutive same-table records); the only globally serialized part
-    /// is the stamping itself, under `commit_serial`.
+    /// Stamps are `Release` stores through shared references, so only
+    /// per-table *read* latches are needed (they pin the slot and chain
+    /// `Vec` structure against concurrent inserts and rollback removals);
+    /// readers of the same table proceed concurrently and cannot observe
+    /// the half-stamped commit (see the module docs). The only globally
+    /// serialized part is the stamping itself, under `commit_serial`.
     pub fn publish_commit(&self, txn: TxnId, undo: &[UndoRecord]) {
         let _serial_order = latch_order::acquired(LatchRank::CommitSerial, None);
         let _serial = self.commit_serial.lock();
@@ -210,18 +341,18 @@ impl Storage {
         let mut i = 0;
         while i < undo.len() {
             let table = undo[i].table();
-            let mut guard = self.write(table);
+            let guard = self.read(table);
             while i < undo.len() && undo[i].table() == table {
                 match undo[i] {
                     UndoRecord::Created { row, version, .. } => {
-                        let v = &mut guard.rows[row].versions[version];
-                        debug_assert!(v.begin_txn == txn && v.begin_ts.is_none());
-                        v.begin_ts = Some(ts);
+                        let v = &guard.rows[row].versions[version];
+                        debug_assert!(v.created_by(txn));
+                        v.stamp_begin(ts);
                     }
                     UndoRecord::Ended { row, version, .. } => {
-                        let v = &mut guard.rows[row].versions[version];
-                        debug_assert!(v.end_txn == Some(txn) && v.end_ts.is_none());
-                        v.end_ts = Some(ts);
+                        let v = &guard.rows[row].versions[version];
+                        debug_assert!(v.ended_by(txn));
+                        v.stamp_end(ts);
                     }
                 }
                 i += 1;
@@ -271,13 +402,13 @@ impl Storage {
         let mut i = 0;
         while i < undo.len() {
             let table = undo[i].table();
-            let mut guard = self.write(table);
+            let guard = self.read(table);
             while i < undo.len() && undo[i].table() == table {
                 match undo[i] {
                     UndoRecord::Created { row, version, .. } => {
-                        let v = &mut guard.rows[row].versions[version];
-                        debug_assert!(v.begin_txn == txn && v.begin_ts.is_none());
-                        v.begin_ts = Some(ts);
+                        let v = &guard.rows[row].versions[version];
+                        debug_assert!(v.created_by(txn));
+                        v.stamp_begin(ts);
                         ops.push(WalOp::Create {
                             table: table as u32,
                             slot: row as u64,
@@ -285,9 +416,9 @@ impl Storage {
                         });
                     }
                     UndoRecord::Ended { row, version, .. } => {
-                        let v = &mut guard.rows[row].versions[version];
-                        debug_assert!(v.end_txn == Some(txn) && v.end_ts.is_none());
-                        v.end_ts = Some(ts);
+                        let v = &guard.rows[row].versions[version];
+                        debug_assert!(v.ended_by(txn));
+                        v.stamp_end(ts);
                         ops.push(WalOp::End {
                             table: table as u32,
                             slot: row as u64,
@@ -321,10 +452,7 @@ impl Storage {
                     let mut guard = self.write(table);
                     let data = &mut *guard;
                     let slot = &mut data.rows[row];
-                    debug_assert!(
-                        slot.versions[version].begin_txn == txn
-                            && slot.versions[version].begin_ts.is_none()
-                    );
+                    debug_assert!(slot.versions[version].created_by(txn));
                     let removed = slot.versions.remove(version);
                     // Unwind the removed version's index entries (unless a
                     // surviving version of the slot still carries the key).
@@ -339,14 +467,85 @@ impl Storage {
                     row,
                     version,
                 } => {
-                    let mut guard = self.write(table);
-                    let v = &mut guard.rows[row].versions[version];
-                    if v.end_txn == Some(txn) && v.end_ts.is_none() {
-                        v.end_txn = None;
-                    }
+                    // Clearing an end mark is an atomic store; the read
+                    // latch only pins the chain structure.
+                    let guard = self.read(table);
+                    guard.rows[row].versions[version].clear_end(txn);
                 }
             }
         }
+    }
+
+    /// Garbage-collect superseded versions older than `oldest`, the lower
+    /// bound on every snapshot any current or future reader can use.
+    ///
+    /// Per table (write latch, taken one table at a time with nothing else
+    /// held), each chain is pruned by draining its ended prefix: versions
+    /// whose end stamp is committed at or before `oldest` are invisible to
+    /// every reachable snapshot (`end_ts <= as_of` hides them) and to
+    /// every current read (a newer committed version supersedes them), so
+    /// they are removed and their index entries unwound. Chains containing
+    /// any uncommitted tag word are skipped wholesale — active
+    /// transactions record version *indices* in their undo logs and GC
+    /// must not shift them. Statement-scope snapshots need no
+    /// registration: a statement holds its table latches while it reads,
+    /// so the write latch serializes GC behind it, and any later statement
+    /// draws a snapshot at or above the clock value `oldest` was derived
+    /// from.
+    pub fn prune(&self, oldest: u64) -> GcStats {
+        let mut stats = GcStats::default();
+        for idx in 0..self.tables.len() {
+            let mut guard = self.write(idx);
+            let data = &mut *guard;
+            for slot_idx in 0..data.rows.len() {
+                let chain = &mut data.rows[slot_idx].versions;
+                if chain.iter().any(RowVersion::has_uncommitted_mark) {
+                    stats.live_versions += chain.len();
+                    stats.max_chain = stats.max_chain.max(chain.len());
+                    continue;
+                }
+                let mut prefix = 0;
+                while prefix < chain.len() {
+                    match chain[prefix].end_ts() {
+                        Some(ts) if ts <= oldest => prefix += 1,
+                        _ => break,
+                    }
+                }
+                if prefix > 0 {
+                    let removed: Vec<RowVersion> = chain.drain(..prefix).collect();
+                    stats.reclaimed += removed.len();
+                    for r in &removed {
+                        data.indexes.unwind(
+                            slot_idx,
+                            &r.values,
+                            data.rows[slot_idx]
+                                .versions
+                                .iter()
+                                .map(|v| v.values.as_slice()),
+                        );
+                    }
+                }
+                let len = data.rows[slot_idx].versions.len();
+                stats.live_versions += len;
+                stats.max_chain = stats.max_chain.max(len);
+            }
+        }
+        stats
+    }
+
+    /// Diagnostic census of the version store: total live versions and the
+    /// longest chain. Takes each table's read latch in turn.
+    pub fn version_stats(&self) -> (usize, usize) {
+        let mut total = 0;
+        let mut max_chain = 0;
+        for idx in 0..self.tables.len() {
+            let guard = self.read(idx);
+            for slot in &guard.rows {
+                total += slot.versions.len();
+                max_chain = max_chain.max(slot.versions.len());
+            }
+        }
+        (total, max_chain)
     }
 }
 
@@ -405,23 +604,26 @@ pub enum ReadView {
 }
 
 impl ReadView {
-    /// Whether `version` is visible under this view.
+    /// Whether `version` is visible under this view. Lock-free: two atomic
+    /// `Acquire` loads against words that concurrent commits may be
+    /// stamping (see the module docs for why every observable interleaving
+    /// yields the same answer).
     pub fn sees(&self, version: &RowVersion) -> bool {
         match *self {
             ReadView::Latest { txn } => {
                 // Any creator counts; any ender (even uncommitted) hides it,
-                // except that a version we ended ourselves is also hidden.
+                // including a version we ended ourselves.
                 let _ = txn;
                 version.is_open()
             }
             ReadView::Snapshot { as_of, txn } => {
                 let begin_visible =
-                    version.begin_txn == txn || version.begin_ts.is_some_and(|ts| ts <= as_of);
+                    version.created_by(txn) || version.begin_ts().is_some_and(|ts| ts <= as_of);
                 if !begin_visible {
                     return false;
                 }
                 let end_visible =
-                    version.end_txn == Some(txn) || version.end_ts.is_some_and(|ts| ts <= as_of);
+                    version.ended_by(txn) || version.end_ts().is_some_and(|ts| ts <= as_of);
                 !end_visible
             }
         }
@@ -474,17 +676,17 @@ mod tests {
 
     #[test]
     fn snapshot_hides_versions_ended_before_as_of() {
-        let mut version = RowVersion::committed(v(1), 1);
-        version.end_txn = Some(TxnId(2));
-        version.end_ts = Some(3);
+        let version = RowVersion::committed(v(1), 1);
+        version.mark_ended(TxnId(2));
+        version.stamp_end(3);
         assert!(!ReadView::Snapshot {
             as_of: 3,
             txn: TxnId(9)
         }
         .sees(&version));
         // An uncommitted delete by another transaction does not hide it.
-        let mut version = RowVersion::committed(v(1), 1);
-        version.end_txn = Some(TxnId(2));
+        let version = RowVersion::committed(v(1), 1);
+        version.mark_ended(TxnId(2));
         assert!(ReadView::Snapshot {
             as_of: 3,
             txn: TxnId(9)
@@ -502,17 +704,17 @@ mod tests {
     fn latest_sees_uncommitted_and_respects_any_delete() {
         let version = RowVersion::uncommitted(v(1), TxnId(3));
         assert!(ReadView::Latest { txn: TxnId(4) }.sees(&version));
-        let mut deleted = RowVersion::committed(v(1), 1);
-        deleted.end_txn = Some(TxnId(5));
+        let deleted = RowVersion::committed(v(1), 1);
+        deleted.mark_ended(TxnId(5));
         assert!(!ReadView::Latest { txn: TxnId(4) }.sees(&deleted));
     }
 
     #[test]
     fn visible_version_picks_newest_visible() {
         let mut slot = RowSlot::default();
-        let mut old = RowVersion::committed(v(1), 1);
-        old.end_txn = Some(TxnId(0));
-        old.end_ts = Some(2);
+        let old = RowVersion::committed(v(1), 1);
+        old.mark_ended(TxnId(8));
+        old.stamp_end(2);
         slot.versions.push(old);
         slot.versions.push(RowVersion::committed(v(2), 2));
         let view = ReadView::Snapshot {
@@ -526,6 +728,31 @@ mod tests {
             txn: TxnId(9),
         };
         assert_eq!(view.visible_version(&slot).unwrap().values, v(1));
+    }
+
+    #[test]
+    fn tagged_words_roundtrip() {
+        let version = RowVersion::uncommitted(v(1), TxnId(7));
+        assert!(version.created_by(TxnId(7)));
+        assert!(!version.created_by(TxnId(8)));
+        assert_eq!(version.begin_ts(), None);
+        assert!(version.has_uncommitted_mark());
+        version.stamp_begin(42);
+        assert_eq!(version.begin_ts(), Some(42));
+        assert!(!version.created_by(TxnId(7)));
+        assert!(!version.has_uncommitted_mark());
+
+        assert!(version.is_open());
+        version.mark_ended(TxnId(9));
+        assert!(version.ended_by(TxnId(9)));
+        assert_eq!(version.end_ts(), None);
+        assert!(version.has_uncommitted_mark());
+        version.clear_end(TxnId(9));
+        assert!(version.is_open());
+        version.mark_ended(TxnId(9));
+        version.stamp_end(43);
+        assert_eq!(version.end_ts(), Some(43));
+        assert!(!version.ended_by(TxnId(9)));
     }
 
     #[test]
@@ -564,5 +791,57 @@ mod tests {
         t.push_version(slot, RowVersion::uncommitted(v(6), TxnId(2)));
         assert_eq!(t.indexes.probe(0, &Value::Int(5)), Some(vec![slot]));
         assert_eq!(t.indexes.probe(0, &Value::Int(6)), Some(vec![slot]));
+    }
+
+    #[test]
+    fn prune_drains_superseded_prefix_and_unwinds_indexes() {
+        let storage = Storage::new(vec![TableData::new("t", vec![0])]);
+        {
+            let mut t = storage.write(0);
+            let slot = t.push_row(RowVersion::committed(v(1), 1));
+            t.rows[slot].versions[0].mark_ended(TxnId(1));
+            t.rows[slot].versions[0].stamp_end(2);
+            t.push_version(slot, RowVersion::committed(v(2), 2));
+            t.rows[slot].versions[1].mark_ended(TxnId(2));
+            t.rows[slot].versions[1].stamp_end(3);
+            t.push_version(slot, RowVersion::committed(v(3), 3));
+        }
+        // Oldest snapshot at 2: only the first version (ended at 2) is
+        // reclaimable; the second (ended at 3) is still visible at as_of 2.
+        let stats = storage.prune(2);
+        assert_eq!(stats.reclaimed, 1);
+        assert_eq!(stats.live_versions, 2);
+        assert_eq!(stats.max_chain, 2);
+        {
+            let t = storage.read(0);
+            assert_eq!(t.rows[0].versions.len(), 2);
+            assert_eq!(t.rows[0].versions[0].values, v(2));
+            // The pruned version's index entry is gone; survivors remain.
+            assert_eq!(t.indexes.probe(0, &Value::Int(1)), Some(vec![]));
+            assert_eq!(t.indexes.probe(0, &Value::Int(2)), Some(vec![0]));
+            assert_eq!(t.indexes.probe(0, &Value::Int(3)), Some(vec![0]));
+        }
+        // A later pass at 3 collapses the chain to the live version.
+        let stats = storage.prune(3);
+        assert_eq!(stats.reclaimed, 1);
+        assert_eq!(stats.live_versions, 1);
+        assert_eq!(stats.max_chain, 1);
+    }
+
+    #[test]
+    fn prune_skips_chains_with_uncommitted_marks() {
+        let storage = Storage::new(vec![TableData::new("t", vec![])]);
+        {
+            let mut t = storage.write(0);
+            let slot = t.push_row(RowVersion::committed(v(1), 1));
+            t.rows[slot].versions[0].mark_ended(TxnId(1));
+            t.rows[slot].versions[0].stamp_end(2);
+            // Uncommitted successor: the whole chain must be left alone so
+            // the writer's recorded version indices stay valid.
+            t.push_version(slot, RowVersion::uncommitted(v(2), TxnId(5)));
+        }
+        let stats = storage.prune(10);
+        assert_eq!(stats.reclaimed, 0);
+        assert_eq!(storage.read(0).rows[0].versions.len(), 2);
     }
 }

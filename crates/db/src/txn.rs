@@ -1,5 +1,7 @@
 //! Transaction identifiers, per-transaction state, and undo records.
 
+use std::cell::Cell;
+
 use acidrain_obs::Timer;
 
 use crate::isolation::IsolationLevel;
@@ -80,6 +82,16 @@ pub struct TxnState {
     /// `ROLLBACK TO` undoes every [`UndoRecord`] past the watermark and
     /// truncates the undo log back to it; `RELEASE` just forgets marks.
     pub savepoints: Vec<(String, usize)>,
+    /// Set before the first lock-manager acquisition this transaction
+    /// attempts. Read-only transactions that never touched the lock table
+    /// skip `release_all` at commit — the lock manager's global mutex is
+    /// otherwise the last serialization point on the read path. A `Cell`
+    /// so the read path (which only holds `&TxnState`) can set it.
+    pub locks_taken: Cell<bool>,
+    /// The snapshot timestamp this transaction registered in the GC pin
+    /// registry, if any (transaction-snapshot levels only); unpinned at
+    /// commit/rollback.
+    pub pinned_snapshot: Option<u64>,
 }
 
 impl TxnState {
@@ -93,6 +105,8 @@ impl TxnState {
             implicit,
             timer: Timer::disarmed(),
             savepoints: Vec::new(),
+            locks_taken: Cell::new(false),
+            pinned_snapshot: None,
         }
     }
 

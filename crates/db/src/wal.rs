@@ -537,6 +537,12 @@ impl Wal {
         self.inner.lock().dead.is_some()
     }
 
+    /// Bytes of record data currently in the log file (excluding the
+    /// header). Drives log-size-triggered auto-checkpointing.
+    pub(crate) fn log_bytes(&self) -> u64 {
+        self.io.lock().end - WAL_HEADER_LEN
+    }
+
     fn dead_err(msg: &str) -> DbError {
         DbError::Io(msg.to_string())
     }
@@ -795,12 +801,12 @@ pub(crate) fn encode_snapshot(storage: &Storage, ts: u64) -> Vec<u8> {
             let committed: Vec<&RowVersion> = slot
                 .versions
                 .iter()
-                .filter(|v| v.begin_ts.is_some())
+                .filter(|v| v.begin_ts().is_some())
                 .collect();
             put_u32(&mut out, committed.len() as u32);
             for v in committed {
-                put_u64(&mut out, v.begin_ts.expect("filtered on begin_ts"));
-                match v.end_ts {
+                put_u64(&mut out, v.begin_ts().expect("filtered on begin_ts"));
+                match v.end_ts() {
                     Some(e) => {
                         out.push(1);
                         put_u64(&mut out, e);
@@ -861,13 +867,11 @@ fn install_snapshot_into(storage: &Storage, bytes: &[u8]) -> Result<u64, DbError
                     values.push(r.value().map_err(snap_err)?);
                 }
                 indexes.add(slot_idx, &values);
-                slot.versions.push(RowVersion {
-                    values,
-                    begin_txn: TxnId(0),
-                    begin_ts: Some(begin),
-                    end_txn: end.map(|_| TxnId(0)),
-                    end_ts: end,
-                });
+                let version = RowVersion::committed(values, begin);
+                if let Some(e) = end {
+                    version.stamp_end(e);
+                }
+                slot.versions.push(version);
             }
             rows.push(slot);
         }
@@ -905,13 +909,9 @@ fn replay_record(storage: &Storage, ts: u64, ops: &[WalOp]) -> Result<(), DbErro
                 }
                 let data = &mut *guard;
                 data.indexes.add(slot, values);
-                data.rows[slot].versions.push(RowVersion {
-                    values: values.clone(),
-                    begin_txn: TxnId(0),
-                    begin_ts: Some(ts),
-                    end_txn: None,
-                    end_ts: None,
-                });
+                data.rows[slot]
+                    .versions
+                    .push(RowVersion::committed(values.clone(), ts));
             }
             WalOp::End { table, slot } => {
                 let idx = *table as usize;
@@ -923,12 +923,11 @@ fn replay_record(storage: &Storage, ts: u64, ops: &[WalOp]) -> Result<(), DbErro
                 let open = guard
                     .rows
                     .get_mut(slot)
-                    .and_then(|s| s.versions.iter_mut().rev().find(|v| v.end_txn.is_none()))
+                    .and_then(|s| s.versions.iter_mut().rev().find(|v| v.is_open()))
                     .ok_or_else(|| {
                         DbError::WalCorrupt(format!("END op found no open version in slot {slot}"))
                     })?;
-                open.end_txn = Some(TxnId(0));
-                open.end_ts = Some(ts);
+                open.stamp_end(ts);
             }
             WalOp::AutoInc { table, value } => {
                 let idx = *table as usize;

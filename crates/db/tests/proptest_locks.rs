@@ -110,10 +110,9 @@ proptest! {
         ts.dedup();
         let mut slot = RowSlot::default();
         for (i, &begin) in ts.iter().enumerate() {
-            let mut v = RowVersion::committed(vec![Value::Int(i as i64)], begin);
+            let v = RowVersion::committed(vec![Value::Int(i as i64)], begin);
             if let Some(&end) = ts.get(i + 1) {
-                v.end_txn = Some(TxnId(0));
-                v.end_ts = Some(end);
+                v.stamp_end(end);
             }
             slot.versions.push(v);
         }

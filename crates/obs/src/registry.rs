@@ -91,6 +91,8 @@ struct Shard {
     wal_appends: AtomicU64,
     wal_fsyncs: AtomicU64,
     wal_bytes: AtomicU64,
+    gc_runs: AtomicU64,
+    gc_reclaimed: AtomicU64,
 
     commits_by_level: [AtomicU64; MAX_LEVELS],
     aborts_by_level: [AtomicU64; MAX_LEVELS],
@@ -110,6 +112,10 @@ pub struct Registry {
     /// Sessions currently acquiring a storage latch (gauge + high-water).
     latch_waiters: AtomicI64,
     latch_waiters_peak: AtomicU64,
+    /// Oldest snapshot bound the last GC run pruned against (gauge).
+    gc_oldest_snapshot: AtomicU64,
+    /// Longest version chain any GC run has observed (high-water).
+    gc_chain_peak: AtomicU64,
     /// Display names for the per-level counter rows, set by the engine.
     level_names: Mutex<Vec<String>>,
     traces: TraceBuffer,
@@ -128,6 +134,8 @@ impl Default for Registry {
             lock_waiters_peak: AtomicU64::new(0),
             latch_waiters: AtomicI64::new(0),
             latch_waiters_peak: AtomicU64::new(0),
+            gc_oldest_snapshot: AtomicU64::new(0),
+            gc_chain_peak: AtomicU64::new(0),
             level_names: Mutex::new(Vec::new()),
             traces: TraceBuffer::default(),
             epoch: Instant::now(),
@@ -525,6 +533,27 @@ impl Obs {
         shard.group_commit.record_nanos(batch);
     }
 
+    /// A version-GC pass finished: it pruned against snapshot bound
+    /// `oldest`, reclaimed `reclaimed` superseded versions, and the
+    /// longest surviving chain holds `max_chain` versions. Fired after
+    /// the prune completes — the probe never influences what is
+    /// reclaimed. GC is engine-wide, so the counters land on shard 0.
+    #[inline]
+    pub fn gc_run(&self, reclaimed: u64, oldest: u64, max_chain: u64) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let shard = self.shard(0);
+        shard.gc_runs.fetch_add(1, Ordering::Relaxed);
+        shard.gc_reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+        self.registry
+            .gc_oldest_snapshot
+            .fetch_max(oldest, Ordering::Relaxed);
+        self.registry
+            .gc_chain_peak
+            .fetch_max(max_chain, Ordering::Relaxed);
+    }
+
     /// A harness task / request finished after `dur` — the shared
     /// measurement path for watchdog classification and bench reporting.
     #[inline]
@@ -547,6 +576,8 @@ impl Obs {
             lock_waiters_peak: r.lock_waiters_peak.load(Ordering::Relaxed),
             latch_waiters: r.latch_waiters.load(Ordering::Relaxed),
             latch_waiters_peak: r.latch_waiters_peak.load(Ordering::Relaxed),
+            gc_oldest_snapshot: r.gc_oldest_snapshot.load(Ordering::Relaxed),
+            gc_chain_peak: r.gc_chain_peak.load(Ordering::Relaxed),
             ..MetricsReport::default()
         };
         let mut commits = [0u64; MAX_LEVELS];
@@ -577,6 +608,8 @@ impl Obs {
             c.wal_appends += shard.wal_appends.load(Ordering::Relaxed);
             c.wal_fsyncs += shard.wal_fsyncs.load(Ordering::Relaxed);
             c.wal_bytes += shard.wal_bytes.load(Ordering::Relaxed);
+            c.gc_runs += shard.gc_runs.load(Ordering::Relaxed);
+            c.gc_reclaimed += shard.gc_reclaimed.load(Ordering::Relaxed);
             for i in 0..MAX_LEVELS {
                 commits[i] += shard.commits_by_level[i].load(Ordering::Relaxed);
                 aborts[i] += shard.aborts_by_level[i].load(Ordering::Relaxed);
@@ -642,8 +675,11 @@ mod tests {
         obs.task_finished(1, Duration::from_millis(1));
         obs.wal_append(1, 64);
         obs.wal_fsync(1, 3);
+        obs.gc_run(5, 42, 3);
         let report = obs.report();
         assert!(!report.enabled);
+        assert_eq!(report.gc_oldest_snapshot, 0);
+        assert_eq!(report.gc_chain_peak, 0);
         assert_eq!(report.statements.count(), 0);
         assert_eq!(report.transactions.count(), 0);
         assert_eq!(report.counters, Counters::default());
@@ -737,6 +773,19 @@ mod tests {
         assert_eq!(report.counters.wal_fsyncs, 1);
         assert_eq!(report.group_commit.count(), 1);
         assert_eq!(report.group_commit.max_nanos, 2, "batch of 2 commits");
+    }
+
+    #[test]
+    fn gc_probe_accumulates_and_tracks_peaks() {
+        let obs = Obs::new();
+        obs.enable();
+        obs.gc_run(5, 10, 4);
+        obs.gc_run(2, 17, 2);
+        let report = obs.report();
+        assert_eq!(report.counters.gc_runs, 2);
+        assert_eq!(report.counters.gc_reclaimed, 7);
+        assert_eq!(report.gc_oldest_snapshot, 17, "gauge follows the bound");
+        assert_eq!(report.gc_chain_peak, 4, "high-water, not last value");
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub struct Counters {
     pub wal_fsyncs: u64,
     /// Bytes of framed commit records appended to the WAL.
     pub wal_bytes: u64,
+    /// Version-GC passes completed.
+    pub gc_runs: u64,
+    /// Superseded row versions reclaimed by GC across all passes.
+    pub gc_reclaimed: u64,
 }
 
 /// Commit/abort counts for one isolation level.
@@ -111,6 +115,10 @@ pub struct MetricsReport {
     pub latch_waiters: i64,
     /// High-water mark of simultaneous latch acquirers.
     pub latch_waiters_peak: u64,
+    /// Oldest snapshot bound the most recent GC pass pruned against.
+    pub gc_oldest_snapshot: u64,
+    /// Longest version chain any GC pass observed (high-water).
+    pub gc_chain_peak: u64,
 }
 
 impl MetricsReport {
@@ -145,12 +153,15 @@ impl MetricsReport {
         out.push_str(&format!("  \"enabled\": {},\n", self.enabled));
         out.push_str(&format!(
             "  \"commit_clock\": {},\n  \"lock_waiters\": {},\n  \"lock_waiters_peak\": {},\n  \
-             \"latch_waiters\": {},\n  \"latch_waiters_peak\": {},\n",
+             \"latch_waiters\": {},\n  \"latch_waiters_peak\": {},\n  \
+             \"gc_oldest_snapshot\": {},\n  \"gc_chain_peak\": {},\n",
             self.commit_clock,
             self.lock_waiters,
             self.lock_waiters_peak,
             self.latch_waiters,
             self.latch_waiters_peak,
+            self.gc_oldest_snapshot,
+            self.gc_chain_peak,
         ));
         let c = &self.counters;
         out.push_str(&format!(
@@ -159,7 +170,8 @@ impl MetricsReport {
              \"retries_gave_up\": {}, \"statements_ok\": {}, \"statements_failed\": {}, \
              \"statements_aborted\": {}, \"blocked_attempts\": {}, \"log_appends\": {}, \
              \"index_hits\": {}, \"index_fallbacks\": {}, \"wal_appends\": {}, \
-             \"wal_fsyncs\": {}, \"wal_bytes\": {}}},\n",
+             \"wal_fsyncs\": {}, \"wal_bytes\": {}, \"gc_runs\": {}, \
+             \"gc_reclaimed\": {}}},\n",
             c.lock_waits,
             c.lock_timeouts,
             c.deadlocks,
@@ -177,6 +189,8 @@ impl MetricsReport {
             c.wal_appends,
             c.wal_fsyncs,
             c.wal_bytes,
+            c.gc_runs,
+            c.gc_reclaimed,
         ));
         out.push_str("  \"by_level\": [");
         for (i, l) in self.by_level.iter().enumerate() {

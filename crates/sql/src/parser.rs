@@ -521,24 +521,43 @@ impl Parser {
                 negated,
             });
         }
-        // `[NOT] IN (list)`
+        // `[NOT] IN (list)` / `[NOT] BETWEEN lo AND hi`
         let negated_in = if self.peek_keyword("NOT") {
-            // Only treat NOT as part of NOT IN here.
-            if self
-                .tokens
-                .get(self.pos + 1)
-                .and_then(|t| t.kind.keyword())
-                .as_deref()
-                == Some("IN")
-            {
-                self.advance();
-                true
-            } else {
-                return Ok(left);
+            // Only treat NOT as part of NOT IN / NOT BETWEEN here.
+            let next = self.tokens.get(self.pos + 1).and_then(|t| t.kind.keyword());
+            match next.as_deref() {
+                Some("IN") | Some("BETWEEN") => {
+                    self.advance();
+                    true
+                }
+                _ => return Ok(left),
             }
         } else {
             false
         };
+        if self.eat_keyword("BETWEEN") {
+            // Desugar at parse time: `a BETWEEN x AND y` is exactly
+            // `a >= x AND a <= y` (negated: `a < x OR a > y`), so every
+            // later stage — evaluation, planning, canonical rendering —
+            // sees plain comparisons. Bounds parse at additive precedence
+            // so the separating AND is not swallowed.
+            let lo = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let hi = self.parse_additive()?;
+            return Ok(if negated_in {
+                Expr::binary(
+                    Expr::binary(left.clone(), BinOp::Lt, lo),
+                    BinOp::Or,
+                    Expr::binary(left, BinOp::Gt, hi),
+                )
+            } else {
+                Expr::binary(
+                    Expr::binary(left.clone(), BinOp::GtEq, lo),
+                    BinOp::And,
+                    Expr::binary(left, BinOp::LtEq, hi),
+                )
+            });
+        }
         if self.eat_keyword("IN") {
             self.expect_kind(&TokenKind::LParen)?;
             let mut list = Vec::new();
@@ -935,6 +954,52 @@ mod tests {
         };
         assert!(matches!(*left, Expr::InList { negated: true, .. }));
         assert!(matches!(*right, Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn between_desugars_to_comparisons() {
+        let s = select("SELECT * FROM t WHERE qty BETWEEN 3 AND 7");
+        let Some(Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        }) = s.selection
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *left,
+            Expr::Binary {
+                op: BinOp::GtEq,
+                ..
+            }
+        ));
+        assert!(matches!(
+            *right,
+            Expr::Binary {
+                op: BinOp::LtEq,
+                ..
+            }
+        ));
+        // NOT BETWEEN is the complementary disjunction.
+        let s = select("SELECT * FROM t WHERE qty NOT BETWEEN 3 AND 7");
+        let Some(Expr::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        }) = s.selection
+        else {
+            panic!()
+        };
+        assert!(matches!(*left, Expr::Binary { op: BinOp::Lt, .. }));
+        assert!(matches!(*right, Expr::Binary { op: BinOp::Gt, .. }));
+        // The separating AND binds to BETWEEN, not the surrounding
+        // conjunction; a trailing conjunct still parses.
+        let s = select("SELECT * FROM t WHERE qty BETWEEN 1 AND 5 AND id = 2");
+        assert!(matches!(
+            s.selection,
+            Some(Expr::Binary { op: BinOp::And, .. })
+        ));
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn main() {
         isolation: IsolationLevel::ReadCommitted,
         metrics: false,
         use_indexes: true,
+        use_range_indexes: true,
         wal: None,
     };
 

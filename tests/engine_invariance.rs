@@ -183,6 +183,7 @@ fn chaos_config(seed: u64) -> ChaosConfig {
         isolation: IsolationLevel::ReadCommitted,
         metrics: false,
         use_indexes: true,
+        use_range_indexes: true,
         wal: None,
     }
 }
@@ -249,6 +250,55 @@ fn chaos_reports_identical_with_index_path_on_or_off() {
             "seed {seed}: index routing changed the chaos report"
         );
     }
+}
+
+/// The ordered-index range path is the same kind of pure routing change:
+/// forcing it off (range predicates full-scan) must reproduce
+/// field-for-field identical chaos reports for the same seeds.
+#[test]
+fn chaos_reports_identical_with_range_index_path_on_or_off() {
+    for seed in [7u64, 42, 0xAC1D] {
+        let on = run_chaos(&PrestaShop, &chaos_config(seed));
+        let off = run_chaos(
+            &PrestaShop,
+            &ChaosConfig {
+                use_range_indexes: false,
+                ..chaos_config(seed)
+            },
+        );
+        assert_eq!(
+            on, off,
+            "seed {seed}: range-index routing changed the chaos report"
+        );
+    }
+}
+
+/// A scripted scenario whose predicates are genuine ranges lifts to the
+/// same abstract history and final state with ordered indexes on or off:
+/// range probes must surface the same rows in the same slot order the
+/// full scan visits.
+#[test]
+fn scripted_range_fingerprint_identical_with_ordered_indexes_on_or_off() {
+    let level = IsolationLevel::ReadCommitted;
+    let run = |use_range: bool| {
+        let d = test_db(level);
+        d.set_use_range_indexes(use_range);
+        let mut t1 = d.connect();
+        let mut t2 = d.connect();
+        t1.set_api("sweep", 0);
+        t2.set_api("restock", 0);
+        t1.execute("BEGIN").unwrap();
+        t1.execute("SELECT id FROM test WHERE value < 15").unwrap();
+        t2.execute("UPDATE test SET value = 5 WHERE value >= 20")
+            .unwrap();
+        t1.execute("UPDATE test SET value = 99 WHERE value BETWEEN 1 AND 12")
+            .unwrap();
+        t1.execute("COMMIT").unwrap();
+        let rows = d.table_rows("test").unwrap();
+        (fingerprint(&d, level), rows)
+    };
+    let (on, off) = (run(true), run(false));
+    assert_eq!(on, off, "range routing changed history or final state");
 }
 
 /// The scripted lost-update scenario lifts to the same abstract history

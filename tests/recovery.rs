@@ -433,6 +433,49 @@ fn checkpoint_plus_log_tail_rebuilds_live_state() {
     cleanup(&[dir]);
 }
 
+/// Log-size-triggered auto-checkpoint: once the WAL crosses the
+/// configured byte threshold, the next writing commit folds the log into
+/// a snapshot automatically — the log shrinks back under the threshold,
+/// and recovery from the rotated image reproduces the live state.
+#[test]
+fn auto_checkpoint_fires_on_log_growth() {
+    let dir = scratch_dir("auto_checkpoint");
+    let wal = WalConfig::new(&dir);
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    db.attach_wal(wal.clone()).unwrap();
+    // Low threshold so a handful of commits crosses it; a manual-only
+    // engine would grow the log linearly with commit count.
+    db.set_auto_checkpoint(512);
+
+    let mut conn = db.connect();
+    for i in 0..200 {
+        conn.execute(&format!(
+            "UPDATE accounts SET balance = {} WHERE id = 1",
+            i + 1000
+        ))
+        .unwrap();
+    }
+    let snapshot = wal.snapshot_path();
+    assert!(
+        snapshot.exists(),
+        "no auto-checkpoint fired over 200 commits"
+    );
+    let log_len = fs::metadata(wal.log_path()).unwrap().len();
+    assert!(
+        log_len - WAL_HEADER_LEN < 5 * 512,
+        "log kept growing past the threshold: {log_len} bytes"
+    );
+    let live_rows = db.table_rows("accounts").unwrap();
+    drop(conn);
+    drop(db);
+
+    let recovered = accounts_db(IsolationLevel::ReadCommitted);
+    let info = recovered.recover(wal).unwrap();
+    assert!(info.snapshot_ts > 0, "recovery used the rotated snapshot");
+    assert_eq!(recovered.table_rows("accounts").unwrap(), live_rows);
+    cleanup(&[dir]);
+}
+
 /// A crash in the middle of writing the snapshot temp file kills the
 /// engine but leaves the previous disk image (old snapshot + full log)
 /// intact — recovery after the botched checkpoint loses nothing.
