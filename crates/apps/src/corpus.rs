@@ -13,12 +13,16 @@ use crate::ruby::{RorEcommerce, Shoppe, Spree};
 /// corpus, not anything this reproduction measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CorpusEntry {
+    /// Application name as in Table 1.
     pub name: &'static str,
+    /// Implementation language/framework.
     pub language: Language,
     /// Web deployments per builtwith.com (None where the paper found no
     /// number).
     pub deployments: Option<u64>,
+    /// GitHub stars at the paper's snapshot.
     pub github_stars: u32,
+    /// Codebase size at the paper's snapshot.
     pub lines_of_code: u32,
     /// SQL trace size (lines) the paper's pen-test sessions produced.
     pub paper_trace_lines: u32,
@@ -129,14 +133,18 @@ pub const TABLE1: [CorpusEntry; 12] = [
 pub enum Cell {
     /// Vulnerable, with access pattern and anomaly type.
     Vuln {
+        /// Lost-Update access pattern (vs phantom).
         lost_update: bool,
+        /// Level-based anomaly (vs scope-based).
         level_based: bool,
     },
     /// Triggerable bug the paper still counts but attributes to
     /// request-header values rather than pure database state (the two
     /// `yes*` cells).
     VulnStarred {
+        /// Lost-Update access pattern (vs phantom).
         lost_update: bool,
+        /// Level-based anomaly (vs scope-based).
         level_based: bool,
     },
     /// Not vulnerable.
@@ -150,6 +158,7 @@ pub enum Cell {
 }
 
 impl Cell {
+    /// Whether the cell counts as vulnerable (starred or not).
     pub fn is_vulnerable(self) -> bool {
         matches!(self, Cell::Vuln { .. } | Cell::VulnStarred { .. })
     }
@@ -178,9 +187,13 @@ impl Cell {
 /// Expected results for one application (one row of Table 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExpectedRow {
+    /// Application name as in Table 5.
     pub name: &'static str,
+    /// Expected voucher-column cell.
     pub voucher: Cell,
+    /// Expected inventory-column cell.
     pub inventory: Cell,
+    /// Expected cart-column cell.
     pub cart: Cell,
 }
 

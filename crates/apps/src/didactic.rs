@@ -11,6 +11,7 @@ use crate::framework::{AppError, AppResult, SqlConn};
 // ---------------------------------------------------------------------------
 // Figure 1: the vulnerable withdraw function.
 
+/// Schema for the Figure-1 bank: one `accounts` table.
 pub fn banking_schema() -> Schema {
     Schema::new().with_table(TableSchema::new(
         "accounts",
@@ -31,6 +32,7 @@ pub struct Bank {
 }
 
 impl Bank {
+    /// The unscoped original: no transaction, no locking.
     pub fn figure_1a() -> Self {
         Bank {
             use_transaction: false,
@@ -38,6 +40,7 @@ impl Bank {
         }
     }
 
+    /// The transaction-wrapped variant (still vulnerable at weak levels).
     pub fn figure_1b() -> Self {
         Bank {
             use_transaction: true,
@@ -45,6 +48,7 @@ impl Bank {
         }
     }
 
+    /// Transaction plus `SELECT ... FOR UPDATE`: the paper's fix.
     pub fn fixed() -> Self {
         Bank {
             use_transaction: true,
@@ -52,6 +56,7 @@ impl Bank {
         }
     }
 
+    /// Fresh bank with one account holding `opening_balance`.
     pub fn make_bank(&self, isolation: IsolationLevel, opening_balance: i64) -> Arc<Database> {
         let db = Database::new(banking_schema(), isolation);
         db.seed(
@@ -98,6 +103,7 @@ impl Bank {
 // ---------------------------------------------------------------------------
 // Figure 3: the payroll application.
 
+/// Schema for the Figure-3 payroll app: `employees` plus a salary-total ledger.
 pub fn payroll_schema() -> Schema {
     Schema::new()
         .with_table(TableSchema::new(
@@ -114,6 +120,7 @@ pub fn payroll_schema() -> Schema {
         ))
 }
 
+/// Fresh payroll database with the two seeded employees.
 pub fn make_payroll(isolation: IsolationLevel) -> Arc<Database> {
     let db = Database::new(payroll_schema(), isolation);
     db.seed(
@@ -171,6 +178,7 @@ pub fn raise_salary(conn: &mut dyn SqlConn, amount: i64) -> AppResult<()> {
 // ---------------------------------------------------------------------------
 // Figure 9: the simplified shop whose abstract history the paper draws.
 
+/// Schema for the Figure-9 simplified shop.
 pub fn minishop_schema() -> Schema {
     Schema::new()
         .with_table(TableSchema::new(
@@ -206,6 +214,7 @@ pub fn minishop_schema() -> Schema {
         ))
 }
 
+/// Fresh minishop with one seeded item (10 on hand at price 5).
 pub fn make_minishop(isolation: IsolationLevel) -> Arc<Database> {
     let db = Database::new(minishop_schema(), isolation);
     db.seed(

@@ -20,6 +20,7 @@ use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
 
 use crate::framework::{AppError, AppResult, SqlConn};
 
+/// Schema for the exchange: one `wallets` table (id, coins).
 pub fn exchange_schema() -> Schema {
     Schema::new().with_table(TableSchema::new(
         "wallets",

@@ -14,6 +14,7 @@ use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
 /// deterministic scheduler substitutes a gated connection that pauses
 /// before every statement so interleavings can be scripted.
 pub trait SqlConn {
+    /// Execute one SQL statement and return its result set.
     fn exec(&mut self, sql: &str) -> Result<ResultSet, DbError>;
 
     /// Tag subsequent statements with an API-call identity for the query
@@ -94,12 +95,14 @@ impl std::fmt::Display for AppError {
 
 impl std::error::Error for AppError {}
 
+/// Shorthand result type every endpoint returns.
 pub type AppResult<T> = Result<T, AppError>;
 
 /// Availability of an optional feature in an application (the paper's NF /
 /// BF / NDB cells in Table 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FeatureStatus {
+    /// The application implements the feature against the database.
     Supported,
     /// The application has no such concept (paper "NF").
     NoFeature,
@@ -112,9 +115,13 @@ pub enum FeatureStatus {
 /// Implementation language, as in Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Language {
+    /// Plain PHP (osCommerce lineage).
     Php,
+    /// Ruby on Rails (Spree lineage).
     Ruby,
+    /// Python / Django (Oscar, Saleor lineage).
     Python,
+    /// Java / Spring (Broadleaf, Shopizer lineage).
     Java,
 }
 
@@ -141,10 +148,12 @@ pub struct CheckoutRequest {
 }
 
 impl CheckoutRequest {
+    /// A checkout with no voucher and a server-computed total.
     pub fn plain() -> Self {
         CheckoutRequest::default()
     }
 
+    /// A checkout redeeming voucher `code` (server-computed total).
     pub fn with_voucher(code: &str) -> Self {
         CheckoutRequest {
             voucher_code: Some(code.to_string()),
@@ -158,15 +167,20 @@ impl CheckoutRequest {
 /// scoping, locking, and validation idioms of the real codebase (paper
 /// Table 5 and §4.2.6).
 pub trait ShopApp: Sync {
+    /// Application name as it appears in the paper's tables.
     fn name(&self) -> &'static str;
+    /// Implementation language of the original codebase (Table 1).
     fn language(&self) -> Language;
 
+    /// Whether vouchers exist and are database-backed (Table 5).
     fn voucher_support(&self) -> FeatureStatus {
         FeatureStatus::Supported
     }
+    /// Whether inventory tracking exists and works (Table 5).
     fn inventory_support(&self) -> FeatureStatus {
         FeatureStatus::Supported
     }
+    /// Whether carts are database-backed (Table 5).
     fn cart_support(&self) -> FeatureStatus {
         FeatureStatus::Supported
     }
@@ -189,6 +203,7 @@ pub trait ShopApp: Sync {
         false
     }
 
+    /// The store schema (the shared corpus schema unless overridden).
     fn schema(&self) -> Schema {
         shop_schema()
     }
@@ -311,14 +326,21 @@ pub enum StockModel {
 
 /// Pen used in the cart attacks; laptop is the item "stolen".
 pub const PEN: i64 = 1;
+/// The expensive item the cart attacks obtain at the pen's price.
 pub const LAPTOP: i64 = 2;
+/// Seeded unit price of the pen.
 pub const PEN_PRICE: i64 = 2;
+/// Seeded unit price of the laptop.
 pub const LAPTOP_PRICE: i64 = 900;
+/// Seeded on-hand stock of the pen.
 pub const PEN_STOCK: i64 = 10;
+/// Seeded on-hand stock of the laptop.
 pub const LAPTOP_STOCK: i64 = 5;
 /// The single-use gift voucher the voucher attacks overspend.
 pub const VOUCHER_ID: i64 = 1;
+/// Redemption code of the seeded gift voucher.
 pub const VOUCHER_CODE: &str = "GIFT";
+/// Seeded usage limit of the gift voucher (single-use).
 pub const VOUCHER_LIMIT: i64 = 1;
 
 /// Install the sample store every application ships with (paper §4.2.1:
@@ -411,6 +433,7 @@ pub fn read_cart_total(conn: &mut dyn SqlConn, cart: i64) -> AppResult<i64> {
     Ok(rs.scalar_i64().unwrap_or(0))
 }
 
+/// Insert a pending order row for `cart` and return its id.
 pub fn insert_order(conn: &mut dyn SqlConn, cart: i64, total: i64) -> AppResult<i64> {
     let rs = conn.exec(&format!(
         "INSERT INTO orders (cart_id, total, status) VALUES ({cart}, {total}, 'pending')"
@@ -429,6 +452,7 @@ pub fn mark_order_placed(conn: &mut dyn SqlConn, order: i64) -> AppResult<()> {
     Ok(())
 }
 
+/// Copy cart lines into `order_items` rows for `order`.
 pub fn insert_order_items(conn: &mut dyn SqlConn, order: i64, lines: &[CartLine]) -> AppResult<()> {
     for (product, qty, price) in lines {
         conn.exec(&format!(
@@ -439,6 +463,7 @@ pub fn insert_order_items(conn: &mut dyn SqlConn, order: i64, lines: &[CartLine]
     Ok(())
 }
 
+/// Delete every line of `cart` (the post-checkout sweep).
 pub fn clear_cart(conn: &mut dyn SqlConn, cart: i64) -> AppResult<()> {
     conn.exec(&format!("DELETE FROM cart_items WHERE cart_id = {cart}"))?;
     Ok(())

@@ -16,7 +16,9 @@ use crate::framework::{StockModel, LAPTOP, LAPTOP_STOCK, PEN, PEN_STOCK};
 /// A violated invariant, with a human-readable explanation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
+    /// Which invariant broke (`"voucher"`, `"inventory"`, `"cart"`).
     pub invariant: &'static str,
+    /// Human-readable account of the discrepancy.
     pub detail: String,
 }
 

@@ -22,6 +22,8 @@
 //! check_cart(&db).unwrap();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod corpus;
 pub mod didactic;
 pub mod endpoints;

@@ -128,6 +128,7 @@ pub struct Saleor {
 }
 
 impl Saleor {
+    /// A Saleor instance with an empty session-cart store.
     pub fn new() -> Self {
         Saleor {
             session_carts: Mutex::new(HashMap::new()),

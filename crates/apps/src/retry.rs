@@ -46,12 +46,14 @@ pub enum RetryPolicy {
 /// Retry/backoff tuning.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RetryConfig {
+    /// What to retry (nothing, statements, or whole transactions).
     pub policy: RetryPolicy,
     /// Retry budget per logical statement (replays count against it).
     pub max_retries: u32,
     /// First backoff step; doubled each attempt up to `max_backoff`.
     /// `Duration::ZERO` disables sleeping (deterministic tests).
     pub base_backoff: Duration,
+    /// Ceiling for the doubling backoff.
     pub max_backoff: Duration,
     /// Seed for the deterministic backoff jitter.
     pub seed: u64,
@@ -120,6 +122,7 @@ pub struct RetryConn<C: SqlConn> {
 }
 
 impl<C: SqlConn> RetryConn<C> {
+    /// Wrap `inner` with retry behavior per `config`.
     pub fn new(inner: C, config: RetryConfig) -> Self {
         let obs = inner.obs();
         RetryConn {
@@ -133,14 +136,17 @@ impl<C: SqlConn> RetryConn<C> {
         }
     }
 
+    /// Retry activity recorded so far.
     pub fn stats(&self) -> RetryStats {
         self.stats
     }
 
+    /// The wrapper's configuration.
     pub fn config(&self) -> &RetryConfig {
         &self.config
     }
 
+    /// Unwrap, returning the inner connection.
     pub fn into_inner(self) -> C {
         self.inner
     }

@@ -52,6 +52,11 @@ pub enum DbError {
     /// the current transaction. Statement-level and permanent, like MySQL's
     /// ER_SP_DOES_NOT_EXIST: the transaction stays open.
     UnknownSavepoint(String),
+    /// Admission control refused a new session: the database is already at
+    /// its configured [`max_sessions`](crate::Database::set_max_sessions)
+    /// limit (MySQL's ER_CON_COUNT_ERROR, "Too many connections").
+    /// Retryable: a slot opens as soon as any existing session closes.
+    TooManySessions,
     /// Internal invariant violation — indicates a bug in the substrate.
     Internal(String),
 }
@@ -85,6 +90,7 @@ impl DbError {
                 | DbError::WriteConflict(_)
                 | DbError::LockTimeout
                 | DbError::ConnectionDropped
+                | DbError::TooManySessions
         )
     }
 }
@@ -114,6 +120,7 @@ impl fmt::Display for DbError {
             DbError::Io(msg) => write!(f, "durability i/o error: {msg}"),
             DbError::WalCorrupt(msg) => write!(f, "write-ahead log corrupt: {msg}"),
             DbError::UnknownSavepoint(name) => write!(f, "savepoint {name:?} does not exist"),
+            DbError::TooManySessions => f.write_str("too many sessions; connection refused"),
             DbError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -15,12 +15,16 @@ use crate::sched::{run_deterministic, Stepper};
 /// The three target invariants (paper §4.2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Invariant {
+    /// Voucher usage stays within its limit (Table 3, I1).
     Voucher,
+    /// Stock sold never exceeds stock on hand (Table 3, I2).
     Inventory,
+    /// Order totals match their items (Table 3, I3).
     Cart,
 }
 
 impl Invariant {
+    /// All three target invariants, in Table-5 column order.
     pub const ALL: [Invariant; 3] = [Invariant::Voucher, Invariant::Inventory, Invariant::Cart];
 
     /// The schema targets used for the paper's filtered analysis (§4.2.3).
@@ -284,8 +288,11 @@ fn setup_attack(app: &dyn ShopApp, db: &Arc<Database>, invariant: Invariant) {
 /// One audited Table-5 cell: the computed result plus diagnostics.
 #[derive(Debug)]
 pub struct CellReport {
+    /// Application under audit.
     pub app: &'static str,
+    /// Invariant column of the cell.
     pub invariant: Invariant,
+    /// The verdict (vulnerable / safe / NF / BF / NDB).
     pub cell: Cell,
     /// Witnesses 2AD reported for this invariant's target columns.
     pub witnesses: usize,
@@ -313,7 +320,9 @@ pub enum AuditStage {
 /// to the probe store by that point.
 #[derive(Debug, Clone)]
 pub struct AuditDegraded {
+    /// Which pipeline stage gave up.
     pub stage: AuditStage,
+    /// What went wrong, verbatim.
     pub error: String,
     /// Injector activity on the probe store (all zeros when faults were
     /// not enabled).

@@ -36,12 +36,16 @@ pub struct ChaosConfig {
     /// Fault channels to enable on the store (its `seed` field is
     /// overridden by the master seed).
     pub faults: FaultConfig,
+    /// Client-side retry policy.
     pub policy: RetryPolicy,
+    /// Retry budget per request.
     pub max_retries: u32,
     /// Number of concurrent shopper sessions (each gets its own cart and
     /// retrying connection).
     pub sessions: usize,
+    /// Script length per session.
     pub requests_per_session: usize,
+    /// Isolation level of the chaos store.
     pub isolation: IsolationLevel,
     /// Record engine metrics during the run. Observational only: every
     /// probe fires after the engine's deterministic decisions, so a seeded
@@ -99,6 +103,7 @@ pub struct ChaosReport {
     pub rejected: usize,
     /// Requests that failed with a database error even after retries.
     pub failed: usize,
+    /// Injected-fault totals from the store's injector.
     pub fault_stats: FaultStats,
     /// Retry activity aggregated across all sessions.
     pub retry_stats: RetryStats,
@@ -125,7 +130,7 @@ impl ChaosReport {
 }
 
 /// One shopper request in the workload.
-enum Request {
+pub(crate) enum Request {
     AddToCart { product: i64, qty: i64 },
     Checkout,
 }
@@ -139,7 +144,7 @@ enum Request {
 /// partial state on rejection even in a clean serial run; with this
 /// script any violation in a chaos report is attributable to the run,
 /// not the workload.
-fn session_script(session: usize, len: usize) -> Vec<Request> {
+pub(crate) fn session_script(session: usize, len: usize) -> Vec<Request> {
     let product = if session.is_multiple_of(2) {
         PEN
     } else {

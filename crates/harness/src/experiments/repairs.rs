@@ -20,7 +20,9 @@ use crate::texttable;
 /// One application × invariant row of the remediation table.
 #[derive(Debug)]
 pub struct RepairRow {
+    /// Application name.
     pub app: &'static str,
+    /// The invariant under repair.
     pub invariant: Invariant,
     /// The unrepaired cell at the default isolation level.
     pub original: Cell,
@@ -31,12 +33,15 @@ pub struct RepairRow {
     pub scoped_serializable: Cell,
 }
 
+/// The remediation experiment: every vulnerable cell, repaired twice.
 #[derive(Debug)]
 pub struct RepairResult {
+    /// One row per app × invariant combination.
     pub rows: Vec<RepairRow>,
 }
 
 impl RepairResult {
+    /// Render the table as aligned plain text.
     pub fn render(&self) -> String {
         let cell = |c: Cell| crate::experiments::table5::render_cell(c);
         let rows: Vec<Vec<String>> = self

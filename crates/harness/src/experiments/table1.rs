@@ -8,19 +8,24 @@ use acidrain_db::IsolationLevel;
 use crate::experiments::pentest_trace;
 use crate::texttable;
 
+/// One corpus application's row of Table 1 (corpus statistics).
 #[derive(Debug)]
 pub struct Table1Row {
+    /// The static corpus entry (name, language, stars, LOC).
     pub entry: acidrain_apps::CorpusEntry,
     /// SQL statements logged by this reproduction's pen-test session.
     pub measured_trace_lines: usize,
 }
 
+/// The reproduced Table 1: one row per corpus application.
 #[derive(Debug)]
 pub struct Table1Result {
+    /// Rows in corpus order.
     pub rows: Vec<Table1Row>,
 }
 
 impl Table1Result {
+    /// Render the table as aligned plain text.
     pub fn render(&self) -> String {
         let rows: Vec<Vec<String>> = self
             .rows
@@ -55,6 +60,7 @@ impl Table1Result {
     }
 }
 
+/// Trace every corpus application once at `isolation` and build Table 1.
 pub fn run(isolation: IsolationLevel) -> Table1Result {
     let apps = all_apps();
     let rows = apps

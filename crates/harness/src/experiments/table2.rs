@@ -10,8 +10,10 @@ use acidrain_db::{DatabaseProfile, IsolationLevel, PAPER_DATABASES};
 use crate::experiments::table5;
 use crate::texttable;
 
+/// One database profile's row of Table 2 (default/maximum isolation).
 #[derive(Debug)]
 pub struct Table2Row {
+    /// The profiled database system.
     pub profile: DatabaseProfile,
     /// Level-based anomalies observable at the default level.
     pub level_based_at_default: usize,
@@ -21,12 +23,15 @@ pub struct Table2Row {
     pub remaining_scope_based: usize,
 }
 
+/// The reproduced Table 2: isolation defaults across database systems.
 #[derive(Debug)]
 pub struct Table2Result {
+    /// Rows in profile order.
     pub rows: Vec<Table2Row>,
 }
 
 impl Table2Result {
+    /// Render the table as aligned plain text.
     pub fn render(&self) -> String {
         let level_name = |l: IsolationLevel| match l {
             IsolationLevel::ReadCommitted | IsolationLevel::MySqlRepeatableRead => "RC",
@@ -72,6 +77,7 @@ fn split_at(level: IsolationLevel) -> (usize, usize) {
     table5::run(level).level_scope_split()
 }
 
+/// Probe every database profile's isolation envelope and build Table 2.
 pub fn run() -> Table2Result {
     // Levels repeat across profiles; cache the expensive audits.
     let mut cache: Vec<(IsolationLevel, (usize, usize))> = Vec::new();

@@ -11,15 +11,24 @@ use crate::attack::Invariant;
 use crate::experiments::pentest_trace;
 use crate::texttable;
 
+/// One application's row of Table 4 (2AD analysis statistics).
 #[derive(Debug)]
 pub struct Table4Row {
+    /// Application name.
     pub name: &'static str,
+    /// Operation nodes in the lifted history.
     pub operation_nodes: usize,
+    /// Transaction nodes in the lifted history.
     pub txn_nodes: usize,
+    /// Transactions the application opened explicitly (`BEGIN`).
     pub explicit_txns: usize,
+    /// Distinct API invocation groups.
     pub api_nodes: usize,
+    /// Dependency edges in the abstract anomaly graph.
     pub edges: usize,
+    /// Time spent parsing the trace into a history.
     pub parse_time: Duration,
+    /// Time spent running the 2AD analysis proper.
     pub analyze_time: Duration,
     /// Witness pairs reported by the unfiltered analysis.
     pub findings_unfiltered: usize,
@@ -27,12 +36,15 @@ pub struct Table4Row {
     pub findings_filtered: usize,
 }
 
+/// The reproduced Table 4: analysis statistics per application.
 #[derive(Debug)]
 pub struct Table4Result {
+    /// Rows in corpus order.
     pub rows: Vec<Table4Row>,
 }
 
 impl Table4Result {
+    /// Render the table as aligned plain text.
     pub fn render(&self) -> String {
         let rows: Vec<Vec<String>> = self
             .rows
@@ -91,6 +103,8 @@ impl Table4Result {
     }
 }
 
+/// Trace and analyze every corpus application at `isolation`, building
+/// Table 4.
 pub fn run(isolation: IsolationLevel) -> Table4Result {
     let apps = all_apps();
     let config = RefinementConfig::at_isolation(isolation);

@@ -12,16 +12,23 @@ use crate::texttable;
 pub const MAX_ATTACKS_PER_CELL: usize = 60;
 
 /// One application's audited row.
+/// One application's row of Table 5 (vulnerability matrix).
 #[derive(Debug)]
 pub struct RowResult {
+    /// Application name.
     pub name: &'static str,
+    /// Implementation language of the ported application.
     pub language: Language,
+    /// The voucher-invariant cell.
     pub voucher: CellReport,
+    /// The inventory-invariant cell.
     pub inventory: CellReport,
+    /// The cart-invariant cell.
     pub cart: CellReport,
 }
 
 impl RowResult {
+    /// The three invariant cells in Table-3 column order.
     pub fn cells(&self) -> [&CellReport; 3] {
         [&self.voucher, &self.inventory, &self.cart]
     }
@@ -38,9 +45,12 @@ impl RowResult {
 }
 
 /// The full audited matrix.
+/// The reproduced Table 5: per-app, per-invariant vulnerability cells.
 #[derive(Debug)]
 pub struct Table5Result {
+    /// Rows in corpus order.
     pub rows: Vec<RowResult>,
+    /// The isolation level the matrix was audited at.
     pub isolation: IsolationLevel,
 }
 

@@ -111,6 +111,7 @@ pub struct Exploration {
 }
 
 impl Exploration {
+    /// Whether no explored schedule violated the invariant.
     pub fn all_safe(&self) -> bool {
         self.violations.is_empty()
     }

@@ -6,10 +6,13 @@
 //! verification, and runners that regenerate every table and figure of the
 //! paper's evaluation.
 
+#![warn(missing_docs)]
+
 pub mod attack;
 pub mod chaos;
 pub mod experiments;
 pub mod explore;
+pub mod netchaos;
 pub mod sched;
 pub mod stress;
 pub mod texttable;
@@ -23,5 +26,6 @@ pub use chaos::{
     ChaosReport,
 };
 pub use explore::{exhaustive, randomized, Exploration, Scenario};
+pub use netchaos::{flaky_client_campaign, run_net_chaos, NetChaosConfig, NetChaosReport};
 pub use sched::{run_deterministic, GatedConn, StepOutcome, Stepper};
 pub use stress::{run_concurrent, run_concurrent_watchdog, DelayConn, TaskOutcome};

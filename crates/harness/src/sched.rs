@@ -135,6 +135,7 @@ impl Stepper {
         self.gates.len()
     }
 
+    /// Whether the stepper has no sessions.
     pub fn is_empty(&self) -> bool {
         self.gates.is_empty()
     }

@@ -23,6 +23,7 @@ pub struct DelayConn {
 }
 
 impl DelayConn {
+    /// Wrap `conn`, sleeping `delay` before every statement.
     pub fn new(conn: Connection, delay: Duration) -> Self {
         DelayConn { conn, delay }
     }
@@ -94,20 +95,26 @@ pub enum TaskOutcome<T> {
     /// The task failed after the watchdog deadline elapsed — in practice a
     /// lock wait that the clamped `lock_wait_timeout` degraded into a
     /// reported [`DbError::LockTimeout`] instead of a hang.
-    TimedOut { elapsed: Duration },
+    TimedOut {
+        /// How long the task ran before the clamp fired.
+        elapsed: Duration,
+    },
     /// The task panicked before the deadline.
     Panicked,
 }
 
 impl<T> TaskOutcome<T> {
+    /// Whether the task ran to completion.
     pub fn is_completed(&self) -> bool {
         matches!(self, TaskOutcome::Completed(_))
     }
 
+    /// Whether the watchdog clamp fired.
     pub fn is_timed_out(&self) -> bool {
         matches!(self, TaskOutcome::TimedOut { .. })
     }
 
+    /// The completed value, if any.
     pub fn completed(self) -> Option<T> {
         match self {
             TaskOutcome::Completed(v) => Some(v),

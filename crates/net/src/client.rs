@@ -1,0 +1,219 @@
+//! The remote connection: a socket-backed [`SqlConn`] implementation.
+//!
+//! [`RemoteConn`] speaks the DESIGN.md §14 line protocol over a blocking
+//! TCP stream and decodes responses back into the exact
+//! [`DbError`]/[`ResultSet`] values an in-process
+//! [`acidrain_db::Connection`] would have produced — so every app
+//! endpoint, invariant checker, and retry wrapper in the corpus runs
+//! unmodified against a server across the network. Wrapping one in
+//! `RetryConn` gives the paper's client-side retry semantics over real
+//! sockets.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use acidrain_apps::SqlConn;
+use acidrain_db::{DbError, IsolationLevel, ResultSet};
+use acidrain_obs::Obs;
+
+use crate::protocol::{decode_error, decode_value, unescape, Request};
+
+/// Default client-side read timeout. Generously above the server's
+/// lock-wait timeout so a parked statement surfaces as `LOCK_TIMEOUT`
+/// from the server, not as a client-side hangup.
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A client session speaking the wire protocol.
+pub struct RemoteConn {
+    reader: BufReader<TcpStream>,
+    /// Server-assigned database session id (from the greeting).
+    session: u64,
+    /// API tag to transmit immediately before the next statement, so
+    /// `set_api` costs no extra round trip (the tag line and the query
+    /// line go out in one write).
+    pending_api: Option<(String, u64)>,
+    /// Observability handle reported through [`SqlConn::obs`]. Defaults
+    /// to a disabled registry; in-process harnesses inject the server
+    /// database's handle via [`RemoteConn::with_obs`] so client-side
+    /// retry/backoff probes land in the same report.
+    obs: Obs,
+}
+
+impl RemoteConn {
+    /// Connect and consume the server greeting. Blocks until the server
+    /// admits the session (a socket parked in the admission queue waits
+    /// here).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<RemoteConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
+        let mut reader = BufReader::new(stream);
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting)?;
+        let mut parts = greeting.split_whitespace();
+        let (ok, banner) = (parts.next(), parts.next());
+        if ok != Some("OK") || banner != Some("acidrain") {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                format!("unexpected greeting: {}", greeting.trim_end()),
+            ));
+        }
+        let session = parts
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "greeting without session id",
+                )
+            })?;
+        Ok(RemoteConn {
+            reader,
+            session,
+            pending_api: None,
+            obs: Obs::default(),
+        })
+    }
+
+    /// Report client-side probes into `obs` (used by in-process
+    /// harnesses that hold the server database's handle).
+    pub fn with_obs(mut self, obs: Obs) -> RemoteConn {
+        self.obs = obs;
+        self
+    }
+
+    /// Override the client-side read timeout (`None` waits forever).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Negotiate the session isolation level for subsequently started
+    /// transactions.
+    pub fn set_isolation(&mut self, level: IsolationLevel) -> Result<(), DbError> {
+        self.round_trip(&Request::Hello(level).encode())?;
+        Ok(())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), DbError> {
+        self.round_trip("PING")?;
+        Ok(())
+    }
+
+    /// Orderly close: any open transaction rolls back server-side.
+    pub fn quit(mut self) {
+        let _ = self.round_trip("QUIT");
+    }
+
+    /// Send one request line and decode the response.
+    fn round_trip(&mut self, line: &str) -> Result<ResultSet, DbError> {
+        // Flush a pending API tag in the same write as the request, then
+        // consume its `OK api` before the real response.
+        let tagged = self.pending_api.take();
+        let mut out = String::new();
+        if let Some((name, invocation)) = &tagged {
+            out.push_str(&format!("API {invocation} {name}\n"));
+        }
+        out.push_str(line);
+        out.push('\n');
+        self.reader
+            .get_ref()
+            .write_all(out.as_bytes())
+            .map_err(transport_error)?;
+        if tagged.is_some() {
+            self.read_response()?;
+        }
+        self.read_response()
+    }
+
+    /// Read one response (the status line plus any row block).
+    fn read_response(&mut self) -> Result<ResultSet, DbError> {
+        let line = self.read_line()?;
+        if let Some(rest) = line.strip_prefix("OK rows ") {
+            let mut parts = rest.split_whitespace();
+            let nrows: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| protocol_error("bad row count"))?;
+            let ncols: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| protocol_error("bad column count"))?;
+            let mut rs = ResultSet::empty();
+            if ncols > 0 {
+                let header = self.read_line()?;
+                rs.columns = header
+                    .split('\t')
+                    .map(|c| unescape(c).map_err(protocol_error))
+                    .collect::<Result<_, _>>()?;
+                if rs.columns.len() != ncols {
+                    return Err(protocol_error("header width mismatch"));
+                }
+                for _ in 0..nrows {
+                    let line = self.read_line()?;
+                    let row = line
+                        .split('\t')
+                        .map(|t| decode_value(t).map_err(protocol_error))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if row.len() != ncols {
+                        return Err(protocol_error("row width mismatch"));
+                    }
+                    rs.rows.push(row);
+                }
+            }
+            return Ok(rs);
+        }
+        if line.starts_with("OK") {
+            return Ok(ResultSet::empty());
+        }
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let (code, payload) = rest.split_once(' ').unwrap_or((rest, ""));
+            return Err(decode_error(code, payload));
+        }
+        Err(protocol_error(format!("unparseable response {line:?}")))
+    }
+
+    fn read_line(&mut self) -> Result<String, DbError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(transport_error)?;
+        if n == 0 {
+            // Server closed the socket (shutdown, timeout eviction, or
+            // an admission reject).
+            return Err(DbError::ConnectionDropped);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+/// A transport failure means the session is gone; the server aborts any
+/// open transaction when it notices, which is exactly what
+/// [`DbError::ConnectionDropped`] promises.
+fn transport_error(_: std::io::Error) -> DbError {
+    DbError::ConnectionDropped
+}
+
+fn protocol_error(msg: impl std::fmt::Display) -> DbError {
+    DbError::Internal(format!("wire protocol violation: {msg}"))
+}
+
+impl SqlConn for RemoteConn {
+    fn exec(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        self.round_trip(&Request::Query(sql.to_string()).encode())
+    }
+
+    fn set_api(&mut self, name: &str, invocation: u64) {
+        self.pending_api = Some((name.to_string(), invocation));
+    }
+
+    fn session(&self) -> u64 {
+        self.session
+    }
+
+    fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+}

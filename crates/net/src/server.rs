@@ -1,0 +1,557 @@
+//! The wire server: a reactor thread multiplexing non-blocking sockets
+//! onto a pool of executor workers.
+//!
+//! One reactor thread owns the listener and every socket. It sweeps:
+//! accept → admission control → read → frame → dispatch → write →
+//! timeouts. Statement execution blocks (lock waits park on the lock
+//! table), so it never runs on the reactor: a complete request line and
+//! its session's [`Connection`] are moved to a worker over a shared job
+//! queue, and the connection comes back with the rendered response. A
+//! session therefore executes at most one frame at a time — pipelined
+//! input waits in the session's read buffer — which preserves the
+//! one-session-one-thread discipline the engine's `Connection` assumes.
+//!
+//! Disconnect-abort needs no special machinery: when a socket vanishes,
+//! the reactor simply drops the session's `Connection`, and the
+//! connection's `Drop` takes the same rollback path an explicit
+//! `ROLLBACK` would — undo, GC unpin, lock release, waiter wakeup, and
+//! the synthetic `Aborted` log entry (DESIGN.md §14 explains why routing
+//! this through the normal path is what keeps the §8 latch hierarchy
+//! intact).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use acidrain_db::{Connection, Database};
+
+use crate::protocol::{encode_error, encode_result, escape, isolation_code, Request, MAX_LINE};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Sessions the server will hold open at once (0 = unlimited). The
+    /// database's own [`Database::set_max_sessions`] ceiling applies on
+    /// top, since every admission goes through
+    /// [`Database::try_connect`].
+    pub max_sessions: usize,
+    /// Sockets parked waiting for a session slot before new arrivals are
+    /// refused outright with `ERR SERVER_BUSY` (0 = refuse immediately).
+    pub queue_capacity: usize,
+    /// Close sessions idle this long *outside* a transaction (cleanly:
+    /// no abort, nothing to roll back).
+    pub idle_timeout: Option<Duration>,
+    /// Abort sessions idle this long *inside* a transaction: the open
+    /// transaction is rolled back through the normal drop path and the
+    /// client is told `ERR TXN_TIMEOUT` before the socket closes. This
+    /// is the defense against a stalled client squatting on row locks.
+    pub txn_timeout: Option<Duration>,
+    /// Executor threads. Each blocks for at most the database's
+    /// lock-wait timeout per statement.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 0,
+            queue_capacity: 0,
+            idle_timeout: None,
+            txn_timeout: None,
+            workers: 4,
+        }
+    }
+}
+
+/// How the reactor parks between sweeps when nothing progressed.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// A frame dispatched to the worker pool: the session's connection
+/// travels with the request line and comes back in the [`Done`].
+struct Job {
+    token: u64,
+    conn: Connection,
+    line: String,
+}
+
+/// A processed frame on its way back to the reactor.
+struct Done {
+    token: u64,
+    conn: Connection,
+    response: String,
+    close: bool,
+}
+
+/// Shared FIFO between the reactor and the worker pool (std-only: a
+/// mutex-guarded deque with a condvar, closed at shutdown).
+struct JobQueue {
+    state: Mutex<(VecDeque<Job>, bool)>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.0.push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.1 = true;
+        self.cv.notify_all();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = state.0.pop_front() {
+                return Some(job);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.cv.wait(state).expect("job queue poisoned");
+        }
+    }
+}
+
+/// One admitted socket and its engine session.
+struct Session {
+    stream: TcpStream,
+    /// `None` exactly while a frame (and the connection with it) is at a
+    /// worker.
+    conn: Option<Connection>,
+    /// Database session id, for observability probes.
+    sid: u64,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    busy: bool,
+    /// Socket gone while a frame was in flight; finalized when the
+    /// worker returns the connection.
+    dead: bool,
+    /// Flush `wbuf`, then close cleanly.
+    closing: bool,
+    /// The server already aborted this session's transaction (txn
+    /// timeout); count the close as a disconnect-abort.
+    aborted: bool,
+    last_activity: Instant,
+}
+
+/// A running wire server. Dropping the handle (or calling
+/// [`ServerHandle::shutdown`]) stops the reactor, joins the workers, and
+/// closes every session — open transactions roll back via the normal
+/// connection drop path.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    reactor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (use this with
+    /// `127.0.0.1:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the server and wait for the reactor and workers to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.reactor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The wire server front end. See the module docs for the threading
+/// model and DESIGN.md §14 for the protocol.
+pub struct Server;
+
+impl Server {
+    /// Bind a loopback listener on an ephemeral port and serve `db`.
+    pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        Server::start_on(db, "127.0.0.1:0", config)
+    }
+
+    /// Bind `addr` and serve `db` until the handle shuts down.
+    pub fn start_on(
+        db: Arc<Database>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let reactor = std::thread::Builder::new()
+            .name("acidrain-reactor".into())
+            .spawn(move || run_reactor(db, listener, config, stop2))?;
+        Ok(ServerHandle {
+            addr,
+            stop,
+            reactor: Some(reactor),
+        })
+    }
+}
+
+fn run_reactor(
+    db: Arc<Database>,
+    listener: TcpListener,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+) {
+    let obs = db.obs().clone();
+    let jobs = Arc::new(JobQueue::new());
+    let (done_tx, done_rx) = mpsc::channel::<Done>();
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|i| {
+            let jobs = Arc::clone(&jobs);
+            let done_tx = done_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("acidrain-worker-{i}"))
+                .spawn(move || {
+                    while let Some(job) = jobs.pop() {
+                        let done = process(job);
+                        if done_tx.send(done).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn worker")
+        })
+        .collect();
+    drop(done_tx);
+
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut pending: VecDeque<TcpStream> = VecDeque::new();
+    let mut next_token: u64 = 0;
+
+    while !stop.load(Ordering::Acquire) {
+        let mut progressed = false;
+
+        // Accept new arrivals.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progressed = true;
+                    if config.max_sessions == 0 || sessions.len() < config.max_sessions {
+                        admit(&db, stream, &mut sessions, &mut next_token, &mut pending);
+                    } else if pending.len() < config.queue_capacity {
+                        pending.push_back(stream);
+                        obs.net_queued(pending.len() as u64);
+                    } else {
+                        reject(stream);
+                        obs.net_rejected();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Promote queued sockets into freed slots.
+        while !pending.is_empty()
+            && (config.max_sessions == 0 || sessions.len() < config.max_sessions)
+        {
+            let stream = pending.pop_front().expect("pending non-empty");
+            admit(&db, stream, &mut sessions, &mut next_token, &mut pending);
+            progressed = true;
+        }
+
+        // Collect finished frames from the workers.
+        while let Ok(done) = done_rx.try_recv() {
+            progressed = true;
+            let Some(session) = sessions.get_mut(&done.token) else {
+                continue;
+            };
+            if session.dead {
+                let in_txn = done.conn.in_transaction();
+                drop(done.conn);
+                obs.net_session_closed(session.sid, in_txn);
+                sessions.remove(&done.token);
+                continue;
+            }
+            session.busy = false;
+            session.conn = Some(done.conn);
+            session.wbuf.extend_from_slice(done.response.as_bytes());
+            if done.close {
+                session.closing = true;
+            }
+            session.last_activity = Instant::now();
+        }
+
+        // Per-session I/O, framing, dispatch, timeouts.
+        let tokens: Vec<u64> = sessions.keys().copied().collect();
+        let mut to_remove: Vec<u64> = Vec::new();
+        for token in tokens {
+            let session = sessions.get_mut(&token).expect("token just listed");
+            if session.dead {
+                continue;
+            }
+            if sweep_session(session, &jobs, token, &config, &mut progressed) {
+                // Socket is gone or the session finished closing.
+                if session.busy {
+                    session.dead = true; // finalize when the worker returns
+                } else {
+                    let in_txn = session
+                        .conn
+                        .as_ref()
+                        .is_some_and(Connection::in_transaction)
+                        || session.aborted;
+                    obs.net_session_closed(session.sid, in_txn);
+                    to_remove.push(token);
+                }
+            }
+        }
+        for token in to_remove {
+            sessions.remove(&token);
+        }
+
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+
+    // Shutdown: close the queue, let workers drain, drop every session
+    // (open transactions roll back on connection drop).
+    jobs.close();
+    for handle in workers {
+        let _ = handle.join();
+    }
+    while let Ok(done) = done_rx.try_recv() {
+        drop(done.conn);
+    }
+    for (_, session) in sessions.drain() {
+        let in_txn = session
+            .conn
+            .as_ref()
+            .is_some_and(Connection::in_transaction);
+        obs.net_session_closed(session.sid, in_txn);
+    }
+}
+
+/// Admit one socket: reserve a database session, send the greeting, and
+/// register the session. A database-level refusal re-queues or rejects.
+fn admit(
+    db: &Arc<Database>,
+    stream: TcpStream,
+    sessions: &mut HashMap<u64, Session>,
+    next_token: &mut u64,
+    pending: &mut VecDeque<TcpStream>,
+) {
+    let conn = match db.try_connect() {
+        Ok(conn) => conn,
+        Err(_) => {
+            // The engine itself is at its ceiling (other front ends or
+            // in-process sessions hold the slots): park the socket.
+            db.obs().net_queued(pending.len() as u64 + 1);
+            pending.push_back(stream);
+            return;
+        }
+    };
+    if stream.set_nonblocking(true).is_err() {
+        return; // connection drops; the slot frees immediately
+    }
+    let _ = stream.set_nodelay(true);
+    let sid = conn.session_id();
+    db.obs().net_session_opened(sid);
+    let greeting = format!("OK acidrain {} {}\n", sid, isolation_code(conn.isolation()));
+    *next_token += 1;
+    sessions.insert(
+        *next_token,
+        Session {
+            stream,
+            conn: Some(conn),
+            sid,
+            rbuf: Vec::new(),
+            wbuf: greeting.into_bytes(),
+            busy: false,
+            dead: false,
+            closing: false,
+            aborted: false,
+            last_activity: Instant::now(),
+        },
+    );
+}
+
+/// Refuse a socket outright (best effort — the client may already be
+/// gone).
+fn reject(stream: TcpStream) {
+    let _ = stream.set_nonblocking(true);
+    let mut stream = stream;
+    let _ = stream.write_all(b"ERR SERVER_BUSY admission queue full\n");
+}
+
+/// One reactor pass over a live session. Returns `true` when the
+/// session should be torn down (socket error/EOF, or clean close
+/// completed).
+fn sweep_session(
+    session: &mut Session,
+    jobs: &Arc<JobQueue>,
+    token: u64,
+    config: &ServerConfig,
+    progressed: &mut bool,
+) -> bool {
+    // Read whatever the socket has.
+    if !session.closing {
+        let mut buf = [0u8; 4096];
+        loop {
+            match session.stream.read(&mut buf) {
+                Ok(0) => return true, // EOF: client went away
+                Ok(n) => {
+                    *progressed = true;
+                    session.rbuf.extend_from_slice(&buf[..n]);
+                    session.last_activity = Instant::now();
+                    if session.rbuf.len() > MAX_LINE && !session.rbuf.contains(&b'\n') {
+                        session
+                            .wbuf
+                            .extend_from_slice(b"ERR PROTOCOL line exceeds MAX_LINE\n");
+                        session.closing = true;
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return true,
+            }
+        }
+    }
+
+    // Dispatch the next complete frame (one at a time per session).
+    if !session.busy && !session.closing && session.conn.is_some() {
+        if let Some(pos) = session.rbuf.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = session.rbuf.drain(..=pos).collect();
+            line.pop(); // '\n'
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            match String::from_utf8(line) {
+                Ok(line) => {
+                    let conn = session.conn.take().expect("idle session holds conn");
+                    session.busy = true;
+                    jobs.push(Job { token, conn, line });
+                    *progressed = true;
+                }
+                Err(_) => {
+                    session
+                        .wbuf
+                        .extend_from_slice(b"ERR PROTOCOL frame is not UTF-8\n");
+                    session.closing = true;
+                }
+            }
+        }
+    }
+
+    // Timeouts (only judged while the session is quiescent here).
+    if !session.busy && !session.closing {
+        let idle_for = session.last_activity.elapsed();
+        let in_txn = session
+            .conn
+            .as_ref()
+            .is_some_and(Connection::in_transaction);
+        if in_txn {
+            if config.txn_timeout.is_some_and(|t| idle_for >= t) {
+                // Abort through the normal rollback path: dropping the
+                // connection state is exactly what a vanished client
+                // gets. The client is told why before the close.
+                session.conn = None; // drop rolls the transaction back
+                session.aborted = true;
+                session
+                    .wbuf
+                    .extend_from_slice(b"ERR TXN_TIMEOUT in-transaction idle limit\n");
+                session.closing = true;
+            }
+        } else if config.idle_timeout.is_some_and(|t| idle_for >= t) {
+            session.closing = true;
+        }
+    }
+
+    // Flush pending output.
+    if !session.wbuf.is_empty() {
+        match session.stream.write(&session.wbuf) {
+            Ok(0) => return true,
+            Ok(n) => {
+                session.wbuf.drain(..n);
+                *progressed = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return true,
+        }
+    }
+
+    session.closing && session.wbuf.is_empty()
+}
+
+/// Execute one frame on a worker thread. Blocking is confined here: a
+/// statement may park on the lock table for up to the database's
+/// lock-wait timeout, but the reactor keeps serving every other session
+/// meanwhile.
+fn process(job: Job) -> Done {
+    let Job {
+        token,
+        mut conn,
+        line,
+    } = job;
+    let obs = conn.obs().clone();
+    let sid = conn.session_id();
+    let (response, close) = match Request::parse(&line) {
+        Err(msg) => {
+            obs.net_protocol_error(sid);
+            (format!("ERR PROTOCOL {}\n", escape(&msg)), true)
+        }
+        Ok(req) => {
+            obs.net_frame(sid);
+            match req {
+                Request::Hello(level) => {
+                    conn.set_isolation(level);
+                    (format!("OK iso {}\n", isolation_code(level)), false)
+                }
+                Request::Query(sql) => match conn.execute(&sql) {
+                    Ok(rs) => (encode_result(&rs), false),
+                    Err(e) => (format!("{}\n", encode_error(&e)), false),
+                },
+                Request::Api { invocation, name } => {
+                    conn.set_api(name, invocation);
+                    ("OK api\n".to_string(), false)
+                }
+                Request::NoApi => {
+                    conn.clear_api();
+                    ("OK api\n".to_string(), false)
+                }
+                Request::Ping => ("OK pong\n".to_string(), false),
+                Request::Quit => ("OK bye\n".to_string(), true),
+            }
+        }
+    };
+    Done {
+        token,
+        conn,
+        response,
+        close,
+    }
+}

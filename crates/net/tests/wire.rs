@@ -1,0 +1,500 @@
+//! End-to-end wire tests: real sockets against a live server.
+//!
+//! Everything here drives the server the way a remote ACIDRain attacker
+//! would — over TCP, through [`RemoteConn`] or a raw socket — and then
+//! inspects the engine from the inside (`active_transactions`,
+//! `locked_resources`, the metrics report) to prove the session layer
+//! kept its promises: admission control holds the line, timeouts fire,
+//! pipelined frames execute in order, and a vanished socket is
+//! indistinguishable from an explicit `ROLLBACK`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acidrain_apps::SqlConn;
+use acidrain_db::{Database, DbError, IsolationLevel, Value};
+use acidrain_net::{RemoteConn, Server, ServerConfig};
+use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
+
+fn accounts_db(isolation: IsolationLevel) -> Arc<Database> {
+    let schema = Schema::new().with_table(TableSchema::new(
+        "accounts",
+        vec![
+            ColumnDef::new("id", ColumnType::Int).unique(),
+            ColumnDef::new("balance", ColumnType::Int),
+        ],
+    ));
+    let db = Database::new(schema, isolation);
+    db.seed(
+        "accounts",
+        vec![
+            vec![Value::Int(1), Value::Int(100)],
+            vec![Value::Int(2), Value::Int(100)],
+        ],
+    )
+    .unwrap();
+    db.enable_metrics();
+    db
+}
+
+fn start(db: &Arc<Database>, config: ServerConfig) -> acidrain_net::ServerHandle {
+    Server::start(Arc::clone(db), config).expect("start server")
+}
+
+/// Basic round trip: typed values survive the wire bit-for-bit, and the
+/// remote result set matches what an in-process connection sees.
+#[test]
+fn query_results_round_trip() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(&db, ServerConfig::default());
+    let mut remote = RemoteConn::connect(handle.addr()).unwrap();
+
+    let over_wire = remote
+        .exec("SELECT id, balance FROM accounts ORDER BY id")
+        .unwrap();
+    let in_process = db
+        .connect()
+        .execute("SELECT id, balance FROM accounts ORDER BY id")
+        .unwrap();
+    assert_eq!(over_wire.columns, in_process.columns);
+    assert_eq!(over_wire.rows, in_process.rows);
+
+    // Writes report affected rows the same way.
+    let update = remote
+        .exec("UPDATE accounts SET balance = 42 WHERE id = 1")
+        .unwrap();
+    assert_eq!(update.affected_rows(), 1);
+    assert_eq!(
+        remote
+            .exec("SELECT balance FROM accounts WHERE id = 1")
+            .unwrap()
+            .scalar_i64(),
+        Some(42)
+    );
+    handle.shutdown();
+}
+
+/// Engine errors come back as the same `DbError` variant the server saw,
+/// so client-side retry classification matches in-process behavior.
+#[test]
+fn errors_round_trip_with_classification() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(&db, ServerConfig::default());
+    let mut remote = RemoteConn::connect(handle.addr()).unwrap();
+
+    let parse = remote.exec("SELEKT 1").unwrap_err();
+    assert!(matches!(parse, DbError::Parse(_)), "got {parse:?}");
+    assert!(!parse.is_retryable());
+
+    let missing = remote.exec("SELECT x FROM nowhere").unwrap_err();
+    assert!(!missing.is_retryable());
+    handle.shutdown();
+}
+
+/// HELLO negotiates per-session isolation: a snapshot session keeps
+/// reading its snapshot while a read-committed session on the same
+/// server sees new commits.
+#[test]
+fn hello_negotiates_per_session_isolation() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(&db, ServerConfig::default());
+
+    let mut si = RemoteConn::connect(handle.addr()).unwrap();
+    si.set_isolation(IsolationLevel::SnapshotIsolation).unwrap();
+    let mut rc = RemoteConn::connect(handle.addr()).unwrap();
+
+    si.exec("BEGIN").unwrap();
+    assert_eq!(
+        si.exec("SELECT balance FROM accounts WHERE id = 1")
+            .unwrap()
+            .scalar_i64(),
+        Some(100)
+    );
+    rc.exec("UPDATE accounts SET balance = 7 WHERE id = 1")
+        .unwrap();
+    assert_eq!(
+        si.exec("SELECT balance FROM accounts WHERE id = 1")
+            .unwrap()
+            .scalar_i64(),
+        Some(100),
+        "snapshot session must not see the concurrent commit"
+    );
+    si.exec("COMMIT").unwrap();
+    assert_eq!(
+        si.exec("SELECT balance FROM accounts WHERE id = 1")
+            .unwrap()
+            .scalar_i64(),
+        Some(7)
+    );
+    handle.shutdown();
+}
+
+/// Pipelined frames (several requests in one TCP write) execute in order
+/// and produce one response each.
+#[test]
+fn pipelined_frames_execute_in_order() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(&db, ServerConfig::default());
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .write_all(
+            b"Q BEGIN\n\
+              Q UPDATE accounts SET balance = balance + 5 WHERE id = 1\n\
+              Q SELECT balance FROM accounts WHERE id = 1\n\
+              Q COMMIT\n\
+              QUIT\n",
+        )
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    while reader.read_line(&mut line).unwrap() > 0 {
+        lines.push(line.trim_end().to_string());
+        line.clear();
+    }
+    assert!(lines[0].starts_with("OK acidrain "), "greeting: {lines:?}");
+    assert_eq!(lines[1], "OK rows 0 0", "BEGIN: {lines:?}");
+    // UPDATE: status + the affected-rows pseudo result.
+    assert_eq!(lines[2], "OK rows 1 1", "UPDATE: {lines:?}");
+    assert_eq!(lines[3], "affected");
+    assert_eq!(lines[4], "i:1");
+    // SELECT: status + header + one row carrying 105.
+    assert_eq!(lines[5], "OK rows 1 1", "SELECT status: {lines:?}");
+    assert_eq!(lines[6], "balance");
+    assert_eq!(lines[7], "i:105");
+    assert_eq!(lines[8], "OK rows 0 0", "COMMIT: {lines:?}");
+    assert_eq!(lines[9], "OK bye");
+    handle.shutdown();
+}
+
+/// Over-long request lines are refused before they can exhaust memory.
+#[test]
+fn oversized_line_is_a_protocol_error() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(&db, ServerConfig::default());
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting).unwrap();
+
+    let huge = vec![b'x'; 80 * 1024]; // > MAX_LINE, no newline
+    stream.write_all(&huge).unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.starts_with("ERR PROTOCOL"),
+        "expected protocol error, got {reply:?}"
+    );
+    handle.shutdown();
+}
+
+/// Past `max_sessions` with no queue, arrivals are refused with
+/// `SERVER_BUSY`; with a queue they park and get admitted once a slot
+/// frees.
+#[test]
+fn admission_rejects_and_queues() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(
+        &db,
+        ServerConfig {
+            max_sessions: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        },
+    );
+
+    let first = RemoteConn::connect(handle.addr()).unwrap();
+
+    // Second arrival parks in the admission queue: it sees no greeting
+    // until the first session goes away.
+    let addr = handle.addr();
+    let queued = std::thread::spawn(move || {
+        let mut conn = RemoteConn::connect(addr).unwrap();
+        conn.ping().unwrap();
+        conn
+    });
+
+    // Third arrival overflows the queue and is refused outright.
+    std::thread::sleep(Duration::from_millis(200));
+    let mut refused = TcpStream::connect(addr).unwrap();
+    let mut reply = String::new();
+    BufReader::new(refused.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    assert!(
+        reply.starts_with("ERR SERVER_BUSY"),
+        "expected SERVER_BUSY, got {reply:?}"
+    );
+    refused.write_all(b"").ok();
+    drop(refused);
+
+    assert!(!queued.is_finished(), "queued socket admitted too early");
+    drop(first); // slot frees; the parked socket is promoted
+    let conn = queued.join().expect("queued connect");
+    drop(conn);
+
+    let report = db.metrics_report();
+    assert!(report.counters.net_rejected >= 1, "{report:?}");
+    assert!(report.counters.net_queued >= 1, "{report:?}");
+    handle.shutdown();
+}
+
+/// Sessions idle outside a transaction are closed after `idle_timeout` —
+/// cleanly, with nothing to roll back.
+#[test]
+fn idle_timeout_closes_quiescent_session() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(
+        &db,
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    );
+    let mut remote = RemoteConn::connect(handle.addr()).unwrap();
+    remote.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    let err = remote.ping().unwrap_err();
+    assert_eq!(err, DbError::ConnectionDropped);
+    let report = db.metrics_report();
+    assert_eq!(
+        report.counters.net_disconnect_aborts, 0,
+        "idle close must not count as a disconnect abort"
+    );
+    handle.shutdown();
+}
+
+/// A session squatting on row locks inside a transaction is aborted
+/// after `txn_timeout`: the client is told why, the transaction rolls
+/// back, and the locks are released.
+#[test]
+fn txn_timeout_aborts_and_releases_locks() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(
+        &db,
+        ServerConfig {
+            txn_timeout: Some(Duration::from_millis(300)),
+            ..ServerConfig::default()
+        },
+    );
+    let mut remote = RemoteConn::connect(handle.addr()).unwrap();
+    remote.exec("BEGIN").unwrap();
+    remote
+        .exec("UPDATE accounts SET balance = 0 WHERE id = 1")
+        .unwrap();
+    assert_eq!(db.active_transactions(), 1);
+
+    // Stall past the in-transaction limit; the server aborts us.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while db.active_transactions() != 0 {
+        assert!(Instant::now() < deadline, "txn timeout never fired");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(db.locked_resources(), 0, "abort must release row locks");
+
+    // The eviction notice reaches the client as a dropped connection.
+    let err = remote.exec("SELECT 1").unwrap_err();
+    assert_eq!(err, DbError::ConnectionDropped);
+
+    // And the write is gone.
+    assert_eq!(
+        db.connect()
+            .query_i64("SELECT balance FROM accounts WHERE id = 1")
+            .unwrap(),
+        100
+    );
+    let report = db.metrics_report();
+    assert_eq!(report.counters.net_disconnect_aborts, 1, "{report:?}");
+    handle.shutdown();
+}
+
+/// The tentpole guarantee, at every isolation level: a socket that
+/// vanishes mid-transaction rolls back its writes, releases its row
+/// locks, and wakes blocked waiters well within the lock-wait deadline.
+#[test]
+fn disconnect_mid_txn_rolls_back_at_every_level() {
+    for level in IsolationLevel::ALL {
+        let db = accounts_db(level);
+        db.set_lock_wait_timeout(Duration::from_secs(30));
+        let handle = start(&db, ServerConfig::default());
+
+        let mut victim = RemoteConn::connect(handle.addr()).unwrap();
+        victim.set_isolation(level).unwrap();
+        victim.exec("BEGIN").unwrap();
+        victim
+            .exec("UPDATE accounts SET balance = balance - 60 WHERE id = 1")
+            .unwrap();
+        assert_eq!(db.active_transactions(), 1, "{level:?}");
+        assert!(db.locked_resources() > 0, "{level:?}");
+
+        // A second wire session parks on the victim's row lock.
+        let addr = handle.addr();
+        let waiter = std::thread::spawn(move || {
+            let mut conn = RemoteConn::connect(addr).unwrap();
+            let start = Instant::now();
+            let result = conn.exec("UPDATE accounts SET balance = balance + 1 WHERE id = 1");
+            (result, start.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(100));
+
+        // The socket vanishes — no QUIT, no ROLLBACK, just gone.
+        drop(victim);
+
+        let (result, waited) = waiter.join().unwrap();
+        assert!(result.is_ok(), "{level:?}: waiter failed: {result:?}");
+        assert!(
+            waited < Duration::from_secs(10),
+            "{level:?}: waiter took {waited:?}; must wake on disconnect, not on timeout"
+        );
+
+        // Rollback won the race with the waiter's increment: 100 + 1.
+        assert_eq!(
+            db.connect()
+                .query_i64("SELECT balance FROM accounts WHERE id = 1")
+                .unwrap(),
+            101,
+            "{level:?}: victim's write must be rolled back"
+        );
+        assert_eq!(db.locked_resources(), 0, "{level:?}");
+
+        // Wait for the reactor to finalize the vanished session, then
+        // check the disconnect was counted as an abort.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let report = db.metrics_report();
+            if report.counters.net_disconnect_aborts >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{level:?}: disconnect abort never counted: {report:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        handle.shutdown();
+    }
+}
+
+/// Shutdown with live sessions mid-transaction leaks nothing: every
+/// transaction rolls back and every lock is released.
+#[test]
+fn shutdown_rolls_back_open_transactions() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(&db, ServerConfig::default());
+    let mut remote = RemoteConn::connect(handle.addr()).unwrap();
+    remote.exec("BEGIN").unwrap();
+    remote
+        .exec("UPDATE accounts SET balance = 1 WHERE id = 2")
+        .unwrap();
+    assert_eq!(db.active_transactions(), 1);
+    handle.shutdown();
+    assert_eq!(db.active_transactions(), 0);
+    assert_eq!(db.locked_resources(), 0);
+    assert_eq!(
+        db.connect()
+            .query_i64("SELECT balance FROM accounts WHERE id = 2")
+            .unwrap(),
+        100
+    );
+}
+
+/// EOF from a half-closed client socket tears the session down even when
+/// the teardown races a frame still at a worker.
+#[test]
+fn disconnect_while_frame_in_flight() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    db.set_lock_wait_timeout(Duration::from_secs(2));
+    let handle = start(&db, ServerConfig::default());
+
+    // Holder parks a row lock so the victim's frame blocks at a worker.
+    let mut holder = db.connect();
+    holder.execute("BEGIN").unwrap();
+    holder
+        .execute("UPDATE accounts SET balance = 0 WHERE id = 1")
+        .unwrap();
+
+    let mut victim = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(victim.try_clone().unwrap());
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting).unwrap();
+    victim
+        .write_all(b"Q BEGIN\nQ UPDATE accounts SET balance = 9 WHERE id = 1\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // frame reaches the worker and parks
+    drop(victim);
+    drop(reader);
+
+    // The worker's statement finishes (lock timeout or success after the
+    // holder commits); either way the dead session must be finalized.
+    holder.execute("COMMIT").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if db.active_transactions() == 0 && db.locked_resources() == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "vanished in-flight session leaked state: txns={} locks={}",
+            db.active_transactions(),
+            db.locked_resources()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.shutdown();
+}
+
+/// Raw-socket sanity for the greeting and HELLO, without `RemoteConn` in
+/// the loop.
+#[test]
+fn greeting_and_hello_wire_format() {
+    let db = accounts_db(IsolationLevel::Serializable);
+    let handle = start(&db, ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    assert_eq!(parts[0], "OK");
+    assert_eq!(parts[1], "acidrain");
+    assert_eq!(parts[3], "SER", "greeting carries the default isolation");
+
+    stream.write_all(b"HELLO RC\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK iso RC");
+
+    stream.write_all(b"HELLO bogus\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR PROTOCOL"), "got {line:?}");
+
+    // Protocol errors are terminal: the server closes the session.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "expected EOF");
+    handle.shutdown();
+}
+
+/// Binary garbage (not UTF-8) is refused without killing the server.
+#[test]
+fn non_utf8_frame_is_refused() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(&db, ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // greeting
+    stream.write_all(&[0xff, 0xfe, b'Q', b'\n']).unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR PROTOCOL"), "got {line:?}");
+
+    // The server is still serving other sessions.
+    let mut other = RemoteConn::connect(handle.addr()).unwrap();
+    other.ping().unwrap();
+    handle.shutdown();
+}

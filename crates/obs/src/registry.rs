@@ -73,6 +73,9 @@ struct Shard {
     /// Group-commit batch sizes: each recorded "nanos" value is the number
     /// of commit records one WAL fsync made durable.
     group_commit: Histogram,
+    /// Admission-queue depths: each recorded "nanos" value is the number
+    /// of sockets waiting when one more was enqueued.
+    net_queue_depth: Histogram,
 
     lock_waits: AtomicU64,
     lock_timeouts: AtomicU64,
@@ -93,6 +96,12 @@ struct Shard {
     wal_bytes: AtomicU64,
     gc_runs: AtomicU64,
     gc_reclaimed: AtomicU64,
+    net_accepted: AtomicU64,
+    net_rejected: AtomicU64,
+    net_queued: AtomicU64,
+    net_disconnect_aborts: AtomicU64,
+    net_frames: AtomicU64,
+    net_protocol_errors: AtomicU64,
 
     commits_by_level: [AtomicU64; MAX_LEVELS],
     aborts_by_level: [AtomicU64; MAX_LEVELS],
@@ -116,6 +125,10 @@ pub struct Registry {
     gc_oldest_snapshot: AtomicU64,
     /// Longest version chain any GC run has observed (high-water).
     gc_chain_peak: AtomicU64,
+    /// Network sessions currently open on the wire server (gauge +
+    /// high-water).
+    net_sessions: AtomicI64,
+    net_sessions_peak: AtomicU64,
     /// Display names for the per-level counter rows, set by the engine.
     level_names: Mutex<Vec<String>>,
     traces: TraceBuffer,
@@ -136,6 +149,8 @@ impl Default for Registry {
             latch_waiters_peak: AtomicU64::new(0),
             gc_oldest_snapshot: AtomicU64::new(0),
             gc_chain_peak: AtomicU64::new(0),
+            net_sessions: AtomicI64::new(0),
+            net_sessions_peak: AtomicU64::new(0),
             level_names: Mutex::new(Vec::new()),
             traces: TraceBuffer::default(),
             epoch: Instant::now(),
@@ -564,6 +579,86 @@ impl Obs {
         self.shard(session).tasks.record(dur);
     }
 
+    // -- network probes ---------------------------------------------------
+
+    /// The wire server admitted a socket and bound it to `session`. Bumps
+    /// the accepted counter and the open-session gauge (with high-water).
+    /// Fired after the session is fully admitted — never part of the
+    /// admission decision.
+    #[inline]
+    pub fn net_session_opened(&self, session: u64) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.shard(session)
+            .net_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        let now = self.registry.net_sessions.fetch_add(1, Ordering::Relaxed) + 1;
+        self.registry
+            .net_sessions_peak
+            .fetch_max(now.max(0) as u64, Ordering::Relaxed);
+    }
+
+    /// A network session ended. `disconnect_abort` marks the case where
+    /// the client vanished with a transaction open and the server aborted
+    /// it through the normal rollback path.
+    #[inline]
+    pub fn net_session_closed(&self, session: u64, disconnect_abort: bool) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.registry.net_sessions.fetch_sub(1, Ordering::Relaxed);
+        if disconnect_abort {
+            self.shard(session)
+                .net_disconnect_aborts
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Admission control refused a socket (at the `max_sessions` ceiling
+    /// with the queue full or queueing disabled).
+    #[inline]
+    pub fn net_rejected(&self) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.shard(0).net_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A socket was parked in the admission queue; `depth` is the queue
+    /// length including it. Feeds the queue-depth histogram (raw counts).
+    #[inline]
+    pub fn net_queued(&self, depth: u64) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let shard = self.shard(0);
+        shard.net_queued.fetch_add(1, Ordering::Relaxed);
+        shard.net_queue_depth.record_nanos(depth);
+    }
+
+    /// The server parsed one protocol frame (request line) from `session`.
+    #[inline]
+    pub fn net_frame(&self, session: u64) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.shard(session)
+            .net_frames
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The server answered a malformed frame with `ERR PROTOCOL`.
+    #[inline]
+    pub fn net_protocol_error(&self, session: u64) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.shard(session)
+            .net_protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     // -- readout ----------------------------------------------------------
 
     /// Aggregate every shard into an owned [`MetricsReport`].
@@ -578,6 +673,8 @@ impl Obs {
             latch_waiters_peak: r.latch_waiters_peak.load(Ordering::Relaxed),
             gc_oldest_snapshot: r.gc_oldest_snapshot.load(Ordering::Relaxed),
             gc_chain_peak: r.gc_chain_peak.load(Ordering::Relaxed),
+            net_sessions: r.net_sessions.load(Ordering::Relaxed),
+            net_sessions_peak: r.net_sessions_peak.load(Ordering::Relaxed),
             ..MetricsReport::default()
         };
         let mut commits = [0u64; MAX_LEVELS];
@@ -590,6 +687,9 @@ impl Obs {
             report.tasks.merge(&shard.tasks.snapshot());
             report.backoff.merge(&shard.backoff.snapshot());
             report.group_commit.merge(&shard.group_commit.snapshot());
+            report
+                .net_queue_depth
+                .merge(&shard.net_queue_depth.snapshot());
             let c = &mut report.counters;
             c.lock_waits += shard.lock_waits.load(Ordering::Relaxed);
             c.lock_timeouts += shard.lock_timeouts.load(Ordering::Relaxed);
@@ -610,6 +710,12 @@ impl Obs {
             c.wal_bytes += shard.wal_bytes.load(Ordering::Relaxed);
             c.gc_runs += shard.gc_runs.load(Ordering::Relaxed);
             c.gc_reclaimed += shard.gc_reclaimed.load(Ordering::Relaxed);
+            c.net_accepted += shard.net_accepted.load(Ordering::Relaxed);
+            c.net_rejected += shard.net_rejected.load(Ordering::Relaxed);
+            c.net_queued += shard.net_queued.load(Ordering::Relaxed);
+            c.net_disconnect_aborts += shard.net_disconnect_aborts.load(Ordering::Relaxed);
+            c.net_frames += shard.net_frames.load(Ordering::Relaxed);
+            c.net_protocol_errors += shard.net_protocol_errors.load(Ordering::Relaxed);
             for i in 0..MAX_LEVELS {
                 commits[i] += shard.commits_by_level[i].load(Ordering::Relaxed);
                 aborts[i] += shard.aborts_by_level[i].load(Ordering::Relaxed);
@@ -676,8 +782,17 @@ mod tests {
         obs.wal_append(1, 64);
         obs.wal_fsync(1, 3);
         obs.gc_run(5, 42, 3);
+        obs.net_session_opened(1);
+        obs.net_session_closed(1, true);
+        obs.net_rejected();
+        obs.net_queued(4);
+        obs.net_frame(1);
+        obs.net_protocol_error(1);
         let report = obs.report();
         assert!(!report.enabled);
+        assert_eq!(report.net_sessions, 0);
+        assert_eq!(report.net_sessions_peak, 0);
+        assert_eq!(report.net_queue_depth.count(), 0);
         assert_eq!(report.gc_oldest_snapshot, 0);
         assert_eq!(report.gc_chain_peak, 0);
         assert_eq!(report.statements.count(), 0);
@@ -786,6 +901,39 @@ mod tests {
         assert_eq!(report.counters.gc_reclaimed, 7);
         assert_eq!(report.gc_oldest_snapshot, 17, "gauge follows the bound");
         assert_eq!(report.gc_chain_peak, 4, "high-water, not last value");
+    }
+
+    #[test]
+    fn net_probes_track_sessions_and_queue() {
+        let obs = Obs::new();
+        obs.enable();
+        obs.net_session_opened(1);
+        obs.net_session_opened(2);
+        obs.net_frame(1);
+        obs.net_frame(1);
+        obs.net_protocol_error(2);
+        obs.net_queued(3);
+        obs.net_rejected();
+        let mid = obs.report();
+        assert_eq!(mid.net_sessions, 2);
+        obs.net_session_closed(1, false);
+        obs.net_session_closed(2, true);
+        let report = obs.report();
+        assert_eq!(report.net_sessions, 0);
+        assert_eq!(report.net_sessions_peak, 2);
+        assert_eq!(report.counters.net_accepted, 2);
+        assert_eq!(report.counters.net_frames, 2);
+        assert_eq!(report.counters.net_protocol_errors, 1);
+        assert_eq!(report.counters.net_queued, 1);
+        assert_eq!(report.counters.net_rejected, 1);
+        assert_eq!(report.counters.net_disconnect_aborts, 1);
+        assert_eq!(report.net_queue_depth.count(), 1);
+        assert_eq!(report.net_queue_depth.max_nanos, 3, "depth of 3 waiting");
+        let json = report.to_json();
+        assert!(json.contains("\"net_sessions_peak\": 2"));
+        assert!(json.contains("\"net_queue_depth\":"));
+        assert!(json.contains("\"net_disconnect_aborts\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -54,6 +54,21 @@ pub struct Counters {
     pub gc_runs: u64,
     /// Superseded row versions reclaimed by GC across all passes.
     pub gc_reclaimed: u64,
+    /// Network sessions the wire server accepted and mapped onto
+    /// connections.
+    pub net_accepted: u64,
+    /// Sockets refused by admission control (`ERR SERVER_BUSY`).
+    pub net_rejected: u64,
+    /// Sockets parked in the admission queue before being admitted.
+    pub net_queued: u64,
+    /// Server-side aborts triggered by a client vanishing mid-transaction
+    /// (the disconnect path through normal rollback).
+    pub net_disconnect_aborts: u64,
+    /// Protocol frames (request lines) the server parsed.
+    pub net_frames: u64,
+    /// Malformed frames / protocol violations the server answered with
+    /// `ERR PROTOCOL`.
+    pub net_protocol_errors: u64,
 }
 
 /// Commit/abort counts for one isolation level.
@@ -101,6 +116,9 @@ pub struct MetricsReport {
     /// records one WAL fsync made durable (raw counts, not durations —
     /// read the `*_ns` fields as plain numbers).
     pub group_commit: HistogramSnapshot,
+    /// Admission-queue depth sampled at each enqueue (raw counts, not
+    /// durations — read the `*_ns` fields as plain numbers).
+    pub net_queue_depth: HistogramSnapshot,
     /// Event counters (lock waits, faults, retries, statement outcomes).
     pub counters: Counters,
     /// Per-isolation-level commit/abort rows.
@@ -119,6 +137,10 @@ pub struct MetricsReport {
     pub gc_oldest_snapshot: u64,
     /// Longest version chain any GC pass observed (high-water).
     pub gc_chain_peak: u64,
+    /// Network sessions currently open on the wire server.
+    pub net_sessions: i64,
+    /// High-water mark of simultaneous network sessions.
+    pub net_sessions_peak: u64,
 }
 
 impl MetricsReport {
@@ -163,6 +185,10 @@ impl MetricsReport {
             self.gc_oldest_snapshot,
             self.gc_chain_peak,
         ));
+        out.push_str(&format!(
+            "  \"net_sessions\": {},\n  \"net_sessions_peak\": {},\n",
+            self.net_sessions, self.net_sessions_peak,
+        ));
         let c = &self.counters;
         out.push_str(&format!(
             "  \"counters\": {{\"lock_waits\": {}, \"lock_timeouts\": {}, \"deadlocks\": {}, \
@@ -171,7 +197,9 @@ impl MetricsReport {
              \"statements_aborted\": {}, \"blocked_attempts\": {}, \"log_appends\": {}, \
              \"index_hits\": {}, \"index_fallbacks\": {}, \"wal_appends\": {}, \
              \"wal_fsyncs\": {}, \"wal_bytes\": {}, \"gc_runs\": {}, \
-             \"gc_reclaimed\": {}}},\n",
+             \"gc_reclaimed\": {}, \"net_accepted\": {}, \"net_rejected\": {}, \
+             \"net_queued\": {}, \"net_disconnect_aborts\": {}, \"net_frames\": {}, \
+             \"net_protocol_errors\": {}}},\n",
             c.lock_waits,
             c.lock_timeouts,
             c.deadlocks,
@@ -191,6 +219,12 @@ impl MetricsReport {
             c.wal_bytes,
             c.gc_runs,
             c.gc_reclaimed,
+            c.net_accepted,
+            c.net_rejected,
+            c.net_queued,
+            c.net_disconnect_aborts,
+            c.net_frames,
+            c.net_protocol_errors,
         ));
         out.push_str("  \"by_level\": [");
         for (i, l) in self.by_level.iter().enumerate() {
@@ -225,7 +259,8 @@ impl MetricsReport {
         out.push_str(&hist("latches", &self.latches, false));
         out.push_str(&hist("tasks", &self.tasks, false));
         out.push_str(&hist("backoff", &self.backoff, false));
-        out.push_str(&hist("group_commit", &self.group_commit, true));
+        out.push_str(&hist("group_commit", &self.group_commit, false));
+        out.push_str(&hist("net_queue_depth", &self.net_queue_depth, true));
         out.push('}');
         out
     }
