@@ -28,7 +28,9 @@ pub enum Request {
     /// `HELLO <iso>` — negotiate the session isolation level for
     /// subsequently started transactions.
     Hello(IsolationLevel),
-    /// `Q <sql>` — execute one SQL statement.
+    /// `Q <sql>` — execute one SQL statement. The statement travels
+    /// [`escape`]d so multiline SQL stays one frame; raw `nc`-style
+    /// input without backslashes is unaffected.
     Query(String),
     /// `API <invocation> <name>` — tag subsequent statements with an
     /// API-call identity for the query log.
@@ -62,7 +64,7 @@ impl Request {
                 if rest.is_empty() {
                     Err("Q requires a statement".into())
                 } else {
-                    Ok(Request::Query(rest.to_string()))
+                    unescape(rest).map(Request::Query)
                 }
             }
             "API" => {
@@ -91,7 +93,7 @@ impl Request {
     pub fn encode(&self) -> String {
         match self {
             Request::Hello(level) => format!("HELLO {}", isolation_code(*level)),
-            Request::Query(sql) => format!("Q {sql}"),
+            Request::Query(sql) => format!("Q {}", escape(sql)),
             Request::Api { invocation, name } => format!("API {invocation} {name}"),
             Request::NoApi => "NOAPI".to_string(),
             Request::Ping => "PING".to_string(),
@@ -312,6 +314,8 @@ mod tests {
         let cases = vec![
             Request::Hello(IsolationLevel::SnapshotIsolation),
             Request::Query("SELECT * FROM t WHERE a = 'x y'".into()),
+            // Multiline SQL is legal; it must stay one wire frame.
+            Request::Query("SELECT *\nFROM t\r\nWHERE a = 'b\\c'".into()),
             Request::Api {
                 invocation: 7,
                 name: "checkout".into(),
@@ -321,7 +325,12 @@ mod tests {
             Request::Quit,
         ];
         for req in cases {
-            assert_eq!(Request::parse(&req.encode()).unwrap(), req);
+            let line = req.encode();
+            assert!(
+                !line.contains('\n') && !line.contains('\r'),
+                "encoded frame spans lines: {line:?}"
+            );
+            assert_eq!(Request::parse(&line).unwrap(), req);
         }
         assert!(Request::parse("BOGUS 1").is_err());
         assert!(Request::parse("Q").is_err());

@@ -71,6 +71,13 @@ impl Default for ServerConfig {
 /// How the reactor parks between sweeps when nothing progressed.
 const IDLE_SLEEP: Duration = Duration::from_micros(500);
 
+/// Per-session read-buffer ceiling. A session executes one frame at a
+/// time, so a client pipelining complete lines faster than they drain
+/// would otherwise grow `rbuf` without bound; past this the reactor
+/// simply stops reading the socket (TCP backpressure, not memory
+/// growth) until dispatched frames make room.
+const RBUF_CAP: usize = 4 * MAX_LINE;
+
 /// A frame dispatched to the worker pool: the session's connection
 /// travels with the request line and comes back in the [`Done`].
 struct Job {
@@ -79,10 +86,13 @@ struct Job {
     line: String,
 }
 
-/// A processed frame on its way back to the reactor.
+/// A processed frame on its way back to the reactor. `conn` is `None`
+/// when the frame panicked at the worker: the connection was dropped
+/// during unwinding (rolling back any open transaction through the
+/// normal drop path), and the session closes with `ERR INTERNAL`.
 struct Done {
     token: u64,
-    conn: Connection,
+    conn: Option<Connection>,
     response: String,
     close: bool,
 }
@@ -235,7 +245,19 @@ fn run_reactor(
                 .name(format!("acidrain-worker-{i}"))
                 .spawn(move || {
                     while let Some(job) = jobs.pop() {
-                        let done = process(job);
+                        let token = job.token;
+                        // An engine panic must not kill the worker or
+                        // swallow the Done — the reactor would hold the
+                        // session busy forever, pinning its engine slot.
+                        let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || process(job),
+                        ))
+                        .unwrap_or_else(|_| Done {
+                            token,
+                            conn: None,
+                            response: "ERR INTERNAL statement execution panicked\n".into(),
+                            close: true,
+                        });
                         if done_tx.send(done).is_err() {
                             break;
                         }
@@ -258,14 +280,26 @@ fn run_reactor(
             match listener.accept() {
                 Ok((stream, _)) => {
                     progressed = true;
-                    if config.max_sessions == 0 || sessions.len() < config.max_sessions {
-                        admit(&db, stream, &mut sessions, &mut next_token, &mut pending);
-                    } else if pending.len() < config.queue_capacity {
-                        pending.push_back(stream);
-                        obs.net_queued(pending.len() as u64);
+                    // A socket is refused a session either by the server
+                    // ceiling (checked here) or by the engine's own
+                    // `Database::set_max_sessions` ceiling inside
+                    // `admit`; both overflow into the same bounded
+                    // queue-or-reject path.
+                    let overflow = if config.max_sessions == 0
+                        || sessions.len() < config.max_sessions
+                    {
+                        admit(&db, stream, &mut sessions, &mut next_token).err()
                     } else {
-                        reject(stream);
-                        obs.net_rejected();
+                        Some(stream)
+                    };
+                    if let Some(stream) = overflow {
+                        if pending.len() < config.queue_capacity {
+                            pending.push_back(stream);
+                            obs.net_queued(pending.len() as u64);
+                        } else {
+                            reject(stream);
+                            obs.net_rejected();
+                        }
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -273,13 +307,26 @@ fn run_reactor(
             }
         }
 
-        // Promote queued sockets into freed slots.
+        // Promote queued sockets into freed slots. An engine-level
+        // refusal ends promotion for this sweep: the engine ceiling
+        // cannot clear until some existing session (here or in another
+        // front end) releases its slot, so retrying in the same sweep
+        // would busy-spin the reactor and starve the very sessions
+        // whose completion frees a slot.
         while !pending.is_empty()
             && (config.max_sessions == 0 || sessions.len() < config.max_sessions)
         {
             let stream = pending.pop_front().expect("pending non-empty");
-            admit(&db, stream, &mut sessions, &mut next_token, &mut pending);
-            progressed = true;
+            match admit(&db, stream, &mut sessions, &mut next_token) {
+                Ok(()) => progressed = true,
+                Err(stream) => {
+                    // Back to the head: it keeps its place in line, and
+                    // the queue stays within `queue_capacity` because
+                    // the socket was just popped from it.
+                    pending.push_front(stream);
+                    break;
+                }
+            }
         }
 
         // Collect finished frames from the workers.
@@ -289,14 +336,14 @@ fn run_reactor(
                 continue;
             };
             if session.dead {
-                let in_txn = done.conn.in_transaction();
+                let in_txn = done.conn.as_ref().is_some_and(Connection::in_transaction);
                 drop(done.conn);
                 obs.net_session_closed(session.sid, in_txn);
                 sessions.remove(&done.token);
                 continue;
             }
             session.busy = false;
-            session.conn = Some(done.conn);
+            session.conn = done.conn;
             session.wbuf.extend_from_slice(done.response.as_bytes());
             if done.close {
                 session.closing = true;
@@ -355,26 +402,22 @@ fn run_reactor(
 }
 
 /// Admit one socket: reserve a database session, send the greeting, and
-/// register the session. A database-level refusal re-queues or rejects.
+/// register the session. When the engine itself is at its ceiling
+/// (other front ends or in-process sessions hold the
+/// [`Database::set_max_sessions`] slots), the socket is handed back so
+/// the caller can park or refuse it under the configured bounds.
 fn admit(
     db: &Arc<Database>,
     stream: TcpStream,
     sessions: &mut HashMap<u64, Session>,
     next_token: &mut u64,
-    pending: &mut VecDeque<TcpStream>,
-) {
+) -> Result<(), TcpStream> {
     let conn = match db.try_connect() {
         Ok(conn) => conn,
-        Err(_) => {
-            // The engine itself is at its ceiling (other front ends or
-            // in-process sessions hold the slots): park the socket.
-            db.obs().net_queued(pending.len() as u64 + 1);
-            pending.push_back(stream);
-            return;
-        }
+        Err(_) => return Err(stream),
     };
     if stream.set_nonblocking(true).is_err() {
-        return; // connection drops; the slot frees immediately
+        return Ok(()); // connection drops; the slot frees immediately
     }
     let _ = stream.set_nodelay(true);
     let sid = conn.session_id();
@@ -396,6 +439,7 @@ fn admit(
             last_activity: Instant::now(),
         },
     );
+    Ok(())
 }
 
 /// Refuse a socket outright (best effort — the client may already be
@@ -416,17 +460,40 @@ fn sweep_session(
     config: &ServerConfig,
     progressed: &mut bool,
 ) -> bool {
-    // Read whatever the socket has.
-    if !session.closing {
+    // A closing session's inbound bytes are drained and discarded: left
+    // unread, they would turn the eventual close into an RST that can
+    // destroy the error reply still in flight to the client.
+    if session.closing {
         let mut buf = [0u8; 4096];
         loop {
+            match session.stream.read(&mut buf) {
+                Ok(0) => break, // EOF; the flush below still runs
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock or a dead socket
+            }
+        }
+    }
+
+    // Read whatever the socket has, up to the buffer ceiling.
+    if !session.closing {
+        let mut buf = [0u8; 4096];
+        while session.rbuf.len() < RBUF_CAP {
             match session.stream.read(&mut buf) {
                 Ok(0) => return true, // EOF: client went away
                 Ok(n) => {
                     *progressed = true;
                     session.rbuf.extend_from_slice(&buf[..n]);
                     session.last_activity = Instant::now();
-                    if session.rbuf.len() > MAX_LINE && !session.rbuf.contains(&b'\n') {
+                    // The unterminated tail is the line under assembly;
+                    // judge MAX_LINE against it alone so an over-long
+                    // line is caught even behind complete pipelined
+                    // lines waiting their turn.
+                    let tail = match session.rbuf.iter().rposition(|&b| b == b'\n') {
+                        Some(pos) => session.rbuf.len() - pos - 1,
+                        None => session.rbuf.len(),
+                    };
+                    if tail > MAX_LINE {
                         session
                             .wbuf
                             .extend_from_slice(b"ERR PROTOCOL line exceeds MAX_LINE\n");
@@ -550,7 +617,7 @@ fn process(job: Job) -> Done {
     };
     Done {
         token,
-        conn,
+        conn: Some(conn),
         response,
         close,
     }

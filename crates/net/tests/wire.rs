@@ -447,6 +447,164 @@ fn disconnect_while_frame_in_flight() {
     handle.shutdown();
 }
 
+/// Multiline SQL is one frame: the client escapes the newlines, the
+/// server executes the whole statement, and the session stays in sync.
+#[test]
+fn multiline_sql_stays_one_frame() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(&db, ServerConfig::default());
+    let mut remote = RemoteConn::connect(handle.addr()).unwrap();
+
+    let rs = remote
+        .exec("SELECT balance\nFROM accounts\r\nWHERE id = 2")
+        .unwrap();
+    assert_eq!(rs.scalar_i64(), Some(100));
+
+    // Request/response pairing survived: the next query answers itself,
+    // not a leftover fragment of the previous one.
+    assert_eq!(
+        remote
+            .exec("SELECT id FROM accounts WHERE id = 1")
+            .unwrap()
+            .scalar_i64(),
+        Some(1)
+    );
+    handle.shutdown();
+}
+
+/// When the *engine's* session ceiling (not the server's) refuses an
+/// arrival, the socket parks in the bounded queue without starving the
+/// sessions already being served, and is admitted once the slot frees.
+/// Regression test for a reactor livelock: the promotion loop used to
+/// re-queue the refused socket and retry forever within one sweep.
+#[test]
+fn engine_ceiling_parks_arrivals_without_starving_service() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    db.set_max_sessions(1);
+    let handle = start(
+        &db,
+        ServerConfig {
+            queue_capacity: 4,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut first = RemoteConn::connect(handle.addr()).unwrap();
+
+    // Second arrival: the server has room but the engine does not.
+    let addr = handle.addr();
+    let queued = std::thread::spawn(move || {
+        let mut conn = RemoteConn::connect(addr).unwrap();
+        conn.ping().unwrap();
+        conn
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(!queued.is_finished(), "engine-refused socket admitted early");
+
+    // The admitted session must still be served while the refused socket
+    // waits — a livelocked reactor would never answer this ping.
+    first.ping().expect("existing session starved");
+
+    drop(first); // engine slot frees; the parked socket is promoted
+    drop(queued.join().expect("queued socket never admitted"));
+    handle.shutdown(); // and shutdown must not hang on the reactor
+}
+
+/// With no queue configured, an engine-level refusal is answered
+/// `SERVER_BUSY` outright — the documented bound applies to this path
+/// too, not only to the server's own session ceiling.
+#[test]
+fn engine_ceiling_refusal_respects_queue_capacity() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    db.set_max_sessions(1);
+    let handle = start(&db, ServerConfig::default()); // queue_capacity: 0
+
+    let first = RemoteConn::connect(handle.addr()).unwrap();
+    let refused = TcpStream::connect(handle.addr()).unwrap();
+    let mut reply = String::new();
+    BufReader::new(refused).read_line(&mut reply).unwrap();
+    assert!(
+        reply.starts_with("ERR SERVER_BUSY"),
+        "expected SERVER_BUSY, got {reply:?}"
+    );
+    drop(first);
+    handle.shutdown();
+}
+
+/// A client pipelining complete frames far past the read-buffer ceiling
+/// is throttled by backpressure, not buffered without bound: every frame
+/// is still answered, in order.
+#[test]
+fn pipelined_flood_is_bounded_and_fully_answered() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(&db, ServerConfig::default());
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // greeting
+
+    // 60k pings ≈ 300 KiB of complete lines — past RBUF_CAP, so the
+    // writer only finishes because the reader below drains responses.
+    const N: usize = 60_000;
+    let writer = std::thread::spawn(move || {
+        let mut stream = stream;
+        let burst = "PING\n".repeat(1000);
+        for _ in 0..N / 1000 {
+            stream.write_all(burst.as_bytes()).unwrap();
+        }
+        stream
+    });
+    for i in 0..N {
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "EOF at frame {i}");
+        assert_eq!(line.trim_end(), "OK pong", "frame {i}");
+    }
+    let stream = writer.join().unwrap();
+    drop(stream);
+    handle.shutdown();
+}
+
+/// An over-long line is refused even when complete pipelined frames sit
+/// in front of it in the read buffer.
+#[test]
+fn oversized_tail_behind_pipelined_frames_is_refused() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(&db, ServerConfig::default());
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap(); // greeting
+
+    let mut payload = b"PING\n".to_vec();
+    payload.extend(vec![b'x'; 80 * 1024]); // > MAX_LINE, no terminator
+    stream.write_all(&payload).unwrap();
+
+    // Depending on how TCP chunks the payload, the PING may be answered
+    // before the over-long tail lands or discarded with the session;
+    // either way the violation must be caught and the session closed.
+    let mut lines = Vec::new();
+    loop {
+        line.clear();
+        // A reset counts as end-of-stream: the violation already closed
+        // the session server-side.
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => lines.push(line.trim_end().to_string()),
+        }
+    }
+    let last = lines.last().expect("no response before close");
+    assert!(
+        last.starts_with("ERR PROTOCOL"),
+        "expected protocol error, got {lines:?}"
+    );
+    for earlier in &lines[..lines.len() - 1] {
+        assert_eq!(earlier, "OK pong", "unexpected response: {lines:?}");
+    }
+    handle.shutdown();
+}
+
 /// Raw-socket sanity for the greeting and HELLO, without `RemoteConn` in
 /// the loop.
 #[test]
