@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use acidrain_db::{IsolationLevel, LogEntry};
+use acidrain_db::{Database, IsolationLevel, LogEntry};
 use acidrain_sql::schema::Schema;
 
 use crate::corpus::all_apps;
@@ -32,6 +32,7 @@ use crate::framework::{
 pub const INVENTORY_QTY: i64 = 3;
 
 type Recorder = Box<dyn Fn(IsolationLevel) -> AppResult<Vec<LogEntry>> + Send + Sync>;
+type StoreFactory = Box<dyn Fn(IsolationLevel) -> Arc<Database> + Send + Sync>;
 
 /// One recordable solo pass over an application's endpoints.
 pub struct Scenario {
@@ -40,6 +41,7 @@ pub struct Scenario {
     pub name: &'static str,
     /// API endpoints the scenario invokes, in order.
     pub endpoints: &'static [&'static str],
+    store: StoreFactory,
     recorder: Recorder,
 }
 
@@ -47,13 +49,23 @@ impl Scenario {
     fn new(
         name: &'static str,
         endpoints: &'static [&'static str],
+        store: impl Fn(IsolationLevel) -> Arc<Database> + Send + Sync + 'static,
         recorder: impl Fn(IsolationLevel) -> AppResult<Vec<LogEntry>> + Send + Sync + 'static,
     ) -> Self {
         Scenario {
             name,
             endpoints,
+            store: Box::new(store),
             recorder: Box::new(recorder),
         }
+    }
+
+    /// A fresh store in the same initial state [`Scenario::record`] starts
+    /// from — the hook the witness replayer uses to re-bind a recorded
+    /// schedule to live state. Calling this repeatedly yields independent,
+    /// identically seeded databases.
+    pub fn make_store(&self, isolation: IsolationLevel) -> Arc<Database> {
+        (self.store)(isolation)
     }
 
     /// Record the scenario's tagged query log in one solo pass against a
@@ -162,10 +174,15 @@ pub fn corpus_surfaces() -> Vec<AppSurface> {
                 if support != FeatureStatus::Supported {
                     continue;
                 }
+                let store_app = Arc::clone(&app);
                 let app = Arc::clone(&app);
                 scenarios.push(Scenario::new(
                     name,
                     &["add_to_cart", "checkout"],
+                    move |iso| {
+                        store_app.reset_session_state();
+                        store_app.make_store(iso)
+                    },
                     move |iso| record_shop(&*app, scenario, iso),
                 ));
             }
@@ -193,15 +210,20 @@ pub fn didactic_surfaces() -> Vec<AppSurface> {
             app: name.to_string(),
             session_locked: false,
             schema: didactic::banking_schema(),
-            scenarios: vec![Scenario::new("withdraw", &["withdraw"], move |iso| {
-                let bank = make();
-                let db = bank.make_bank(iso, 100);
-                let mut conn = db.connect();
-                conn.set_api("withdraw", 0);
-                observed_request(&mut conn, |c| bank.withdraw(c, 1, 70))?;
-                drop(conn);
-                Ok(db.log_entries())
-            })],
+            scenarios: vec![Scenario::new(
+                "withdraw",
+                &["withdraw"],
+                move |iso| make().make_bank(iso, 100),
+                move |iso| {
+                    let bank = make();
+                    let db = bank.make_bank(iso, 100);
+                    let mut conn = db.connect();
+                    conn.set_api("withdraw", 0);
+                    observed_request(&mut conn, |c| bank.withdraw(c, 1, 70))?;
+                    drop(conn);
+                    Ok(db.log_entries())
+                },
+            )],
         });
     }
 
@@ -212,6 +234,7 @@ pub fn didactic_surfaces() -> Vec<AppSurface> {
         scenarios: vec![Scenario::new(
             "payroll",
             &["add_employee", "raise_salary"],
+            didactic::make_payroll,
             |iso| {
                 let db = didactic::make_payroll(iso);
                 let mut conn = db.connect();
@@ -231,16 +254,21 @@ pub fn didactic_surfaces() -> Vec<AppSurface> {
         app: "minishop".to_string(),
         session_locked: false,
         schema: didactic::minishop_schema(),
-        scenarios: vec![Scenario::new("cart", &["add_to_cart", "checkout"], |iso| {
-            let db = didactic::make_minishop(iso);
-            let mut conn = db.connect();
-            conn.set_api("add_to_cart", 0);
-            observed_request(&mut conn, |c| didactic::minishop_add_to_cart(c, 14, 1, 2))?;
-            conn.set_api("checkout", 0);
-            observed_request(&mut conn, |c| didactic::minishop_checkout(c, 14))?;
-            drop(conn);
-            Ok(db.log_entries())
-        })],
+        scenarios: vec![Scenario::new(
+            "cart",
+            &["add_to_cart", "checkout"],
+            didactic::make_minishop,
+            |iso| {
+                let db = didactic::make_minishop(iso);
+                let mut conn = db.connect();
+                conn.set_api("add_to_cart", 0);
+                observed_request(&mut conn, |c| didactic::minishop_add_to_cart(c, 14, 1, 2))?;
+                conn.set_api("checkout", 0);
+                observed_request(&mut conn, |c| didactic::minishop_checkout(c, 14))?;
+                drop(conn);
+                Ok(db.log_entries())
+            },
+        )],
     });
 
     surfaces
@@ -256,6 +284,7 @@ pub fn flexcoin_surface() -> AppSurface {
         scenarios: vec![Scenario::new(
             "exchange",
             &["transfer", "withdraw"],
+            |iso| Flexcoin.make_exchange(iso, 100, 10),
             |iso| {
                 let db = Flexcoin.make_exchange(iso, 100, 10);
                 let mut conn = db.connect();
@@ -319,6 +348,32 @@ mod tests {
                         .collect::<Vec<_>>()
                 };
                 assert_eq!(strip(&a), strip(&b), "{}/{}", surface.app, scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn stores_are_fresh_and_identically_seeded() {
+        for surface in all_surfaces() {
+            for scenario in &surface.scenarios {
+                let a = scenario.make_store(IsolationLevel::ReadCommitted);
+                let b = scenario.make_store(IsolationLevel::ReadCommitted);
+                assert!(
+                    !Arc::ptr_eq(&a, &b),
+                    "{}/{}: make_store must not share state",
+                    surface.app,
+                    scenario.name
+                );
+                for table in surface.schema.tables() {
+                    assert_eq!(
+                        a.table_rows(&table.name).unwrap(),
+                        b.table_rows(&table.name).unwrap(),
+                        "{}/{}: table {} seeded differently",
+                        surface.app,
+                        scenario.name,
+                        table.name
+                    );
+                }
             }
         }
     }

@@ -241,6 +241,15 @@ impl Database {
         self.locks.locked_resources()
     }
 
+    /// Number of transaction-long snapshots currently pinned in the GC
+    /// registry (diagnostics: must drop to zero once every MySQL-RR/SI
+    /// transaction has committed or rolled back — a nonzero residue here
+    /// means a vanished session leaked its pin and version GC is stalled
+    /// at that timestamp).
+    pub fn pinned_snapshots(&self) -> usize {
+        self.pinned_snapshots.lock().len()
+    }
+
     /// Enable or disable the equality-index read path. The per-table
     /// indexes are always maintained; when off, every statement takes the
     /// full-scan route. Because index candidates are iterated in the same

@@ -1,0 +1,138 @@
+//! `witness_replay` — execute every static 2AD finding against the live
+//! engine and classify it: **confirmed** (outcome diverges from every
+//! serial execution), **blocked** (the engine refused the interleaving at
+//! that level), or **inconclusive** (not realizable, or serially
+//! equivalent).
+//!
+//! ```text
+//! witness_replay [options]
+//!
+//! options:
+//!   --app NAME       replay only the named surface (repeatable)
+//!   --level LEVEL    replay only at LEVEL: RU, RC, MYSQL-RR, RR, SI, SER
+//!                    (repeatable; default all six)
+//!   --json FILE      also write the report as JSON to FILE ("-" = stdout)
+//!   --quiet          suppress the text report (use with --json)
+//! ```
+//!
+//! Exit status 2 on usage errors, 1 on audit/recording failures, and 3 if
+//! any **level-based** anomaly is *confirmed* at Serializable — a
+//! confirmed level-based anomaly there means the engine failed to
+//! serialize, which is an engine bug, not an application one.
+
+use std::process::exit;
+use std::time::Instant;
+
+use acidrain_apps::endpoints::all_surfaces;
+use acidrain_db::IsolationLevel;
+use acidrain_harness::replay_surface;
+use acidrain_static::{render_replay_json, render_replay_text, ReplayReport};
+
+fn usage() -> ! {
+    eprintln!("usage: witness_replay [--app NAME]... [--level LEVEL]... [--json FILE] [--quiet]");
+    exit(2);
+}
+
+fn parse_level(s: &str) -> IsolationLevel {
+    match s.to_ascii_uppercase().as_str() {
+        "RU" => IsolationLevel::ReadUncommitted,
+        "RC" => IsolationLevel::ReadCommitted,
+        "MYSQL-RR" => IsolationLevel::MySqlRepeatableRead,
+        "RR" => IsolationLevel::RepeatableRead,
+        "SI" => IsolationLevel::SnapshotIsolation,
+        "SER" => IsolationLevel::Serializable,
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut apps: Vec<String> = Vec::new();
+    let mut levels: Vec<IsolationLevel> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut quiet = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--app" => {
+                apps.push(next(i));
+                i += 1;
+            }
+            "--level" => {
+                levels.push(parse_level(&next(i)));
+                i += 1;
+            }
+            "--json" => {
+                json_path = Some(next(i));
+                i += 1;
+            }
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if levels.is_empty() {
+        levels = IsolationLevel::ALL.to_vec();
+    }
+
+    let start = Instant::now();
+    let mut surfaces = all_surfaces();
+    if !apps.is_empty() {
+        surfaces.retain(|s| apps.iter().any(|a| a == &s.app));
+        if surfaces.is_empty() {
+            eprintln!("witness_replay: no surface matches {apps:?}");
+            exit(2);
+        }
+    }
+
+    let mut replayed = Vec::with_capacity(surfaces.len());
+    for surface in &surfaces {
+        match replay_surface(surface, &levels) {
+            Ok(replay) => replayed.push(replay),
+            Err(e) => {
+                eprintln!("witness_replay: {e}");
+                exit(1);
+            }
+        }
+    }
+    let report = ReplayReport { apps: replayed };
+    let elapsed = start.elapsed();
+
+    if let Some(path) = &json_path {
+        let json = render_replay_json(&report);
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, json) {
+            eprintln!("witness_replay: writing {path}: {e}");
+            exit(1);
+        }
+    }
+    if !quiet {
+        print!("{}", render_replay_text(&report));
+        println!(
+            "\n{} surfaces, {} confirmed / {} blocked / {} inconclusive, replayed in {:.2?}",
+            report.apps.len(),
+            report.count("confirmed"),
+            report.count("blocked"),
+            report.count("inconclusive"),
+            elapsed
+        );
+    }
+
+    let ser_failures = report.serializable_level_based_confirmed();
+    if !ser_failures.is_empty() {
+        eprintln!(
+            "witness_replay: {} level-based anomalies CONFIRMED at Serializable:",
+            ser_failures.len()
+        );
+        for o in ser_failures {
+            eprintln!(
+                "  {} on {} (API {})",
+                o.finding.pattern, o.finding.table, o.finding.api
+            );
+        }
+        exit(3);
+    }
+}

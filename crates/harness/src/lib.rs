@@ -13,6 +13,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod explore;
 pub mod netchaos;
+pub mod replay;
 pub mod sched;
 pub mod stress;
 pub mod texttable;
@@ -27,5 +28,6 @@ pub use chaos::{
 };
 pub use explore::{exhaustive, randomized, Exploration, Scenario};
 pub use netchaos::{flaky_client_campaign, run_net_chaos, NetChaosConfig, NetChaosReport};
+pub use replay::{replay_all, replay_surface};
 pub use sched::{run_deterministic, GatedConn, StepOutcome, Stepper};
 pub use stress::{run_concurrent, run_concurrent_watchdog, DelayConn, TaskOutcome};

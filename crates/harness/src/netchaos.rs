@@ -98,6 +98,10 @@ pub struct NetChaosReport {
     pub leaked_transactions: usize,
     /// Row locks still held after every socket closed (must be 0).
     pub leaked_locks: usize,
+    /// Snapshot pins still registered after every socket closed (must be
+    /// 0). A leaked pin is the quiet cousin of a leaked lock: nothing
+    /// blocks, but version GC is wedged at that bound forever.
+    pub leaked_snapshot_pins: usize,
     /// The server's full metrics report (session/frame/disconnect
     /// counters included).
     pub metrics: MetricsReport,
@@ -114,6 +118,7 @@ impl NetChaosReport {
     pub fn clean_wire(&self) -> bool {
         self.leaked_transactions == 0
             && self.leaked_locks == 0
+            && self.leaked_snapshot_pins == 0
             && self.protocol_errors == 0
             && self.metrics.counters.net_protocol_errors == 0
     }
@@ -220,8 +225,13 @@ pub fn run_net_chaos(app: &(dyn ShopApp + Sync), config: &NetChaosConfig) -> Net
     });
 
     // Every client socket is gone; stop the server so vanished sessions
-    // are finalized before the leak checks.
+    // are finalized before the leak checks. The explicit GC pass then
+    // publishes the post-run snapshot bound: with every pin released it
+    // must reach the commit clock, which makes pin leaks visible in the
+    // metrics (`gc_oldest_snapshot` stuck below `commit_clock`), not just
+    // in the direct `pinned_snapshots` probe.
     handle.shutdown();
+    db.gc();
 
     let mut totals = [0usize; 5];
     for counts in &results {
@@ -258,6 +268,7 @@ pub fn run_net_chaos(app: &(dyn ShopApp + Sync), config: &NetChaosConfig) -> Net
         witnesses,
         leaked_transactions: db.active_transactions(),
         leaked_locks: db.locked_resources(),
+        leaked_snapshot_pins: db.pinned_snapshots(),
         metrics: db.metrics_report(),
     }
 }
@@ -307,5 +318,35 @@ mod tests {
         );
         // The workload still makes progress around the vanishing clients.
         assert!(report.committed > 0, "{report:?}");
+    }
+
+    /// Flaky clients at the snapshot-pinning levels: every abandoned
+    /// socket's pin must be released, and the post-run GC bound must
+    /// reach the commit clock — a wire session that leaked its pin would
+    /// leave `gc_oldest_snapshot` wedged below it.
+    #[test]
+    fn flaky_snapshot_clients_release_their_pins() {
+        for level in [
+            IsolationLevel::MySqlRepeatableRead,
+            IsolationLevel::SnapshotIsolation,
+        ] {
+            let report = run_net_chaos(
+                &PrestaShop,
+                &NetChaosConfig {
+                    seed: 11,
+                    isolation: level,
+                    drop_every: Some(2),
+                    faults: FaultConfig::disabled().with_deadlock(0.05),
+                    ..NetChaosConfig::default()
+                },
+            );
+            assert!(report.injected_disconnects > 0, "{level:?}: {report:?}");
+            assert!(report.clean_wire(), "{level:?}: {report:?}");
+            assert_eq!(report.leaked_snapshot_pins, 0, "{level:?}: {report:?}");
+            assert_eq!(
+                report.metrics.gc_oldest_snapshot, report.metrics.commit_clock,
+                "{level:?}: GC bound stuck below the clock — a pin leaked: {report:?}"
+            );
+        }
     }
 }

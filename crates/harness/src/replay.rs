@@ -1,0 +1,477 @@
+//! Executing witness replay plans against the live engine.
+//!
+//! `acidrain-static::replay` lowers each static finding to a
+//! [`ReplayPlan`] — canned per-session scripts plus the Lemma-4 split
+//! point. This module runs the plan through the deterministic scheduler
+//! ([`crate::sched`]) on a fresh store and classifies the outcome:
+//!
+//! - **Confirmed** — the interleaving executed and its outcome digest
+//!   (per-statement results plus final table contents) differs from
+//!   *every* serial execution of the same scripts. Whatever the schedule
+//!   produced, no serial order could have; the anomaly is real.
+//! - **Blocked** — the engine refused the schedule at this level: a
+//!   session's statement hit a lock wait at its scheduled slot, or a
+//!   transaction was aborted (deadlock victim, first-committer-wins).
+//! - **Inconclusive** — the schedule was not realizable (no concrete
+//!   counterpart, too many instances to baseline) or it executed cleanly
+//!   but produced a serially-equivalent outcome.
+//!
+//! Blocked is *not* refuted: the abstract witness quantifies over every
+//! expansion of the trace, and the replayer executes exactly one. The
+//! digest comparison is the replayer's anomaly oracle — it needs no
+//! per-app invariant knowledge, which is what lets it run over the whole
+//! corpus uniformly.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use acidrain_apps::endpoints::{all_surfaces, AppSurface, Scenario};
+use acidrain_apps::SqlConn;
+use acidrain_db::{Database, DbError, IsolationLevel, ResultSet};
+use acidrain_sql::schema::Schema;
+use acidrain_static::{
+    plan_scenario, AppReplay, AuditError, LevelReplay, ReplayOutcome, ReplayPlan, ReplayReport,
+    ScenarioReplay, Verdict,
+};
+
+use crate::sched::{run_deterministic, StepOutcome, Stepper};
+
+/// Largest witness (concurrent instances) the replayer baselines: the
+/// serial oracle enumerates every permutation of the sessions, so the
+/// count must stay factorial-small. Corpus witnesses use 2–3 instances.
+const MAX_SESSIONS: usize = 4;
+
+/// The outcome digest of one execution: what every session's statements
+/// returned, plus the final contents of every table. Two executions with
+/// equal digests are observably equivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Digest {
+    /// Per-session statement outcomes, indexed by plan session.
+    sessions: Vec<Vec<String>>,
+    /// Final rows per table, sorted, in schema (name) order.
+    tables: Vec<(String, Vec<String>)>,
+}
+
+/// One session's script execution: rendered outcomes plus whether the
+/// transaction died to an abort-class error.
+#[derive(Debug)]
+struct ScriptRun {
+    lines: Vec<String>,
+    aborted: Option<&'static str>,
+}
+
+/// A stable, session-id-free rendering of one statement outcome. Error
+/// messages can embed transaction ids, so errors render as their class
+/// only — still enough to distinguish "this statement failed here but not
+/// serially".
+fn render_outcome(result: &Result<ResultSet, DbError>) -> String {
+    match result {
+        Ok(rs) => format!("ok {:?} {:?}", rs.columns, rs.rows),
+        Err(e) => format!("err {}", error_class(e)),
+    }
+}
+
+fn error_class(e: &DbError) -> &'static str {
+    match e {
+        DbError::Parse(_) => "parse",
+        DbError::UnknownTable(_) => "unknown-table",
+        DbError::UnknownColumn(_) => "unknown-column",
+        DbError::Type(_) => "type",
+        DbError::ConstraintViolation(_) => "constraint-violation",
+        DbError::WouldBlock { .. } => "would-block",
+        DbError::Deadlock => "deadlock",
+        DbError::WriteConflict(_) => "write-conflict",
+        DbError::LockTimeout => "lock-timeout",
+        DbError::ConnectionDropped => "connection-dropped",
+        DbError::Unsupported(_) => "unsupported",
+        DbError::Io(_) => "io",
+        DbError::WalCorrupt(_) => "wal-corrupt",
+        DbError::UnknownSavepoint(_) => "unknown-savepoint",
+        DbError::TooManySessions => "too-many-sessions",
+        DbError::Internal(_) => "internal",
+    }
+}
+
+/// Run one canned script on `conn`, stopping early if the transaction is
+/// rolled back under it (the remaining statements would only measure
+/// error noise, identically in every execution).
+fn run_script(conn: &mut dyn SqlConn, statements: &[String]) -> ScriptRun {
+    let mut lines = Vec::with_capacity(statements.len());
+    let mut aborted = None;
+    for sql in statements {
+        let result = conn.exec(sql);
+        lines.push(render_outcome(&result));
+        if let Err(e) = &result {
+            if e.aborts_transaction() {
+                aborted = Some(error_class(e));
+                break;
+            }
+        }
+    }
+    ScriptRun { lines, aborted }
+}
+
+/// Replay the setup statements on a plain connection. Recorded failures
+/// (statement-level errors the endpoint itself provoked) repeat
+/// deterministically, so errors are not distinguished from the recording.
+fn run_setup(db: &Arc<Database>, setup: &[String]) {
+    let mut conn = db.connect();
+    for sql in setup {
+        let _ = conn.execute(sql);
+    }
+}
+
+fn table_digest(db: &Arc<Database>, schema: &Schema) -> Vec<(String, Vec<String>)> {
+    schema
+        .tables()
+        .map(|t| {
+            let mut rows: Vec<String> = db
+                .table_rows(&t.name)
+                .map(|rows| rows.iter().map(|r| format!("{r:?}")).collect())
+                .unwrap_or_default();
+            rows.sort();
+            (t.name.clone(), rows)
+        })
+        .collect()
+}
+
+/// Every permutation of `0..n` (Heap's algorithm, deterministic order).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn heap(k: usize, items: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, items, out);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    heap(n, &mut items, &mut out);
+    out
+}
+
+/// The outcome digests of every serial execution of the plan's scripts
+/// (one fresh store per permutation), deduplicated.
+fn serial_digests(
+    scenario: &Scenario,
+    level: IsolationLevel,
+    plan: &ReplayPlan,
+    schema: &Schema,
+) -> Vec<Digest> {
+    let n = plan.sessions.len();
+    let mut digests: Vec<Digest> = Vec::new();
+    for perm in permutations(n) {
+        let db = scenario.make_store(level);
+        run_setup(&db, &plan.setup);
+        let mut sessions = vec![Vec::new(); n];
+        for &i in &perm {
+            let mut conn = db.connect();
+            sessions[i] = run_script(&mut conn, &plan.sessions[i].statements).lines;
+        }
+        let digest = Digest {
+            sessions,
+            tables: table_digest(&db, schema),
+        };
+        if !digests.contains(&digest) {
+            digests.push(digest);
+        }
+    }
+    digests
+}
+
+/// Step session `i` repeatedly until it finishes; `Err` carries the lock
+/// wait that broke the schedule.
+fn step_to_completion(stepper: &mut Stepper, i: usize, api: &str) -> Result<(), String> {
+    loop {
+        match stepper.step(i) {
+            StepOutcome::Executed => {}
+            StepOutcome::Finished => return Ok(()),
+            StepOutcome::Blocked => {
+                return Err(format!(
+                    "lock wait: session {i} ({api}) blocked mid-schedule"
+                ))
+            }
+        }
+    }
+}
+
+/// Per-scenario-per-level execution caches. Findings overwhelmingly share
+/// plans (same seed split, same hop APIs), and distinct plans share serial
+/// baselines, so both layers are keyed by plan content.
+struct Caches {
+    verdicts: HashMap<String, Verdict>,
+    serial: HashMap<String, Vec<Digest>>,
+}
+
+impl Caches {
+    fn new() -> Self {
+        Caches {
+            verdicts: HashMap::new(),
+            serial: HashMap::new(),
+        }
+    }
+}
+
+fn serial_key(plan: &ReplayPlan) -> String {
+    format!("{:?}|{:?}", plan.setup, plan.sessions)
+}
+
+fn verdict_key(plan: &ReplayPlan) -> String {
+    format!("{}|{}", plan.seed_prefix, serial_key(plan))
+}
+
+/// Execute one plan: the Lemma-4 interleaving (seed prefix, each hop in
+/// full, seed remainder), digested and compared against the serial oracle.
+fn execute_plan(
+    scenario: &Scenario,
+    level: IsolationLevel,
+    plan: &ReplayPlan,
+    schema: &Schema,
+    caches: &mut Caches,
+) -> Verdict {
+    let n = plan.sessions.len();
+    if n > MAX_SESSIONS {
+        return Verdict::Inconclusive(format!(
+            "witness needs {n} concurrent instances; serial baseline capped at {MAX_SESSIONS}"
+        ));
+    }
+    let vkey = verdict_key(plan);
+    if let Some(v) = caches.verdicts.get(&vkey) {
+        return v.clone();
+    }
+
+    let db = scenario.make_store(level);
+    run_setup(&db, &plan.setup);
+
+    let runs: Arc<Mutex<Vec<Option<ScriptRun>>>> =
+        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let tasks: Vec<_> = plan
+        .sessions
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let runs = Arc::clone(&runs);
+            let statements = s.statements.clone();
+            move |conn: &mut dyn SqlConn| {
+                let run = run_script(conn, &statements);
+                runs.lock().unwrap()[i] = Some(run);
+            }
+        })
+        .collect();
+
+    let mut schedule_break: Option<String> = None;
+    run_deterministic(&db, tasks, |stepper: &mut Stepper| {
+        // Seed prefix: up to and including o1.
+        for _ in 0..plan.seed_prefix {
+            match stepper.step(0) {
+                StepOutcome::Executed => {}
+                StepOutcome::Finished => break,
+                StepOutcome::Blocked => {
+                    schedule_break =
+                        Some("lock wait: seed session blocked inside its prefix".to_string());
+                    return;
+                }
+            }
+        }
+        // Every hop instance, in cycle order, in full.
+        for (i, session) in plan.sessions.iter().enumerate().skip(1) {
+            if let Err(reason) = step_to_completion(stepper, i, &session.api) {
+                schedule_break = Some(reason);
+                return;
+            }
+        }
+        // Seed remainder.
+        if let Err(reason) = step_to_completion(stepper, 0, &plan.sessions[0].api) {
+            schedule_break = Some(reason);
+        }
+    });
+
+    let runs = Arc::try_unwrap(runs)
+        .expect("session tasks joined")
+        .into_inner()
+        .unwrap();
+    let verdict = if let Some(reason) = schedule_break {
+        Verdict::Blocked(reason)
+    } else if let Some((i, class)) = runs
+        .iter()
+        .enumerate()
+        .find_map(|(i, r)| r.as_ref().and_then(|r| r.aborted).map(|class| (i, class)))
+    {
+        Verdict::Blocked(format!(
+            "abort: session {i} ({}) rolled back ({class})",
+            plan.sessions[i].api
+        ))
+    } else {
+        let digest = Digest {
+            sessions: runs
+                .into_iter()
+                .map(|r| r.expect("every session ran").lines)
+                .collect(),
+            tables: table_digest(&db, schema),
+        };
+        let skey = serial_key(plan);
+        let serial = caches
+            .serial
+            .entry(skey)
+            .or_insert_with(|| serial_digests(scenario, level, plan, schema));
+        if serial.contains(&digest) {
+            Verdict::Inconclusive("executed cleanly; outcome serially equivalent".to_string())
+        } else {
+            Verdict::Confirmed
+        }
+    };
+    caches.verdicts.insert(vkey, verdict.clone());
+    verdict
+}
+
+/// Replay every static finding of `surface` at each of `levels`.
+pub fn replay_surface(
+    surface: &AppSurface,
+    levels: &[IsolationLevel],
+) -> Result<AppReplay, AuditError> {
+    let mut level_replays = Vec::with_capacity(levels.len());
+    for &level in levels {
+        let mut scenarios = Vec::with_capacity(surface.scenarios.len());
+        for scenario in &surface.scenarios {
+            let plans = plan_scenario(surface, scenario, level)?;
+            let mut caches = Caches::new();
+            let outcomes = plans
+                .plans
+                .into_iter()
+                .map(|fp| {
+                    let verdict = match &fp.plan {
+                        Err(reason) => Verdict::Inconclusive(reason.clone()),
+                        Ok(plan) => {
+                            execute_plan(scenario, level, plan, &surface.schema, &mut caches)
+                        }
+                    };
+                    ReplayOutcome {
+                        finding: fp.finding,
+                        verdict,
+                    }
+                })
+                .collect();
+            scenarios.push(ScenarioReplay {
+                scenario: plans.scenario,
+                outcomes,
+            });
+        }
+        level_replays.push(LevelReplay { level, scenarios });
+    }
+    Ok(AppReplay {
+        app: surface.app.clone(),
+        levels: level_replays,
+    })
+}
+
+/// Replay the whole registry (corpus, didactic apps, Flexcoin) at each of
+/// `levels`.
+pub fn replay_all(levels: &[IsolationLevel]) -> Result<ReplayReport, AuditError> {
+    let apps = all_surfaces()
+        .iter()
+        .map(|s| replay_surface(s, levels))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ReplayReport { apps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acidrain_apps::endpoints::{didactic_surfaces, flexcoin_surface};
+    use acidrain_core::AnomalyScope;
+
+    fn surface_named(name: &str) -> AppSurface {
+        didactic_surfaces()
+            .into_iter()
+            .find(|s| s.app == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn figure1a_overdraft_is_confirmed_at_every_level() {
+        // The unscoped withdraw has no transaction for any level to
+        // protect: the lost-update interleaving must execute and diverge
+        // from both serial orders everywhere, Serializable included
+        // (scope-based — the paper's central point).
+        let surface = surface_named("bank-figure1a");
+        let replay = replay_surface(&surface, &IsolationLevel::ALL).unwrap();
+        for level in &replay.levels {
+            assert!(level.count("confirmed") > 0, "{:?}: {level:?}", level.level);
+        }
+    }
+
+    #[test]
+    fn serializable_confirms_no_level_based_anomaly() {
+        for surface in [surface_named("bank-figure1b"), flexcoin_surface()] {
+            let replay = replay_surface(&surface, &[IsolationLevel::Serializable]).unwrap();
+            let report = ReplayReport { apps: vec![replay] };
+            assert!(
+                report.serializable_level_based_confirmed().is_empty(),
+                "{}: {report:?}",
+                surface.app
+            );
+        }
+    }
+
+    #[test]
+    fn scoped_bank_is_blocked_or_clean_at_serializable_but_confirmed_at_rc() {
+        let surface = surface_named("bank-figure1b");
+        let replay = replay_surface(
+            &surface,
+            &[IsolationLevel::ReadCommitted, IsolationLevel::Serializable],
+        )
+        .unwrap();
+        let rc = replay.level(IsolationLevel::ReadCommitted).unwrap();
+        assert!(rc.count("confirmed") > 0, "{rc:?}");
+        let ser = replay.level(IsolationLevel::Serializable).unwrap();
+        // The static audit already admits nothing level-based at SER, and
+        // whatever scope-based findings remain must not confirm as
+        // level-based ones; the engine gate is the empty intersection.
+        assert_eq!(
+            ser.scenarios
+                .iter()
+                .flat_map(|s| &s.outcomes)
+                .filter(|o| o.verdict == Verdict::Confirmed
+                    && o.finding.scope == AnomalyScope::LevelBased)
+                .count(),
+            0,
+            "{ser:?}"
+        );
+    }
+
+    #[test]
+    fn every_finding_gets_classified() {
+        let surface = surface_named("payroll");
+        let replay = replay_surface(&surface, &IsolationLevel::ALL).unwrap();
+        let audit = acidrain_static::audit_surface(&surface).unwrap();
+        for level in IsolationLevel::ALL {
+            let audited = audit.level(level).unwrap().finding_count();
+            let replayed: usize = replay
+                .level(level)
+                .unwrap()
+                .scenarios
+                .iter()
+                .map(|s| s.outcomes.len())
+                .sum();
+            assert_eq!(audited, replayed, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn permutations_cover_and_dedupe() {
+        assert_eq!(permutations(1), vec![vec![0]]);
+        let p3 = permutations(3);
+        assert_eq!(p3.len(), 6);
+        let mut sorted = p3.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+}

@@ -1,0 +1,83 @@
+//! Golden-file tests pinning the witness-replay verdicts — every static
+//! finding's confirmed/blocked/inconclusive classification against the
+//! live engine — for three representative applications at Read Committed
+//! and Serializable.
+//!
+//! The goldens live next to the static-audit goldens they complement
+//! (`crates/static/tests/golden/`), prefixed `replay-`. Regenerate after
+//! an intentional engine, detector, or renderer change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p acidrain-harness --test replay_golden
+//! ```
+
+use std::path::PathBuf;
+
+use acidrain_apps::endpoints::all_surfaces;
+use acidrain_db::IsolationLevel;
+use acidrain_harness::replay_surface;
+use acidrain_static::{render_replay_text, ReplayReport};
+
+/// The pinned levels: the paper's weak default family representative and
+/// the strongest level (where only scope-based anomalies can confirm).
+const LEVELS: [IsolationLevel; 2] = [IsolationLevel::ReadCommitted, IsolationLevel::Serializable];
+
+fn golden_path(app: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../static/tests/golden")
+        .join(format!("replay-{app}.txt"))
+}
+
+/// Replay one app at the pinned levels only, so the golden file stays
+/// small and focused on the RC-vs-SER contrast.
+fn report_for(app: &str) -> ReplayReport {
+    let surfaces = all_surfaces();
+    let surface = surfaces
+        .iter()
+        .find(|s| s.app == app)
+        .unwrap_or_else(|| panic!("no surface named {app}"));
+    let replay = replay_surface(surface, &LEVELS).unwrap();
+    ReplayReport { apps: vec![replay] }
+}
+
+fn check_golden(app: &str) {
+    let rendered = render_replay_text(&report_for(app));
+    let path = golden_path(app);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}; run with UPDATE_GOLDEN=1 to create",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "{app}: witness replay report drifted from {} \
+         (rerun with UPDATE_GOLDEN=1 if the change is intentional)",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_replay_bank_figure1a() {
+    // Didactic: the unscoped Figure-1a bank — the overdraft confirms at
+    // both levels because the anomaly is scope-based.
+    check_golden("bank-figure1a");
+}
+
+#[test]
+fn golden_replay_flexcoin() {
+    // The §2 case study: the unguarded transfer confirms everywhere; the
+    // FOR UPDATE-guarded withdraw is serially equivalent.
+    check_golden("flexcoin");
+}
+
+#[test]
+fn golden_replay_prestashop() {
+    // A PHP corpus app with session locking in the refinement config.
+    check_golden("PrestaShop");
+}

@@ -29,6 +29,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use acidrain_db::{Connection, Database};
+use acidrain_obs::Obs;
 
 use crate::protocol::{encode_error, encode_result, escape, isolation_code, Request, MAX_LINE};
 
@@ -68,7 +69,11 @@ impl Default for ServerConfig {
     }
 }
 
-/// How the reactor parks between sweeps when nothing progressed.
+/// How the reactor naps between sweeps when nothing progressed but
+/// sessions (or queued sockets) still exist — their sockets are
+/// non-blocking, so they must be polled. With *zero* sessions and an
+/// empty queue the reactor does not poll at all: it parks in a blocking
+/// `accept` until the next arrival (see [`run_reactor`]).
 const IDLE_SLEEP: Duration = Duration::from_micros(500);
 
 /// Per-session read-buffer ceiling. A session executes one frame at a
@@ -184,6 +189,11 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::Release);
+        // An idle reactor is parked in a blocking `accept`; poke it awake
+        // with a loopback connect. Harmless when it is not parked: the
+        // stray socket is accepted after the stop flag is already
+        // visible (and dropped), or never accepted at all.
+        let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
@@ -249,15 +259,14 @@ fn run_reactor(
                         // An engine panic must not kill the worker or
                         // swallow the Done — the reactor would hold the
                         // session busy forever, pinning its engine slot.
-                        let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || process(job),
-                        ))
-                        .unwrap_or_else(|_| Done {
-                            token,
-                            conn: None,
-                            response: "ERR INTERNAL statement execution panicked\n".into(),
-                            close: true,
-                        });
+                        let done =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process(job)))
+                                .unwrap_or_else(|_| Done {
+                                    token,
+                                    conn: None,
+                                    response: "ERR INTERNAL statement execution panicked\n".into(),
+                                    close: true,
+                                });
                         if done_tx.send(done).is_err() {
                             break;
                         }
@@ -280,27 +289,15 @@ fn run_reactor(
             match listener.accept() {
                 Ok((stream, _)) => {
                     progressed = true;
-                    // A socket is refused a session either by the server
-                    // ceiling (checked here) or by the engine's own
-                    // `Database::set_max_sessions` ceiling inside
-                    // `admit`; both overflow into the same bounded
-                    // queue-or-reject path.
-                    let overflow = if config.max_sessions == 0
-                        || sessions.len() < config.max_sessions
-                    {
-                        admit(&db, stream, &mut sessions, &mut next_token).err()
-                    } else {
-                        Some(stream)
-                    };
-                    if let Some(stream) = overflow {
-                        if pending.len() < config.queue_capacity {
-                            pending.push_back(stream);
-                            obs.net_queued(pending.len() as u64);
-                        } else {
-                            reject(stream);
-                            obs.net_rejected();
-                        }
-                    }
+                    enroll(
+                        &db,
+                        &obs,
+                        &config,
+                        stream,
+                        &mut sessions,
+                        &mut pending,
+                        &mut next_token,
+                    );
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(_) => break,
@@ -379,7 +376,33 @@ fn run_reactor(
         }
 
         if !progressed {
-            std::thread::sleep(IDLE_SLEEP);
+            if sessions.is_empty() && pending.is_empty() {
+                // Zero sessions and an empty queue: connections travel
+                // with their sessions, so no frame can be at a worker, no
+                // `Done` can arrive, and no timeout can fire. The only
+                // possible next event is a new arrival — park in a
+                // blocking `accept` instead of polling.
+                // `ServerHandle::stop_and_join` wakes a parked reactor
+                // with a loopback connect after raising the stop flag.
+                obs.net_reactor_parked();
+                let Some(stream) = park_for_arrival(&listener) else {
+                    continue;
+                };
+                if stop.load(Ordering::Acquire) {
+                    break; // the arrival was (or raced with) the shutdown wake
+                }
+                enroll(
+                    &db,
+                    &obs,
+                    &config,
+                    stream,
+                    &mut sessions,
+                    &mut pending,
+                    &mut next_token,
+                );
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
+            }
         }
     }
 
@@ -398,6 +421,54 @@ fn run_reactor(
             .as_ref()
             .is_some_and(Connection::in_transaction);
         obs.net_session_closed(session.sid, in_txn);
+    }
+}
+
+/// Block until the next arrival (or a socket-level error) with the
+/// listener temporarily switched to blocking mode. `None` means no
+/// socket was obtained; the caller re-checks the stop flag and sweeps
+/// again either way.
+fn park_for_arrival(listener: &TcpListener) -> Option<TcpStream> {
+    if listener.set_nonblocking(false).is_err() {
+        // Can't switch modes — fall back to one polling nap.
+        std::thread::sleep(IDLE_SLEEP);
+        return None;
+    }
+    let accepted = listener.accept();
+    let _ = listener.set_nonblocking(true);
+    accepted.ok().map(|(stream, _)| stream)
+}
+
+/// Route one accepted socket through admission control: into a session
+/// slot, the bounded wait queue, or an outright `SERVER_BUSY` refusal. A
+/// socket is refused a slot either by the server ceiling (checked here)
+/// or by the engine's own [`Database::set_max_sessions`] ceiling inside
+/// [`admit`]; both overflow into the same queue-or-reject path. Both
+/// accept sites — the non-blocking sweep and the parked blocking accept
+/// — go through here, so the admission bounds hold no matter how the
+/// socket arrived.
+fn enroll(
+    db: &Arc<Database>,
+    obs: &Obs,
+    config: &ServerConfig,
+    stream: TcpStream,
+    sessions: &mut HashMap<u64, Session>,
+    pending: &mut VecDeque<TcpStream>,
+    next_token: &mut u64,
+) {
+    let overflow = if config.max_sessions == 0 || sessions.len() < config.max_sessions {
+        admit(db, stream, sessions, next_token).err()
+    } else {
+        Some(stream)
+    };
+    if let Some(stream) = overflow {
+        if pending.len() < config.queue_capacity {
+            pending.push_back(stream);
+            obs.net_queued(pending.len() as u64);
+        } else {
+            reject(stream);
+            obs.net_rejected();
+        }
     }
 }
 

@@ -499,7 +499,10 @@ fn engine_ceiling_parks_arrivals_without_starving_service() {
         conn
     });
     std::thread::sleep(Duration::from_millis(200));
-    assert!(!queued.is_finished(), "engine-refused socket admitted early");
+    assert!(
+        !queued.is_finished(),
+        "engine-refused socket admitted early"
+    );
 
     // The admitted session must still be served while the refused socket
     // waits — a livelocked reactor would never answer this ping.
@@ -635,6 +638,206 @@ fn greeting_and_hello_wire_format() {
     line.clear();
     assert_eq!(reader.read_line(&mut line).unwrap(), 0, "expected EOF");
     handle.shutdown();
+}
+
+/// With zero sessions and an empty admission queue the reactor parks in
+/// a blocking `accept` instead of cycling its idle nap: the park counter
+/// rises once and then stays flat while idle, a client arriving at the
+/// parked reactor is served normally, and shutdown wakes it promptly.
+/// Regression test for the reactor busy-polling at `IDLE_SLEEP` forever
+/// with nothing to do.
+#[test]
+fn idle_reactor_parks_instead_of_polling() {
+    let db = accounts_db(IsolationLevel::ReadCommitted);
+    let handle = start(&db, ServerConfig::default());
+    let parks = |db: &Arc<Database>| db.metrics_report().counters.net_reactor_parks;
+
+    // No sessions yet: the reactor parks as soon as its first sweep
+    // finds nothing to do.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while parks(&db) == 0 {
+        assert!(Instant::now() < deadline, "reactor never parked");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let parked = parks(&db);
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(
+        parks(&db),
+        parked,
+        "a parked reactor must block, not cycle park/wake while idle"
+    );
+
+    // A client arriving at the parked reactor is admitted and served.
+    let mut remote = RemoteConn::connect(handle.addr()).unwrap();
+    remote.ping().unwrap();
+    drop(remote);
+
+    // Once its session is gone the reactor parks again...
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while parks(&db) <= parked {
+        assert!(Instant::now() < deadline, "reactor never re-parked");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // ...and shutdown completes promptly from the parked state.
+    let begun = Instant::now();
+    handle.shutdown();
+    assert!(
+        begun.elapsed() < Duration::from_secs(5),
+        "shutdown hung on a parked reactor"
+    );
+}
+
+/// A wire session that vanishes mid-transaction at a snapshot-pinning
+/// level (MySQL-RR, SI) must release its pinned snapshot through the
+/// normal rollback path — a leaked pin silently wedges version GC at
+/// that bound forever.
+#[test]
+fn wire_disconnect_mid_txn_releases_pin() {
+    for level in [
+        IsolationLevel::MySqlRepeatableRead,
+        IsolationLevel::SnapshotIsolation,
+    ] {
+        let db = accounts_db(level);
+        let handle = start(&db, ServerConfig::default());
+
+        let mut victim = RemoteConn::connect(handle.addr()).unwrap();
+        victim.set_isolation(level).unwrap();
+        victim.exec("BEGIN").unwrap();
+        victim
+            .exec("SELECT balance FROM accounts WHERE id = 1")
+            .unwrap();
+        assert_eq!(db.pinned_snapshots(), 1, "{level:?}: pin registered");
+
+        drop(victim); // vanish mid-transaction
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while db.pinned_snapshots() != 0 {
+            assert!(
+                Instant::now() < deadline,
+                "{level:?}: pin leaked: {} still registered",
+                db.pinned_snapshots()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        handle.shutdown();
+    }
+}
+
+/// The txn-timeout eviction path releases the evicted session's snapshot
+/// pin, same as a disconnect.
+#[test]
+fn txn_timeout_releases_pin() {
+    for level in [
+        IsolationLevel::MySqlRepeatableRead,
+        IsolationLevel::SnapshotIsolation,
+    ] {
+        let db = accounts_db(level);
+        let handle = start(
+            &db,
+            ServerConfig {
+                txn_timeout: Some(Duration::from_millis(200)),
+                ..ServerConfig::default()
+            },
+        );
+        let mut victim = RemoteConn::connect(handle.addr()).unwrap();
+        victim.set_isolation(level).unwrap();
+        victim.exec("BEGIN").unwrap();
+        victim
+            .exec("SELECT balance FROM accounts WHERE id = 1")
+            .unwrap();
+        assert_eq!(db.pinned_snapshots(), 1, "{level:?}");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while db.pinned_snapshots() != 0 {
+            assert!(
+                Instant::now() < deadline,
+                "{level:?}: pin leaked on txn timeout"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        handle.shutdown();
+    }
+}
+
+/// Server shutdown with a pinned-snapshot transaction still open drops
+/// the session through the normal rollback path and releases the pin.
+#[test]
+fn shutdown_releases_pin() {
+    for level in [
+        IsolationLevel::MySqlRepeatableRead,
+        IsolationLevel::SnapshotIsolation,
+    ] {
+        let db = accounts_db(level);
+        let handle = start(&db, ServerConfig::default());
+        let mut victim = RemoteConn::connect(handle.addr()).unwrap();
+        victim.set_isolation(level).unwrap();
+        victim.exec("BEGIN").unwrap();
+        victim
+            .exec("SELECT balance FROM accounts WHERE id = 1")
+            .unwrap();
+        assert_eq!(db.pinned_snapshots(), 1, "{level:?}");
+        handle.shutdown();
+        assert_eq!(
+            db.pinned_snapshots(),
+            0,
+            "{level:?}: pin leaked on shutdown"
+        );
+    }
+}
+
+/// The hard case: the socket vanishes while its frame is parked at a
+/// worker on a lock wait. The dead session must still be finalized when
+/// the worker returns the connection, releasing the snapshot pin.
+#[test]
+fn disconnect_with_frame_in_flight_releases_pin() {
+    for level in [
+        IsolationLevel::MySqlRepeatableRead,
+        IsolationLevel::SnapshotIsolation,
+    ] {
+        let db = accounts_db(level);
+        db.set_lock_wait_timeout(Duration::from_secs(2));
+        let handle = start(&db, ServerConfig::default());
+
+        // Holder parks a row lock so the victim's frame blocks at a worker.
+        let mut holder = db.connect();
+        holder.execute("BEGIN").unwrap();
+        holder
+            .execute("UPDATE accounts SET balance = 0 WHERE id = 1")
+            .unwrap();
+
+        let mut victim = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(victim.try_clone().unwrap());
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting).unwrap();
+        let code = match level {
+            IsolationLevel::MySqlRepeatableRead => "MYSQL-RR",
+            _ => "SI",
+        };
+        victim
+            .write_all(
+                format!(
+                    "HELLO {code}\nQ BEGIN\nQ SELECT balance FROM accounts WHERE id = 2\n\
+                     Q UPDATE accounts SET balance = 9 WHERE id = 1\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(300)); // frame reaches the worker and parks
+        drop(victim);
+        drop(reader);
+        holder.execute("COMMIT").unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while db.pinned_snapshots() != 0 {
+            assert!(
+                Instant::now() < deadline,
+                "{level:?}: pin leaked with frame in flight: {}",
+                db.pinned_snapshots()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        handle.shutdown();
+    }
 }
 
 /// Binary garbage (not UTF-8) is refused without killing the server.

@@ -102,6 +102,7 @@ struct Shard {
     net_disconnect_aborts: AtomicU64,
     net_frames: AtomicU64,
     net_protocol_errors: AtomicU64,
+    net_reactor_parks: AtomicU64,
 
     commits_by_level: [AtomicU64; MAX_LEVELS],
     aborts_by_level: [AtomicU64; MAX_LEVELS],
@@ -648,6 +649,20 @@ impl Obs {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The reactor parked in a blocking `accept`: with no sessions and no
+    /// queued sockets the only possible event is a new arrival, so it
+    /// stops polling entirely. Fired once per park, just before blocking;
+    /// the reactor is engine-wide, so the counter lands on shard 0.
+    #[inline]
+    pub fn net_reactor_parked(&self) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.shard(0)
+            .net_reactor_parks
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The server answered a malformed frame with `ERR PROTOCOL`.
     #[inline]
     pub fn net_protocol_error(&self, session: u64) {
@@ -716,6 +731,7 @@ impl Obs {
             c.net_disconnect_aborts += shard.net_disconnect_aborts.load(Ordering::Relaxed);
             c.net_frames += shard.net_frames.load(Ordering::Relaxed);
             c.net_protocol_errors += shard.net_protocol_errors.load(Ordering::Relaxed);
+            c.net_reactor_parks += shard.net_reactor_parks.load(Ordering::Relaxed);
             for i in 0..MAX_LEVELS {
                 commits[i] += shard.commits_by_level[i].load(Ordering::Relaxed);
                 aborts[i] += shard.aborts_by_level[i].load(Ordering::Relaxed);
@@ -788,6 +804,7 @@ mod tests {
         obs.net_queued(4);
         obs.net_frame(1);
         obs.net_protocol_error(1);
+        obs.net_reactor_parked();
         let report = obs.report();
         assert!(!report.enabled);
         assert_eq!(report.net_sessions, 0);
@@ -914,6 +931,8 @@ mod tests {
         obs.net_protocol_error(2);
         obs.net_queued(3);
         obs.net_rejected();
+        obs.net_reactor_parked();
+        obs.net_reactor_parked();
         let mid = obs.report();
         assert_eq!(mid.net_sessions, 2);
         obs.net_session_closed(1, false);
@@ -927,12 +946,14 @@ mod tests {
         assert_eq!(report.counters.net_queued, 1);
         assert_eq!(report.counters.net_rejected, 1);
         assert_eq!(report.counters.net_disconnect_aborts, 1);
+        assert_eq!(report.counters.net_reactor_parks, 2);
         assert_eq!(report.net_queue_depth.count(), 1);
         assert_eq!(report.net_queue_depth.max_nanos, 3, "depth of 3 waiting");
         let json = report.to_json();
         assert!(json.contains("\"net_sessions_peak\": 2"));
         assert!(json.contains("\"net_queue_depth\":"));
         assert!(json.contains("\"net_disconnect_aborts\": 1"));
+        assert!(json.contains("\"net_reactor_parks\": 2"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

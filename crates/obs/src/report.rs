@@ -69,6 +69,9 @@ pub struct Counters {
     /// Malformed frames / protocol violations the server answered with
     /// `ERR PROTOCOL`.
     pub net_protocol_errors: u64,
+    /// Times the reactor parked in a blocking `accept` because it had no
+    /// sessions and no queued sockets (idle without polling).
+    pub net_reactor_parks: u64,
 }
 
 /// Commit/abort counts for one isolation level.
@@ -199,7 +202,7 @@ impl MetricsReport {
              \"wal_fsyncs\": {}, \"wal_bytes\": {}, \"gc_runs\": {}, \
              \"gc_reclaimed\": {}, \"net_accepted\": {}, \"net_rejected\": {}, \
              \"net_queued\": {}, \"net_disconnect_aborts\": {}, \"net_frames\": {}, \
-             \"net_protocol_errors\": {}}},\n",
+             \"net_protocol_errors\": {}, \"net_reactor_parks\": {}}},\n",
             c.lock_waits,
             c.lock_timeouts,
             c.deadlocks,
@@ -225,6 +228,7 @@ impl MetricsReport {
             c.net_disconnect_aborts,
             c.net_frames,
             c.net_protocol_errors,
+            c.net_reactor_parks,
         ));
         out.push_str("  \"by_level\": [");
         for (i, l) in self.by_level.iter().enumerate() {

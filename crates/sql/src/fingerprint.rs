@@ -189,7 +189,13 @@ fn placeholder(lit: &Literal) -> Option<&'static str> {
 }
 
 /// 64-bit FNV-1a (no external dependencies, stable across platforms).
-fn fnv1a(bytes: &[u8]) -> u64 {
+///
+/// Public because statement fingerprints must stay comparable across the
+/// concrete and symbolized sides of an analysis: template text produced by
+/// [`statement_template`] does not round-trip through the parser, so callers
+/// matching statements by shape hash the raw text with this same function
+/// when re-parsing fails.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

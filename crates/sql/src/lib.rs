@@ -40,7 +40,7 @@ pub mod token;
 
 pub use ast::{Expr, Literal, Statement};
 pub use error::ParseError;
-pub use fingerprint::{statement_template, StatementTemplate};
+pub use fingerprint::{fnv1a, statement_template, StatementTemplate};
 pub use parser::{parse_script, parse_statement};
 pub use rwset::{statement_accesses, AccessKind, TableAccess, EXISTS_COLUMN};
 pub use schema::{ColumnDef, ColumnType, Schema, TableSchema};

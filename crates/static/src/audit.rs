@@ -3,7 +3,8 @@
 
 use acidrain_apps::endpoints::{all_surfaces, AppSurface};
 use acidrain_core::{
-    lift_trace, Analyzer, AnomalyPattern, AnomalyScope, Finding, RefinementConfig,
+    lift_trace, statement_fingerprint, Analyzer, AnomalyPattern, AnomalyScope, Finding,
+    RefinementConfig,
 };
 use acidrain_db::IsolationLevel;
 
@@ -38,6 +39,11 @@ pub struct SeedRef {
     pub position: usize,
     /// The statement template.
     pub template: String,
+    /// The template's shape fingerprint
+    /// ([`acidrain_core::statement_fingerprint`]) — invariant under
+    /// symbolization, so consumers can match this seed back to concrete
+    /// statements without comparing template text.
+    pub fingerprint: u64,
 }
 
 /// One anomaly the static audit admits at a given level.
@@ -137,11 +143,12 @@ pub fn refinement_for(surface: &AppSurface, level: IsolationLevel) -> Refinement
     config
 }
 
-fn static_finding(analyzer: &Analyzer, finding: &Finding) -> StaticFinding {
+pub(crate) fn static_finding(analyzer: &Analyzer, finding: &Finding) -> StaticFinding {
     let history = analyzer.history();
     let seed_ref = |node: usize| SeedRef {
         position: history.locs[node].position,
         template: history.op(node).sql.clone(),
+        fingerprint: statement_fingerprint(&history.op(node).sql),
     };
     let witness = analyzer
         .witness_trace(finding)

@@ -44,12 +44,17 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod replay;
 pub mod report;
 pub mod template;
 
 pub use audit::{
     audit_all, audit_surface, refinement_for, AppAudit, AuditError, LevelAudit, ScenarioAudit,
     SeedRef, StaticAuditReport, StaticFinding,
+};
+pub use replay::{
+    plan_scenario, render_replay_json, render_replay_text, AppReplay, FindingPlan, LevelReplay,
+    ReplayOutcome, ReplayPlan, ReplayReport, ScenarioPlans, ScenarioReplay, SessionScript, Verdict,
 };
 pub use report::{render_json, render_text};
 pub use template::{endpoint_templates, symbolize_trace, EndpointTemplates};

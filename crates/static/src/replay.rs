@@ -1,0 +1,549 @@
+//! Witness replay planning: lower each static finding's Lemma-4 schedule
+//! into a concrete scripted interleaving over the scenario's recorded log,
+//! plus the verdict/report types the harness driver fills in.
+//!
+//! The static audit reasons over *symbolized* traces (literals replaced by
+//! typed placeholders), so its witness schedules are not directly
+//! executable. This module re-binds them: the scenario is recorded again
+//! at the target level, lifted **without** symbolization, and analyzed
+//! under the same refinement config. Because symbolization preserves the
+//! finding set (pinned by `tests/static_superset.rs`), each symbolized
+//! finding has a concrete twin — located by [`SeedKey`], whose statement
+//! fingerprints are invariant under symbolization — whose operations carry
+//! `log_seq` provenance back into the recorded log. The log lines *are*
+//! the concrete values: replaying them verbatim is the re-binding.
+//!
+//! A [`ReplayPlan`] is the canned-script form of the Lemma-4 schedule:
+//! one session per witness instance (the seed plus one per hop), each
+//! session replaying its API's recorded statements, with the seed session
+//! split at o₁ (`seed_prefix`). The driver executes the seed prefix, then
+//! every hop session in full, then the seed remainder — Figure 5's
+//! interleaving — and classifies the outcome as confirmed, blocked, or
+//! inconclusive ([`Verdict`]).
+
+use acidrain_apps::endpoints::{AppSurface, Scenario};
+use acidrain_core::{
+    find_by_seed, lift_trace, AbstractHistory, Analyzer, AnomalyScope, Finding, SeedKey,
+};
+use acidrain_db::{IsolationLevel, LogEntry};
+
+use crate::audit::{refinement_for, static_finding, AuditError, StaticFinding};
+use crate::report::{json_escape, level_abbrev};
+use crate::template::symbolize_trace;
+
+/// One session of a replay plan: an API instance's canned statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionScript {
+    /// API endpoint this session replays.
+    pub api: String,
+    /// The recorded statements, in log order (including `BEGIN`/`COMMIT`).
+    pub statements: Vec<String>,
+}
+
+/// A static finding lowered to an executable interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayPlan {
+    /// Statements replayed on a plain connection before the concurrent
+    /// sessions start: everything the recording executed before the seed
+    /// API's first statement (the state the seed instance saw).
+    pub setup: Vec<String>,
+    /// One script per witness instance; index 0 is the seed instance,
+    /// the rest follow the witness hops in cycle order.
+    pub sessions: Vec<SessionScript>,
+    /// Number of seed-session statements to execute before the hop
+    /// sessions run (the script prefix up to and including o₁).
+    pub seed_prefix: usize,
+}
+
+/// One static finding together with its plan (or the reason none exists).
+#[derive(Debug, Clone)]
+pub struct FindingPlan {
+    /// The finding exactly as the symbolized audit reports it.
+    pub finding: StaticFinding,
+    /// The executable plan, or why the schedule is not realizable.
+    pub plan: Result<ReplayPlan, String>,
+}
+
+/// All plans for one scenario at one isolation level.
+#[derive(Debug, Clone)]
+pub struct ScenarioPlans {
+    /// Scenario name.
+    pub scenario: String,
+    /// One entry per symbolized finding, in detector order.
+    pub plans: Vec<FindingPlan>,
+}
+
+/// Compile every finding of `scenario` at `level` into a replay plan.
+///
+/// Recording and analysis mirror `audit_surface` exactly (same solo pass,
+/// same refinement config), so the finding list here is byte-identical to
+/// the static report's.
+pub fn plan_scenario(
+    surface: &AppSurface,
+    scenario: &Scenario,
+    level: IsolationLevel,
+) -> Result<ScenarioPlans, AuditError> {
+    let log = scenario
+        .record(level)
+        .map_err(|e| AuditError::Record(format!("{}/{}: {e}", surface.app, scenario.name)))?;
+    let concrete = lift_trace(&log, &surface.schema)
+        .map_err(|e| AuditError::Lift(format!("{}/{}: {e}", surface.app, scenario.name)))?;
+    let mut symbolized = concrete.clone();
+    symbolize_trace(&mut symbolized)
+        .map_err(|e| AuditError::Lift(format!("{}/{}: {e}", surface.app, scenario.name)))?;
+
+    let config = refinement_for(surface, level);
+    let concrete_an = Analyzer::from_trace(concrete);
+    let symbolized_an = Analyzer::from_trace(symbolized);
+    let concrete_findings = concrete_an.analyze(&config).findings;
+    let symbolized_findings = symbolized_an.analyze(&config).findings;
+
+    let scripts = session_scripts(&log);
+    let plans = symbolized_findings
+        .iter()
+        .map(|f| FindingPlan {
+            finding: static_finding(&symbolized_an, f),
+            plan: build_plan(
+                concrete_an.history(),
+                &concrete_findings,
+                &SeedKey::of(symbolized_an.history(), &f.witness),
+                &log,
+                &scripts,
+            ),
+        })
+        .collect();
+    Ok(ScenarioPlans {
+        scenario: scenario.name.to_string(),
+        plans,
+    })
+}
+
+/// The recorded log grouped into per-API scripts, in first-seen order.
+/// Untagged entries belong to no script (they can only reach a plan via
+/// `setup`).
+fn session_scripts(log: &[LogEntry]) -> Vec<(String, Vec<&LogEntry>)> {
+    let mut scripts: Vec<(String, Vec<&LogEntry>)> = Vec::new();
+    for entry in log {
+        let Some(tag) = &entry.api else { continue };
+        match scripts.iter_mut().find(|(name, _)| *name == tag.name) {
+            Some((_, entries)) => entries.push(entry),
+            None => scripts.push((tag.name.clone(), vec![entry])),
+        }
+    }
+    scripts
+}
+
+fn build_plan(
+    history: &AbstractHistory,
+    findings: &[Finding],
+    key: &SeedKey,
+    log: &[LogEntry],
+    scripts: &[(String, Vec<&LogEntry>)],
+) -> Result<ReplayPlan, String> {
+    let finding = find_by_seed(history, findings, key)
+        .ok_or("symbolized seed has no concrete counterpart".to_string())?;
+    let witness = &finding.witness;
+    let api_name = |node: usize| history.trace.api_calls[history.locs[node].api].name.clone();
+
+    let seed_api = api_name(witness.o1);
+    let script_for = |api: &str| {
+        scripts
+            .iter()
+            .find(|(name, _)| name == api)
+            .map(|(_, entries)| entries)
+            .ok_or(format!("API {api} was not recorded"))
+    };
+    let seed_script = script_for(&seed_api)?;
+    let o1_seq = history
+        .op(witness.o1)
+        .log_seq
+        .ok_or("seed operation has no log provenance".to_string())?;
+    let o1_index = seed_script
+        .iter()
+        .position(|e| e.seq == o1_seq)
+        .ok_or("seed operation's log line is outside its API script".to_string())?;
+
+    let first_seq = seed_script[0].seq;
+    let setup = log
+        .iter()
+        .filter(|e| e.seq < first_seq)
+        .map(|e| e.sql.clone())
+        .collect();
+
+    let session = |api: &str| -> Result<SessionScript, String> {
+        Ok(SessionScript {
+            api: api.to_string(),
+            statements: script_for(api)?.iter().map(|e| e.sql.clone()).collect(),
+        })
+    };
+    let mut sessions = vec![session(&seed_api)?];
+    for hop in &witness.hops {
+        sessions.push(session(&api_name(hop.entered_at))?);
+    }
+    Ok(ReplayPlan {
+        setup,
+        sessions,
+        seed_prefix: o1_index + 1,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Verdicts and the replay report tree (filled in by the harness driver).
+// ---------------------------------------------------------------------------
+
+/// How one finding's replay ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The interleaving executed and its outcome differs from every serial
+    /// execution of the same scripts: the anomaly is real at this level.
+    Confirmed,
+    /// The engine refused the interleaving (lock wait forced a reorder,
+    /// or a session aborted — deadlock victim, first-committer-wins).
+    /// *Not* a refutation: the abstract witness quantifies over all
+    /// expansions, and this was one of them.
+    Blocked(String),
+    /// The schedule could not be realized or executed cleanly but
+    /// serially-equivalently; the reason says which.
+    Inconclusive(String),
+}
+
+impl Verdict {
+    /// Stable lowercase label (report/golden material).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Confirmed => "confirmed",
+            Verdict::Blocked(_) => "blocked",
+            Verdict::Inconclusive(_) => "inconclusive",
+        }
+    }
+
+    /// The reason string, when the verdict carries one.
+    pub fn detail(&self) -> Option<&str> {
+        match self {
+            Verdict::Confirmed => None,
+            Verdict::Blocked(r) | Verdict::Inconclusive(r) => Some(r),
+        }
+    }
+}
+
+/// One finding's replay outcome.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The finding as the static audit reports it.
+    pub finding: StaticFinding,
+    /// The driver's verdict.
+    pub verdict: Verdict,
+}
+
+/// Replay results for one scenario at one level.
+#[derive(Debug, Clone)]
+pub struct ScenarioReplay {
+    /// Scenario name.
+    pub scenario: String,
+    /// One outcome per static finding, in detector order.
+    pub outcomes: Vec<ReplayOutcome>,
+}
+
+/// Replay results for one application at one level.
+#[derive(Debug, Clone)]
+pub struct LevelReplay {
+    /// The isolation level the engine ran at.
+    pub level: IsolationLevel,
+    /// Per-scenario outcomes.
+    pub scenarios: Vec<ScenarioReplay>,
+}
+
+impl LevelReplay {
+    /// Outcomes whose verdict matches `label` ("confirmed", "blocked",
+    /// "inconclusive").
+    pub fn count(&self, label: &str) -> usize {
+        self.scenarios
+            .iter()
+            .flat_map(|s| &s.outcomes)
+            .filter(|o| o.verdict.label() == label)
+            .count()
+    }
+}
+
+/// Replay results for one application across the levels that were run.
+#[derive(Debug, Clone)]
+pub struct AppReplay {
+    /// Application name.
+    pub app: String,
+    /// One entry per replayed level, in [`IsolationLevel::ALL`] order.
+    pub levels: Vec<LevelReplay>,
+}
+
+impl AppReplay {
+    /// The replay at `level`, if present.
+    pub fn level(&self, level: IsolationLevel) -> Option<&LevelReplay> {
+        self.levels.iter().find(|l| l.level == level)
+    }
+}
+
+/// The full replay report.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// One entry per replayed application surface.
+    pub apps: Vec<AppReplay>,
+}
+
+impl ReplayReport {
+    /// Total outcomes with verdict `label` across the whole report.
+    pub fn count(&self, label: &str) -> usize {
+        self.apps
+            .iter()
+            .flat_map(|a| &a.levels)
+            .map(|l| l.count(label))
+            .sum()
+    }
+
+    /// Level-based anomalies confirmed at Serializable — the engine-health
+    /// gate; anything non-zero means Serializable failed to serialize.
+    pub fn serializable_level_based_confirmed(&self) -> Vec<&ReplayOutcome> {
+        self.apps
+            .iter()
+            .filter_map(|a| a.level(IsolationLevel::Serializable))
+            .flat_map(|l| &l.scenarios)
+            .flat_map(|s| &s.outcomes)
+            .filter(|o| {
+                o.verdict == Verdict::Confirmed && o.finding.scope == AnomalyScope::LevelBased
+            })
+            .collect()
+    }
+}
+
+/// Render the replay report as a text table plus per-finding verdict
+/// lines. Deterministic — golden-file material, like the audit report.
+pub fn render_replay_text(report: &ReplayReport) -> String {
+    let mut out = String::from("witness replay (static findings executed against the engine)\n\n");
+    let app_width = report
+        .apps
+        .iter()
+        .map(|a| a.app.len())
+        .chain(std::iter::once("app".len()))
+        .max()
+        .unwrap_or(3);
+    out.push_str(&format!("{:<app_width$}", "app"));
+    for level in IsolationLevel::ALL {
+        out.push_str(&format!("  {:>12}", level_abbrev(level)));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(app_width + 6 * 14));
+    out.push('\n');
+    for app in &report.apps {
+        out.push_str(&format!("{:<app_width$}", app.app));
+        for level in IsolationLevel::ALL {
+            match app.level(level) {
+                Some(l) => {
+                    let (c, b, i) = (
+                        l.count("confirmed"),
+                        l.count("blocked"),
+                        l.count("inconclusive"),
+                    );
+                    if c + b + i == 0 {
+                        out.push_str(&format!("  {:>12}", "-"));
+                    } else {
+                        out.push_str(&format!("  {:>12}", format!("{c}c/{b}b/{i}i")));
+                    }
+                }
+                None => out.push_str(&format!("  {:>12}", ".")),
+            }
+        }
+        out.push('\n');
+    }
+    for app in &report.apps {
+        for level in &app.levels {
+            for scenario in &level.scenarios {
+                if scenario.outcomes.is_empty() {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "\n{} / {} @ {}\n",
+                    app.app,
+                    scenario.scenario,
+                    level.level.name()
+                ));
+                for o in &scenario.outcomes {
+                    let detail = o
+                        .verdict
+                        .detail()
+                        .map(|d| format!(" ({d})"))
+                        .unwrap_or_default();
+                    out.push_str(&format!(
+                        "  [{}] {} {} API {} on {} ({} instances, seed #{}/#{}){}\n",
+                        o.verdict.label(),
+                        o.finding.scope,
+                        o.finding.pattern,
+                        o.finding.api,
+                        o.finding.table,
+                        o.finding.instances,
+                        o.finding.seed.0.position,
+                        o.finding.seed.1.position,
+                        detail,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render the replay report as JSON (deterministic, schema-stable).
+pub fn render_replay_json(report: &ReplayReport) -> String {
+    let mut out = String::from("{\n  \"apps\": [\n");
+    for (ai, app) in report.apps.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"levels\": [\n",
+            json_escape(&app.app)
+        ));
+        for (li, level) in app.levels.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"level\": \"{}\", \"scenarios\": [\n",
+                json_escape(level.level.name())
+            ));
+            for (si, scenario) in level.scenarios.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"scenario\": \"{}\", \"outcomes\": [\n",
+                    json_escape(&scenario.scenario)
+                ));
+                for (oi, o) in scenario.outcomes.iter().enumerate() {
+                    let detail = o
+                        .verdict
+                        .detail()
+                        .map(|d| format!(", \"detail\": \"{}\"", json_escape(d)))
+                        .unwrap_or_default();
+                    out.push_str(&format!(
+                        "          {{\"verdict\": \"{}\"{detail}, \"api\": \"{}\", \
+                         \"scope\": \"{}\", \"pattern\": \"{}\", \"table\": \"{}\", \
+                         \"instances\": {}, \"seed\": [{}, {}]}}",
+                        o.verdict.label(),
+                        json_escape(&o.finding.api),
+                        o.finding.scope,
+                        o.finding.pattern,
+                        json_escape(&o.finding.table),
+                        o.finding.instances,
+                        o.finding.seed.0.position,
+                        o.finding.seed.1.position,
+                    ));
+                    out.push_str(if oi + 1 < scenario.outcomes.len() {
+                        ",\n"
+                    } else {
+                        "\n"
+                    });
+                }
+                out.push_str("        ]}");
+                out.push_str(if si + 1 < level.scenarios.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("      ]}");
+            out.push_str(if li + 1 < app.levels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("    ]}");
+        out.push_str(if ai + 1 < report.apps.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acidrain_apps::endpoints::{didactic_surfaces, flexcoin_surface};
+
+    fn surface_named(name: &str) -> AppSurface {
+        didactic_surfaces()
+            .into_iter()
+            .find(|s| s.app == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn bank_plan_splits_the_seed_at_o1() {
+        let surface = surface_named("bank-figure1a");
+        let plans = plan_scenario(
+            &surface,
+            &surface.scenarios[0],
+            IsolationLevel::ReadCommitted,
+        )
+        .unwrap();
+        assert!(!plans.plans.is_empty());
+        for fp in &plans.plans {
+            let plan = fp.plan.as_ref().expect("bank plan must be realizable");
+            assert_eq!(plan.sessions.len(), fp.finding.instances);
+            assert_eq!(plan.sessions[0].api, fp.finding.api);
+            assert!(plan.seed_prefix >= 1);
+            assert!(plan.seed_prefix <= plan.sessions[0].statements.len());
+            // The statements are the concrete recorded ones, not templates.
+            assert!(
+                plan.sessions[0]
+                    .statements
+                    .iter()
+                    .all(|s| !s.contains(":int")),
+                "{plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_flexcoin_finding_gets_a_realizable_plan() {
+        let surface = flexcoin_surface();
+        for level in IsolationLevel::ALL {
+            let plans = plan_scenario(&surface, &surface.scenarios[0], level).unwrap();
+            for fp in &plans.plans {
+                assert!(
+                    fp.plan.is_ok(),
+                    "{}/{level:?}: {:?}",
+                    fp.finding.api,
+                    fp.plan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plans_line_up_with_the_audit_report() {
+        // plan_scenario's finding list must be byte-identical to the
+        // audit's — same recording, same symbolization, same config.
+        let surface = surface_named("payroll");
+        let audit = crate::audit::audit_surface(&surface).unwrap();
+        for level in IsolationLevel::ALL {
+            let plans = plan_scenario(&surface, &surface.scenarios[0], level).unwrap();
+            let audited = &audit.level(level).unwrap().scenarios[0];
+            assert_eq!(plans.plans.len(), audited.findings.len());
+            for (fp, f) in plans.plans.iter().zip(&audited.findings) {
+                assert_eq!(&fp.finding, f);
+            }
+        }
+    }
+
+    #[test]
+    fn renderings_are_deterministic() {
+        let report = ReplayReport {
+            apps: vec![AppReplay {
+                app: "x".into(),
+                levels: vec![LevelReplay {
+                    level: IsolationLevel::ReadCommitted,
+                    scenarios: vec![ScenarioReplay {
+                        scenario: "s".into(),
+                        outcomes: Vec::new(),
+                    }],
+                }],
+            }],
+        };
+        assert_eq!(render_replay_text(&report), render_replay_text(&report));
+        let json = render_replay_json(&report);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -9,7 +9,7 @@ use acidrain_db::IsolationLevel;
 use crate::audit::{LevelAudit, StaticAuditReport, StaticFinding};
 
 /// Short column header per level, in [`IsolationLevel::ALL`] order.
-fn level_abbrev(level: IsolationLevel) -> &'static str {
+pub(crate) fn level_abbrev(level: IsolationLevel) -> &'static str {
     match level {
         IsolationLevel::ReadUncommitted => "RU",
         IsolationLevel::ReadCommitted => "RC",
@@ -20,7 +20,7 @@ fn level_abbrev(level: IsolationLevel) -> &'static str {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -40,8 +40,8 @@ fn finding_json(f: &StaticFinding, indent: &str) -> String {
     format!(
         "{indent}{{\"api\": \"{}\", \"scope\": \"{}\", \"pattern\": \"{}\", \
          \"table\": \"{}\", \"instances\": {}, \
-         \"seed\": [{{\"position\": {}, \"template\": \"{}\"}}, \
-         {{\"position\": {}, \"template\": \"{}\"}}], \
+         \"seed\": [{{\"position\": {}, \"fingerprint\": {}, \"template\": \"{}\"}}, \
+         {{\"position\": {}, \"fingerprint\": {}, \"template\": \"{}\"}}], \
          \"witness\": [{}]}}",
         json_escape(&f.api),
         f.scope,
@@ -49,8 +49,10 @@ fn finding_json(f: &StaticFinding, indent: &str) -> String {
         json_escape(&f.table),
         f.instances,
         f.seed.0.position,
+        f.seed.0.fingerprint,
         json_escape(&f.seed.0.template),
         f.seed.1.position,
+        f.seed.1.fingerprint,
         json_escape(&f.seed.1.template),
         f.witness
             .iter()
