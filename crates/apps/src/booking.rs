@@ -1,0 +1,185 @@
+//! Non-commerce applications beyond the paper's corpus: a banking
+//! transfer service and a ticketing (seat-reservation) app.
+//!
+//! Both exist to give the detectors and the repair adviser scenarios the
+//! eCommerce corpus does not exercise (ROADMAP "fresh ground"):
+//!
+//! * [`transfer`] is **transaction-scoped but lock-free** — its
+//!   read-check-write races are purely *level-based*, so the adviser's
+//!   cheapest fixes (`SELECT ... FOR UPDATE` promotion, minimal isolation
+//!   promotion) apply directly, no re-scoping needed.
+//! * [`reserve`] is **unscoped** — the classic double-booking anomaly is
+//!   *scope-based*, so no isolation level removes it and the adviser must
+//!   reach for transaction scoping first (paper §4.2.7).
+
+use std::sync::Arc;
+
+use acidrain_db::{Database, IsolationLevel, Value};
+use acidrain_sql::schema::{ColumnDef, ColumnType, Schema, TableSchema};
+
+use crate::framework::{AppError, AppResult, SqlConn};
+
+// ---------------------------------------------------------------------------
+// Banking transfer: scoped endpoints, plain reads.
+
+/// Schema for the transfer bank: one `accounts` table keyed by `id`.
+pub fn transfer_schema() -> Schema {
+    Schema::new().with_table(TableSchema::new(
+        "accounts",
+        vec![
+            ColumnDef::new("id", ColumnType::Int).unique(),
+            ColumnDef::new("balance", ColumnType::Int),
+        ],
+    ))
+}
+
+/// Fresh transfer bank with two accounts holding `opening` each.
+pub fn make_transfer_bank(isolation: IsolationLevel, opening: i64) -> Arc<Database> {
+    let db = Database::new(transfer_schema(), isolation);
+    db.seed(
+        "accounts",
+        vec![
+            vec![Value::Int(1), Value::Int(opening)],
+            vec![Value::Int(2), Value::Int(opening)],
+        ],
+    )
+    .expect("seed accounts");
+    db
+}
+
+/// Move `amount` from `from` to `to` if the balance covers it.
+///
+/// The endpoint is correctly scoped (one `BEGIN`/`COMMIT` around the
+/// read-check-write) but reads the balance with a plain `SELECT`, so two
+/// concurrent transfers from the same account can both pass the check at
+/// weak isolation — a level-based lost update.
+pub fn transfer(conn: &mut dyn SqlConn, from: i64, to: i64, amount: i64) -> AppResult<()> {
+    conn.exec("BEGIN")?;
+    let balance = conn
+        .exec(&format!("SELECT balance FROM accounts WHERE id = {from}"))?
+        .scalar_i64()
+        .unwrap_or(0);
+    if balance < amount {
+        conn.exec("ROLLBACK")?;
+        return Err(AppError::Rejected("insufficient funds".into()));
+    }
+    conn.exec(&format!(
+        "UPDATE accounts SET balance = {} WHERE id = {from}",
+        balance - amount
+    ))?;
+    conn.exec(&format!(
+        "UPDATE accounts SET balance = balance + {amount} WHERE id = {to}"
+    ))?;
+    conn.exec("COMMIT")?;
+    Ok(())
+}
+
+/// Credit `amount` to `account` — a blind, commuting write, scoped like
+/// [`transfer`].
+pub fn deposit(conn: &mut dyn SqlConn, account: i64, amount: i64) -> AppResult<()> {
+    conn.exec("BEGIN")?;
+    conn.exec(&format!(
+        "UPDATE accounts SET balance = balance + {amount} WHERE id = {account}"
+    ))?;
+    conn.exec("COMMIT")?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Ticketing: unscoped seat reservation.
+
+/// Schema for the ticketing app: a `seats` table with a `taken` flag and
+/// a `bookings` ledger.
+pub fn ticketing_schema() -> Schema {
+    Schema::new()
+        .with_table(TableSchema::new(
+            "seats",
+            vec![
+                ColumnDef::new("seat", ColumnType::Int).unique(),
+                ColumnDef::new("taken", ColumnType::Int),
+            ],
+        ))
+        .with_table(TableSchema::new(
+            "bookings",
+            vec![
+                ColumnDef::new("id", ColumnType::Int).auto_increment(),
+                ColumnDef::new("seat", ColumnType::Int),
+            ],
+        ))
+}
+
+/// Fresh ticketing store with `seats` free seats.
+pub fn make_ticketing(isolation: IsolationLevel, seats: i64) -> Arc<Database> {
+    let db = Database::new(ticketing_schema(), isolation);
+    db.seed(
+        "seats",
+        (1..=seats)
+            .map(|s| vec![Value::Int(s), Value::Int(0)])
+            .collect(),
+    )
+    .expect("seed seats");
+    db
+}
+
+/// Reserve `seat` if it is free.
+///
+/// No transaction wraps the check-mark-record sequence, so two concurrent
+/// reservations of the same seat can both observe it free — the
+/// double-booking anomaly is scope-based and survives every isolation
+/// level until the endpoint is re-scoped.
+pub fn reserve(conn: &mut dyn SqlConn, seat: i64) -> AppResult<i64> {
+    let taken = conn
+        .exec(&format!("SELECT taken FROM seats WHERE seat = {seat}"))?
+        .scalar_i64()
+        .unwrap_or(1);
+    if taken != 0 {
+        return Err(AppError::Rejected("seat already taken".into()));
+    }
+    conn.exec(&format!("UPDATE seats SET taken = 1 WHERE seat = {seat}"))?;
+    let booking = conn
+        .exec(&format!("INSERT INTO bookings (seat) VALUES ({seat})"))?
+        .last_insert_id()
+        .expect("booking id");
+    Ok(booking)
+}
+
+/// Release `seat` and drop its booking rows.
+pub fn cancel(conn: &mut dyn SqlConn, seat: i64) -> AppResult<()> {
+    conn.exec(&format!("UPDATE seats SET taken = 0 WHERE seat = {seat}"))?;
+    conn.exec(&format!("DELETE FROM bookings WHERE seat = {seat}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_serially_correct() {
+        let db = make_transfer_bank(IsolationLevel::ReadCommitted, 100);
+        let mut conn = db.connect();
+        transfer(&mut conn, 1, 2, 30).unwrap();
+        deposit(&mut conn, 1, 5).unwrap();
+        let rows = db.table_rows("accounts").unwrap();
+        assert_eq!(rows[0][1], Value::Int(75));
+        assert_eq!(rows[1][1], Value::Int(130));
+        let err = transfer(&mut conn, 1, 2, 999).unwrap_err();
+        assert!(matches!(err, AppError::Rejected(_)));
+        // The refused transfer rolled back: balances are untouched.
+        assert_eq!(db.table_rows("accounts").unwrap()[0][1], Value::Int(75));
+    }
+
+    #[test]
+    fn reserve_and_cancel_serially_correct() {
+        let db = make_ticketing(IsolationLevel::ReadCommitted, 3);
+        let mut conn = db.connect();
+        let booking = reserve(&mut conn, 2).unwrap();
+        assert_eq!(booking, 1);
+        let err = reserve(&mut conn, 2).unwrap_err();
+        assert!(matches!(err, AppError::Rejected(_)));
+        cancel(&mut conn, 2).unwrap();
+        assert!(db.table_rows("bookings").unwrap().is_empty());
+        reserve(&mut conn, 2).unwrap();
+        assert_eq!(db.table_rows("bookings").unwrap().len(), 1);
+    }
+}

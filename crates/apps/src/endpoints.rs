@@ -20,6 +20,7 @@ use std::sync::Arc;
 use acidrain_db::{Database, IsolationLevel, LogEntry};
 use acidrain_sql::schema::Schema;
 
+use crate::booking;
 use crate::corpus::all_apps;
 use crate::didactic::{self, Bank};
 use crate::flexcoin::Flexcoin;
@@ -299,11 +300,63 @@ pub fn flexcoin_surface() -> AppSurface {
     }
 }
 
-/// Every auditable surface: the corpus, the didactic apps, and Flexcoin.
+/// The non-commerce surfaces: a banking-transfer service and a
+/// ticketing (seat-reservation) app — fresh ground beyond the paper's
+/// corpus, exercising the repair adviser's two regimes (level-based
+/// fixes for the scoped-but-lock-free transfer, scope-first fixes for
+/// the unscoped reservation).
+pub fn booking_surfaces() -> Vec<AppSurface> {
+    vec![
+        AppSurface {
+            app: "bank-transfer".to_string(),
+            session_locked: false,
+            schema: booking::transfer_schema(),
+            scenarios: vec![Scenario::new(
+                "transfer",
+                &["transfer", "deposit"],
+                |iso| booking::make_transfer_bank(iso, 100),
+                |iso| {
+                    let db = booking::make_transfer_bank(iso, 100);
+                    let mut conn = db.connect();
+                    conn.set_api("transfer", 0);
+                    observed_request(&mut conn, |c| booking::transfer(c, 1, 2, 30))?;
+                    conn.set_api("deposit", 0);
+                    observed_request(&mut conn, |c| booking::deposit(c, 2, 10))?;
+                    drop(conn);
+                    Ok(db.log_entries())
+                },
+            )],
+        },
+        AppSurface {
+            app: "ticketing".to_string(),
+            session_locked: false,
+            schema: booking::ticketing_schema(),
+            scenarios: vec![Scenario::new(
+                "reserve",
+                &["reserve", "cancel"],
+                |iso| booking::make_ticketing(iso, 3),
+                |iso| {
+                    let db = booking::make_ticketing(iso, 3);
+                    let mut conn = db.connect();
+                    conn.set_api("reserve", 0);
+                    observed_request(&mut conn, |c| booking::reserve(c, 1))?;
+                    conn.set_api("cancel", 0);
+                    observed_request(&mut conn, |c| booking::cancel(c, 1))?;
+                    drop(conn);
+                    Ok(db.log_entries())
+                },
+            )],
+        },
+    ]
+}
+
+/// Every auditable surface: the corpus, the didactic apps, Flexcoin, and
+/// the non-commerce booking apps.
 pub fn all_surfaces() -> Vec<AppSurface> {
     let mut surfaces = corpus_surfaces();
     surfaces.extend(didactic_surfaces());
     surfaces.push(flexcoin_surface());
+    surfaces.extend(booking_surfaces());
     surfaces
 }
 
@@ -332,6 +385,19 @@ mod tests {
                 names.contains(&"cart"),
                 app.cart_support() == FeatureStatus::Supported
             );
+        }
+    }
+
+    #[test]
+    fn booking_surfaces_cover_fresh_ground() {
+        let surfaces = booking_surfaces();
+        assert_eq!(surfaces.len(), 2);
+        assert_eq!(surfaces[0].app, "bank-transfer");
+        assert_eq!(surfaces[1].app, "ticketing");
+        // Both ride along in the full registry.
+        let all = all_surfaces();
+        for name in ["bank-transfer", "ticketing"] {
+            assert!(all.iter().any(|s| s.app == name), "{name} missing");
         }
     }
 

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod booking;
 pub mod corpus;
 pub mod didactic;
 pub mod endpoints;
@@ -39,15 +40,17 @@ pub mod ruby;
 
 pub use corpus::{all_apps, expected_row, Cell, CorpusEntry, ExpectedRow, TABLE1, TABLE5};
 pub use endpoints::{
-    all_surfaces, corpus_surfaces, didactic_surfaces, flexcoin_surface, AppSurface, Scenario,
-    INVENTORY_QTY,
+    all_surfaces, booking_surfaces, corpus_surfaces, didactic_surfaces, flexcoin_surface,
+    AppSurface, Scenario, INVENTORY_QTY,
 };
 pub use framework::{
     observed_request, AppError, AppResult, CheckoutRequest, FeatureStatus, Language, ShopApp,
     SqlConn, StockModel,
 };
 pub use invariants::{check_cart, check_inventory, check_voucher, Violation};
-pub use repair::{can_repair, Repair, Repaired};
+pub use repair::{
+    can_repair, is_transaction_control_sql, uses_transaction_control, Repair, Repaired,
+};
 pub use retry::{RetryConfig, RetryConn, RetryPolicy, RetryStats};
 
 /// Convenient glob-import surface.

@@ -20,11 +20,32 @@
 
 use std::sync::Arc;
 
-use acidrain_db::{Database, IsolationLevel};
+use acidrain_db::{Database, IsolationLevel, LogEntry};
 
 use crate::framework::{
     AppResult, CheckoutRequest, FeatureStatus, Language, ShopApp, SqlConn, StockModel,
 };
+
+/// Whether a concrete SQL string is transaction control (`BEGIN`,
+/// `START TRANSACTION`, `COMMIT`, `ROLLBACK`, or a `SET autocommit`
+/// toggle).
+///
+/// This is the single source of truth for the "endpoint already uses
+/// transaction control" gate shared by [`can_repair`] and the static
+/// repair adviser's scoping candidates.
+pub fn is_transaction_control_sql(sql: &str) -> bool {
+    let sql = sql.trim().to_ascii_uppercase();
+    sql.starts_with("BEGIN")
+        || sql.starts_with("START TRANSACTION")
+        || sql.starts_with("COMMIT")
+        || sql.starts_with("ROLLBACK")
+        || sql.contains("AUTOCOMMIT")
+}
+
+/// Whether any entry in a recorded log issues transaction control.
+pub fn uses_transaction_control(entries: &[LogEntry]) -> bool {
+    entries.iter().any(|e| is_transaction_control_sql(&e.sql))
+}
 
 /// The repair strategy applied by [`Repaired`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,14 +109,7 @@ pub fn can_repair(app: &dyn ShopApp) -> bool {
     let _ = app.add_to_cart(&mut conn, 1, crate::framework::PEN, 1);
     let _ = app.checkout(&mut conn, 1, &CheckoutRequest::plain());
     drop(conn);
-    !db.log_entries().iter().any(|e| {
-        let sql = e.sql.to_ascii_uppercase();
-        sql.starts_with("BEGIN")
-            || sql.starts_with("START TRANSACTION")
-            || sql.starts_with("COMMIT")
-            || sql.starts_with("ROLLBACK")
-            || sql.contains("AUTOCOMMIT")
-    })
+    !uses_transaction_control(&db.log_entries())
 }
 
 impl ShopApp for Repaired<'_> {

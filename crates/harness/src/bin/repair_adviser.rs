@@ -1,0 +1,162 @@
+//! `repair_adviser` — synthesize a minimal lock/isolation fix for every
+//! static 2AD finding and prove it closed twice over: statically (the
+//! re-audited repaired trace admits no anomaly) and dynamically (the
+//! original Lemma-4 witness, lowered onto the repaired scenario, no
+//! longer confirms against the live engine).
+//!
+//! ```text
+//! repair_adviser [options]
+//!
+//! options:
+//!   --app NAME       advise only the named surface (repeatable)
+//!   --level LEVEL    advise only at LEVEL: RU, RC, MYSQL-RR, RR, SI, SER
+//!                    (repeatable; default all six)
+//!   --json FILE      also write the report as JSON to FILE ("-" = stdout)
+//!   --quiet          suppress the text report (use with --json)
+//! ```
+//!
+//! Exit status 2 on usage errors, 1 on audit/recording failures, and 3 if
+//! the closure gate fails: any **level-based** finding without a closing
+//! fix set, or any recommended fix whose post-repair witness replay still
+//! came back *confirmed*.
+
+use std::process::exit;
+use std::time::Instant;
+
+use acidrain_apps::endpoints::all_surfaces;
+use acidrain_db::{IsolationLevel, Obs};
+use acidrain_harness::advise_surface;
+use acidrain_static::{render_remedy_json, render_remedy_text, RemedyReport};
+
+fn usage() -> ! {
+    eprintln!("usage: repair_adviser [--app NAME]... [--level LEVEL]... [--json FILE] [--quiet]");
+    exit(2);
+}
+
+fn parse_level(s: &str) -> IsolationLevel {
+    match s.to_ascii_uppercase().as_str() {
+        "RU" => IsolationLevel::ReadUncommitted,
+        "RC" => IsolationLevel::ReadCommitted,
+        "MYSQL-RR" => IsolationLevel::MySqlRepeatableRead,
+        "RR" => IsolationLevel::RepeatableRead,
+        "SI" => IsolationLevel::SnapshotIsolation,
+        "SER" => IsolationLevel::Serializable,
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut apps: Vec<String> = Vec::new();
+    let mut levels: Vec<IsolationLevel> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut quiet = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--app" => {
+                apps.push(next(i));
+                i += 1;
+            }
+            "--level" => {
+                levels.push(parse_level(&next(i)));
+                i += 1;
+            }
+            "--json" => {
+                json_path = Some(next(i));
+                i += 1;
+            }
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if levels.is_empty() {
+        levels = IsolationLevel::ALL.to_vec();
+    }
+
+    let start = Instant::now();
+    let mut surfaces = all_surfaces();
+    if !apps.is_empty() {
+        surfaces.retain(|s| apps.iter().any(|a| a == &s.app));
+        if surfaces.is_empty() {
+            eprintln!("repair_adviser: no surface matches {apps:?}");
+            exit(2);
+        }
+    }
+
+    let obs = Obs::new();
+    obs.enable();
+    let mut advised = Vec::with_capacity(surfaces.len());
+    for surface in &surfaces {
+        match advise_surface(surface, &levels, &obs) {
+            Ok(remedies) => advised.push(remedies),
+            Err(e) => {
+                eprintln!("repair_adviser: {e}");
+                exit(1);
+            }
+        }
+    }
+    let report = RemedyReport { apps: advised };
+    let elapsed = start.elapsed();
+
+    if let Some(path) = &json_path {
+        let json = render_remedy_json(&report);
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, json) {
+            eprintln!("repair_adviser: writing {path}: {e}");
+            exit(1);
+        }
+    }
+    if !quiet {
+        print!("{}", render_remedy_text(&report));
+        let counters = obs.counters();
+        println!(
+            "\n{} surfaces, {} candidates tried, {} closures, {} post-fix replays, advised in {:.2?}",
+            report.apps.len(),
+            counters.repair_candidates,
+            counters.repair_closures,
+            counters.repair_replays,
+            elapsed
+        );
+    }
+
+    let unclosed = report.unclosed_level_based();
+    let confirmed = report.confirmed_after_fix();
+    if !unclosed.is_empty() || !confirmed.is_empty() {
+        if !unclosed.is_empty() {
+            eprintln!(
+                "repair_adviser: {} level-based findings have NO closing fix:",
+                unclosed.len()
+            );
+            for (app, level, o) in unclosed {
+                eprintln!(
+                    "  {app} @ {}: {} on {} (API {})",
+                    level.name(),
+                    o.finding.pattern,
+                    o.finding.table,
+                    o.finding.api
+                );
+            }
+        }
+        if !confirmed.is_empty() {
+            eprintln!(
+                "repair_adviser: {} recommended fixes still CONFIRMED on replay:",
+                confirmed.len()
+            );
+            for (app, level, o) in confirmed {
+                eprintln!(
+                    "  {app} @ {}: {} on {} (API {})",
+                    level.name(),
+                    o.finding.pattern,
+                    o.finding.table,
+                    o.finding.api
+                );
+            }
+        }
+        exit(3);
+    }
+}

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adviser;
 pub mod attack;
 pub mod chaos;
 pub mod experiments;
@@ -18,6 +19,7 @@ pub mod sched;
 pub mod stress;
 pub mod texttable;
 
+pub use adviser::{advise_all, advise_surface};
 pub use attack::{
     audit_cell, probe_trace, probe_trace_on, run_attack, run_serial_control, statement_index,
     try_audit_cell, AttackOutcome, AuditDegraded, AuditStage, CellReport, Invariant,
@@ -28,6 +30,6 @@ pub use chaos::{
 };
 pub use explore::{exhaustive, randomized, Exploration, Scenario};
 pub use netchaos::{flaky_client_campaign, run_net_chaos, NetChaosConfig, NetChaosReport};
-pub use replay::{replay_all, replay_surface};
-pub use sched::{run_deterministic, GatedConn, StepOutcome, Stepper};
+pub use replay::{execute_replay_plan, replay_all, replay_surface, ReplayCaches};
+pub use sched::{run_deterministic, run_deterministic_on, GatedConn, StepOutcome, Stepper};
 pub use stress::{run_concurrent, run_concurrent_watchdog, DelayConn, TaskOutcome};

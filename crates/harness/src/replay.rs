@@ -34,7 +34,7 @@ use acidrain_static::{
     ScenarioReplay, Verdict,
 };
 
-use crate::sched::{run_deterministic, StepOutcome, Stepper};
+use crate::sched::{run_deterministic_on, StepOutcome, Stepper};
 
 /// Largest witness (concurrent instances) the replayer baselines: the
 /// serial oracle enumerates every permutation of the sessions, so the
@@ -158,12 +158,16 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
 }
 
 /// The outcome digests of every serial execution of the plan's scripts
-/// (one fresh store per permutation), deduplicated.
+/// (one fresh store per permutation), deduplicated. `session_levels`
+/// carries per-session isolation overrides (the repair adviser's
+/// [`acidrain_static::Fix::Isolation`] fixes); `None` keeps the store
+/// default.
 fn serial_digests(
     scenario: &Scenario,
     level: IsolationLevel,
     plan: &ReplayPlan,
     schema: &Schema,
+    session_levels: &[Option<IsolationLevel>],
 ) -> Vec<Digest> {
     let n = plan.sessions.len();
     let mut digests: Vec<Digest> = Vec::new();
@@ -173,6 +177,9 @@ fn serial_digests(
         let mut sessions = vec![Vec::new(); n];
         for &i in &perm {
             let mut conn = db.connect();
+            if let Some(l) = session_levels.get(i).copied().flatten() {
+                conn.set_isolation(l);
+            }
             sessions[i] = run_script(&mut conn, &plan.sessions[i].statements).lines;
         }
         let digest = Digest {
@@ -204,7 +211,8 @@ fn step_to_completion(stepper: &mut Stepper, i: usize, api: &str) -> Result<(), 
 
 /// Per-scenario-per-level execution caches. Findings overwhelmingly share
 /// plans (same seed split, same hop APIs), and distinct plans share serial
-/// baselines, so both layers are keyed by plan content.
+/// baselines, so both layers are keyed by plan content (including any
+/// per-session isolation overrides).
 struct Caches {
     verdicts: HashMap<String, Verdict>,
     serial: HashMap<String, Vec<Digest>>,
@@ -219,12 +227,45 @@ impl Caches {
     }
 }
 
-fn serial_key(plan: &ReplayPlan) -> String {
-    format!("{:?}|{:?}", plan.setup, plan.sessions)
+/// Opaque execution caches for repeated plan replays (one per
+/// scenario × level is the intended granularity — plans from different
+/// stores must not share entries).
+pub struct ReplayCaches(Caches);
+
+impl ReplayCaches {
+    /// Fresh, empty caches.
+    pub fn new() -> Self {
+        ReplayCaches(Caches::new())
+    }
 }
 
-fn verdict_key(plan: &ReplayPlan) -> String {
-    format!("{}|{}", plan.seed_prefix, serial_key(plan))
+impl Default for ReplayCaches {
+    fn default() -> Self {
+        ReplayCaches::new()
+    }
+}
+
+fn serial_key(plan: &ReplayPlan, session_levels: &[Option<IsolationLevel>]) -> String {
+    format!("{session_levels:?}|{:?}|{:?}", plan.setup, plan.sessions)
+}
+
+fn verdict_key(plan: &ReplayPlan, session_levels: &[Option<IsolationLevel>]) -> String {
+    format!("{}|{}", plan.seed_prefix, serial_key(plan, session_levels))
+}
+
+/// Execute one replay plan against a fresh store and classify the
+/// outcome. Public entry point for drivers beyond the witness replayer
+/// (the repair adviser replays *repaired* plans through the same oracle,
+/// with per-session isolation overrides).
+pub fn execute_replay_plan(
+    scenario: &Scenario,
+    level: IsolationLevel,
+    plan: &ReplayPlan,
+    schema: &Schema,
+    session_levels: &[Option<IsolationLevel>],
+    caches: &mut ReplayCaches,
+) -> Verdict {
+    execute_plan(scenario, level, plan, schema, session_levels, &mut caches.0)
 }
 
 /// Execute one plan: the Lemma-4 interleaving (seed prefix, each hop in
@@ -234,6 +275,7 @@ fn execute_plan(
     level: IsolationLevel,
     plan: &ReplayPlan,
     schema: &Schema,
+    session_levels: &[Option<IsolationLevel>],
     caches: &mut Caches,
 ) -> Verdict {
     let n = plan.sessions.len();
@@ -242,7 +284,7 @@ fn execute_plan(
             "witness needs {n} concurrent instances; serial baseline capped at {MAX_SESSIONS}"
         ));
     }
-    let vkey = verdict_key(plan);
+    let vkey = verdict_key(plan, session_levels);
     if let Some(v) = caches.verdicts.get(&vkey) {
         return v.clone();
     }
@@ -265,9 +307,18 @@ fn execute_plan(
             }
         })
         .collect();
+    let conns = (0..n)
+        .map(|i| {
+            let mut conn = db.connect();
+            if let Some(l) = session_levels.get(i).copied().flatten() {
+                conn.set_isolation(l);
+            }
+            conn
+        })
+        .collect();
 
     let mut schedule_break: Option<String> = None;
-    run_deterministic(&db, tasks, |stepper: &mut Stepper| {
+    run_deterministic_on(conns, tasks, |stepper: &mut Stepper| {
         // Seed prefix: up to and including o1.
         for _ in 0..plan.seed_prefix {
             match stepper.step(0) {
@@ -316,11 +367,11 @@ fn execute_plan(
                 .collect(),
             tables: table_digest(&db, schema),
         };
-        let skey = serial_key(plan);
+        let skey = serial_key(plan, session_levels);
         let serial = caches
             .serial
             .entry(skey)
-            .or_insert_with(|| serial_digests(scenario, level, plan, schema));
+            .or_insert_with(|| serial_digests(scenario, level, plan, schema, session_levels));
         if serial.contains(&digest) {
             Verdict::Inconclusive("executed cleanly; outcome serially equivalent".to_string())
         } else {
@@ -349,7 +400,15 @@ pub fn replay_surface(
                     let verdict = match &fp.plan {
                         Err(reason) => Verdict::Inconclusive(reason.clone()),
                         Ok(plan) => {
-                            execute_plan(scenario, level, plan, &surface.schema, &mut caches)
+                            let no_overrides = vec![None; plan.sessions.len()];
+                            execute_plan(
+                                scenario,
+                                level,
+                                plan,
+                                &surface.schema,
+                                &no_overrides,
+                                &mut caches,
+                            )
                         }
                     };
                     ReplayOutcome {

@@ -275,14 +275,37 @@ where
     T: Send,
     F: FnOnce(&mut dyn SqlConn) -> T + Send,
 {
+    let conns = tasks.iter().map(|_| db.connect()).collect();
+    run_deterministic_on(conns, tasks, schedule)
+}
+
+/// [`run_deterministic`] over caller-built connections — one per task,
+/// in order. This is how the replay driver applies per-session isolation
+/// overrides ([`Connection::set_isolation`]) before the interleaving
+/// starts.
+pub fn run_deterministic_on<T, F>(
+    conns: Vec<Connection>,
+    tasks: Vec<F>,
+    schedule: impl FnOnce(&mut Stepper),
+) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce(&mut dyn SqlConn) -> T + Send,
+{
+    assert_eq!(
+        conns.len(),
+        tasks.len(),
+        "one connection per task, in task order"
+    );
     let gates: Vec<Arc<Gate>> = tasks.iter().map(|_| Gate::new()).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = tasks
             .into_iter()
+            .zip(conns)
             .zip(&gates)
-            .map(|(task, gate)| {
+            .map(|((task, conn), gate)| {
                 let mut gc = GatedConn {
-                    conn: db.connect(),
+                    conn,
                     gate: Arc::clone(gate),
                     last_blocked: false,
                 };

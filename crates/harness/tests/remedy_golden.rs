@@ -1,0 +1,76 @@
+//! Golden-file tests pinning the repair adviser's output — the minimal
+//! fix set, the alternatives count, and the post-fix witness verdict for
+//! every finding — for two representative applications at Read Committed.
+//!
+//! The goldens live next to the static-audit goldens they complement
+//! (`crates/static/tests/golden/`), prefixed `remedy-`. Regenerate after
+//! an intentional engine, detector, lattice, or renderer change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p acidrain-harness --test remedy_golden
+//! ```
+
+use std::path::PathBuf;
+
+use acidrain_apps::endpoints::all_surfaces;
+use acidrain_db::{IsolationLevel, Obs};
+use acidrain_harness::advise_surface;
+use acidrain_static::{render_remedy_text, RemedyReport};
+
+/// The pinned level: the paper's weak default family representative,
+/// where both lock promotions and isolation ladders are in play.
+const LEVELS: [IsolationLevel; 1] = [IsolationLevel::ReadCommitted];
+
+fn golden_path(app: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../static/tests/golden")
+        .join(format!("remedy-{app}.txt"))
+}
+
+fn report_for(app: &str) -> RemedyReport {
+    let surfaces = all_surfaces();
+    let surface = surfaces
+        .iter()
+        .find(|s| s.app == app)
+        .unwrap_or_else(|| panic!("no surface named {app}"));
+    let advised = advise_surface(surface, &LEVELS, &Obs::new()).unwrap();
+    RemedyReport {
+        apps: vec![advised],
+    }
+}
+
+fn check_golden(app: &str) {
+    let rendered = render_remedy_text(&report_for(app));
+    let path = golden_path(app);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}; run with UPDATE_GOLDEN=1 to create",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "{app}: repair adviser report drifted from {} \
+         (rerun with UPDATE_GOLDEN=1 if the change is intentional)",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_remedy_flexcoin() {
+    // The §2 case study: the unscoped transfer needs scoping before any
+    // lock helps; the guarded withdraw needs nothing.
+    check_golden("flexcoin");
+}
+
+#[test]
+fn golden_remedy_prestashop() {
+    // A PHP corpus app whose endpoints are scope-repairable: exercises
+    // the Scope tier plus FOR UPDATE / isolation escalation on top.
+    check_golden("PrestaShop");
+}

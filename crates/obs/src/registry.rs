@@ -103,6 +103,9 @@ struct Shard {
     net_frames: AtomicU64,
     net_protocol_errors: AtomicU64,
     net_reactor_parks: AtomicU64,
+    repair_candidates: AtomicU64,
+    repair_closures: AtomicU64,
+    repair_replays: AtomicU64,
 
     commits_by_level: [AtomicU64; MAX_LEVELS],
     aborts_by_level: [AtomicU64; MAX_LEVELS],
@@ -674,6 +677,39 @@ impl Obs {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The repair adviser evaluated `n` candidate fix sets against the
+    /// static audit. Adviser runs are engine-wide, so the counters land
+    /// on shard 0.
+    #[inline]
+    pub fn repair_candidates(&self, n: u64) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.shard(0)
+            .repair_candidates
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The repair adviser found `n` statically-closing fix sets.
+    #[inline]
+    pub fn repair_closures(&self, n: u64) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.shard(0)
+            .repair_closures
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The repair adviser replayed one repaired witness plan.
+    #[inline]
+    pub fn repair_replay(&self) {
+        if !self.registry.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.shard(0).repair_replays.fetch_add(1, Ordering::Relaxed);
+    }
+
     // -- readout ----------------------------------------------------------
 
     /// Aggregate every shard into an owned [`MetricsReport`].
@@ -732,6 +768,9 @@ impl Obs {
             c.net_frames += shard.net_frames.load(Ordering::Relaxed);
             c.net_protocol_errors += shard.net_protocol_errors.load(Ordering::Relaxed);
             c.net_reactor_parks += shard.net_reactor_parks.load(Ordering::Relaxed);
+            c.repair_candidates += shard.repair_candidates.load(Ordering::Relaxed);
+            c.repair_closures += shard.repair_closures.load(Ordering::Relaxed);
+            c.repair_replays += shard.repair_replays.load(Ordering::Relaxed);
             for i in 0..MAX_LEVELS {
                 commits[i] += shard.commits_by_level[i].load(Ordering::Relaxed);
                 aborts[i] += shard.aborts_by_level[i].load(Ordering::Relaxed);
@@ -805,6 +844,9 @@ mod tests {
         obs.net_frame(1);
         obs.net_protocol_error(1);
         obs.net_reactor_parked();
+        obs.repair_candidates(7);
+        obs.repair_closures(3);
+        obs.repair_replay();
         let report = obs.report();
         assert!(!report.enabled);
         assert_eq!(report.net_sessions, 0);

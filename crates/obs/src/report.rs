@@ -72,6 +72,13 @@ pub struct Counters {
     /// Times the reactor parked in a blocking `accept` because it had no
     /// sessions and no queued sockets (idle without polling).
     pub net_reactor_parks: u64,
+    /// Candidate fix sets the repair adviser evaluated statically.
+    pub repair_candidates: u64,
+    /// Candidate fix sets that closed their finding without opening a
+    /// new one.
+    pub repair_closures: u64,
+    /// Repaired witness plans the adviser replayed against the engine.
+    pub repair_replays: u64,
 }
 
 /// Commit/abort counts for one isolation level.
@@ -202,7 +209,9 @@ impl MetricsReport {
              \"wal_fsyncs\": {}, \"wal_bytes\": {}, \"gc_runs\": {}, \
              \"gc_reclaimed\": {}, \"net_accepted\": {}, \"net_rejected\": {}, \
              \"net_queued\": {}, \"net_disconnect_aborts\": {}, \"net_frames\": {}, \
-             \"net_protocol_errors\": {}, \"net_reactor_parks\": {}}},\n",
+             \"net_protocol_errors\": {}, \"net_reactor_parks\": {}, \
+             \"repair_candidates\": {}, \"repair_closures\": {}, \
+             \"repair_replays\": {}}},\n",
             c.lock_waits,
             c.lock_timeouts,
             c.deadlocks,
@@ -229,6 +238,9 @@ impl MetricsReport {
             c.net_frames,
             c.net_protocol_errors,
             c.net_reactor_parks,
+            c.repair_candidates,
+            c.repair_closures,
+            c.repair_replays,
         ));
         out.push_str("  \"by_level\": [");
         for (i, l) in self.by_level.iter().enumerate() {

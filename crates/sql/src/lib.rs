@@ -34,6 +34,7 @@ pub mod display;
 pub mod error;
 pub mod fingerprint;
 pub mod parser;
+pub mod rewrite;
 pub mod rwset;
 pub mod schema;
 pub mod token;
@@ -42,5 +43,6 @@ pub use ast::{Expr, Literal, Statement};
 pub use error::ParseError;
 pub use fingerprint::{fnv1a, statement_template, StatementTemplate};
 pub use parser::{parse_script, parse_statement};
+pub use rewrite::promote_for_update;
 pub use rwset::{statement_accesses, AccessKind, TableAccess, EXISTS_COLUMN};
 pub use schema::{ColumnDef, ColumnType, Schema, TableSchema};

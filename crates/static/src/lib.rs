@@ -44,17 +44,25 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod remediate;
 pub mod replay;
 pub mod report;
+pub mod serialize;
 pub mod template;
 
 pub use audit::{
     audit_all, audit_surface, refinement_for, AppAudit, AuditError, LevelAudit, ScenarioAudit,
     SeedRef, StaticAuditReport, StaticFinding,
 };
+pub use remediate::{
+    apply_fixes_to_log, config_with_fixes, fix_set_label, remediate_all, remediate_scenario,
+    remediate_surface, render_remedy_json, render_remedy_text, rewrite_plan, AppRemedies, Fix,
+    LevelRemedies, RemedyOutcome, RemedyReport, ScenarioRemedies,
+};
 pub use replay::{
     plan_scenario, render_replay_json, render_replay_text, AppReplay, FindingPlan, LevelReplay,
     ReplayOutcome, ReplayPlan, ReplayReport, ScenarioPlans, ScenarioReplay, SessionScript, Verdict,
 };
 pub use report::{render_json, render_text};
+pub use serialize::{document, json_escape, Json, SCHEMA_VERSION};
 pub use template::{endpoint_templates, symbolize_trace, EndpointTemplates};

@@ -1,0 +1,1199 @@
+//! The static repair adviser: synthesize a minimal, cheapest-first fix
+//! set per 2AD finding and prove it closed by re-running the audit over
+//! the repaired trace (paper §4.2.7 / §6, mechanized).
+//!
+//! For every [`StaticFinding`] the audit reports, the adviser enumerates
+//! a **candidate lattice** of repairs in increasing cost order:
+//!
+//! 1. promote the seed `SELECT` to `SELECT ... FOR UPDATE`
+//!    ([`Fix::ForUpdate`]) — the cheapest fix: one statement, no
+//!    concurrency lost elsewhere;
+//! 2. widen an existing lock scope: promote *another* read of the
+//!    conflicted table so the racing read falls under a lock already
+//!    planned;
+//! 3. the minimal isolation-level promotion ([`Fix::Isolation`]):
+//!    walk strictly-stronger levels weakest-first and stop at the first
+//!    that removes the anomaly;
+//! 4. transaction scoping ([`Fix::Scope`]) for scope-based anomalies —
+//!    the coarse `acidrain_apps::repair` strategy folded in as the
+//!    fallback tier, composed with 1–3 because scoping alone only
+//!    converts a scope-based anomaly into a level-based one.
+//!
+//! Every candidate is *applied* — as a concrete rewrite of the recorded
+//! trace (lock fixes, scoping) or of the refinement config (isolation)
+//! — and the audit re-run. A candidate **closes** the finding iff the
+//! finding vanishes and no new finding appears (post-set ⊆ pre-set).
+//! Closing candidates are then pruned to minimality: dropping any
+//! element re-opens a finding. Phantom findings never receive lock
+//! promotions — the engine's `FOR UPDATE` locks items, not predicates,
+//! so a lock fix could pass the static check yet fail under execution;
+//! phantoms take the isolation ladder (predicate-locking levels).
+//!
+//! The static proof is necessary but not sufficient: the harness's
+//! `repair_adviser` driver additionally lowers the original Lemma-4
+//! witness against the repaired scenario ([`rewrite_plan`]) and replays
+//! it through the PR-9 engine replayer, requiring a never-`Confirmed`
+//! verdict before a fix is recommended.
+
+use std::collections::BTreeSet;
+
+use acidrain_apps::endpoints::{all_surfaces, AppSurface, Scenario};
+use acidrain_apps::{is_transaction_control_sql, uses_transaction_control};
+use acidrain_core::{
+    lift_trace, statement_fingerprint, Analyzer, AnomalyPattern, AnomalyScope, RefinementConfig,
+};
+use acidrain_db::{IsolationLevel, LogEntry, StmtOutcome};
+use acidrain_sql::{
+    parse_statement, promote_for_update, rwset::statement_accesses, schema::Schema,
+    statement_template,
+};
+
+use crate::audit::{refinement_for, static_finding, AuditError, SeedRef, StaticFinding};
+use crate::replay::{ReplayPlan, Verdict};
+use crate::report::level_abbrev;
+use crate::serialize::{document, field, Json};
+use crate::template::symbolize_trace;
+
+// ---------------------------------------------------------------------------
+// Fixes.
+
+/// One atomic repair. Candidates are (possibly singleton) sets of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fix {
+    /// Promote every recorded statement of `api` whose statement
+    /// fingerprint matches to `SELECT ... FOR UPDATE`.
+    ForUpdate {
+        /// Endpoint owning the statement.
+        api: String,
+        /// Template fingerprint of the statement to promote (invariant
+        /// under symbolization).
+        fingerprint: u64,
+        /// The statement template, for display.
+        template: String,
+    },
+    /// Run `api`'s transactions at a stronger isolation level.
+    Isolation {
+        /// Endpoint to pin.
+        api: String,
+        /// The (minimal) stronger level.
+        level: IsolationLevel,
+    },
+    /// Wrap each invocation of `api` in one `BEGIN`/`COMMIT` pair (the
+    /// `acidrain_apps::repair::Repair::TransactionScoping` semantics,
+    /// applied to the trace).
+    Scope {
+        /// Endpoint to re-scope.
+        api: String,
+    },
+}
+
+impl std::fmt::Display for Fix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fix::ForUpdate { api, template, .. } => {
+                write!(f, "promote to FOR UPDATE in {api}: {template}")
+            }
+            Fix::Isolation { api, level } => write!(f, "run {api} at {}", level.name()),
+            Fix::Scope { api } => write!(f, "wrap {api} in one transaction"),
+        }
+    }
+}
+
+/// Render a fix set as one human-readable line.
+pub fn fix_set_label(fixes: &[Fix]) -> String {
+    fixes
+        .iter()
+        .map(Fix::to_string)
+        .collect::<Vec<_>>()
+        .join(" + ")
+}
+
+// ---------------------------------------------------------------------------
+// Applying fixes to a recorded trace.
+
+fn entry_is(entry: &LogEntry, api: &str) -> bool {
+    entry.api.as_ref().is_some_and(|t| t.name == api)
+}
+
+fn synthetic(like: &LogEntry, sql: &str) -> LogEntry {
+    LogEntry {
+        seq: 0,
+        session: like.session,
+        api: like.api.clone(),
+        sql: sql.to_string(),
+        outcome: StmtOutcome::Ok,
+    }
+}
+
+/// Wrap each invocation of `api` in `BEGIN`/`COMMIT`. Fails when the
+/// endpoint already uses transaction control (nesting `BEGIN` inside
+/// `BEGIN` implicitly commits — the same gate as
+/// [`acidrain_apps::can_repair`], via the shared predicate).
+fn scope_log(log: &[LogEntry], api: &str) -> Result<Vec<LogEntry>, String> {
+    let mine: Vec<LogEntry> = log.iter().filter(|e| entry_is(e, api)).cloned().collect();
+    if mine.is_empty() {
+        return Err(format!("API {api} was not recorded"));
+    }
+    if uses_transaction_control(&mine) {
+        return Err(format!("API {api} already uses transaction control"));
+    }
+    let invocation_of = |e: &LogEntry| e.api.as_ref().map(|t| t.invocation);
+    let mut out = Vec::with_capacity(log.len() + 2);
+    for (i, e) in log.iter().enumerate() {
+        let scoped = entry_is(e, api);
+        if scoped {
+            let inv = invocation_of(e);
+            let first = !log[..i]
+                .iter()
+                .any(|p| entry_is(p, api) && invocation_of(p) == inv);
+            if first {
+                out.push(synthetic(e, "BEGIN"));
+            }
+        }
+        out.push(e.clone());
+        if scoped {
+            let inv = invocation_of(e);
+            let last = !log[i + 1..]
+                .iter()
+                .any(|n| entry_is(n, api) && invocation_of(n) == inv);
+            if last {
+                out.push(synthetic(e, "COMMIT"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Apply the trace-level fixes of a candidate to a recorded log,
+/// renumbering sequence numbers. Isolation fixes do not touch the log —
+/// they land in the refinement config (see [`config_with_fixes`]).
+pub fn apply_fixes_to_log(log: &[LogEntry], fixes: &[Fix]) -> Result<Vec<LogEntry>, String> {
+    let mut out: Vec<LogEntry> = log.to_vec();
+    for fix in fixes {
+        match fix {
+            Fix::ForUpdate {
+                api, fingerprint, ..
+            } => {
+                let mut hit = false;
+                for e in &mut out {
+                    if entry_is(e, api) && statement_fingerprint(&e.sql) == *fingerprint {
+                        match promote_for_update(&e.sql) {
+                            Ok(Some(sql)) => {
+                                e.sql = sql;
+                                hit = true;
+                            }
+                            Ok(None) => {
+                                return Err(format!(
+                                    "statement is not a promotable SELECT: {}",
+                                    e.sql
+                                ))
+                            }
+                            Err(err) => return Err(format!("rewrite failed: {err}")),
+                        }
+                    }
+                }
+                if !hit {
+                    return Err(format!("no recorded statement of {api} matches the seed"));
+                }
+            }
+            Fix::Scope { api } => out = scope_log(&out, api)?,
+            Fix::Isolation { .. } => {}
+        }
+    }
+    for (i, e) in out.iter_mut().enumerate() {
+        e.seq = i as u64;
+    }
+    Ok(out)
+}
+
+/// Fold the isolation fixes of a candidate into a refinement config.
+pub fn config_with_fixes(base: &RefinementConfig, fixes: &[Fix]) -> RefinementConfig {
+    let mut config = base.clone();
+    for fix in fixes {
+        if let Fix::Isolation { api, level } = fix {
+            config = config.with_api_isolation(api.clone(), *level);
+        }
+    }
+    config
+}
+
+// ---------------------------------------------------------------------------
+// Re-audit and closure.
+
+/// Finding identity for the closure check: stable across template
+/// rewrites (a promoted statement changes the template, not what the
+/// anomaly *is*).
+type Identity = (String, String, String, String);
+
+fn identity(f: &StaticFinding) -> Identity {
+    (
+        f.api.clone(),
+        f.scope.to_string(),
+        f.pattern.to_string(),
+        f.table.clone(),
+    )
+}
+
+fn audit_findings(
+    log: &[LogEntry],
+    schema: &Schema,
+    config: &RefinementConfig,
+) -> Result<Vec<StaticFinding>, String> {
+    let mut trace = lift_trace(log, schema).map_err(|e| e.to_string())?;
+    symbolize_trace(&mut trace).map_err(|e| e.to_string())?;
+    let analyzer = Analyzer::from_trace(trace);
+    let report = analyzer.analyze(config);
+    Ok(report
+        .findings
+        .iter()
+        .map(|f| static_finding(&analyzer, f))
+        .collect())
+}
+
+/// Whether `fixes` closes `target` without opening anything new: the
+/// target identity is gone *and* the post-fix finding set is a subset of
+/// the pre-fix one.
+fn closes(
+    log: &[LogEntry],
+    schema: &Schema,
+    base: &RefinementConfig,
+    fixes: &[Fix],
+    target: &Identity,
+    pre: &BTreeSet<Identity>,
+) -> bool {
+    let Ok(rewritten) = apply_fixes_to_log(log, fixes) else {
+        return false;
+    };
+    let config = config_with_fixes(base, fixes);
+    let Ok(post) = audit_findings(&rewritten, schema, &config) else {
+        return false;
+    };
+    let post_ids: BTreeSet<Identity> = post.iter().map(identity).collect();
+    !post_ids.contains(target) && post_ids.is_subset(pre)
+}
+
+/// Prune a closing candidate to minimality: while dropping some element
+/// still closes the finding, drop it.
+fn minimize(
+    log: &[LogEntry],
+    schema: &Schema,
+    base: &RefinementConfig,
+    mut fixes: Vec<Fix>,
+    target: &Identity,
+    pre: &BTreeSet<Identity>,
+) -> Vec<Fix> {
+    'outer: while fixes.len() > 1 {
+        for i in 0..fixes.len() {
+            let mut trial = fixes.clone();
+            trial.remove(i);
+            if closes(log, schema, base, &trial, target, pre) {
+                fixes = trial;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    fixes
+}
+
+// ---------------------------------------------------------------------------
+// Candidate lattices.
+
+fn stronger_levels(level: IsolationLevel) -> Vec<IsolationLevel> {
+    let pos = IsolationLevel::ALL
+        .iter()
+        .position(|l| *l == level)
+        .unwrap_or(IsolationLevel::ALL.len());
+    IsolationLevel::ALL[(pos + 1).min(IsolationLevel::ALL.len())..].to_vec()
+}
+
+/// A `ForUpdate` fix for a seed statement, when the recorded statement
+/// behind it is a promotable plain `SELECT`.
+fn seed_fix(log: &[LogEntry], api: &str, seed: &SeedRef) -> Option<Fix> {
+    log.iter()
+        .any(|e| {
+            entry_is(e, api)
+                && statement_fingerprint(&e.sql) == seed.fingerprint
+                && matches!(promote_for_update(&e.sql), Ok(Some(_)))
+        })
+        .then(|| Fix::ForUpdate {
+            api: api.to_string(),
+            fingerprint: seed.fingerprint,
+            template: seed.template.clone(),
+        })
+}
+
+/// Lock-widening fixes: other promotable reads of the conflicted table
+/// anywhere in the scenario (distinct fingerprints, seeds excluded).
+fn widen_fixes(finding: &StaticFinding, log: &[LogEntry], schema: &Schema) -> Vec<Fix> {
+    let mut fixes = Vec::new();
+    let mut seen: BTreeSet<(String, u64)> = BTreeSet::new();
+    for e in log {
+        let Some(tag) = &e.api else { continue };
+        let fp = statement_fingerprint(&e.sql);
+        if fp == finding.seed.0.fingerprint || fp == finding.seed.1.fingerprint {
+            continue;
+        }
+        if !seen.insert((tag.name.clone(), fp)) {
+            continue;
+        }
+        let Ok(stmt) = parse_statement(&e.sql) else {
+            continue;
+        };
+        if !statement_accesses(&stmt, schema)
+            .iter()
+            .any(|a| a.table == finding.table)
+        {
+            continue;
+        }
+        if !matches!(promote_for_update(&e.sql), Ok(Some(_))) {
+            continue;
+        }
+        let template = statement_template(&e.sql)
+            .map(|t| t.text)
+            .unwrap_or_else(|_| e.sql.clone());
+        fixes.push(Fix::ForUpdate {
+            api: tag.name.clone(),
+            fingerprint: fp,
+            template,
+        });
+    }
+    fixes
+}
+
+/// The cost-ordered candidate lattice for one finding, cheapest first.
+/// Returns `Err(residual)` when no candidate is even *applicable* (the
+/// scoping gate fails on a scope-based finding).
+fn candidate_lattice(
+    finding: &StaticFinding,
+    log: &[LogEntry],
+    schema: &Schema,
+    level: IsolationLevel,
+) -> Result<Vec<Vec<Fix>>, String> {
+    // Phantoms never get lock promotions: the engine's FOR UPDATE locks
+    // items, not predicates, so the static closure would not be honored
+    // under execution (see module docs).
+    let lockable = finding.pattern != AnomalyPattern::Phantom;
+    let mut lock_fixes: Vec<Fix> = Vec::new();
+    if lockable {
+        if let Some(f) = seed_fix(log, &finding.api, &finding.seed.0) {
+            lock_fixes.push(f);
+        }
+        if let Some(f) = seed_fix(log, &finding.api, &finding.seed.1) {
+            if !lock_fixes.contains(&f) {
+                lock_fixes.push(f);
+            }
+        }
+        for f in widen_fixes(finding, log, schema) {
+            if !lock_fixes.contains(&f) {
+                lock_fixes.push(f);
+            }
+        }
+    }
+    let ladder: Vec<Fix> = stronger_levels(level)
+        .into_iter()
+        .map(|l| Fix::Isolation {
+            api: finding.api.clone(),
+            level: l,
+        })
+        .collect();
+
+    match finding.scope {
+        AnomalyScope::LevelBased => {
+            let mut candidates: Vec<Vec<Fix>> = lock_fixes.into_iter().map(|f| vec![f]).collect();
+            candidates.extend(ladder.into_iter().map(|f| vec![f]));
+            Ok(candidates)
+        }
+        AnomalyScope::ScopeBased => {
+            let mine: Vec<LogEntry> = log
+                .iter()
+                .filter(|e| entry_is(e, &finding.api))
+                .cloned()
+                .collect();
+            if uses_transaction_control(&mine) {
+                return Err(
+                    "endpoint already uses transaction control; statement-level re-scoping \
+                     would nest transactions"
+                        .to_string(),
+                );
+            }
+            let scope = Fix::Scope {
+                api: finding.api.clone(),
+            };
+            let mut candidates: Vec<Vec<Fix>> = vec![vec![scope.clone()]];
+            for f in lock_fixes {
+                candidates.push(vec![scope.clone(), f]);
+            }
+            for f in ladder {
+                candidates.push(vec![scope.clone(), f]);
+            }
+            Ok(candidates)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-finding outcome and the report tree.
+
+/// One finding with its synthesized remedies.
+#[derive(Debug, Clone)]
+pub struct RemedyOutcome {
+    /// The finding exactly as the audit reports it.
+    pub finding: StaticFinding,
+    /// All statically-closing candidates, cost order, each pruned to
+    /// minimality and deduplicated.
+    pub candidates: Vec<Vec<Fix>>,
+    /// How many lattice candidates were evaluated.
+    pub tried: usize,
+    /// Why nothing closes, when `candidates` is empty.
+    pub residual: Option<String>,
+    /// Index into `candidates` of the fix the replay driver settled on
+    /// (`None` until the harness fills it in, or when nothing closes).
+    pub chosen: Option<usize>,
+    /// Replay verdict for the chosen candidate, once the harness lowered
+    /// the original witness against the repaired scenario.
+    pub verdict: Option<Verdict>,
+}
+
+impl RemedyOutcome {
+    /// Whether at least one candidate closes the finding statically.
+    pub fn closed(&self) -> bool {
+        !self.candidates.is_empty()
+    }
+
+    /// The recommended (cheapest replay-surviving, else cheapest) fix.
+    pub fn recommended(&self) -> Option<&Vec<Fix>> {
+        self.candidates.get(self.chosen.unwrap_or(0))
+    }
+}
+
+/// Remedies for one scenario at one level.
+#[derive(Debug, Clone)]
+pub struct ScenarioRemedies {
+    /// Scenario name.
+    pub scenario: String,
+    /// One entry per static finding, in detector order (positionally
+    /// aligned with `plan_scenario`'s plans — same recording, same
+    /// config).
+    pub outcomes: Vec<RemedyOutcome>,
+}
+
+/// Remedies for one application at one level.
+#[derive(Debug, Clone)]
+pub struct LevelRemedies {
+    /// The isolation level audited.
+    pub level: IsolationLevel,
+    /// Per-scenario outcomes.
+    pub scenarios: Vec<ScenarioRemedies>,
+}
+
+impl LevelRemedies {
+    /// Total findings at this level.
+    pub fn finding_count(&self) -> usize {
+        self.scenarios.iter().map(|s| s.outcomes.len()).sum()
+    }
+
+    /// Findings with at least one closing candidate.
+    pub fn closed_count(&self) -> usize {
+        self.scenarios
+            .iter()
+            .flat_map(|s| &s.outcomes)
+            .filter(|o| o.closed())
+            .count()
+    }
+}
+
+/// Remedies for one application across all levels.
+#[derive(Debug, Clone)]
+pub struct AppRemedies {
+    /// Application name.
+    pub app: String,
+    /// One entry per level, in [`IsolationLevel::ALL`] order.
+    pub levels: Vec<LevelRemedies>,
+}
+
+impl AppRemedies {
+    /// The remedies at `level`, if present.
+    pub fn level(&self, level: IsolationLevel) -> Option<&LevelRemedies> {
+        self.levels.iter().find(|l| l.level == level)
+    }
+}
+
+/// The full adviser report.
+#[derive(Debug, Clone, Default)]
+pub struct RemedyReport {
+    /// One entry per application surface.
+    pub apps: Vec<AppRemedies>,
+}
+
+impl RemedyReport {
+    /// Level-based findings with no closing candidate — the CI gate:
+    /// every level-based anomaly must be statically repairable.
+    pub fn unclosed_level_based(&self) -> Vec<(&str, IsolationLevel, &RemedyOutcome)> {
+        self.collect(|o| o.finding.scope == AnomalyScope::LevelBased && !o.closed())
+    }
+
+    /// Findings whose chosen fix still replayed `Confirmed` — the other
+    /// half of the gate: a recommended fix must survive the witness.
+    pub fn confirmed_after_fix(&self) -> Vec<(&str, IsolationLevel, &RemedyOutcome)> {
+        self.collect(|o| o.verdict == Some(Verdict::Confirmed))
+    }
+
+    fn collect(
+        &self,
+        pred: impl Fn(&RemedyOutcome) -> bool,
+    ) -> Vec<(&str, IsolationLevel, &RemedyOutcome)> {
+        let mut hits = Vec::new();
+        for app in &self.apps {
+            for level in &app.levels {
+                for scenario in &level.scenarios {
+                    for outcome in &scenario.outcomes {
+                        if pred(outcome) {
+                            hits.push((app.app.as_str(), level.level, outcome));
+                        }
+                    }
+                }
+            }
+        }
+        hits
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The adviser proper.
+
+/// Synthesize remedies for every finding of `scenario` at `level`.
+///
+/// Recording and analysis mirror `audit_surface` exactly, so the finding
+/// list (and hence outcome order) is byte-identical to the audit's and
+/// to `plan_scenario`'s.
+pub fn remediate_scenario(
+    surface: &AppSurface,
+    scenario: &Scenario,
+    level: IsolationLevel,
+) -> Result<ScenarioRemedies, AuditError> {
+    let log = scenario
+        .record(level)
+        .map_err(|e| AuditError::Record(format!("{}/{}: {e}", surface.app, scenario.name)))?;
+    let base = refinement_for(surface, level);
+    let findings = audit_findings(&log, &surface.schema, &base)
+        .map_err(|e| AuditError::Lift(format!("{}/{}: {e}", surface.app, scenario.name)))?;
+    let pre: BTreeSet<Identity> = findings.iter().map(identity).collect();
+
+    let outcomes = findings
+        .iter()
+        .map(|finding| {
+            let target = identity(finding);
+            let (candidates, tried, residual) =
+                match candidate_lattice(finding, &log, &surface.schema, level) {
+                    Err(residual) => (Vec::new(), 0, Some(residual)),
+                    Ok(lattice) => {
+                        let tried = lattice.len();
+                        let mut closing: Vec<Vec<Fix>> = Vec::new();
+                        for cand in lattice {
+                            if !closes(&log, &surface.schema, &base, &cand, &target, &pre) {
+                                continue;
+                            }
+                            let minimal =
+                                minimize(&log, &surface.schema, &base, cand, &target, &pre);
+                            if !closing.contains(&minimal) {
+                                closing.push(minimal);
+                            }
+                        }
+                        let residual = closing
+                            .is_empty()
+                            .then(|| "no lattice candidate closes the finding".to_string());
+                        (closing, tried, residual)
+                    }
+                };
+            RemedyOutcome {
+                finding: finding.clone(),
+                candidates,
+                tried,
+                residual,
+                chosen: None,
+                verdict: None,
+            }
+        })
+        .collect();
+    Ok(ScenarioRemedies {
+        scenario: scenario.name.to_string(),
+        outcomes,
+    })
+}
+
+/// Remediate one surface across every isolation level.
+pub fn remediate_surface(surface: &AppSurface) -> Result<AppRemedies, AuditError> {
+    let mut levels = Vec::with_capacity(IsolationLevel::ALL.len());
+    for level in IsolationLevel::ALL {
+        let mut scenarios = Vec::with_capacity(surface.scenarios.len());
+        for scenario in &surface.scenarios {
+            scenarios.push(remediate_scenario(surface, scenario, level)?);
+        }
+        levels.push(LevelRemedies { level, scenarios });
+    }
+    Ok(AppRemedies {
+        app: surface.app.clone(),
+        levels,
+    })
+}
+
+/// Remediate every registered surface.
+pub fn remediate_all() -> Result<RemedyReport, AuditError> {
+    let apps = all_surfaces()
+        .iter()
+        .map(remediate_surface)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(RemedyReport { apps })
+}
+
+// ---------------------------------------------------------------------------
+// Lowering a fix set onto a replay plan.
+
+/// Rewrite a witness replay plan so it executes against the *repaired*
+/// scenario: lock promotions rewrite the session (and setup) statements,
+/// scoping wraps the repaired sessions in `BEGIN`/`COMMIT` (shifting the
+/// seed split when the seed session is scoped), and isolation fixes
+/// become per-session level overrides for the driver to apply before the
+/// interleaving runs.
+pub fn rewrite_plan(
+    plan: &ReplayPlan,
+    fixes: &[Fix],
+) -> Result<(ReplayPlan, Vec<Option<IsolationLevel>>), String> {
+    let mut plan = plan.clone();
+    let mut session_levels: Vec<Option<IsolationLevel>> = vec![None; plan.sessions.len()];
+    for fix in fixes {
+        match fix {
+            Fix::ForUpdate {
+                api, fingerprint, ..
+            } => {
+                let mut hit = false;
+                for session in &mut plan.sessions {
+                    if session.api != *api {
+                        continue;
+                    }
+                    for stmt in &mut session.statements {
+                        if statement_fingerprint(stmt) == *fingerprint {
+                            match promote_for_update(stmt) {
+                                Ok(Some(sql)) => {
+                                    *stmt = sql;
+                                    hit = true;
+                                }
+                                Ok(None) => return Err(format!("not a promotable SELECT: {stmt}")),
+                                Err(e) => return Err(format!("rewrite failed: {e}")),
+                            }
+                        }
+                    }
+                }
+                // Setup replays other endpoints' recorded calls on a solo
+                // connection; promoting there too keeps the repaired trace
+                // uniform (a solo FOR UPDATE read is a no-op).
+                for stmt in &mut plan.setup {
+                    if statement_fingerprint(stmt) == *fingerprint {
+                        if let Ok(Some(sql)) = promote_for_update(stmt) {
+                            *stmt = sql;
+                        }
+                    }
+                }
+                if !hit {
+                    return Err(format!("no session statement of {api} matches the seed"));
+                }
+            }
+            Fix::Scope { api } => {
+                let mut hit = false;
+                for (i, session) in plan.sessions.iter_mut().enumerate() {
+                    if session.api != *api {
+                        continue;
+                    }
+                    if session
+                        .statements
+                        .iter()
+                        .any(|s| is_transaction_control_sql(s))
+                    {
+                        return Err(format!("API {api} already uses transaction control"));
+                    }
+                    let mut wrapped = Vec::with_capacity(session.statements.len() + 2);
+                    wrapped.push("BEGIN".to_string());
+                    wrapped.append(&mut session.statements);
+                    wrapped.push("COMMIT".to_string());
+                    session.statements = wrapped;
+                    if i == 0 {
+                        // The seed split counts statements from the script
+                        // head; the injected BEGIN sits before o₁.
+                        plan.seed_prefix += 1;
+                    }
+                    hit = true;
+                }
+                if !hit {
+                    return Err(format!("no session replays {api}"));
+                }
+            }
+            Fix::Isolation { api, level } => {
+                let mut hit = false;
+                for (i, session) in plan.sessions.iter().enumerate() {
+                    if session.api == *api {
+                        session_levels[i] = Some(*level);
+                        hit = true;
+                    }
+                }
+                if !hit {
+                    return Err(format!("no session replays {api}"));
+                }
+            }
+        }
+    }
+    Ok((plan, session_levels))
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+fn fix_value(fix: &Fix) -> Json {
+    match fix {
+        Fix::ForUpdate {
+            api,
+            fingerprint,
+            template,
+        } => Json::Obj(vec![
+            field("action", Json::str("for_update")),
+            field("api", Json::str(api)),
+            field("fingerprint", Json::Num(*fingerprint)),
+            field("template", Json::str(template)),
+        ]),
+        Fix::Isolation { api, level } => Json::Obj(vec![
+            field("action", Json::str("isolation")),
+            field("api", Json::str(api)),
+            field("level", Json::str(level.name())),
+        ]),
+        Fix::Scope { api } => Json::Obj(vec![
+            field("action", Json::str("scope")),
+            field("api", Json::str(api)),
+        ]),
+    }
+}
+
+fn outcome_value(o: &RemedyOutcome) -> Json {
+    let mut fields = vec![
+        field("api", Json::str(&o.finding.api)),
+        field("scope", Json::str(o.finding.scope.to_string())),
+        field("pattern", Json::str(o.finding.pattern.to_string())),
+        field("table", Json::str(&o.finding.table)),
+        field("instances", Json::Num(o.finding.instances as u64)),
+        field("tried", Json::Num(o.tried as u64)),
+        field(
+            "candidates",
+            Json::Arr(
+                o.candidates
+                    .iter()
+                    .map(|c| Json::Arr(c.iter().map(fix_value).collect()))
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(residual) = &o.residual {
+        fields.push(field("residual", Json::str(residual)));
+    }
+    if let Some(chosen) = o.chosen {
+        fields.push(field("chosen", Json::Num(chosen as u64)));
+    }
+    if let Some(verdict) = &o.verdict {
+        fields.push(field("replay", Json::str(verdict.label())));
+        if let Some(detail) = verdict.detail() {
+            fields.push(field("replay_detail", Json::str(detail)));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// Render the adviser report as JSON (deterministic, schema-stable).
+pub fn render_remedy_json(report: &RemedyReport) -> String {
+    let apps = report
+        .apps
+        .iter()
+        .map(|app| {
+            Json::Obj(vec![
+                field("app", Json::str(&app.app)),
+                field(
+                    "levels",
+                    Json::Arr(
+                        app.levels
+                            .iter()
+                            .map(|level| {
+                                Json::Obj(vec![
+                                    field("level", Json::str(level.level.name())),
+                                    field(
+                                        "scenarios",
+                                        Json::Arr(
+                                            level
+                                                .scenarios
+                                                .iter()
+                                                .map(|s| {
+                                                    Json::Obj(vec![
+                                                        field("scenario", Json::str(&s.scenario)),
+                                                        field(
+                                                            "outcomes",
+                                                            Json::Arr(
+                                                                s.outcomes
+                                                                    .iter()
+                                                                    .map(outcome_value)
+                                                                    .collect(),
+                                                            ),
+                                                        ),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    document("repair_adviser", vec![field("apps", Json::Arr(apps))])
+}
+
+/// Render the adviser report as text: a per-app × per-level closed/total
+/// table, then each finding with its minimal fix set, alternatives, and
+/// (when the harness filled them in) the replay verdict.
+pub fn render_remedy_text(report: &RemedyReport) -> String {
+    let mut out = String::from("repair adviser (minimal fix set per static finding)\n\n");
+    let app_width = report
+        .apps
+        .iter()
+        .map(|a| a.app.len())
+        .chain(std::iter::once("app".len()))
+        .max()
+        .unwrap_or(3);
+    out.push_str(&format!("{:<app_width$}", "app"));
+    for level in IsolationLevel::ALL {
+        out.push_str(&format!("  {:>8}", level_abbrev(level)));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(app_width + 6 * 10));
+    out.push('\n');
+    for app in &report.apps {
+        out.push_str(&format!("{:<app_width$}", app.app));
+        for level in IsolationLevel::ALL {
+            match app.level(level) {
+                Some(l) if l.finding_count() > 0 => out.push_str(&format!(
+                    "  {:>8}",
+                    format!("{}/{}", l.closed_count(), l.finding_count())
+                )),
+                Some(_) => out.push_str(&format!("  {:>8}", "-")),
+                None => out.push_str(&format!("  {:>8}", ".")),
+            }
+        }
+        out.push('\n');
+    }
+    for app in &report.apps {
+        for level in &app.levels {
+            for scenario in &level.scenarios {
+                if scenario.outcomes.is_empty() {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "\n{} / {} @ {}\n",
+                    app.app,
+                    scenario.scenario,
+                    level.level.name()
+                ));
+                for o in &scenario.outcomes {
+                    out.push_str(&format!(
+                        "  [{} {}] API {} on {} ({} instances)\n",
+                        o.finding.scope,
+                        o.finding.pattern,
+                        o.finding.api,
+                        o.finding.table,
+                        o.finding.instances,
+                    ));
+                    match o.recommended() {
+                        Some(fixes) => {
+                            out.push_str(&format!("    fix: {}\n", fix_set_label(fixes)));
+                            if o.candidates.len() > 1 {
+                                out.push_str(&format!(
+                                    "    alternatives: {} (of {} candidates tried)\n",
+                                    o.candidates.len() - 1,
+                                    o.tried,
+                                ));
+                            }
+                            if let Some(verdict) = &o.verdict {
+                                let detail = verdict
+                                    .detail()
+                                    .map(|d| format!(" ({d})"))
+                                    .unwrap_or_default();
+                                out.push_str(&format!(
+                                    "    replay after fix: {}{detail}\n",
+                                    verdict.label()
+                                ));
+                            }
+                        }
+                        None => {
+                            let why = o.residual.as_deref().unwrap_or("unknown");
+                            out.push_str(&format!("    residual: {why}\n"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acidrain_apps::endpoints::{booking_surfaces, didactic_surfaces, flexcoin_surface};
+
+    fn surface_named(name: &str) -> AppSurface {
+        didactic_surfaces()
+            .into_iter()
+            .chain(booking_surfaces())
+            .find(|s| s.app == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn scoped_bank_race_takes_the_cheap_lock_fix() {
+        // Figure 1b: transaction-scoped withdraw, plain SELECT — the
+        // canonical level-based lost update. The cheapest closing fix is
+        // the paper's own (Figure 1c): promote the read to FOR UPDATE.
+        let surface = surface_named("bank-figure1b");
+        let remedies = remediate_scenario(
+            &surface,
+            &surface.scenarios[0],
+            IsolationLevel::ReadCommitted,
+        )
+        .unwrap();
+        assert!(!remedies.outcomes.is_empty());
+        for o in &remedies.outcomes {
+            assert!(o.closed(), "{:?}", o.residual);
+            let first = &o.candidates[0];
+            assert_eq!(first.len(), 1, "cheapest fix is a single action");
+            assert!(
+                matches!(first[0], Fix::ForUpdate { .. }),
+                "expected a lock promotion, got {}",
+                fix_set_label(first)
+            );
+        }
+    }
+
+    #[test]
+    fn unscoped_transfer_needs_scoping_first() {
+        // Flexcoin's transfer has no transaction: scope-based. Every
+        // minimal fix must include the Scope element — and Scope alone
+        // cannot close a lost update at ReadCommitted.
+        let surface = flexcoin_surface();
+        let remedies = remediate_scenario(
+            &surface,
+            &surface.scenarios[0],
+            IsolationLevel::ReadCommitted,
+        )
+        .unwrap();
+        let scope_based: Vec<_> = remedies
+            .outcomes
+            .iter()
+            .filter(|o| o.finding.scope == AnomalyScope::ScopeBased)
+            .collect();
+        assert!(!scope_based.is_empty());
+        for o in scope_based {
+            assert!(o.closed(), "{:?}", o.residual);
+            for cand in &o.candidates {
+                assert!(
+                    cand.iter().any(|f| matches!(f, Fix::Scope { .. })),
+                    "scope-based fix without scoping: {}",
+                    fix_set_label(cand)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fix_sets_are_minimal() {
+        // Dropping any element of a reported fix set re-opens the
+        // finding (the minimality invariant the search promises).
+        let surface = surface_named("bank-transfer");
+        let scenario = &surface.scenarios[0];
+        let level = IsolationLevel::ReadCommitted;
+        let log = scenario.record(level).unwrap();
+        let base = refinement_for(&surface, level);
+        let findings = audit_findings(&log, &surface.schema, &base).unwrap();
+        let pre: BTreeSet<Identity> = findings.iter().map(identity).collect();
+        let remedies = remediate_scenario(&surface, scenario, level).unwrap();
+        for o in &remedies.outcomes {
+            let target = identity(&o.finding);
+            for cand in &o.candidates {
+                assert!(closes(&log, &surface.schema, &base, cand, &target, &pre));
+                for i in 0..cand.len() {
+                    let mut trial = cand.clone();
+                    trial.remove(i);
+                    assert!(
+                        trial.is_empty()
+                            || !closes(&log, &surface.schema, &base, &trial, &target, &pre),
+                        "dropping {} leaves {} closing",
+                        cand[i],
+                        fix_set_label(&trial)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ticketing_double_booking_is_scope_based_and_repairable() {
+        let surface = surface_named("ticketing");
+        let remedies = remediate_scenario(
+            &surface,
+            &surface.scenarios[0],
+            IsolationLevel::ReadCommitted,
+        )
+        .unwrap();
+        let reserve: Vec<_> = remedies
+            .outcomes
+            .iter()
+            .filter(|o| o.finding.api == "reserve")
+            .collect();
+        assert!(!reserve.is_empty(), "reserve must race with itself");
+        for o in reserve {
+            assert_eq!(o.finding.scope, AnomalyScope::ScopeBased);
+            assert!(o.closed(), "{:?}", o.residual);
+        }
+    }
+
+    #[test]
+    fn phantom_findings_never_get_lock_promotions() {
+        let report = remediate_all().unwrap();
+        for app in &report.apps {
+            for level in &app.levels {
+                for scenario in &level.scenarios {
+                    for o in &scenario.outcomes {
+                        if o.finding.pattern != AnomalyPattern::Phantom {
+                            continue;
+                        }
+                        for cand in &o.candidates {
+                            assert!(
+                                !cand.iter().any(|f| matches!(f, Fix::ForUpdate { .. })),
+                                "{}/{:?}: phantom got a lock fix: {}",
+                                app.app,
+                                level.level,
+                                fix_set_label(cand)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_failing_endpoints_report_the_residual() {
+        // payroll's raise_salary mixes autocommit and BEGIN internally,
+        // so its scope-based findings cannot be re-scoped.
+        let surface = surface_named("payroll");
+        let remedies = remediate_scenario(
+            &surface,
+            &surface.scenarios[0],
+            IsolationLevel::Serializable,
+        )
+        .unwrap();
+        let gated: Vec<_> = remedies
+            .outcomes
+            .iter()
+            .filter(|o| {
+                o.finding.scope == AnomalyScope::ScopeBased
+                    && o.residual
+                        .as_deref()
+                        .is_some_and(|r| r.contains("transaction control"))
+            })
+            .collect();
+        // The gate result is app-dependent; what we pin is that gated
+        // findings carry no candidates and a usable explanation.
+        for o in gated {
+            assert!(o.candidates.is_empty());
+            assert_eq!(o.tried, 0);
+        }
+    }
+
+    #[test]
+    fn rewrite_plan_promotes_and_scopes() {
+        use crate::replay::SessionScript;
+        let plan = ReplayPlan {
+            setup: vec!["SELECT balance FROM accounts WHERE id = 9".into()],
+            sessions: vec![
+                SessionScript {
+                    api: "transfer".into(),
+                    statements: vec![
+                        "SELECT balance FROM accounts WHERE id = 1".into(),
+                        "UPDATE accounts SET balance = 70 WHERE id = 1".into(),
+                    ],
+                },
+                SessionScript {
+                    api: "transfer".into(),
+                    statements: vec![
+                        "SELECT balance FROM accounts WHERE id = 1".into(),
+                        "UPDATE accounts SET balance = 70 WHERE id = 1".into(),
+                    ],
+                },
+            ],
+            seed_prefix: 1,
+        };
+        let fp = statement_fingerprint("SELECT balance FROM accounts WHERE id = 1");
+        let fixes = vec![
+            Fix::Scope {
+                api: "transfer".into(),
+            },
+            Fix::ForUpdate {
+                api: "transfer".into(),
+                fingerprint: fp,
+                template: String::new(),
+            },
+            Fix::Isolation {
+                api: "transfer".into(),
+                level: IsolationLevel::Serializable,
+            },
+        ];
+        let (rewritten, levels) = rewrite_plan(&plan, &fixes).unwrap();
+        // Scoping shifted the seed split past the injected BEGIN.
+        assert_eq!(rewritten.seed_prefix, 2);
+        for session in &rewritten.sessions {
+            assert_eq!(
+                session.statements.first().map(String::as_str),
+                Some("BEGIN")
+            );
+            assert_eq!(
+                session.statements.last().map(String::as_str),
+                Some("COMMIT")
+            );
+            assert!(session.statements.iter().any(|s| s.ends_with("FOR UPDATE")));
+        }
+        // The setup read has the same fingerprint: promoted too.
+        assert!(rewritten.setup[0].ends_with("FOR UPDATE"));
+        assert_eq!(levels, vec![Some(IsolationLevel::Serializable); 2]);
+        // Scoping an already-scoped session is refused.
+        let again = rewrite_plan(
+            &rewritten,
+            &[Fix::Scope {
+                api: "transfer".into(),
+            }],
+        );
+        assert!(again.is_err());
+    }
+
+    #[test]
+    fn renderings_are_deterministic() {
+        let surface = surface_named("bank-figure1b");
+        let remedies = remediate_surface(&surface).unwrap();
+        let report = RemedyReport {
+            apps: vec![remedies],
+        };
+        let a = render_remedy_text(&report);
+        assert_eq!(a, render_remedy_text(&report));
+        assert!(a.contains("bank-figure1b"));
+        let json = render_remedy_json(&report);
+        assert!(json.contains("\"kind\": \"repair_adviser\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+}

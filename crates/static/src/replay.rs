@@ -28,7 +28,8 @@ use acidrain_core::{
 use acidrain_db::{IsolationLevel, LogEntry};
 
 use crate::audit::{refinement_for, static_finding, AuditError, StaticFinding};
-use crate::report::{json_escape, level_abbrev};
+use crate::report::level_abbrev;
+use crate::serialize::{document, field, Json};
 use crate::template::symbolize_trace;
 
 /// One session of a replay plan: an API instance's canned statements.
@@ -389,72 +390,66 @@ pub fn render_replay_text(report: &ReplayReport) -> String {
     out
 }
 
-/// Render the replay report as JSON (deterministic, schema-stable).
-pub fn render_replay_json(report: &ReplayReport) -> String {
-    let mut out = String::from("{\n  \"apps\": [\n");
-    for (ai, app) in report.apps.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"app\": \"{}\", \"levels\": [\n",
-            json_escape(&app.app)
-        ));
-        for (li, level) in app.levels.iter().enumerate() {
-            out.push_str(&format!(
-                "      {{\"level\": \"{}\", \"scenarios\": [\n",
-                json_escape(level.level.name())
-            ));
-            for (si, scenario) in level.scenarios.iter().enumerate() {
-                out.push_str(&format!(
-                    "        {{\"scenario\": \"{}\", \"outcomes\": [\n",
-                    json_escape(&scenario.scenario)
-                ));
-                for (oi, o) in scenario.outcomes.iter().enumerate() {
-                    let detail = o
-                        .verdict
-                        .detail()
-                        .map(|d| format!(", \"detail\": \"{}\"", json_escape(d)))
-                        .unwrap_or_default();
-                    out.push_str(&format!(
-                        "          {{\"verdict\": \"{}\"{detail}, \"api\": \"{}\", \
-                         \"scope\": \"{}\", \"pattern\": \"{}\", \"table\": \"{}\", \
-                         \"instances\": {}, \"seed\": [{}, {}]}}",
-                        o.verdict.label(),
-                        json_escape(&o.finding.api),
-                        o.finding.scope,
-                        o.finding.pattern,
-                        json_escape(&o.finding.table),
-                        o.finding.instances,
-                        o.finding.seed.0.position,
-                        o.finding.seed.1.position,
-                    ));
-                    out.push_str(if oi + 1 < scenario.outcomes.len() {
-                        ",\n"
-                    } else {
-                        "\n"
-                    });
-                }
-                out.push_str("        ]}");
-                out.push_str(if si + 1 < level.scenarios.len() {
-                    ",\n"
-                } else {
-                    "\n"
-                });
-            }
-            out.push_str("      ]}");
-            out.push_str(if li + 1 < app.levels.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
-        }
-        out.push_str("    ]}");
-        out.push_str(if ai + 1 < report.apps.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
+fn outcome_value(o: &ReplayOutcome) -> Json {
+    let mut fields = vec![field("verdict", Json::str(o.verdict.label()))];
+    if let Some(detail) = o.verdict.detail() {
+        fields.push(field("detail", Json::str(detail)));
     }
-    out.push_str("  ]\n}\n");
-    out
+    fields.extend([
+        field("api", Json::str(&o.finding.api)),
+        field("scope", Json::str(o.finding.scope.to_string())),
+        field("pattern", Json::str(o.finding.pattern.to_string())),
+        field("table", Json::str(&o.finding.table)),
+        field("instances", Json::Num(o.finding.instances as u64)),
+        field(
+            "seed",
+            Json::Arr(vec![
+                Json::Num(o.finding.seed.0.position as u64),
+                Json::Num(o.finding.seed.1.position as u64),
+            ]),
+        ),
+    ]);
+    Json::Obj(fields)
+}
+
+/// Render the replay report as JSON (deterministic, schema-stable;
+/// shares the [`crate::serialize::SCHEMA_VERSION`] stamp with the audit
+/// and adviser reports).
+pub fn render_replay_json(report: &ReplayReport) -> String {
+    let apps = report
+        .apps
+        .iter()
+        .map(|app| {
+            let levels = app
+                .levels
+                .iter()
+                .map(|level| {
+                    let scenarios = level
+                        .scenarios
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                field("scenario", Json::str(&s.scenario)),
+                                field(
+                                    "outcomes",
+                                    Json::Arr(s.outcomes.iter().map(outcome_value).collect()),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    Json::Obj(vec![
+                        field("level", Json::str(level.level.name())),
+                        field("scenarios", Json::Arr(scenarios)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                field("app", Json::str(&app.app)),
+                field("levels", Json::Arr(levels)),
+            ])
+        })
+        .collect();
+    document("witness_replay", vec![field("apps", Json::Arr(apps))])
 }
 
 #[cfg(test)]

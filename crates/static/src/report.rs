@@ -6,7 +6,8 @@
 
 use acidrain_db::IsolationLevel;
 
-use crate::audit::{LevelAudit, StaticAuditReport, StaticFinding};
+use crate::audit::{LevelAudit, SeedRef, StaticAuditReport, StaticFinding};
+use crate::serialize::{document, field, Json};
 
 /// Short column header per level, in [`IsolationLevel::ALL`] order.
 pub(crate) fn level_abbrev(level: IsolationLevel) -> &'static str {
@@ -20,104 +21,75 @@ pub(crate) fn level_abbrev(level: IsolationLevel) -> &'static str {
     }
 }
 
-pub(crate) fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+fn seed_value(s: &SeedRef) -> Json {
+    Json::Obj(vec![
+        field("position", Json::Num(s.position as u64)),
+        field("fingerprint", Json::Num(s.fingerprint)),
+        field("template", Json::str(&s.template)),
+    ])
 }
 
-fn finding_json(f: &StaticFinding, indent: &str) -> String {
-    format!(
-        "{indent}{{\"api\": \"{}\", \"scope\": \"{}\", \"pattern\": \"{}\", \
-         \"table\": \"{}\", \"instances\": {}, \
-         \"seed\": [{{\"position\": {}, \"fingerprint\": {}, \"template\": \"{}\"}}, \
-         {{\"position\": {}, \"fingerprint\": {}, \"template\": \"{}\"}}], \
-         \"witness\": [{}]}}",
-        json_escape(&f.api),
-        f.scope,
-        f.pattern,
-        json_escape(&f.table),
-        f.instances,
-        f.seed.0.position,
-        f.seed.0.fingerprint,
-        json_escape(&f.seed.0.template),
-        f.seed.1.position,
-        f.seed.1.fingerprint,
-        json_escape(&f.seed.1.template),
-        f.witness
-            .iter()
-            .map(|w| format!("\"{}\"", json_escape(w)))
-            .collect::<Vec<_>>()
-            .join(", "),
-    )
+pub(crate) fn finding_value(f: &StaticFinding) -> Json {
+    Json::Obj(vec![
+        field("api", Json::str(&f.api)),
+        field("scope", Json::str(f.scope.to_string())),
+        field("pattern", Json::str(f.pattern.to_string())),
+        field("table", Json::str(&f.table)),
+        field("instances", Json::Num(f.instances as u64)),
+        field(
+            "seed",
+            Json::Arr(vec![seed_value(&f.seed.0), seed_value(&f.seed.1)]),
+        ),
+        field(
+            "witness",
+            Json::Arr(f.witness.iter().map(Json::str).collect()),
+        ),
+    ])
 }
 
-/// Render the audit as JSON (deterministic, schema-stable).
+/// Render the audit as JSON (deterministic, schema-stable; shares the
+/// [`crate::serialize::SCHEMA_VERSION`] stamp with the replay and
+/// adviser reports).
 pub fn render_json(report: &StaticAuditReport) -> String {
-    let mut out = String::from("{\n  \"apps\": [\n");
-    for (ai, app) in report.apps.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"app\": \"{}\", \"session_locked\": {}, \"levels\": [\n",
-            json_escape(&app.app),
-            app.session_locked
-        ));
-        for (li, level) in app.levels.iter().enumerate() {
-            out.push_str(&format!(
-                "      {{\"level\": \"{}\", \"scenarios\": [\n",
-                json_escape(level.level.name())
-            ));
-            for (si, scenario) in level.scenarios.iter().enumerate() {
-                out.push_str(&format!(
-                    "        {{\"scenario\": \"{}\", \"endpoints\": [{}], \"findings\": [\n",
-                    json_escape(&scenario.scenario),
-                    scenario
-                        .endpoints
+    let apps = report
+        .apps
+        .iter()
+        .map(|app| {
+            let levels = app
+                .levels
+                .iter()
+                .map(|level| {
+                    let scenarios = level
+                        .scenarios
                         .iter()
-                        .map(|e| format!("\"{}\"", json_escape(e)))
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                ));
-                for (fi, finding) in scenario.findings.iter().enumerate() {
-                    out.push_str(&finding_json(finding, "          "));
-                    out.push_str(if fi + 1 < scenario.findings.len() {
-                        ",\n"
-                    } else {
-                        "\n"
-                    });
-                }
-                out.push_str("        ]}");
-                out.push_str(if si + 1 < level.scenarios.len() {
-                    ",\n"
-                } else {
-                    "\n"
-                });
-            }
-            out.push_str("      ]}");
-            out.push_str(if li + 1 < app.levels.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
-        }
-        out.push_str("    ]}");
-        out.push_str(if ai + 1 < report.apps.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
-    }
-    out.push_str("  ]\n}\n");
-    out
+                        .map(|s| {
+                            Json::Obj(vec![
+                                field("scenario", Json::str(&s.scenario)),
+                                field(
+                                    "endpoints",
+                                    Json::Arr(s.endpoints.iter().map(Json::str).collect()),
+                                ),
+                                field(
+                                    "findings",
+                                    Json::Arr(s.findings.iter().map(finding_value).collect()),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    Json::Obj(vec![
+                        field("level", Json::str(level.level.name())),
+                        field("scenarios", Json::Arr(scenarios)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                field("app", Json::str(&app.app)),
+                field("session_locked", Json::Bool(app.session_locked)),
+                field("levels", Json::Arr(levels)),
+            ])
+        })
+        .collect();
+    document("static_audit", vec![field("apps", Json::Arr(apps))])
 }
 
 fn summary_table(report: &StaticAuditReport) -> String {
@@ -204,6 +176,8 @@ mod tests {
         let a = render_json(&report);
         let b = render_json(&report);
         assert_eq!(a, b);
+        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"kind\": \"static_audit\""));
         assert!(a.contains("\"app\": \"flexcoin\""));
         assert!(a.contains(":int"), "templates appear in the JSON");
         // Balanced quotes implies escaping didn't break the framing.
